@@ -1,0 +1,54 @@
+// A1 — Ablation: scan order vs TABLEFREE incremental tracking (Sec. II-A:
+// "different delay calculation architectures may be generating values at a
+// faster rate when aimed at a particular order of processing"). Measures
+// tracker stalls in nappe vs scanline order and their frame-rate impact.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "delay/tablefree.h"
+#include "hw/tablefree_unit.h"
+#include "imaging/scan_order.h"
+
+int main() {
+  using namespace us3d;
+  bench::banner("A1", "Scan-order ablation for TABLEFREE tracking");
+
+  // Scaled probe, paper-shaped volume (full depth count matters: the
+  // scanline order's depth reset is what causes the big jumps).
+  const auto cfg = imaging::scaled_system(8, 24, 500);
+  const imaging::VolumeGrid grid(cfg.volume);
+
+  MarkdownTable t({"Scan order", "evaluations", "total steps",
+                   "steps/evaluation", "max steps (single eval)",
+                   "frame rate @167 MHz (paper volume)"});
+  const auto paper_cfg = imaging::paper_system();
+  for (const auto order : {imaging::ScanOrder::kNappeByNappe,
+                           imaging::ScanOrder::kScanlineByScanline}) {
+    delay::TableFreeEngine engine(cfg);
+    engine.begin_frame(Vec3{});
+    std::vector<std::int32_t> out(
+        static_cast<std::size_t>(engine.element_count()));
+    imaging::for_each_focal_point(
+        grid, order,
+        [&](const imaging::FocalPoint& fp) { engine.compute(fp, out); });
+    const auto stats = engine.tracker_stats();
+    const auto timing = hw::analyze_tablefree_timing(
+        paper_cfg, stats, hw::TableFreeUnitModel{});
+    t.add_row({imaging::to_string(order),
+               format_count(static_cast<double>(stats.evaluations)),
+               format_count(static_cast<double>(stats.total_steps)),
+               format_double(stats.mean_steps_per_evaluation(), 4),
+               std::to_string(stats.max_steps_single_evaluation),
+               format_double(timing.frame_rate, 2) + " fps"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nIn nappe order the sqrt argument moves smoothly, so the "
+               "comparator pair of\nFig. 2a almost never steps more than "
+               "once. The scanline order resets depth once\nper line, "
+               "sweeping the tracker across most of the segment table and "
+               "stalling the\nunit — the co-design point the paper makes "
+               "in Sec. II-A.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// A3 — Host-CPU throughput of each delay engine (google-benchmark). Not a
+// paper table: contextualizes the software-beamformer option the paper
+// cites ([13]) by measuring how far a CPU core is from the 2.5e12
+// delays/s the system needs.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "delay/exact.h"
+#include "delay/full_table.h"
+#include "delay/tablefree.h"
+#include "delay/tablesteer.h"
+#include "imaging/scan_order.h"
+#include "imaging/system_config.h"
+
+namespace {
+
+using namespace us3d;
+
+const imaging::SystemConfig& bench_config() {
+  static const imaging::SystemConfig cfg = imaging::scaled_system(16, 16, 60);
+  return cfg;
+}
+
+/// Sweeps the whole scaled volume once per iteration; reports delays/s.
+template <typename Engine>
+void run_engine_sweep(benchmark::State& state, Engine& engine) {
+  const auto& cfg = bench_config();
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> out(
+      static_cast<std::size_t>(engine.element_count()));
+  for (auto _ : state) {
+    engine.begin_frame(Vec3{});
+    imaging::for_each_focal_point(
+        grid, imaging::ScanOrder::kNappeByNappe,
+        [&](const imaging::FocalPoint& fp) {
+          engine.compute(fp, out);
+          benchmark::DoNotOptimize(out.data());
+        });
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.delays_per_frame());
+}
+
+void BM_ExactEngine(benchmark::State& state) {
+  delay::ExactDelayEngine engine(bench_config());
+  run_engine_sweep(state, engine);
+}
+BENCHMARK(BM_ExactEngine)->Unit(benchmark::kMillisecond);
+
+void BM_TableFreeEngine(benchmark::State& state) {
+  delay::TableFreeEngine engine(bench_config());
+  run_engine_sweep(state, engine);
+}
+BENCHMARK(BM_TableFreeEngine)->Unit(benchmark::kMillisecond);
+
+void BM_TableFreeDoubleMode(benchmark::State& state) {
+  delay::TableFreeConfig tf;
+  tf.use_fixed_point = false;
+  delay::TableFreeEngine engine(bench_config(), tf);
+  run_engine_sweep(state, engine);
+}
+BENCHMARK(BM_TableFreeDoubleMode)->Unit(benchmark::kMillisecond);
+
+void BM_TableSteer18(benchmark::State& state) {
+  delay::TableSteerEngine engine(bench_config(),
+                                 delay::TableSteerConfig::bits18());
+  run_engine_sweep(state, engine);
+}
+BENCHMARK(BM_TableSteer18)->Unit(benchmark::kMillisecond);
+
+void BM_TableSteer14(benchmark::State& state) {
+  delay::TableSteerEngine engine(bench_config(),
+                                 delay::TableSteerConfig::bits14());
+  run_engine_sweep(state, engine);
+}
+BENCHMARK(BM_TableSteer14)->Unit(benchmark::kMillisecond);
+
+void BM_FullTableLookup(benchmark::State& state) {
+  delay::FullTableEngine engine(bench_config());
+  run_engine_sweep(state, engine);
+}
+BENCHMARK(BM_FullTableLookup)->Unit(benchmark::kMillisecond);
+
+// Microbenchmark: the PWL sqrt evaluation itself vs std::sqrt.
+void BM_PwlSqrtEvaluate(benchmark::State& state) {
+  const delay::PwlSqrt pwl = delay::PwlSqrt::build(16.0, 2.0e7, 0.25);
+  double x = 17.0;
+  for (auto _ : state) {
+    x = x * 1.0001;
+    if (x > 1.9e7) x = 17.0;
+    benchmark::DoNotOptimize(pwl.evaluate(x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PwlSqrtEvaluate);
+
+void BM_StdSqrt(benchmark::State& state) {
+  double x = 17.0;
+  for (auto _ : state) {
+    x = x * 1.0001;
+    if (x > 1.9e7) x = 17.0;
+    benchmark::DoNotOptimize(std::sqrt(x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdSqrt);
+
+}  // namespace

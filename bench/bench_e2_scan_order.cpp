@@ -1,0 +1,70 @@
+// E2 — Algorithm 1 / Figure 1: the two equivalent beamforming orders and
+// the locality property the nappe order buys (radius changes one step at a
+// time, which is what both TABLEFREE segment tracking and TABLESTEER slice
+// streaming exploit).
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "imaging/scan_order.h"
+#include "imaging/system_config.h"
+
+int main() {
+  using namespace us3d;
+  bench::banner("E2", "Scan orders (Algorithm 1 / Figure 1)");
+
+  const imaging::SystemConfig cfg = imaging::scaled_system(8, 16, 100);
+  const imaging::VolumeGrid grid(cfg.volume);
+
+  for (const auto order : {imaging::ScanOrder::kScanlineByScanline,
+                           imaging::ScanOrder::kNappeByNappe}) {
+    bench::section(std::string("first 8 focal points, ") +
+                   imaging::to_string(order));
+    MarkdownTable t({"#", "i_theta", "i_phi", "i_depth", "radius [mm]"});
+    int shown = 0;
+    imaging::for_each_focal_point(grid, order,
+                                  [&](const imaging::FocalPoint& fp) {
+      if (shown < 8) {
+        t.add_row({std::to_string(shown), std::to_string(fp.i_theta),
+                   std::to_string(fp.i_phi), std::to_string(fp.i_depth),
+                   format_double(fp.radius * 1e3, 3)});
+      }
+      ++shown;
+    });
+    t.print(std::cout);
+  }
+
+  bench::section("radius locality (drives delay-generation efficiency)");
+  MarkdownTable loc({"Order", "mean |dr| per step [um]",
+                     "max |dr| per step [um]", "depth resets"});
+  for (const auto order : {imaging::ScanOrder::kScanlineByScanline,
+                           imaging::ScanOrder::kNappeByNappe}) {
+    double prev = -1.0, sum = 0.0, worst = 0.0;
+    std::int64_t n = 0, resets = 0;
+    const double reset_threshold =
+        (cfg.volume.max_depth_m - cfg.volume.min_depth_m) / 2.0;
+    imaging::for_each_focal_point(grid, order,
+                                  [&](const imaging::FocalPoint& fp) {
+      if (prev >= 0.0) {
+        const double jump = std::abs(fp.radius - prev);
+        sum += jump;
+        worst = std::max(worst, jump);
+        if (jump > reset_threshold) ++resets;
+        ++n;
+      }
+      prev = fp.radius;
+    });
+    loc.add_row({imaging::to_string(order),
+                 format_double(sum / static_cast<double>(n) * 1e6, 3),
+                 format_double(worst * 1e6, 1), std::to_string(resets)});
+  }
+  loc.print(std::cout);
+
+  std::cout << "\nBoth orders visit all " << grid.total_points()
+            << " focal points; the nappe order never moves more than one\n"
+               "depth step at a time, while the scanline order resets the "
+               "whole depth range\nonce per line (Sec. II-A co-design "
+               "remark).\n";
+  return 0;
+}

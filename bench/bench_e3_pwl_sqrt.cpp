@@ -1,0 +1,59 @@
+// E3 — Figure 2: piecewise-linear sqrt approximation. Reproduces the "70
+// segments for delta = 0.25 samples" design point, the error-vs-x shape
+// (bounded by +/-delta with equal ripple), and the delta sweep.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "delay/pwl_sqrt.h"
+#include "delay/tablefree.h"
+#include "imaging/system_config.h"
+
+int main() {
+  using namespace us3d;
+  bench::banner("E3", "PWL sqrt approximation (Figure 2)");
+
+  const imaging::SystemConfig cfg = imaging::paper_system();
+  const delay::TableFreeEngine engine(cfg);
+  const delay::PwlSqrt& pwl = engine.pwl();
+
+  bench::PaperComparison cmp;
+  cmp.row("Segments for delta = 0.25 samples", "70",
+          std::to_string(pwl.segment_count()))
+      .row("Max approximation error", "<= 0.25 samples",
+           format_double(pwl.measured_max_error(256), 4) + " samples");
+  cmp.print();
+
+  bench::section("segment table (every 8th segment)");
+  MarkdownTable t({"segment", "x_start [sample^2]", "slope c1", "value c0"});
+  const auto& segs = pwl.segments();
+  for (std::size_t i = 0; i < segs.size(); i += 8) {
+    t.add_row({std::to_string(i), format_count(segs[i].x_start),
+               format_double(segs[i].slope, 8),
+               format_double(segs[i].value, 2)});
+  }
+  t.print(std::cout);
+
+  bench::section("error curve samples (Figure 2b series)");
+  MarkdownTable err({"x [sample^2]", "sqrt(x)", "PWL(x)", "error [samples]"});
+  for (double x = pwl.x_min(); x < pwl.x_max(); x *= 3.7) {
+    err.add_row({format_count(x), format_double(std::sqrt(x), 3),
+                 format_double(pwl.evaluate(x), 3),
+                 format_double(pwl.evaluate(x) - std::sqrt(x), 4)});
+  }
+  err.print(std::cout);
+
+  bench::section("segment count vs delta (accuracy/area dial, Sec. VI-A)");
+  MarkdownTable sweep({"delta [samples]", "segments", "measured max error",
+                       "LUT bits (c1+c0+bound)"});
+  for (const double delta : {1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125}) {
+    const delay::PwlSqrt p =
+        delay::PwlSqrt::build(pwl.x_min(), pwl.x_max(), delta);
+    const delay::FixedPwlSqrt fp(p, delay::FixedPwlSqrt::Config{});
+    sweep.add_row({format_double(delta, 5), std::to_string(p.segment_count()),
+                   format_double(p.measured_max_error(128), 5),
+                   format_double(fp.lut_bits(), 0)});
+  }
+  sweep.print(std::cout);
+  return 0;
+}

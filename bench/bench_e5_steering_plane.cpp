@@ -1,0 +1,83 @@
+// E5 — Figure 3b/3c/3d: steering the reference table. Emits the correction
+// plane across the aperture for a steered line of sight (Fig. 3c is this
+// plane) and a section of the compensated delay table (Fig. 3d).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/angles.h"
+#include "delay/exact.h"
+#include "delay/reference_table.h"
+#include "delay/steering.h"
+#include "imaging/system_config.h"
+#include "probe/transducer.h"
+
+int main() {
+  using namespace us3d;
+  bench::banner("E5", "Steering correction plane (Figure 3c/3d)");
+
+  const imaging::SystemConfig cfg = imaging::paper_system();
+  const probe::MatrixProbe probe(cfg.probe);
+  const double theta = deg_to_rad(20.0);
+  const double phi = deg_to_rad(10.0);
+
+  bench::section("correction plane [us] across the aperture (Fig. 3c)");
+  std::cout << "steering: theta = 20 deg, phi = 10 deg; rows = yD, cols = "
+               "xD (every 20th element)\n\n";
+  MarkdownTable plane({"yD \\ xD [mm]", "-9.5", "-4.7", "0.1", "4.9", "9.6"});
+  for (int iy = 0; iy < probe.elements_y(); iy += 20) {
+    std::vector<std::string> row;
+    row.push_back(format_double(probe.row_y(iy) * 1e3, 1));
+    for (int ix = 0; ix < probe.elements_x(); ix += 20) {
+      const double corr_us =
+          cfg.samples_to_seconds(delay::steering_correction_samples(
+              cfg, theta, phi, probe.column_x(ix), probe.row_y(iy))) *
+          1e6;
+      row.push_back(format_double(corr_us, 3));
+    }
+    plane.add_row(std::move(row));
+  }
+  plane.print(std::cout);
+  std::cout << "\nThe correction is a tilted plane through the aperture "
+               "centre: linear in xD and yD,\nwith slopes set by "
+               "(theta, phi) — exactly Eq. (7).\n";
+
+  bench::section("compensated table section (Fig. 3d): delays [samples] "
+                 "along depth for one element row");
+  const delay::ReferenceDelayTable table(cfg);
+  MarkdownTable sect({"depth idx", "ref delay", "x corr", "y corr",
+                      "steered delay"});
+  const imaging::VolumeGrid grid(cfg.volume);
+  const delay::SteeringCorrections corr(cfg);
+  const int ix = 80, iy = 55;
+  const int i_theta = 96, i_phi = 81;  // ~theta 20 deg, phi 10 deg
+  for (const int k : {0, 50, 150, 300, 500, 750, 999}) {
+    const auto ref = table.entry(ix, iy, k);
+    const auto cx = corr.x_correction(ix, i_theta, i_phi);
+    const auto cy = corr.y_correction(iy, i_phi);
+    const double steered = ref.to_real() + cx.to_real() + cy.to_real();
+    sect.add_row({std::to_string(k), format_double(ref.to_real(), 2),
+                  format_double(cx.to_real(), 2),
+                  format_double(cy.to_real(), 2),
+                  format_double(steered, 2)});
+  }
+  sect.print(std::cout);
+
+  bench::section("steering accuracy vs exact for that line of sight");
+  MarkdownTable acc({"depth idx", "radius [mm]", "exact [samples]",
+                     "steered [samples]", "error [samples]"});
+  for (const int k : {0, 10, 50, 150, 500, 999}) {
+    const imaging::FocalPoint fp = grid.focal_point(i_theta, i_phi, k);
+    const Vec3 elem = probe.element_position(ix, iy);
+    const double exact = cfg.seconds_to_samples(delay::two_way_delay_s(
+        Vec3{}, fp.position, elem, cfg.speed_of_sound));
+    const double steered = delay::steered_delay_samples(cfg, fp, elem);
+    acc.add_row({std::to_string(k), format_double(fp.radius * 1e3, 2),
+                 format_double(exact, 2), format_double(steered, 2),
+                 format_double(steered - exact, 3)});
+  }
+  acc.print(std::cout);
+  std::cout << "\nThe far-field error collapses with depth (Sec. V-A): "
+               "large at the first\nfocal points, negligible past a few "
+               "tens of wavelengths.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E7 — Sec. VI-A TABLESTEER accuracy: the far-field (first-order Taylor)
+// steering error over the full paper volume, raw and filtered by element
+// directivity. Paper: theoretical bound ~214 samples (6.7 us), observed
+// max 99 samples (3.1 us), average 44.641 ns (~1.43 samples).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/angles.h"
+#include "delay/error_harness.h"
+#include "delay/tablesteer.h"
+#include "probe/apodization.h"
+#include "probe/directivity.h"
+
+int main() {
+  using namespace us3d;
+  bench::banner("E7", "TABLESTEER steering accuracy (Sec. VI-A)");
+
+  const imaging::SystemConfig cfg = imaging::paper_system();
+  const delay::SweepStrides strides{8, 8, 20, 5, 5};
+
+  bench::section("algorithmic (far-field Taylor) error, paper system");
+  MarkdownTable t({"Directivity filter", "mean |err| [samples]",
+                   "mean |err| [ns]", "max |err| [samples]",
+                   "max |err| [us]"});
+  // Unfiltered, then a range of acceptance cones around the paper's
+  // "beyond the elements' directivity" argument.
+  {
+    const auto rep = delay::measure_steering_algorithmic_error(cfg, strides);
+    t.add_row({"none",
+               format_double(rep.samples_all.mean_abs(), 3),
+               format_double(cfg.samples_to_seconds(
+                                 rep.samples_all.mean_abs()) * 1e9, 1),
+               format_double(rep.samples_all.max_abs(), 1),
+               format_double(rep.max_error_seconds_all * 1e6, 2)});
+  }
+  for (const double db : {3.0, 6.0, 9.0}) {
+    const auto dir = probe::Directivity::from_db_down(
+        cfg.probe.pitch_m, cfg.wavelength_m(), db);
+    const auto rep =
+        delay::measure_steering_algorithmic_error(cfg, strides, dir);
+    t.add_row({"-" + format_double(db, 0) + " dB cone (" +
+                   format_double(rad_to_deg(dir.cutoff_angle()), 1) + " deg)",
+               format_double(rep.samples_filtered.mean_abs(), 3),
+               format_double(rep.mean_error_seconds_filtered * 1e9, 1),
+               format_double(rep.samples_filtered.max_abs(), 1),
+               format_double(rep.max_error_seconds_filtered * 1e6, 2)});
+  }
+  t.print(std::cout);
+
+  // The -9 dB cone (~60 deg) matches the paper's filtering best: its mean
+  // lands on the reported 44.6 ns almost exactly. The max is sensitive to
+  // how densely the near-field corner cases are swept.
+  bench::PaperComparison cmp;
+  const auto dir9 = probe::Directivity::from_db_down(
+      cfg.probe.pitch_m, cfg.wavelength_m(), 9.0);
+  const auto rep9 =
+      delay::measure_steering_algorithmic_error(cfg, strides, dir9);
+  cmp.row("Theoretical worst case", "~6.7 us (214 samples)",
+          format_double(rep9.max_error_seconds_all * 1e6, 2) + " us (" +
+              format_double(rep9.samples_all.max_abs(), 0) + " samples, unfiltered)")
+      .row("Observed max (within directivity)", "3.1 us (99 samples)",
+           format_double(rep9.max_error_seconds_filtered * 1e6, 2) + " us (" +
+               format_double(rep9.samples_filtered.max_abs(), 0) + " samples)")
+      .row("Average (within directivity)", "44.641 ns (~1.43 samples)",
+           format_double(rep9.mean_error_seconds_filtered * 1e9, 1) + " ns (" +
+               format_double(rep9.samples_filtered.mean_abs(), 2) + " samples)");
+  cmp.print();
+  const auto dir6 = probe::Directivity::from_db_down(
+      cfg.probe.pitch_m, cfg.wavelength_m(), 6.0);
+
+  bench::section("apodization-weighted error (the argument as the paper "
+                 "makes it)");
+  {
+    const probe::MatrixProbe probe(cfg.probe);
+    const probe::ApodizationMap apod(probe, probe::WindowKind::kHann);
+    const auto soft = probe::Directivity::from_db_down(
+        cfg.probe.pitch_m, cfg.wavelength_m(), 6.0);
+    const auto weighted = delay::measure_steering_weighted_error(
+        cfg, delay::SweepStrides{16, 16, 50, 7, 7}, apod, soft);
+    MarkdownTable w({"Metric", "Value"});
+    w.add_row({"Weighted mean |err| (Hann x directivity)",
+               format_double(weighted.weighted_mean_abs_samples, 3) +
+                   " samples"})
+        .add_row({"Max |err| among significant pairs (w > 1% of max)",
+                  format_double(weighted.max_abs_samples_significant, 1) +
+                      " samples"});
+    w.print(std::cout);
+    std::cout << "\nWeighting by actual beamforming contribution (instead "
+                 "of a hard cone) pushes the\neffective error well below "
+                 "the raw mean: the worst errors carry almost no image\n"
+                 "energy, which is the paper's Sec. VI-A argument.\n";
+  }
+
+  bench::section("full fixed-point engine vs exact (selection error)");
+  MarkdownTable fx_table({"Engine", "mean |err| [samples]",
+                          "max |err| [samples]",
+                          "mean |err| within -6dB cone"});
+  for (const auto& ts_cfg : {delay::TableSteerConfig::bits14(),
+                             delay::TableSteerConfig::bits18()}) {
+    delay::TableSteerEngine engine(cfg, ts_cfg);
+    const auto rep = delay::measure_selection_error(
+        cfg, engine, imaging::ScanOrder::kNappeByNappe,
+        delay::SweepStrides{16, 16, 50, 9, 9}, dir6);
+    fx_table.add_row({engine.name(), format_double(rep.all.mean_abs(), 2),
+                      format_double(rep.all.max_abs(), 0),
+                      format_double(rep.filtered.mean_abs(), 2)});
+  }
+  fx_table.print(std::cout);
+  std::cout << "\nPaper Table II reports avg 1.55 (14b) / 1.44 (18b), "
+               "max 100, over the apodized volume.\n";
+  return 0;
+}

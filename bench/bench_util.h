@@ -1,0 +1,40 @@
+// Shared helpers for the experiment harnesses: consistent banners and
+// paper-vs-measured rows so EXPERIMENTS.md can quote bench output directly.
+#ifndef US3D_BENCH_BENCH_UTIL_H
+#define US3D_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+
+#include "common/table_io.h"
+
+namespace us3d::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n\n";
+}
+
+inline void section(const std::string& name) {
+  std::cout << "\n--- " << name << " ---\n";
+}
+
+/// A two-column comparison table of paper-reported vs measured values.
+class PaperComparison {
+ public:
+  PaperComparison() : table_({"Quantity", "Paper", "Measured"}) {}
+
+  PaperComparison& row(const std::string& what, const std::string& paper,
+                       const std::string& measured) {
+    table_.add_row({what, paper, measured});
+    return *this;
+  }
+
+  void print() { std::cout << table_.to_string(); }
+
+ private:
+  MarkdownTable table_;
+};
+
+}  // namespace us3d::bench
+
+#endif  // US3D_BENCH_BENCH_UTIL_H

@@ -1,0 +1,103 @@
+// FPGA feasibility planner: the paper's Sec. VI analysis as a tool. Give
+// it a probe size, volume and target frame rate; it sizes both delay
+// architectures on a device and reports which fits, at what utilization,
+// bandwidth and frame rate — the trade Table II captures for the paper's
+// design point.
+//
+// Usage: fpga_planner [elements_per_side] [target_fps]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "delay/tablefree.h"
+#include "probe/presets.h"
+#include "fpga/report.h"
+#include "hw/delay_fabric.h"
+#include "imaging/scan_order.h"
+
+int main(int argc, char** argv) {
+  using namespace us3d;
+
+  const int side = argc > 1 ? std::atoi(argv[1]) : 100;
+  const double fps = argc > 2 ? std::atof(argv[2]) : 15.0;
+  if (side <= 0 || fps <= 0.0) {
+    std::fprintf(stderr, "usage: %s [elements_per_side] [target_fps]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  imaging::SystemConfig cfg = imaging::paper_system();
+  cfg.probe = probe::small_probe(side);
+  cfg.plan.volume_rate_hz = fps;
+
+  std::printf("planning for a %dx%d probe, %dx%dx%d volume, %.0f fps on "
+              "%s\n\n",
+              side, side, cfg.volume.n_theta, cfg.volume.n_phi,
+              cfg.volume.n_depth, fps, fpga::xc7vx1140t().name.c_str());
+  std::printf("delay demand: %.2e coefficients/frame, %.2e/s\n\n",
+              static_cast<double>(cfg.delays_per_frame()),
+              cfg.delays_per_second());
+
+  // Tracker statistics for the TABLEFREE stall model: contiguous sweep on
+  // a scaled stand-in (stall rate is geometry-driven, not size-driven).
+  delay::TableFreeEngine::TrackerStats stats;
+  {
+    const auto scaled = imaging::scaled_system(8, 32, 250);
+    delay::TableFreeEngine engine(scaled);
+    engine.begin_frame(Vec3{});
+    std::vector<std::int32_t> out(
+        static_cast<std::size_t>(engine.element_count()));
+    const imaging::VolumeGrid grid(scaled.volume);
+    imaging::for_each_focal_point(
+        grid, imaging::ScanOrder::kNappeByNappe,
+        [&](const imaging::FocalPoint& fp) { engine.compute(fp, out); });
+    stats = engine.tracker_stats();
+  }
+
+  const delay::TableFreeEngine sized(cfg);
+  for (const fpga::FpgaDevice& device :
+       {fpga::xc7vx1140t(), fpga::ultrascale_projection()}) {
+    std::printf("== %s ==\n", device.name.c_str());
+
+    const auto tf = fpga::analyze_tablefree_fpga(
+        cfg, device, sized.pwl().segment_count(), stats);
+    const bool tf_fits = tf.full_probe_util.fits;
+    std::printf("  TABLEFREE : %d units need %.0f%% LUTs -> %s",
+                cfg.probe.element_count(),
+                tf.full_probe_util.lut_fraction * 100.0,
+                tf_fits ? "fits" : "does NOT fit");
+    if (!tf_fits) {
+      std::printf(" (largest fleet: %dx%d)", tf.max_channels_side,
+                  tf.max_channels_side);
+    }
+    std::printf("; %.1f fps %s target\n", tf.frame_rate,
+                tf.frame_rate >= fps ? "meets" : "misses");
+
+    const auto ts_cfg = delay::TableSteerConfig::bits18();
+    hw::FabricConfig fabric;
+    fabric.entry_format = ts_cfg.entry_format;
+    const auto ts =
+        fpga::analyze_tablesteer_fpga(cfg, device, fabric, ts_cfg);
+    std::printf("  TABLESTEER: LUT %.0f%%, FF %.0f%%, BRAM %.0f%% -> %s; "
+                "%.1f fps %s target; %.1f GB/s DRAM\n",
+                ts.util.lut_fraction * 100.0, ts.util.ff_fraction * 100.0,
+                ts.util.bram_fraction * 100.0,
+                ts.util.fits ? "fits" : "does NOT fit",
+                ts.fabric.frame_rate_at_peak,
+                ts.fabric.frame_rate_at_peak >= fps ? "meets" : "misses",
+                ts.fabric.dram_bandwidth_bytes_per_second / 1e9);
+
+    const char* pick =
+        ts.util.fits && ts.fabric.frame_rate_at_peak >= fps
+            ? (tf_fits && tf.frame_rate >= fps
+                   ? "either fits; TABLEFREE if off-chip bandwidth is "
+                     "precious, TABLESTEER for frame rate"
+                   : "TABLESTEER")
+            : (tf_fits && tf.frame_rate >= fps ? "TABLEFREE"
+                                               : "neither at full spec");
+    std::printf("  recommendation: %s\n\n", pick);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Synthetic-aperture imaging example: reconstruct one volume from several
+// diverging-wave insonifications (virtual sources behind the probe),
+// compounding the per-shot reconstructions — the acquisition mode the
+// paper's Sec. V extension supports through a repository of delay tables.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "acoustic/echo_synth.h"
+#include "acoustic/metrics.h"
+#include "beamform/beamformer.h"
+#include "delay/synthetic_aperture.h"
+#include "probe/presets.h"
+
+int main() {
+  using namespace us3d;
+
+  const imaging::SystemConfig cfg = imaging::scaled_system(12, 17, 80);
+  const imaging::VolumeGrid grid(cfg.volume);
+  const acoustic::Phantom phantom = {
+      {grid.focal_point(8, 8, 40).position, 1.0},
+      {grid.focal_point(13, 5, 60).position, 0.8},
+  };
+
+  // Three diverging-wave shots from virtual sources 0..8 lambda behind
+  // the probe; the engine owns one reference table per source.
+  const auto plan =
+      delay::diverging_wave_plan(3, 8.0 * cfg.wavelength_m());
+  delay::SyntheticApertureSteerEngine engine(cfg, plan);
+  std::printf("synthetic aperture: %d virtual sources, repository %.1f Mb "
+              "(DRAM-resident)\n\n",
+              plan.origin_count(),
+              engine.repository().total_storage_bits() / 1e6);
+
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kHann);
+  const beamform::Beamformer bf(cfg, apod);
+
+  beamform::VolumeImage compound(cfg.volume);
+  for (int shot = 0; shot < plan.origin_count(); ++shot) {
+    const Vec3 origin{0.0, 0.0, plan.origin_z[static_cast<std::size_t>(shot)]};
+    acoustic::SynthesisOptions opt;
+    opt.origin = origin;
+    const auto echoes = acoustic::synthesize_echoes(cfg, phantom, opt);
+
+    const beamform::VolumeImage img =
+        bf.reconstruct(echoes, engine, {.origin = origin});
+    const auto psf = acoustic::measure_psf(img);
+    std::printf("shot %d (source z = %+5.2f mm): peak at (%d,%d,%d), "
+                "amplitude %.3f\n",
+                shot, origin.z * 1e3, psf.peak.i_theta, psf.peak.i_phi,
+                psf.peak.i_depth, std::abs(psf.peak.value));
+
+    for (int it = 0; it < cfg.volume.n_theta; ++it) {
+      for (int ip = 0; ip < cfg.volume.n_phi; ++ip) {
+        for (int id = 0; id < cfg.volume.n_depth; ++id) {
+          compound.at(it, ip, id) +=
+              img.at(it, ip, id) /
+              static_cast<float>(plan.origin_count());
+        }
+      }
+    }
+  }
+
+  const auto psf = acoustic::measure_psf(compound);
+  std::printf("\ncompounded volume: peak at (%d,%d,%d), amplitude %.3f, "
+              "-6dB widths %.1f/%.1f/%.1f\n",
+              psf.peak.i_theta, psf.peak.i_phi, psf.peak.i_depth,
+              std::abs(psf.peak.value), psf.width_theta, psf.width_phi,
+              psf.width_depth);
+  std::printf("\nEach shot used its own origin's reference table; the "
+              "steering-correction set is\nshared — exactly the 'multiple "
+              "precalculated delay tables' deployment of Sec. V.\n");
+  return 0;
+}

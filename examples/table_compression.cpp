@@ -1,0 +1,79 @@
+// Storage-accounting walkthrough: how the paper shrinks "billions of
+// coefficients" down to something a single chip can hold. Each step prints
+// the size after applying one idea from the paper, for any system size.
+//
+// Usage: table_compression [elements_per_side] [n_lines] [n_depth]
+#include <cstdio>
+#include <cstdlib>
+
+#include "delay/pwl_sqrt.h"
+#include "delay/table_sizing.h"
+#include "delay/tablefree.h"
+#include "imaging/system_config.h"
+
+int main(int argc, char** argv) {
+  using namespace us3d;
+
+  imaging::SystemConfig cfg;
+  if (argc == 4) {
+    cfg = imaging::scaled_system(std::atoi(argv[1]), std::atoi(argv[2]),
+                                 std::atoi(argv[3]));
+  } else {
+    cfg = imaging::paper_system();
+  }
+
+  std::printf("system: %dx%d elements, %dx%dx%d focal points\n\n",
+              cfg.probe.elements_x, cfg.probe.elements_y, cfg.volume.n_theta,
+              cfg.volume.n_phi, cfg.volume.n_depth);
+
+  const int bits = cfg.delay_index_bits();
+  const auto naive = delay::naive_table_sizing(cfg, bits);
+  std::printf("step 0 — naive table, one %d-bit delay per (point, element):\n"
+              "         %.3e coefficients = %.2f GB, %.2f GB/s at %.0f fps\n\n",
+              bits, static_cast<double>(naive.coefficients),
+              naive.total_bytes / 1e9,
+              naive.bandwidth_bytes_per_second / 1e9,
+              cfg.plan.volume_rate_hz);
+
+  const auto ref = delay::reference_table_sizing(cfg, fx::kRefDelay18);
+  std::printf("step 1 — TABLESTEER: store only the unsteered line of sight\n"
+              "         (one entry per element x depth): %.3e entries\n",
+              static_cast<double>(ref.raw_entries));
+  std::printf("step 2 — fold X/Y mirror symmetry: %.3e entries = %.1f Mb "
+              "at 18 bits\n",
+              static_cast<double>(ref.folded_entries),
+              ref.folded_bits / 1e6);
+
+  const auto steer = delay::steering_set_sizing(cfg, fx::kCorrection18);
+  std::printf("step 3 — precompute the steering planes: +%lld coefficients "
+              "= %.1f Mb\n",
+              static_cast<long long>(steer.total_coefficients),
+              steer.total_bits / 1e6);
+
+  const auto stream = delay::streaming_sizing(cfg, fx::kRefDelay18,
+                                              fx::kCorrection18, 128, 1024);
+  std::printf("step 4 — stream the table from DRAM, keep a slice on chip:\n"
+              "         %.2f Mb of BRAM + %.2f GB/s of unidirectional DRAM "
+              "traffic\n\n",
+              stream.on_chip_slice_bits / 1e6,
+              stream.bandwidth_bytes_per_second / 1e9);
+
+  const delay::TableFreeEngine tablefree(cfg);
+  const delay::FixedPwlSqrt fixed(tablefree.pwl(),
+                                  delay::FixedPwlSqrt::Config{});
+  std::printf("step 5 — TABLEFREE: drop the table entirely; per element "
+              "unit stores only\n"
+              "         the %zu-segment PWL sqrt LUT = %.1f kb (and %.1f Mb "
+              "for all %d units)\n",
+              tablefree.pwl().segment_count(), fixed.lut_bits() / 1e3,
+              fixed.lut_bits() * cfg.probe.element_count() / 1e6,
+              cfg.probe.element_count());
+
+  const double compression =
+      naive.total_bits / (ref.folded_bits + steer.total_bits);
+  std::printf("\nnet effect: %.0fx smaller than the naive table "
+              "(TABLESTEER), or no table at all\n(TABLEFREE), at the "
+              "accuracy cost quantified in bench_e6/e7.\n",
+              compression);
+  return 0;
+}

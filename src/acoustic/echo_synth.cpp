@@ -1,0 +1,53 @@
+#include "acoustic/echo_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+#include "delay/exact.h"
+#include "probe/transducer.h"
+
+namespace us3d::acoustic {
+
+beamform::EchoBuffer synthesize_echoes(const imaging::SystemConfig& config,
+                                       const Phantom& phantom,
+                                       const SynthesisOptions& options) {
+  const probe::MatrixProbe probe(config.probe);
+  const GaussianPulse pulse(config.probe.center_frequency_hz,
+                            config.probe.bandwidth_hz);
+  beamform::EchoBuffer echoes(probe.element_count(),
+                              config.echo_buffer_samples());
+
+  const double fs = config.sampling_frequency_hz;
+  const double support_samples = pulse.support() * fs;
+
+  for (int e = 0; e < probe.element_count(); ++e) {
+    const Vec3 d = probe.element_position(e);
+    auto row = echoes.row(e);
+    for (const PointScatterer& sc : phantom) {
+      US3D_EXPECTS(sc.position.z > 0.0);
+      const double t = delay::two_way_delay_s(options.origin, sc.position, d,
+                                              config.speed_of_sound);
+      double amp = sc.amplitude;
+      if (options.spherical_spreading) {
+        const double r_tx = sc.position.distance_to(options.origin);
+        const double r_rx = sc.position.distance_to(d);
+        amp /= std::max(1e-9, r_tx * r_rx);
+      }
+      const double center = t * fs;
+      const auto lo = static_cast<std::int64_t>(
+          std::max(0.0, std::floor(center - support_samples)));
+      const auto hi = static_cast<std::int64_t>(
+          std::min(static_cast<double>(echoes.samples_per_element() - 1),
+                   std::ceil(center + support_samples)));
+      for (std::int64_t i = lo; i <= hi; ++i) {
+        const double dt = (static_cast<double>(i) - center) / fs;
+        row[static_cast<std::size_t>(i)] +=
+            static_cast<float>(amp * pulse.value(dt));
+      }
+    }
+  }
+  return echoes;
+}
+
+}  // namespace us3d::acoustic

@@ -1,0 +1,31 @@
+// Element-level echo synthesis: fills an EchoBuffer with the RF traces each
+// element would record from a phantom, using the exact two-way propagation
+// physics of Eq. (2). The synthetic echoes exercise the full beamforming
+// path so delay-architecture accuracy can be judged at the image level.
+#ifndef US3D_ACOUSTIC_ECHO_SYNTH_H
+#define US3D_ACOUSTIC_ECHO_SYNTH_H
+
+#include "acoustic/phantom.h"
+#include "acoustic/pulse.h"
+#include "beamform/echo_buffer.h"
+#include "imaging/system_config.h"
+
+namespace us3d::acoustic {
+
+struct SynthesisOptions {
+  /// Apply 1/(r_tx * r_rx) spherical spreading to scatterer amplitudes.
+  bool spherical_spreading = false;
+  /// Transmit origin (virtual source); the paper's architectures assume
+  /// the probe centre.
+  Vec3 origin{};
+};
+
+/// Synthesizes echoes for every probe element. Buffer length is
+/// config.echo_buffer_samples().
+beamform::EchoBuffer synthesize_echoes(const imaging::SystemConfig& config,
+                                       const Phantom& phantom,
+                                       const SynthesisOptions& options = {});
+
+}  // namespace us3d::acoustic
+
+#endif  // US3D_ACOUSTIC_ECHO_SYNTH_H

@@ -1,0 +1,91 @@
+#include "acoustic/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace us3d::acoustic {
+
+namespace {
+
+/// -6 dB full width along one axis through the peak, by linear
+/// interpolation of the crossing points.
+double axis_width(const beamform::VolumeImage& image, int it, int ip, int id,
+                  int axis) {
+  const auto& spec = image.spec();
+  const double peak = std::abs(image.at(it, ip, id));
+  US3D_EXPECTS(peak > 0.0);
+  const double half = peak / 2.0;
+
+  auto value_at = [&](int offset) -> double {
+    int a = it, b = ip, c = id;
+    (axis == 0 ? a : axis == 1 ? b : c) += offset;
+    if (a < 0 || a >= spec.n_theta || b < 0 || b >= spec.n_phi || c < 0 ||
+        c >= spec.n_depth) {
+      return 0.0;
+    }
+    return std::abs(image.at(a, b, c));
+  };
+
+  auto crossing = [&](int dir) -> double {
+    double prev = peak;
+    for (int step = 1; step < 4096; ++step) {
+      const double v = value_at(dir * step);
+      if (v < half) {
+        // Linear interpolation between (step-1, prev) and (step, v).
+        const double frac = prev > v ? (prev - half) / (prev - v) : 0.0;
+        return static_cast<double>(step - 1) + frac;
+      }
+      prev = v;
+    }
+    return 4096.0;
+  };
+
+  return crossing(+1) + crossing(-1);
+}
+
+}  // namespace
+
+PsfMetrics measure_psf(const beamform::VolumeImage& image,
+                       int mainlobe_exclusion) {
+  US3D_EXPECTS(mainlobe_exclusion >= 0);
+  PsfMetrics m;
+  m.peak = image.peak_abs();
+  const double peak = std::abs(m.peak.value);
+  US3D_EXPECTS(peak > 0.0);
+
+  m.width_theta = axis_width(image, m.peak.i_theta, m.peak.i_phi,
+                             m.peak.i_depth, 0);
+  m.width_phi = axis_width(image, m.peak.i_theta, m.peak.i_phi,
+                           m.peak.i_depth, 1);
+  m.width_depth = axis_width(image, m.peak.i_theta, m.peak.i_phi,
+                             m.peak.i_depth, 2);
+
+  const auto& spec = image.spec();
+  float worst = 0.0f;
+  for (int it = 0; it < spec.n_theta; ++it) {
+    for (int ip = 0; ip < spec.n_phi; ++ip) {
+      for (int id = 0; id < spec.n_depth; ++id) {
+        if (std::abs(it - m.peak.i_theta) <= mainlobe_exclusion &&
+            std::abs(ip - m.peak.i_phi) <= mainlobe_exclusion &&
+            std::abs(id - m.peak.i_depth) <= mainlobe_exclusion) {
+          continue;
+        }
+        worst = std::max(worst, std::abs(image.at(it, ip, id)));
+      }
+    }
+  }
+  m.sidelobe_ratio = worst / peak;
+  return m;
+}
+
+double peak_offset_steps(const PsfMetrics& psf, int i_theta, int i_phi,
+                         int i_depth) {
+  const double dt = psf.peak.i_theta - i_theta;
+  const double dp = psf.peak.i_phi - i_phi;
+  const double dd = psf.peak.i_depth - i_depth;
+  return std::sqrt(dt * dt + dp * dp + dd * dd);
+}
+
+}  // namespace us3d::acoustic

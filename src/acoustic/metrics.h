@@ -1,0 +1,36 @@
+// Image-quality metrics on beamformed volumes: point-spread-function
+// geometry and sidelobe level around a known scatterer, plus volume
+// comparison. Used to show that delay approximation errors (TABLEFREE /
+// TABLESTEER) translate into negligible image degradation inside the
+// apodized field of view.
+#ifndef US3D_ACOUSTIC_METRICS_H
+#define US3D_ACOUSTIC_METRICS_H
+
+#include "beamform/volume_image.h"
+#include "imaging/volume.h"
+
+namespace us3d::acoustic {
+
+struct PsfMetrics {
+  beamform::VolumeImage::Peak peak{};
+  /// -6 dB full widths of the main lobe, in grid steps along each axis.
+  double width_theta = 0.0;
+  double width_phi = 0.0;
+  double width_depth = 0.0;
+  /// Largest |value| outside the main lobe, relative to the peak (linear).
+  double sidelobe_ratio = 0.0;
+};
+
+/// Measures the PSF around the global peak. `mainlobe_exclusion` is the
+/// half-size (in grid steps per axis) of the box treated as main lobe when
+/// searching for sidelobes.
+PsfMetrics measure_psf(const beamform::VolumeImage& image,
+                       int mainlobe_exclusion = 6);
+
+/// Distance in grid steps between the image peak and the expected location.
+double peak_offset_steps(const PsfMetrics& psf, int i_theta, int i_phi,
+                         int i_depth);
+
+}  // namespace us3d::acoustic
+
+#endif  // US3D_ACOUSTIC_METRICS_H

@@ -1,0 +1,22 @@
+// Synthetic imaging targets: point scatterers with reflectivities. This
+// replaces the physical tissue of the paper's end application (see the
+// substitution table in DESIGN.md).
+#ifndef US3D_ACOUSTIC_PHANTOM_H
+#define US3D_ACOUSTIC_PHANTOM_H
+
+#include <vector>
+
+#include "common/vec3.h"
+
+namespace us3d::acoustic {
+
+struct PointScatterer {
+  Vec3 position{};
+  double amplitude = 1.0;
+};
+
+using Phantom = std::vector<PointScatterer>;
+
+}  // namespace us3d::acoustic
+
+#endif  // US3D_ACOUSTIC_PHANTOM_H

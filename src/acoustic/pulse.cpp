@@ -1,0 +1,33 @@
+#include "acoustic/pulse.h"
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/contracts.h"
+
+namespace us3d::acoustic {
+
+GaussianPulse::GaussianPulse(double center_frequency_hz, double bandwidth_hz)
+    : fc_(center_frequency_hz) {
+  US3D_EXPECTS(center_frequency_hz > 0.0);
+  US3D_EXPECTS(bandwidth_hz > 0.0);
+  // Gaussian envelope exp(-t^2 / (2 sigma^2)) has spectrum
+  // exp(-sigma^2 (2 pi f)^2 / 2); the half-amplitude full width B satisfies
+  // exp(-sigma^2 (pi B)^2 / 2) = 1/2  =>  sigma = sqrt(2 ln 2) / (pi B).
+  sigma_ = std::sqrt(2.0 * std::log(2.0)) / (kPi * bandwidth_hz);
+}
+
+double GaussianPulse::envelope(double t) const {
+  return std::exp(-t * t / (2.0 * sigma_ * sigma_));
+}
+
+double GaussianPulse::value(double t) const {
+  return envelope(t) * std::cos(2.0 * kPi * fc_ * t);
+}
+
+double GaussianPulse::support() const {
+  // exp(-x^2/2) < 1e-6 for |x| > ~5.26 sigma.
+  return 5.3 * sigma_;
+}
+
+}  // namespace us3d::acoustic

@@ -1,0 +1,33 @@
+// Transmit pulse model: a Gaussian-modulated sinusoid at the transducer
+// centre frequency, with the envelope width set by the fractional
+// bandwidth (Table I: fc = 4 MHz, B = 4 MHz -> 100% fractional bandwidth).
+#ifndef US3D_ACOUSTIC_PULSE_H
+#define US3D_ACOUSTIC_PULSE_H
+
+namespace us3d::acoustic {
+
+class GaussianPulse {
+ public:
+  /// `bandwidth_hz` is the -6 dB (half-amplitude) full spectral width.
+  GaussianPulse(double center_frequency_hz, double bandwidth_hz);
+
+  /// Pulse amplitude at time t (seconds), centred at t = 0.
+  double value(double t) const;
+
+  /// Envelope amplitude at time t.
+  double envelope(double t) const;
+
+  /// Time beyond which the envelope is below ~1e-6 (integration cutoff).
+  double support() const;
+
+  double center_frequency() const { return fc_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double fc_;
+  double sigma_;  // envelope standard deviation in seconds
+};
+
+}  // namespace us3d::acoustic
+
+#endif  // US3D_ACOUSTIC_PULSE_H

@@ -1,0 +1,60 @@
+#include "beamform/beamformer.h"
+
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace us3d::beamform {
+
+Beamformer::Beamformer(const imaging::SystemConfig& config,
+                       const probe::ApodizationMap& apodization)
+    : config_(config), apodization_(apodization) {
+  US3D_EXPECTS(apodization.elements_x() == config.probe.elements_x);
+  US3D_EXPECTS(apodization.elements_y() == config.probe.elements_y);
+  const double total = apodization_.total_weight();
+  US3D_EXPECTS(total > 0.0);
+  weight_norm_ = 1.0 / total;
+}
+
+float Beamformer::accumulate(const EchoBuffer& echoes,
+                             std::span<const std::int32_t> delays) const {
+  double acc = 0.0;
+  const int n = static_cast<int>(delays.size());
+  for (int e = 0; e < n; ++e) {
+    const double w = apodization_.weight_flat(e);
+    if (w == 0.0) continue;
+    acc += w * echoes.sample(e, delays[static_cast<std::size_t>(e)]);
+  }
+  return static_cast<float>(acc);
+}
+
+VolumeImage Beamformer::reconstruct(const EchoBuffer& echoes,
+                                    delay::DelayEngine& engine,
+                                    const BeamformOptions& options) const {
+  US3D_EXPECTS(echoes.element_count() == engine.element_count());
+  const imaging::VolumeGrid grid(config_.volume);
+  VolumeImage image(config_.volume);
+  std::vector<std::int32_t> delays(
+      static_cast<std::size_t>(engine.element_count()));
+
+  engine.begin_frame(options.origin);
+  imaging::for_each_focal_point(
+      grid, options.order, [&](const imaging::FocalPoint& fp) {
+        engine.compute(fp, delays);
+        float v = accumulate(echoes, delays);
+        if (options.normalize) v *= static_cast<float>(weight_norm_);
+        image.at(fp.i_theta, fp.i_phi, fp.i_depth) = v;
+      });
+  return image;
+}
+
+float Beamformer::beamform_point(const EchoBuffer& echoes,
+                                 delay::DelayEngine& engine,
+                                 const imaging::FocalPoint& fp) const {
+  std::vector<std::int32_t> delays(
+      static_cast<std::size_t>(engine.element_count()));
+  engine.compute(fp, delays);
+  return accumulate(echoes, delays) * static_cast<float>(weight_norm_);
+}
+
+}  // namespace us3d::beamform

@@ -1,0 +1,52 @@
+// Receive delay-and-sum beamformer (Eq. 1): for every focal point S, sum
+// the apodized echo samples selected by the delay engine across elements.
+// The engine is a plug-in, so the same beamformer runs with EXACT,
+// TABLEFREE, TABLESTEER or FULLTABLE delays — image quality then directly
+// reflects delay accuracy, as Sec. II-A argues.
+#ifndef US3D_BEAMFORM_BEAMFORMER_H
+#define US3D_BEAMFORM_BEAMFORMER_H
+
+#include "beamform/echo_buffer.h"
+#include "beamform/volume_image.h"
+#include "delay/engine.h"
+#include "imaging/scan_order.h"
+#include "imaging/system_config.h"
+#include "probe/apodization.h"
+
+namespace us3d::beamform {
+
+struct BeamformOptions {
+  imaging::ScanOrder order = imaging::ScanOrder::kNappeByNappe;
+  /// Normalize each voxel by the total apodization weight.
+  bool normalize = true;
+  /// Transmit origin for this frame, forwarded to the delay engine's
+  /// begin_frame(). Synthetic-aperture shots pass their virtual source.
+  Vec3 origin{};
+};
+
+class Beamformer {
+ public:
+  Beamformer(const imaging::SystemConfig& config,
+             const probe::ApodizationMap& apodization);
+
+  /// Reconstructs the whole volume with delays from `engine`.
+  VolumeImage reconstruct(const EchoBuffer& echoes,
+                          delay::DelayEngine& engine,
+                          const BeamformOptions& options = {}) const;
+
+  /// Beamforms a single focal point (used by tests).
+  float beamform_point(const EchoBuffer& echoes, delay::DelayEngine& engine,
+                       const imaging::FocalPoint& fp) const;
+
+ private:
+  float accumulate(const EchoBuffer& echoes,
+                   std::span<const std::int32_t> delays) const;
+
+  imaging::SystemConfig config_;
+  probe::ApodizationMap apodization_;
+  double weight_norm_;
+};
+
+}  // namespace us3d::beamform
+
+#endif  // US3D_BEAMFORM_BEAMFORMER_H

@@ -1,0 +1,42 @@
+#include "beamform/echo_buffer.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace us3d::beamform {
+
+EchoBuffer::EchoBuffer(int element_count, std::int64_t samples_per_element)
+    : elements_(element_count), samples_(samples_per_element) {
+  US3D_EXPECTS(element_count > 0);
+  US3D_EXPECTS(samples_per_element > 0);
+  data_.assign(static_cast<std::size_t>(elements_) *
+                   static_cast<std::size_t>(samples_),
+               0.0f);
+}
+
+float EchoBuffer::sample(int element, std::int64_t index) const {
+  US3D_EXPECTS(element >= 0 && element < elements_);
+  if (index < 0 || index >= samples_) return 0.0f;
+  return data_[static_cast<std::size_t>(element) *
+                   static_cast<std::size_t>(samples_) +
+               static_cast<std::size_t>(index)];
+}
+
+std::span<float> EchoBuffer::row(int element) {
+  US3D_EXPECTS(element >= 0 && element < elements_);
+  return {&data_[static_cast<std::size_t>(element) *
+                 static_cast<std::size_t>(samples_)],
+          static_cast<std::size_t>(samples_)};
+}
+
+std::span<const float> EchoBuffer::row(int element) const {
+  US3D_EXPECTS(element >= 0 && element < elements_);
+  return {&data_[static_cast<std::size_t>(element) *
+                 static_cast<std::size_t>(samples_)],
+          static_cast<std::size_t>(samples_)};
+}
+
+void EchoBuffer::clear() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+}  // namespace us3d::beamform

@@ -1,0 +1,38 @@
+// Per-element echo sample storage: the "e(D, t)" term of Eq. (1). One row
+// of fs-sampled RF data per receive element; delay engines produce indices
+// into these rows.
+#ifndef US3D_BEAMFORM_ECHO_BUFFER_H
+#define US3D_BEAMFORM_ECHO_BUFFER_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace us3d::beamform {
+
+class EchoBuffer {
+ public:
+  EchoBuffer(int element_count, std::int64_t samples_per_element);
+
+  int element_count() const { return elements_; }
+  std::int64_t samples_per_element() const { return samples_; }
+
+  /// Sample value; indices outside the acquisition window read as 0 (the
+  /// hardware clamps the same way).
+  float sample(int element, std::int64_t index) const;
+
+  /// Mutable row for the synthesizer.
+  std::span<float> row(int element);
+  std::span<const float> row(int element) const;
+
+  void clear();
+
+ private:
+  int elements_;
+  std::int64_t samples_;
+  std::vector<float> data_;  // row-major [element][sample]
+};
+
+}  // namespace us3d::beamform
+
+#endif  // US3D_BEAMFORM_ECHO_BUFFER_H

@@ -1,0 +1,67 @@
+#include "beamform/volume_image.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace us3d::beamform {
+
+VolumeImage::VolumeImage(const imaging::VolumeSpec& spec) : spec_(spec) {
+  US3D_EXPECTS(spec.total_points() > 0);
+  data_.assign(static_cast<std::size_t>(spec.total_points()), 0.0f);
+}
+
+std::size_t VolumeImage::index(int i_theta, int i_phi, int i_depth) const {
+  US3D_EXPECTS(i_theta >= 0 && i_theta < spec_.n_theta);
+  US3D_EXPECTS(i_phi >= 0 && i_phi < spec_.n_phi);
+  US3D_EXPECTS(i_depth >= 0 && i_depth < spec_.n_depth);
+  return (static_cast<std::size_t>(i_theta) *
+              static_cast<std::size_t>(spec_.n_phi) +
+          static_cast<std::size_t>(i_phi)) *
+             static_cast<std::size_t>(spec_.n_depth) +
+         static_cast<std::size_t>(i_depth);
+}
+
+float& VolumeImage::at(int i_theta, int i_phi, int i_depth) {
+  return data_[index(i_theta, i_phi, i_depth)];
+}
+
+float VolumeImage::at(int i_theta, int i_phi, int i_depth) const {
+  return data_[index(i_theta, i_phi, i_depth)];
+}
+
+VolumeImage::Peak VolumeImage::peak_abs() const {
+  Peak p;
+  float best = -1.0f;
+  for (int it = 0; it < spec_.n_theta; ++it) {
+    for (int ip = 0; ip < spec_.n_phi; ++ip) {
+      for (int id = 0; id < spec_.n_depth; ++id) {
+        const float v = std::abs(at(it, ip, id));
+        if (v > best) {
+          best = v;
+          p = Peak{it, ip, id, at(it, ip, id)};
+        }
+      }
+    }
+  }
+  return p;
+}
+
+double VolumeImage::nrmse(const VolumeImage& reference,
+                          const VolumeImage& test) {
+  US3D_EXPECTS(reference.spec_.n_theta == test.spec_.n_theta &&
+               reference.spec_.n_phi == test.spec_.n_phi &&
+               reference.spec_.n_depth == test.spec_.n_depth);
+  double sum_sq = 0.0;
+  const double peak = std::abs(reference.peak_abs().value);
+  US3D_EXPECTS(peak > 0.0);
+  for (std::size_t i = 0; i < reference.data_.size(); ++i) {
+    const double d = static_cast<double>(reference.data_[i]) -
+                     static_cast<double>(test.data_[i]);
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(reference.data_.size())) /
+         peak;
+}
+
+}  // namespace us3d::beamform

@@ -1,0 +1,47 @@
+// Beamformed output volume: one scalar s(S) per focal point (Eq. 1),
+// indexed like the VolumeGrid.
+#ifndef US3D_BEAMFORM_VOLUME_IMAGE_H
+#define US3D_BEAMFORM_VOLUME_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "imaging/volume.h"
+
+namespace us3d::beamform {
+
+class VolumeImage {
+ public:
+  explicit VolumeImage(const imaging::VolumeSpec& spec);
+
+  const imaging::VolumeSpec& spec() const { return spec_; }
+
+  float& at(int i_theta, int i_phi, int i_depth);
+  float at(int i_theta, int i_phi, int i_depth) const;
+
+  std::int64_t voxel_count() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+
+  /// Location and value of the maximum-magnitude voxel.
+  struct Peak {
+    int i_theta = 0;
+    int i_phi = 0;
+    int i_depth = 0;
+    float value = 0.0f;
+  };
+  Peak peak_abs() const;
+
+  /// Root-mean-square difference normalized by the reference's peak
+  /// magnitude; 0 means identical volumes.
+  static double nrmse(const VolumeImage& reference, const VolumeImage& test);
+
+ private:
+  std::size_t index(int i_theta, int i_phi, int i_depth) const;
+  imaging::VolumeSpec spec_;
+  std::vector<float> data_;
+};
+
+}  // namespace us3d::beamform
+
+#endif  // US3D_BEAMFORM_VOLUME_IMAGE_H

@@ -1,0 +1,17 @@
+// Degree/radian helpers. All internal computation uses radians; degrees
+// appear only at configuration boundaries (the paper quotes 73 deg fields).
+#ifndef US3D_COMMON_ANGLES_H
+#define US3D_COMMON_ANGLES_H
+
+#include <numbers>
+
+namespace us3d {
+
+constexpr double kPi = std::numbers::pi;
+
+constexpr double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+constexpr double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+}  // namespace us3d
+
+#endif  // US3D_COMMON_ANGLES_H

@@ -1,0 +1,11 @@
+#include "common/contracts.h"
+
+namespace us3d::detail {
+
+void contract_fail(const char* kind, const char* condition, const char* file,
+                   int line) {
+  throw ContractViolation(std::string(kind) + " violated: (" + condition +
+                          ") at " + file + ":" + std::to_string(line));
+}
+
+}  // namespace us3d::detail

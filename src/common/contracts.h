@@ -1,0 +1,37 @@
+// Contract checking in the style of the C++ Core Guidelines (I.6/I.8, GSL
+// Expects/Ensures). Violations throw, so tests can assert on them and
+// library misuse is never silently ignored.
+#ifndef US3D_COMMON_CONTRACTS_H
+#define US3D_COMMON_CONTRACTS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace us3d {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* condition,
+                                const char* file, int line);
+}  // namespace detail
+
+}  // namespace us3d
+
+/// Precondition check: caller handed us bad arguments.
+#define US3D_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::us3d::detail::contract_fail("precondition", #cond, __FILE__, \
+                                          __LINE__))
+
+/// Postcondition / invariant check: our own logic went wrong.
+#define US3D_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::us3d::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                          __LINE__))
+
+#endif  // US3D_COMMON_CONTRACTS_H

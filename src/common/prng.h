@@ -1,0 +1,48 @@
+// Deterministic pseudo-random generation for the Monte-Carlo experiments.
+// SplitMix64 is used rather than std::mt19937 + distributions so that the
+// exact sample stream is reproducible across standard libraries.
+#ifndef US3D_COMMON_PRNG_H
+#define US3D_COMMON_PRNG_H
+
+#include <cstdint>
+
+namespace us3d {
+
+/// SplitMix64 (Steele, Lea, Flood 2014): tiny, fast, passes BigCrush when
+/// used as a stream. Good enough for error Monte-Carlo; never used for
+/// anything security-relevant.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  constexpr double next_unit() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double next_in(double lo, double hi) {
+    return lo + (hi - lo) * next_unit();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses rejection-free modulo;
+  /// bias is negligible for the n << 2^64 used here.
+  constexpr std::uint64_t next_below(std::uint64_t n) {
+    return next_u64() % n;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace us3d
+
+#endif  // US3D_COMMON_PRNG_H

@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.h"
+
+namespace us3d {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ ? min_ : 0.0; }
+
+double RunningStats::max() const { return n_ ? max_ : 0.0; }
+
+void AbsErrorStats::add(double error) {
+  const double a = std::abs(error);
+  stats_.add(a);
+  sum_sq_ += a * a;
+  if (a > threshold_) ++exceeding_;
+}
+
+double AbsErrorStats::rms() const {
+  return count() ? std::sqrt(sum_sq_ / static_cast<double>(count())) : 0.0;
+}
+
+double AbsErrorStats::fraction_exceeding() const {
+  return count() ? static_cast<double>(exceeding_) /
+                       static_cast<double>(count())
+                 : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  US3D_EXPECTS(hi > lo);
+  US3D_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const auto n = static_cast<double>(counts_.size());
+  double idx = (x - lo_) / width_;
+  idx = std::clamp(idx, 0.0, n - 1.0);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bin(std::size_t i) const {
+  US3D_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_lower_edge(std::size_t i) const {
+  US3D_EXPECTS(i < counts_.size());
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+std::string Histogram::to_string(std::size_t max_lines) const {
+  std::ostringstream os;
+  const std::size_t step = std::max<std::size_t>(1, counts_.size() / max_lines);
+  for (std::size_t i = 0; i < counts_.size(); i += step) {
+    std::uint64_t c = 0;
+    const std::size_t end = std::min(i + step, counts_.size());
+    for (std::size_t j = i; j < end; ++j) c += counts_[j];
+    os << "[" << bin_lower_edge(i) << ", "
+       << bin_lower_edge(end - 1) + width_ << "): " << c << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace us3d

@@ -1,0 +1,85 @@
+// Streaming statistics used by the accuracy experiments (Sec. VI-A).
+#ifndef US3D_COMMON_STATS_H
+#define US3D_COMMON_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace us3d {
+
+/// Welford-style running statistics over a stream of samples.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Error-specific statistics: tracks |e| mean/max/RMS plus the count of
+/// samples whose |e| exceeds a threshold (e.g. "off by more than 1 sample").
+class AbsErrorStats {
+ public:
+  explicit AbsErrorStats(double exceed_threshold = 1.0)
+      : threshold_(exceed_threshold) {}
+
+  void add(double error);
+
+  std::size_t count() const { return stats_.count(); }
+  double mean_abs() const { return stats_.mean(); }
+  double max_abs() const { return stats_.count() ? stats_.max() : 0.0; }
+  double rms() const;
+  std::size_t count_exceeding() const { return exceeding_; }
+  double fraction_exceeding() const;
+  double threshold() const { return threshold_; }
+
+ private:
+  RunningStats stats_;  // over |e|
+  double sum_sq_ = 0.0;
+  std::size_t exceeding_ = 0;
+  double threshold_;
+};
+
+/// Fixed-bin histogram over a closed interval; out-of-range samples land in
+/// saturating edge bins so no sample is ever silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const;
+  double bin_lower_edge(std::size_t i) const;
+  double bin_width() const { return width_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Render as "lo..hi: count" lines, for bench logs.
+  std::string to_string(std::size_t max_lines = 32) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace us3d
+
+#endif  // US3D_COMMON_STATS_H

@@ -1,0 +1,119 @@
+#include "common/table_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/contracts.h"
+
+namespace us3d {
+
+MarkdownTable::MarkdownTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  US3D_EXPECTS(!headers_.empty());
+}
+
+MarkdownTable& MarkdownTable::add_row(std::vector<std::string> cells) {
+  US3D_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string MarkdownTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (const std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void MarkdownTable::print(std::ostream& os) const { os << to_string(); }
+
+CsvTable::CsvTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  US3D_EXPECTS(!headers_.empty());
+}
+
+CsvTable& CsvTable::add_row(std::vector<std::string> cells) {
+  US3D_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string CsvTable::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string CsvTable::to_string() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << escape(row[c]);
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string format_si(double v, const std::string& unit, int precision) {
+  static constexpr struct {
+    double factor;
+    const char* prefix;
+  } kScales[] = {{1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""}};
+  for (const auto& s : kScales) {
+    if (std::abs(v) >= s.factor || s.factor == 1.0) {
+      return format_double(v / s.factor, precision) + " " + s.prefix + unit;
+    }
+  }
+  return format_double(v, precision) + " " + unit;
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_double(fraction * 100.0, precision) + "%";
+}
+
+std::string format_bits(double bits) { return format_si(bits, "b", 1); }
+
+std::string format_bytes(double bytes) { return format_si(bytes, "B", 1); }
+
+std::string format_count(double n) {
+  if (std::abs(n) < 1e4) return format_double(n, 0);
+  const int exp = static_cast<int>(std::floor(std::log10(std::abs(n)) / 3.0)) * 3;
+  const double mant = n / std::pow(10.0, exp);
+  return format_double(mant, 2) + "e" + std::to_string(exp);
+}
+
+}  // namespace us3d

@@ -1,0 +1,55 @@
+// Lightweight table/CSV emitters for the benchmark harnesses, so every
+// bench prints the same rows/series the paper reports in a readable form.
+#ifndef US3D_COMMON_TABLE_IO_H
+#define US3D_COMMON_TABLE_IO_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace us3d {
+
+/// Accumulates rows and renders a GitHub-flavoured Markdown table with
+/// column widths padded for terminal readability.
+class MarkdownTable {
+ public:
+  explicit MarkdownTable(std::vector<std::string> headers);
+
+  MarkdownTable& add_row(std::vector<std::string> cells);
+  std::size_t row_count() const { return rows_.size(); }
+
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Accumulates rows and renders RFC-4180-ish CSV (fields containing comma,
+/// quote or newline are quoted).
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> headers);
+
+  CsvTable& add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+ private:
+  static std::string escape(const std::string& field);
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting helpers shared by benches.
+std::string format_double(double v, int precision = 3);
+std::string format_si(double v, const std::string& unit, int precision = 3);
+std::string format_percent(double fraction, int precision = 1);
+std::string format_bits(double bits);    ///< "45.0 Mb" style (decimal)
+std::string format_bytes(double bytes);  ///< "5.3 GB" style (decimal)
+std::string format_count(double n);      ///< "164e9" style scientific-ish
+
+}  // namespace us3d
+
+#endif  // US3D_COMMON_TABLE_IO_H

@@ -1,0 +1,61 @@
+// Minimal 3D vector used for probe-element and focal-point coordinates.
+// Coordinates follow the paper's convention: the transducer lies in the z=0
+// plane, x is azimuth, y is elevation, z points into the body.
+#ifndef US3D_COMMON_VEC3_H
+#define US3D_COMMON_VEC3_H
+
+#include <cmath>
+
+namespace us3d {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const = default;
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr double norm_squared() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm_squared()); }
+  double distance_to(const Vec3& o) const { return (*this - o).norm(); }
+
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? (*this) / n : Vec3{};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+}  // namespace us3d
+
+#endif  // US3D_COMMON_VEC3_H

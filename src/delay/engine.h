@@ -1,0 +1,44 @@
+// Common interface of all delay generators. A delay engine produces, for
+// one focal point, the echo-buffer sample index for every probe element —
+// exactly what the receive beamformer consumes (Eq. 1: the delay tp is used
+// as an index into the echo stream e).
+//
+// Engines may be stateful and order-sensitive: TABLEFREE tracks the current
+// PWL segment per element and therefore expects focal points in a smooth
+// scan order (Algorithm 1). Callers must call begin_frame() before a sweep
+// and then feed focal points in a single ScanCursor order.
+#ifndef US3D_DELAY_ENGINE_H
+#define US3D_DELAY_ENGINE_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/vec3.h"
+#include "imaging/focal_point.h"
+
+namespace us3d::delay {
+
+class DelayEngine {
+ public:
+  virtual ~DelayEngine() = default;
+
+  /// Human-readable identifier ("EXACT", "TABLEFREE", "TABLESTEER-18b", ...).
+  virtual std::string name() const = 0;
+
+  /// Number of receive elements this engine produces delays for; `out` in
+  /// compute() must have exactly this many entries (probe flat order).
+  virtual int element_count() const = 0;
+
+  /// Resets per-frame state and fixes the transmit origin O for the frame.
+  virtual void begin_frame(const Vec3& origin) = 0;
+
+  /// Computes the two-way delay, rounded to an echo-buffer sample index,
+  /// for every element at focal point `fp`.
+  virtual void compute(const imaging::FocalPoint& fp,
+                       std::span<std::int32_t> out) = 0;
+};
+
+}  // namespace us3d::delay
+
+#endif  // US3D_DELAY_ENGINE_H

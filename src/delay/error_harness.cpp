@@ -1,0 +1,163 @@
+#include "delay/error_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/fixed_point.h"
+#include "delay/exact.h"
+#include "delay/steering.h"
+
+namespace us3d::delay {
+
+namespace {
+
+/// Visits focal points in the requested order, skipping those that do not
+/// match the strides. Engines still see a smooth (strided) progression.
+template <typename Fn>
+void strided_sweep(const imaging::SystemConfig& config,
+                   imaging::ScanOrder order, const SweepStrides& strides,
+                   Fn&& fn) {
+  US3D_EXPECTS(strides.theta > 0 && strides.phi > 0 && strides.depth > 0);
+  const imaging::VolumeGrid grid(config.volume);
+  imaging::for_each_focal_point(grid, order, [&](const imaging::FocalPoint& fp) {
+    if (fp.i_theta % strides.theta != 0) return;
+    if (fp.i_phi % strides.phi != 0) return;
+    if (fp.i_depth % strides.depth != 0) return;
+    fn(fp);
+  });
+}
+
+}  // namespace
+
+SelectionErrorReport measure_selection_error(
+    const imaging::SystemConfig& config, DelayEngine& engine,
+    imaging::ScanOrder order, const SweepStrides& strides,
+    const std::optional<probe::Directivity>& directivity) {
+  US3D_EXPECTS(strides.element_x > 0 && strides.element_y > 0);
+  SelectionErrorReport report;
+  const probe::MatrixProbe probe(config.probe);
+  ExactDelayEngine exact(config);
+  exact.begin_frame(Vec3{});
+  engine.begin_frame(Vec3{});
+
+  const auto n = static_cast<std::size_t>(engine.element_count());
+  std::vector<std::int32_t> approx(n);
+
+  strided_sweep(config, order, strides, [&](const imaging::FocalPoint& fp) {
+    engine.compute(fp, approx);
+    for (int iy = 0; iy < probe.elements_y(); iy += strides.element_y) {
+      for (int ix = 0; ix < probe.elements_x(); ix += strides.element_x) {
+        const int e = probe.flat_index(ix, iy);
+        const double exact_samples = exact.delay_samples(fp, e);
+        const auto exact_index =
+            fx::round_real_to_int(exact_samples, fx::Rounding::kHalfUp);
+        const double err = static_cast<double>(
+            approx[static_cast<std::size_t>(e)] - exact_index);
+        report.all.add(err);
+        ++report.pairs_total;
+        if (!directivity ||
+            directivity->accepts(probe.element_position(e), fp.position)) {
+          report.filtered.add(err);
+          ++report.pairs_in_directivity;
+        }
+      }
+    }
+  });
+  return report;
+}
+
+AlgorithmicSteeringReport measure_steering_algorithmic_error(
+    const imaging::SystemConfig& config, const SweepStrides& strides,
+    const std::optional<probe::Directivity>& directivity) {
+  US3D_EXPECTS(strides.element_x > 0 && strides.element_y > 0);
+  AlgorithmicSteeringReport report;
+  const probe::MatrixProbe probe(config.probe);
+  RunningStats seconds_filtered;
+
+  strided_sweep(config, imaging::ScanOrder::kNappeByNappe, strides,
+                [&](const imaging::FocalPoint& fp) {
+    for (int iy = 0; iy < probe.elements_y(); iy += strides.element_y) {
+      for (int ix = 0; ix < probe.elements_x(); ix += strides.element_x) {
+        const Vec3 elem = probe.element_position(ix, iy);
+        const double exact_samples = config.seconds_to_samples(
+            two_way_delay_s(Vec3{}, fp.position, elem,
+                            config.speed_of_sound));
+        const double steered = steered_delay_samples(config, fp, elem);
+        const double err_samples = steered - exact_samples;
+        const double err_seconds =
+            std::abs(config.samples_to_seconds(err_samples));
+        report.samples_all.add(err_samples);
+        report.max_error_seconds_all =
+            std::max(report.max_error_seconds_all, err_seconds);
+        if (!directivity || directivity->accepts(elem, fp.position)) {
+          report.samples_filtered.add(err_samples);
+          seconds_filtered.add(err_seconds);
+          report.max_error_seconds_filtered =
+              std::max(report.max_error_seconds_filtered, err_seconds);
+        }
+      }
+    }
+  });
+  report.mean_error_seconds_filtered = seconds_filtered.mean();
+  return report;
+}
+
+WeightedSteeringReport measure_steering_weighted_error(
+    const imaging::SystemConfig& config, const SweepStrides& strides,
+    const probe::ApodizationMap& apodization,
+    const probe::Directivity& directivity) {
+  US3D_EXPECTS(strides.element_x > 0 && strides.element_y > 0);
+  const probe::MatrixProbe probe(config.probe);
+  US3D_EXPECTS(apodization.elements_x() == probe.elements_x());
+  US3D_EXPECTS(apodization.elements_y() == probe.elements_y());
+
+  WeightedSteeringReport report;
+  double weighted_sum = 0.0;
+
+  // First pass quantities are accumulated together with a running maximum
+  // weight so the significance threshold is well-defined.
+  struct Sample {
+    double weight;
+    double abs_err;
+  };
+  std::vector<Sample> samples;
+
+  strided_sweep(config, imaging::ScanOrder::kNappeByNappe, strides,
+                [&](const imaging::FocalPoint& fp) {
+    for (int iy = 0; iy < probe.elements_y(); iy += strides.element_y) {
+      for (int ix = 0; ix < probe.elements_x(); ix += strides.element_x) {
+        const Vec3 elem = probe.element_position(ix, iy);
+        const double w =
+            apodization.weight(ix, iy) *
+            directivity.amplitude(
+                probe::Directivity::angle_to(elem, fp.position));
+        const double exact_samples = config.seconds_to_samples(
+            two_way_delay_s(Vec3{}, fp.position, elem,
+                            config.speed_of_sound));
+        const double err =
+            std::abs(steered_delay_samples(config, fp, elem) -
+                     exact_samples);
+        weighted_sum += w * err;
+        report.total_weight += w;
+        samples.push_back({w, err});
+      }
+    }
+  });
+
+  if (report.total_weight > 0.0) {
+    report.weighted_mean_abs_samples = weighted_sum / report.total_weight;
+  }
+  double max_weight = 0.0;
+  for (const Sample& s : samples) max_weight = std::max(max_weight, s.weight);
+  for (const Sample& s : samples) {
+    if (s.weight > 0.01 * max_weight) {
+      report.max_abs_samples_significant =
+          std::max(report.max_abs_samples_significant, s.abs_err);
+    }
+  }
+  return report;
+}
+
+}  // namespace us3d::delay

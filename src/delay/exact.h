@@ -1,0 +1,47 @@
+// Exact (double-precision) delay computation, Eq. (2)/(3) of the paper.
+// This is the accuracy reference every approximate architecture is judged
+// against, and also the generator used to fill precomputed tables.
+#ifndef US3D_DELAY_EXACT_H
+#define US3D_DELAY_EXACT_H
+
+#include <memory>
+
+#include "delay/engine.h"
+#include "imaging/system_config.h"
+
+namespace us3d::delay {
+
+/// One-way propagation delay |a - b| / c in seconds.
+double one_way_delay_s(const Vec3& a, const Vec3& b, double speed_of_sound);
+
+/// Two-way delay tp(O, S, D) = (|S-O| + |S-D|) / c in seconds (Eq. 2).
+double two_way_delay_s(const Vec3& origin, const Vec3& focal,
+                       const Vec3& element, double speed_of_sound);
+
+/// Stateless reference engine: evaluates Eq. (2) in double precision per
+/// element and rounds to the nearest echo sample.
+class ExactDelayEngine final : public DelayEngine {
+ public:
+  explicit ExactDelayEngine(const imaging::SystemConfig& config);
+
+  std::string name() const override { return "EXACT"; }
+  int element_count() const override;
+  void begin_frame(const Vec3& origin) override;
+  void compute(const imaging::FocalPoint& fp,
+               std::span<std::int32_t> out) override;
+
+  /// Unrounded two-way delay in echo samples, for error analyses.
+  double delay_samples(const imaging::FocalPoint& fp, int flat_element) const;
+
+  const probe::MatrixProbe& probe() const { return probe_; }
+  const imaging::SystemConfig& config() const { return config_; }
+
+ private:
+  imaging::SystemConfig config_;
+  probe::MatrixProbe probe_;
+  Vec3 origin_{};
+};
+
+}  // namespace us3d::delay
+
+#endif  // US3D_DELAY_EXACT_H

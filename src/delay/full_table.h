@@ -1,0 +1,44 @@
+// The naive baseline the paper argues against (Sec. II-B): precompute one
+// delay per (focal point, element) and look it up. Materializable only for
+// scaled-down systems — which is exactly the point; naive_table_sizing()
+// reports why the paper system cannot be built this way.
+#ifndef US3D_DELAY_FULL_TABLE_H
+#define US3D_DELAY_FULL_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "delay/engine.h"
+#include "imaging/system_config.h"
+#include "probe/transducer.h"
+
+namespace us3d::delay {
+
+class FullTableEngine final : public DelayEngine {
+ public:
+  /// Precomputes the full table with exact arithmetic. Refuses to build
+  /// tables above `max_entries` (default 2^28) — the paper system would
+  /// need 1.6e11 entries.
+  explicit FullTableEngine(const imaging::SystemConfig& config,
+                           std::int64_t max_entries = std::int64_t{1} << 28);
+
+  std::string name() const override { return "FULLTABLE"; }
+  int element_count() const override;
+  void begin_frame(const Vec3& origin) override;
+  void compute(const imaging::FocalPoint& fp,
+               std::span<std::int32_t> out) override;
+
+  std::int64_t entry_count() const;
+  double storage_bytes() const;  ///< as materialized here (int32 entries)
+
+ private:
+  std::size_t base_index(int i_theta, int i_phi, int i_depth) const;
+
+  imaging::SystemConfig config_;
+  probe::MatrixProbe probe_;
+  std::vector<std::int32_t> table_;
+};
+
+}  // namespace us3d::delay
+
+#endif  // US3D_DELAY_FULL_TABLE_H

@@ -1,0 +1,56 @@
+// Incremental segment tracking (Sec. IV-B). When focal points are visited
+// in scan order, the sqrt argument changes gradually, so the hardware does
+// not search for the right PWL segment: it keeps the current segment and
+// steps at most one segment per comparator evaluation (the two ">="
+// comparators of Fig. 2a). Large jumps — e.g. the depth reset at the start
+// of a new scanline in scanline order — cost one cycle per crossed segment.
+// The tracker counts those steps so the cycle-accurate models and the
+// scan-order ablation can charge them.
+#ifndef US3D_DELAY_PWL_TRACKER_H
+#define US3D_DELAY_PWL_TRACKER_H
+
+#include <cstdint>
+
+#include "delay/pwl_sqrt.h"
+
+namespace us3d::delay {
+
+class PwlTracker {
+ public:
+  /// The tracker holds a reference to `table`; it must not outlive it.
+  explicit PwlTracker(const PwlSqrt& table);
+
+  struct Evaluation {
+    double value = 0.0;  ///< PWL approximation of sqrt(x)
+    int steps = 0;       ///< segments crossed to reach x's segment
+  };
+
+  /// Moves the current segment toward x (one step per crossed boundary)
+  /// and evaluates. x must lie inside the table domain.
+  Evaluation evaluate(double x);
+
+  /// Current segment index (for pairing with FixedPwlSqrt).
+  std::size_t segment() const { return segment_; }
+
+  /// Lifetime statistics, for stall accounting.
+  std::int64_t total_steps() const { return total_steps_; }
+  std::int64_t evaluations() const { return evaluations_; }
+  int max_steps_single_evaluation() const { return max_steps_; }
+
+  /// Resets the segment to the one containing x (a "seek", as done once at
+  /// frame start) without charging steps.
+  void seek(double x);
+
+  void reset_statistics();
+
+ private:
+  const PwlSqrt* table_;
+  std::size_t segment_ = 0;
+  std::int64_t total_steps_ = 0;
+  std::int64_t evaluations_ = 0;
+  int max_steps_ = 0;
+};
+
+}  // namespace us3d::delay
+
+#endif  // US3D_DELAY_PWL_TRACKER_H

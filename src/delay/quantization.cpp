@@ -1,0 +1,50 @@
+#include "delay/quantization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/prng.h"
+
+namespace us3d::delay {
+
+QuantizationResult run_quantization_experiment(
+    const QuantizationExperimentConfig& config) {
+  US3D_EXPECTS(config.trials > 0);
+  US3D_EXPECTS(config.max_delay_samples > 0.0);
+  US3D_EXPECTS(config.max_correction_samples >= 0.0);
+
+  SplitMix64 rng(config.seed);
+  QuantizationResult result;
+  result.trials = config.trials;
+
+  for (std::int64_t i = 0; i < config.trials; ++i) {
+    // A random but physically plausible triple: the reference delay spans
+    // the echo buffer; corrections stay inside the steering swing and the
+    // summed delay inside the buffer.
+    const double ref = rng.next_in(2.0 * config.max_correction_samples,
+                                   config.max_delay_samples -
+                                       2.0 * config.max_correction_samples);
+    const double cx = rng.next_in(-config.max_correction_samples,
+                                  config.max_correction_samples);
+    const double cy = rng.next_in(-config.max_correction_samples,
+                                  config.max_correction_samples);
+
+    const std::int64_t ideal = fx::round_real_to_int(
+        ref + cx + cy, fx::Rounding::kHalfUp);
+
+    const fx::Value ref_q = fx::Value::from_real(ref, config.ref_format);
+    const fx::Value cx_q = fx::Value::from_real(cx, config.corr_format);
+    const fx::Value cy_q = fx::Value::from_real(cy, config.corr_format);
+    const fx::Value sum0 = fx::add(ref_q, cx_q, config.sum_format);
+    const fx::Value sum1 = fx::add(sum0, cy_q, config.sum_format);
+    const std::int64_t hw = sum1.round_to_int(fx::Rounding::kHalfUp);
+
+    const std::int64_t diff = std::abs(hw - ideal);
+    if (diff != 0) ++result.changed;
+    result.max_abs_index_diff = std::max(result.max_abs_index_diff, diff);
+  }
+  return result;
+}
+
+}  // namespace us3d::delay

@@ -1,0 +1,110 @@
+#include "delay/synthetic_aperture.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+#include "delay/table_sizing.h"
+
+namespace us3d::delay {
+
+SyntheticAperturePlan diverging_wave_plan(int origins,
+                                          double max_depth_behind_m) {
+  US3D_EXPECTS(origins > 0);
+  US3D_EXPECTS(max_depth_behind_m >= 0.0);
+  SyntheticAperturePlan plan;
+  plan.origin_z.reserve(static_cast<std::size_t>(origins));
+  for (int i = 0; i < origins; ++i) {
+    const double frac =
+        origins == 1 ? 0.0
+                     : static_cast<double>(i) / static_cast<double>(origins - 1);
+    plan.origin_z.push_back(-frac * max_depth_behind_m);
+  }
+  return plan;
+}
+
+MultiOriginTableRepository::MultiOriginTableRepository(
+    const imaging::SystemConfig& config, const SyntheticAperturePlan& plan,
+    const fx::Format& entry_format)
+    : config_(config), origin_zs_(plan.origin_z) {
+  US3D_EXPECTS(plan.origin_count() > 0);
+  tables_.reserve(origin_zs_.size());
+  for (const double z : origin_zs_) {
+    US3D_EXPECTS(z <= 0.0);  // virtual source at or behind the probe plane
+    ReferenceTableConfig tc;
+    tc.entry_format = entry_format;
+    tc.origin_z = z;
+    tables_.push_back(std::make_unique<ReferenceDelayTable>(config, tc));
+  }
+}
+
+const ReferenceDelayTable& MultiOriginTableRepository::table(
+    int origin_index) const {
+  US3D_EXPECTS(origin_index >= 0 && origin_index < origin_count());
+  return *tables_[static_cast<std::size_t>(origin_index)];
+}
+
+double MultiOriginTableRepository::origin_z(int origin_index) const {
+  US3D_EXPECTS(origin_index >= 0 && origin_index < origin_count());
+  return origin_zs_[static_cast<std::size_t>(origin_index)];
+}
+
+double MultiOriginTableRepository::total_storage_bits() const {
+  double bits = 0.0;
+  for (const auto& t : tables_) bits += t->storage_bits();
+  return bits;
+}
+
+double MultiOriginTableRepository::dram_bandwidth_bytes_per_second() const {
+  // One table streamed per insonification regardless of which origin it
+  // belongs to; identical to the single-origin stream rate.
+  return streaming_sizing(config_, tables_.front()->entry_format(),
+                          fx::kCorrection18, 128, 1024)
+      .bandwidth_bytes_per_second;
+}
+
+SyntheticApertureSteerEngine::SyntheticApertureSteerEngine(
+    const imaging::SystemConfig& config, const SyntheticAperturePlan& plan,
+    const TableSteerConfig& ts_config)
+    : config_(config),
+      probe_(config.probe),
+      ts_config_(ts_config),
+      repo_(config, plan, ts_config.entry_format),
+      corrections_(config, ts_config.coeff_format) {}
+
+int SyntheticApertureSteerEngine::element_count() const {
+  return probe_.element_count();
+}
+
+void SyntheticApertureSteerEngine::begin_frame(const Vec3& origin) {
+  US3D_EXPECTS(std::abs(origin.x) < 1e-12 && std::abs(origin.y) < 1e-12);
+  for (int i = 0; i < repo_.origin_count(); ++i) {
+    if (std::abs(repo_.origin_z(i) - origin.z) < 1e-12) {
+      active_ = i;
+      return;
+    }
+  }
+  throw ContractViolation(
+      "synthetic-aperture origin not present in the table repository");
+}
+
+void SyntheticApertureSteerEngine::compute(const imaging::FocalPoint& fp,
+                                           std::span<std::int32_t> out) {
+  US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
+  const ReferenceDelayTable& table = repo_.table(active_);
+  const int nx = probe_.elements_x();
+  const int ny = probe_.elements_y();
+  for (int iy = 0; iy < ny; ++iy) {
+    const fx::Value cy = corrections_.y_correction(iy, fp.i_phi);
+    for (int ix = 0; ix < nx; ++ix) {
+      const fx::Value ref = table.entry(ix, iy, fp.i_depth);
+      const fx::Value cx = corrections_.x_correction(ix, fp.i_theta, fp.i_phi);
+      const fx::Value sum0 = fx::add(ref, cx, ts_config_.sum_format);
+      const fx::Value sum1 = fx::add(sum0, cy, ts_config_.sum_format);
+      const std::int64_t idx = sum1.round_to_int(fx::Rounding::kHalfUp);
+      out[static_cast<std::size_t>(probe_.flat_index(ix, iy))] =
+          static_cast<std::int32_t>(idx < 0 ? 0 : idx);
+    }
+  }
+}
+
+}  // namespace us3d::delay

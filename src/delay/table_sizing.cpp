@@ -1,0 +1,80 @@
+#include "delay/table_sizing.h"
+
+#include "common/contracts.h"
+
+namespace us3d::delay {
+
+NaiveTableSizing naive_table_sizing(const imaging::SystemConfig& config,
+                                    int bits_per_coefficient) {
+  US3D_EXPECTS(bits_per_coefficient > 0);
+  NaiveTableSizing s;
+  s.coefficients = config.delays_per_frame();
+  s.bits_per_coefficient = bits_per_coefficient;
+  s.total_bits = static_cast<double>(s.coefficients) * bits_per_coefficient;
+  s.total_bytes = s.total_bits / 8.0;
+  s.accesses_per_second = config.delays_per_second();
+  s.bandwidth_bytes_per_second =
+      s.accesses_per_second * bits_per_coefficient / 8.0;
+  return s;
+}
+
+ReferenceTableSizing reference_table_sizing(
+    const imaging::SystemConfig& config, const fx::Format& entry_format) {
+  ReferenceTableSizing s;
+  const auto& p = config.probe;
+  const auto& v = config.volume;
+  s.raw_entries = static_cast<std::int64_t>(p.elements_x) * p.elements_y *
+                  v.n_depth;
+  // With the origin on the probe's vertical axis, the table is mirror-
+  // symmetric in x and y; only one quadrant of element columns/rows is kept.
+  const std::int64_t qx = (p.elements_x + 1) / 2;
+  const std::int64_t qy = (p.elements_y + 1) / 2;
+  s.folded_entries = qx * qy * v.n_depth;
+  s.bits_per_entry = entry_format.total_bits();
+  s.folded_bits = static_cast<double>(s.folded_entries) * s.bits_per_entry;
+  return s;
+}
+
+SteeringSetSizing steering_set_sizing(const imaging::SystemConfig& config,
+                                      const fx::Format& coeff_format) {
+  SteeringSetSizing s;
+  const auto& p = config.probe;
+  const auto& v = config.volume;
+  // x corrections: xD * cos(phi) * sin(theta) / c. cos is even in phi, so
+  // only n_phi/2 distinct phi values are needed.
+  s.x_coefficients = static_cast<std::int64_t>(p.elements_x) *
+                     (v.n_phi / 2) * v.n_theta;
+  // y corrections: yD * sin(phi) / c, one value per (row, phi).
+  s.y_coefficients = static_cast<std::int64_t>(p.elements_y) * v.n_phi;
+  s.total_coefficients = s.x_coefficients + s.y_coefficients;
+  s.bits_per_coefficient = coeff_format.total_bits();
+  s.total_bits =
+      static_cast<double>(s.total_coefficients) * s.bits_per_coefficient;
+  return s;
+}
+
+StreamingSizing streaming_sizing(const imaging::SystemConfig& config,
+                                 const fx::Format& entry_format,
+                                 const fx::Format& coeff_format,
+                                 int bram_banks, std::int64_t lines_per_bank) {
+  US3D_EXPECTS(bram_banks > 0 && lines_per_bank > 0);
+  StreamingSizing s;
+  // The reference table is indexed by (element quadrant, depth) only, so a
+  // shot that beamforms any subset of scanlines still sweeps the whole
+  // depth range: the full table is re-fetched once per insonification.
+  s.table_fetches_per_second = config.plan.shots_per_second();
+  const ReferenceTableSizing ref =
+      reference_table_sizing(config, entry_format);
+  s.bandwidth_bytes_per_second =
+      ref.folded_bits / 8.0 * s.table_fetches_per_second;
+  s.bram_banks = bram_banks;
+  s.bram_lines_per_bank = lines_per_bank;
+  s.on_chip_slice_bits = static_cast<double>(bram_banks) *
+                         static_cast<double>(lines_per_bank) *
+                         entry_format.total_bits();
+  s.on_chip_total_bits =
+      s.on_chip_slice_bits + steering_set_sizing(config, coeff_format).total_bits;
+  return s;
+}
+
+}  // namespace us3d::delay

@@ -1,0 +1,75 @@
+// Storage and bandwidth accounting for every delay-table variant discussed
+// in the paper:
+//  - Sec. II-B/II-C: the naive full table (~164e9 coefficients, ~2.5e12
+//    coefficient accesses per second at 15 fps);
+//  - Sec. V-A: the TABLESTEER reference table (10e6 raw entries, 2.5e6
+//    after symmetry folding) and the steering-correction set (832e3 values);
+//  - Sec. V-B: on-chip footprints (45 Mb / 14.3 Mb / 2.3 Mb slice buffer)
+//    and the DRAM streaming bandwidth (5.3 GB/s at 18 bit, 4.1 at 14 bit).
+#ifndef US3D_DELAY_TABLE_SIZING_H
+#define US3D_DELAY_TABLE_SIZING_H
+
+#include <cstdint>
+
+#include "common/fixed_point.h"
+#include "imaging/system_config.h"
+
+namespace us3d::delay {
+
+/// Sizing of the naive "one coefficient per (focal point, element)" table.
+struct NaiveTableSizing {
+  std::int64_t coefficients = 0;   ///< points x elements
+  int bits_per_coefficient = 0;
+  double total_bits = 0.0;
+  double total_bytes = 0.0;
+  double accesses_per_second = 0.0;  ///< at the plan's volume rate
+  double bandwidth_bytes_per_second = 0.0;
+};
+
+NaiveTableSizing naive_table_sizing(const imaging::SystemConfig& config,
+                                    int bits_per_coefficient);
+
+/// Sizing of the TABLESTEER reference table (one unsteered line of sight).
+struct ReferenceTableSizing {
+  std::int64_t raw_entries = 0;     ///< ex x ey x n_depth
+  std::int64_t folded_entries = 0;  ///< after X/Y mirror symmetry (/4 best case)
+  int bits_per_entry = 0;
+  double folded_bits = 0.0;
+};
+
+ReferenceTableSizing reference_table_sizing(
+    const imaging::SystemConfig& config, const fx::Format& entry_format);
+
+/// Sizing of the precomputed steering-correction coefficient set:
+/// ex * (n_phi/2) * n_theta values for the x corrections (cos(phi) is even)
+/// plus ey * n_phi values for the y corrections.
+struct SteeringSetSizing {
+  std::int64_t x_coefficients = 0;
+  std::int64_t y_coefficients = 0;
+  std::int64_t total_coefficients = 0;
+  int bits_per_coefficient = 0;
+  double total_bits = 0.0;
+};
+
+SteeringSetSizing steering_set_sizing(const imaging::SystemConfig& config,
+                                      const fx::Format& coeff_format);
+
+/// Sizing of the DRAM-streamed deployment: the reference table lives off
+/// chip and a small per-nappe slice is kept in BRAM as a circular buffer.
+struct StreamingSizing {
+  double table_fetches_per_second = 0.0;  ///< once per insonification
+  double bandwidth_bytes_per_second = 0.0;
+  int bram_banks = 0;
+  std::int64_t bram_lines_per_bank = 0;
+  double on_chip_slice_bits = 0.0;   ///< banks * lines * width
+  double on_chip_total_bits = 0.0;   ///< slice + steering corrections
+};
+
+StreamingSizing streaming_sizing(const imaging::SystemConfig& config,
+                                 const fx::Format& entry_format,
+                                 const fx::Format& coeff_format,
+                                 int bram_banks, std::int64_t lines_per_bank);
+
+}  // namespace us3d::delay
+
+#endif  // US3D_DELAY_TABLE_SIZING_H

@@ -1,0 +1,134 @@
+#include "delay/tablefree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace us3d::delay {
+
+namespace {
+
+/// Domain of the shared PWL sqrt table: squared distances (in sample^2)
+/// up to the longest receive path, with a small safety margin. The lower
+/// end is 1: a steered shallow focal point can pass arbitrarily close to
+/// an element, so the table must cover the whole range (distances below
+/// one sample cannot occur at any realistic focal depth, and the tiny-x
+/// segments cost only one or two extra table entries).
+PwlSqrt build_pwl(const imaging::SystemConfig& cfg,
+                  const TableFreeConfig& tf) {
+  const probe::MatrixProbe probe(cfg.probe);
+  const double k = cfg.sampling_frequency_hz / cfg.speed_of_sound;
+  // The longest path is either receive (deepest point to a corner element)
+  // or transmit from a backed-off virtual source.
+  const double reach =
+      std::max(probe.max_element_radius(), tf.max_origin_backoff_m);
+  const double max_dist = (cfg.volume.max_depth_m + reach) * k;
+  const double x_max = 1.05 * max_dist * max_dist;
+  return PwlSqrt::build(1.0, x_max, tf.delta);
+}
+
+}  // namespace
+
+TableFreeEngine::TableFreeEngine(const imaging::SystemConfig& config,
+                                 const TableFreeConfig& tf_config)
+    : config_(config),
+      probe_(config.probe),
+      tf_config_(tf_config),
+      pwl_(build_pwl(config, tf_config)),
+      fixed_pwl_(pwl_, tf_config.fixed),
+      tx_tracker_(pwl_) {
+  const double k = config_.sampling_frequency_hz / config_.speed_of_sound;
+  element_pos_samples_.reserve(
+      static_cast<std::size_t>(probe_.element_count()));
+  rx_trackers_.reserve(static_cast<std::size_t>(probe_.element_count()));
+  for (int e = 0; e < probe_.element_count(); ++e) {
+    element_pos_samples_.push_back(probe_.element_position(e) * k);
+    rx_trackers_.emplace_back(pwl_);
+  }
+}
+
+int TableFreeEngine::element_count() const { return probe_.element_count(); }
+
+void TableFreeEngine::begin_frame(const Vec3& origin) {
+  const double k = config_.sampling_frequency_hz / config_.speed_of_sound;
+  origin_samples_ = origin * k;
+  pending_seek_ = true;
+}
+
+double TableFreeEngine::squared_distance(const Vec3& a, const Vec3& b) {
+  return (a - b).norm_squared();
+}
+
+void TableFreeEngine::compute(const imaging::FocalPoint& fp,
+                              std::span<std::int32_t> out) {
+  US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
+  const double k = config_.sampling_frequency_hz / config_.speed_of_sound;
+  const Vec3 s = fp.position * k;  // focal point in sample units
+
+  const double q_tx =
+      std::clamp(squared_distance(s, origin_samples_), pwl_.x_min(),
+                 pwl_.x_max());
+  if (pending_seek_) {
+    // At frame start the control logic preloads each unit's segment
+    // register (a one-off seek, not charged as stall cycles).
+    tx_tracker_.seek(q_tx);
+    for (std::size_t e = 0; e < rx_trackers_.size(); ++e) {
+      const double q0 = std::clamp(
+          squared_distance(s, element_pos_samples_[e]), pwl_.x_min(),
+          pwl_.x_max());
+      rx_trackers_[e].seek(q0);
+    }
+    pending_seek_ = false;
+  }
+
+  // Transmit path: one evaluation per focal point, shared by all elements.
+  double t_tx;
+  tx_tracker_.evaluate(q_tx);
+  if (tf_config_.use_fixed_point) {
+    t_tx = fixed_pwl_
+               .evaluate_in_segment(static_cast<std::int64_t>(q_tx),
+                                    tx_tracker_.segment())
+               .to_real();
+  } else {
+    t_tx = pwl_.evaluate_in_segment(q_tx, tx_tracker_.segment());
+  }
+
+  for (std::size_t e = 0; e < rx_trackers_.size(); ++e) {
+    const double q_rx = std::clamp(
+        squared_distance(s, element_pos_samples_[e]), pwl_.x_min(),
+        pwl_.x_max());
+    rx_trackers_[e].evaluate(q_rx);
+    double t_rx;
+    if (tf_config_.use_fixed_point) {
+      t_rx = fixed_pwl_
+                 .evaluate_in_segment(static_cast<std::int64_t>(q_rx),
+                                      rx_trackers_[e].segment())
+                 .to_real();
+    } else {
+      t_rx = pwl_.evaluate_in_segment(q_rx, rx_trackers_[e].segment());
+    }
+    out[e] = static_cast<std::int32_t>(
+        fx::round_real_to_int(t_tx + t_rx, fx::Rounding::kHalfUp));
+  }
+}
+
+TableFreeEngine::TrackerStats TableFreeEngine::tracker_stats() const {
+  TrackerStats s;
+  auto absorb = [&s](const PwlTracker& t) {
+    s.evaluations += t.evaluations();
+    s.total_steps += t.total_steps();
+    s.max_steps_single_evaluation = std::max(
+        s.max_steps_single_evaluation, t.max_steps_single_evaluation());
+  };
+  for (const PwlTracker& t : rx_trackers_) absorb(t);
+  absorb(tx_tracker_);
+  return s;
+}
+
+void TableFreeEngine::reset_tracker_stats() {
+  for (PwlTracker& t : rx_trackers_) t.reset_statistics();
+  tx_tracker_.reset_statistics();
+}
+
+}  // namespace us3d::delay

@@ -1,0 +1,84 @@
+// TABLEFREE delay generation (Sec. IV): no table at all. Each element has
+// a small unit evaluating the receive-path sqrt with the PWL approximation
+// and incremental segment tracking; the transmit path is shared by all
+// elements (computed once per focal point). One multiplier + one adder +
+// small c1/c0 LUTs per unit (Fig. 2a).
+#ifndef US3D_DELAY_TABLEFREE_H
+#define US3D_DELAY_TABLEFREE_H
+
+#include <memory>
+#include <vector>
+
+#include "delay/engine.h"
+#include "delay/pwl_sqrt.h"
+#include "delay/pwl_tracker.h"
+#include "imaging/system_config.h"
+#include "probe/transducer.h"
+
+namespace us3d::delay {
+
+struct TableFreeConfig {
+  /// PWL error bound in echo samples (paper: 0.25 -> 70 segments).
+  double delta = 0.25;
+  /// Fixed-point formats of the hardware datapath.
+  FixedPwlSqrt::Config fixed{};
+  /// Largest transmit-origin displacement behind the probe the unit must
+  /// support (synthetic-aperture virtual sources). Widens the sqrt domain
+  /// accordingly; 0 covers the paper's centred-origin operation.
+  double max_origin_backoff_m = 0.0;
+  /// When false, the engine evaluates the PWL in double precision,
+  /// isolating the algorithmic (approximation) error from fixed-point
+  /// effects — the distinction Sec. VI-A draws.
+  bool use_fixed_point = true;
+};
+
+class TableFreeEngine final : public DelayEngine {
+ public:
+  TableFreeEngine(const imaging::SystemConfig& config,
+                  const TableFreeConfig& tf_config = {});
+
+  std::string name() const override { return "TABLEFREE"; }
+  int element_count() const override;
+  void begin_frame(const Vec3& origin) override;
+  void compute(const imaging::FocalPoint& fp,
+               std::span<std::int32_t> out) override;
+
+  const PwlSqrt& pwl() const { return pwl_; }
+  const FixedPwlSqrt& fixed_pwl() const { return fixed_pwl_; }
+  const TableFreeConfig& config() const { return tf_config_; }
+
+  /// Aggregated tracker statistics across all element units (for the
+  /// scan-order ablation and the hw stall model).
+  struct TrackerStats {
+    std::int64_t evaluations = 0;
+    std::int64_t total_steps = 0;
+    int max_steps_single_evaluation = 0;
+    double mean_steps_per_evaluation() const {
+      return evaluations ? static_cast<double>(total_steps) /
+                               static_cast<double>(evaluations)
+                         : 0.0;
+    }
+  };
+  TrackerStats tracker_stats() const;
+  void reset_tracker_stats();
+
+ private:
+  /// Squared distance in sample^2 units between two points given in
+  /// sample-scaled coordinates.
+  static double squared_distance(const Vec3& a, const Vec3& b);
+
+  imaging::SystemConfig config_;
+  probe::MatrixProbe probe_;
+  TableFreeConfig tf_config_;
+  PwlSqrt pwl_;
+  FixedPwlSqrt fixed_pwl_;
+  std::vector<Vec3> element_pos_samples_;  // element positions, sample units
+  std::vector<PwlTracker> rx_trackers_;    // one per element
+  PwlTracker tx_tracker_;
+  Vec3 origin_samples_{};
+  bool pending_seek_ = true;
+};
+
+}  // namespace us3d::delay
+
+#endif  // US3D_DELAY_TABLEFREE_H

@@ -1,0 +1,80 @@
+#include "delay/tablesteer.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace us3d::delay {
+
+TableSteerConfig TableSteerConfig::bits18() {
+  return TableSteerConfig{
+      .entry_format = fx::kRefDelay18,
+      .coeff_format = fx::kCorrection18,
+      .sum_format = fx::Format{14, 5, true},
+  };
+}
+
+TableSteerConfig TableSteerConfig::bits14() {
+  return TableSteerConfig{
+      .entry_format = fx::kRefDelay14,
+      .coeff_format = fx::kCorrection14,
+      .sum_format = fx::Format{14, 1, true},
+  };
+}
+
+TableSteerConfig TableSteerConfig::bits13() {
+  return TableSteerConfig{
+      .entry_format = fx::Format{13, 0, false},
+      .coeff_format = fx::Format{13, 0, true},
+      .sum_format = fx::Format{14, 0, true},
+  };
+}
+
+std::string TableSteerConfig::name_suffix() const {
+  return "-" + std::to_string(entry_format.total_bits()) + "b";
+}
+
+TableSteerEngine::TableSteerEngine(const imaging::SystemConfig& config,
+                                   const TableSteerConfig& ts_config)
+    : config_(config),
+      probe_(config.probe),
+      ts_config_(ts_config),
+      table_(config, ReferenceTableConfig{.entry_format =
+                                              ts_config.entry_format}),
+      corrections_(config, ts_config.coeff_format) {}
+
+std::string TableSteerEngine::name() const {
+  return "TABLESTEER" + ts_config_.name_suffix();
+}
+
+int TableSteerEngine::element_count() const { return probe_.element_count(); }
+
+void TableSteerEngine::begin_frame(const Vec3& origin) {
+  // The reference table was built for O at the array centre; a displaced
+  // origin would need a different (larger) table (Sec. V-A).
+  US3D_EXPECTS(std::abs(origin.x) < 1e-12 && std::abs(origin.y) < 1e-12 &&
+               std::abs(origin.z) < 1e-12);
+}
+
+void TableSteerEngine::compute(const imaging::FocalPoint& fp,
+                               std::span<std::int32_t> out) {
+  US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
+  const int nx = probe_.elements_x();
+  const int ny = probe_.elements_y();
+  for (int iy = 0; iy < ny; ++iy) {
+    const fx::Value cy = corrections_.y_correction(iy, fp.i_phi);
+    for (int ix = 0; ix < nx; ++ix) {
+      const fx::Value ref = table_.entry(ix, iy, fp.i_depth);
+      const fx::Value cx = corrections_.x_correction(ix, fp.i_theta, fp.i_phi);
+      // Two adders per element in the Fig. 4 block; the second performs
+      // the rounding to the integer echo-sample index.
+      const fx::Value sum0 = fx::add(ref, cx, ts_config_.sum_format);
+      const fx::Value sum1 = fx::add(sum0, cy, ts_config_.sum_format);
+      const std::int64_t idx = sum1.round_to_int(fx::Rounding::kHalfUp);
+      out[static_cast<std::size_t>(probe_.flat_index(ix, iy))] =
+          static_cast<std::int32_t>(idx < 0 ? 0 : idx);
+    }
+  }
+}
+
+}  // namespace us3d::delay

@@ -1,0 +1,64 @@
+// TABLESTEER delay engine (Sec. V): reference table + steering plane, all
+// in hardware fixed point. Per (focal point, element): one table read, two
+// adds, one rounding to the echo-sample index — exactly the datapath of the
+// Fig. 4 block.
+#ifndef US3D_DELAY_TABLESTEER_H
+#define US3D_DELAY_TABLESTEER_H
+
+#include <memory>
+
+#include "delay/engine.h"
+#include "delay/reference_table.h"
+#include "delay/steering.h"
+#include "imaging/system_config.h"
+
+namespace us3d::delay {
+
+struct TableSteerConfig {
+  fx::Format entry_format = fx::kRefDelay18;    ///< reference delays
+  fx::Format coeff_format = fx::kCorrection18;  ///< steering corrections
+  /// Accumulator for ref + cx + cy before rounding; one extra integer bit
+  /// absorbs the worst-case correction swing.
+  fx::Format sum_format{14, 5, true};
+
+  /// The paper's 18-bit design point (uQ13.5 + sQ13.4).
+  static TableSteerConfig bits18();
+  /// The paper's 14-bit design point (uQ13.1 + sQ13.0).
+  static TableSteerConfig bits14();
+  /// Pathological 13-bit integer storage (Sec. VI-A: 33% of selections hit
+  /// the extra +/-1 sample error).
+  static TableSteerConfig bits13();
+
+  std::string name_suffix() const;  ///< "-18b", "-14b", ...
+};
+
+class TableSteerEngine final : public DelayEngine {
+ public:
+  TableSteerEngine(const imaging::SystemConfig& config,
+                   const TableSteerConfig& ts_config = TableSteerConfig::bits18());
+
+  std::string name() const override;
+  int element_count() const override;
+
+  /// TABLESTEER assumes a constant origin on the probe's vertical axis
+  /// (Sec. V: "we assume a constant origin O across frames"); begin_frame
+  /// rejects anything else.
+  void begin_frame(const Vec3& origin) override;
+  void compute(const imaging::FocalPoint& fp,
+               std::span<std::int32_t> out) override;
+
+  const ReferenceDelayTable& reference_table() const { return table_; }
+  const SteeringCorrections& corrections() const { return corrections_; }
+  const TableSteerConfig& config() const { return ts_config_; }
+
+ private:
+  imaging::SystemConfig config_;
+  probe::MatrixProbe probe_;
+  TableSteerConfig ts_config_;
+  ReferenceDelayTable table_;
+  SteeringCorrections corrections_;
+};
+
+}  // namespace us3d::delay
+
+#endif  // US3D_DELAY_TABLESTEER_H

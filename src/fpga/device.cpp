@@ -1,0 +1,72 @@
+#include "fpga/device.h"
+
+#include <algorithm>
+
+namespace us3d::fpga {
+
+FpgaDevice xc7vx1140t() {
+  return FpgaDevice{
+      .name = "XC7VX1140T-2",
+      .luts = 712'000.0,
+      .ffs = 1'424'000.0,
+      .bram36_blocks = 1'880,  // 67.7 Mb
+      .dsps = 3'360,
+  };
+}
+
+FpgaDevice ultrascale_projection() {
+  const FpgaDevice v7 = xc7vx1140t();
+  return FpgaDevice{
+      .name = "Virtex-UltraScale (2x LUT projection)",
+      .luts = 2.0 * v7.luts,
+      .ffs = 2.0 * v7.ffs,
+      .bram36_blocks = 2 * v7.bram36_blocks,
+      .dsps = 2 * v7.dsps,
+  };
+}
+
+ResourceUsage& ResourceUsage::operator+=(const ResourceUsage& o) {
+  luts += o.luts;
+  ffs += o.ffs;
+  bram36 += o.bram36;
+  dsps += o.dsps;
+  return *this;
+}
+
+ResourceUsage ResourceUsage::scaled(double factor) const {
+  return ResourceUsage{luts * factor, ffs * factor, bram36 * factor,
+                       dsps * factor};
+}
+
+ResourceUsage operator+(ResourceUsage a, const ResourceUsage& b) {
+  a += b;
+  return a;
+}
+
+UtilizationReport utilization(const ResourceUsage& usage,
+                              const FpgaDevice& device) {
+  UtilizationReport r;
+  r.lut_fraction = usage.luts / device.luts;
+  r.ff_fraction = usage.ffs / device.ffs;
+  r.bram_fraction = usage.bram36 / device.bram36_blocks;
+  r.dsp_fraction = device.dsps > 0 ? usage.dsps / device.dsps : 0.0;
+
+  r.limiting_fraction = r.lut_fraction;
+  r.limiting_resource = "LUT";
+  if (r.ff_fraction > r.limiting_fraction) {
+    r.limiting_fraction = r.ff_fraction;
+    r.limiting_resource = "FF";
+  }
+  if (r.bram_fraction > r.limiting_fraction) {
+    r.limiting_fraction = r.bram_fraction;
+    r.limiting_resource = "BRAM";
+  }
+  if (r.dsp_fraction > r.limiting_fraction) {
+    r.limiting_fraction = r.dsp_fraction;
+    r.limiting_resource = "DSP";
+  }
+  r.fits = r.limiting_fraction <= 1.0;
+  return r;
+}
+
+}  // namespace us3d::fpga

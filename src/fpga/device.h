@@ -1,0 +1,58 @@
+// FPGA device library and resource bookkeeping. This substitutes for the
+// paper's Vivado synthesis runs: utilization percentages are produced by an
+// analytic cost model over the same architectural inventories the paper
+// states (unit counts, adder counts, BRAM banks), with per-primitive cost
+// constants documented in primitives.h.
+#ifndef US3D_FPGA_DEVICE_H
+#define US3D_FPGA_DEVICE_H
+
+#include <string>
+
+namespace us3d::fpga {
+
+struct FpgaDevice {
+  std::string name;
+  double luts = 0.0;
+  double ffs = 0.0;
+  int bram36_blocks = 0;  ///< 36 Kb block RAM count
+  int dsps = 0;
+
+  double bram_bits() const { return bram36_blocks * 36864.0; }
+};
+
+/// The paper's target: Xilinx Virtex-7 XC7VX1140T (speed grade -2).
+FpgaDevice xc7vx1140t();
+
+/// The paper's projection target: a 3D-stacked Virtex UltraScale part with
+/// "twice the LUT count of the Virtex 7 family" (Sec. VI-B).
+FpgaDevice ultrascale_projection();
+
+/// Aggregated resource demand of a design (fractions of a device follow).
+struct ResourceUsage {
+  double luts = 0.0;
+  double ffs = 0.0;
+  double bram36 = 0.0;  ///< in 36 Kb block equivalents (0.5 = one 18 Kb half)
+  double dsps = 0.0;
+
+  ResourceUsage& operator+=(const ResourceUsage& o);
+  ResourceUsage scaled(double factor) const;
+};
+
+ResourceUsage operator+(ResourceUsage a, const ResourceUsage& b);
+
+struct UtilizationReport {
+  double lut_fraction = 0.0;
+  double ff_fraction = 0.0;
+  double bram_fraction = 0.0;
+  double dsp_fraction = 0.0;
+  bool fits = false;
+  double limiting_fraction = 0.0;  ///< max of the four
+  std::string limiting_resource;
+};
+
+UtilizationReport utilization(const ResourceUsage& usage,
+                              const FpgaDevice& device);
+
+}  // namespace us3d::fpga
+
+#endif  // US3D_FPGA_DEVICE_H

@@ -1,0 +1,75 @@
+#include "fpga/primitives.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace us3d::fpga {
+
+namespace {
+constexpr double kAdderLutPerBit = 0.92;
+constexpr double kComparatorLutPerBit = 0.5;
+constexpr double kMultiplierLutPerPartialBit = 0.35;
+constexpr double kRomBitsPerLut = 64.0;
+}  // namespace
+
+ResourceUsage adder_cost(int bits, bool registered) {
+  US3D_EXPECTS(bits > 0);
+  ResourceUsage r;
+  r.luts = kAdderLutPerBit * bits;
+  r.ffs = registered ? static_cast<double>(bits) : 0.0;
+  return r;
+}
+
+ResourceUsage comparator_cost(int bits) {
+  US3D_EXPECTS(bits > 0);
+  ResourceUsage r;
+  r.luts = kComparatorLutPerBit * bits;
+  return r;
+}
+
+ResourceUsage multiplier_lut_cost(int a_bits, int b_bits) {
+  US3D_EXPECTS(a_bits > 0 && b_bits > 0);
+  ResourceUsage r;
+  r.luts = kMultiplierLutPerPartialBit * a_bits * b_bits;
+  r.ffs = static_cast<double>(a_bits + b_bits);  // registered product
+  return r;
+}
+
+ResourceUsage multiplier_dsp_cost(int a_bits, int b_bits) {
+  US3D_EXPECTS(a_bits > 0 && b_bits > 0);
+  ResourceUsage r;
+  const double tiles_a = std::ceil(a_bits / 25.0);
+  const double tiles_b = std::ceil(b_bits / 18.0);
+  r.dsps = tiles_a * tiles_b;
+  return r;
+}
+
+ResourceUsage lut_rom_cost(double bits) {
+  US3D_EXPECTS(bits >= 0.0);
+  ResourceUsage r;
+  r.luts = std::ceil(bits / kRomBitsPerLut);
+  return r;
+}
+
+double bram36_blocks_for(std::int64_t entries, int width_bits) {
+  US3D_EXPECTS(entries > 0);
+  US3D_EXPECTS(width_bits > 0 && width_bits <= 72);
+  // Native widths of a 1k-deep 18 Kb half block: 1,2,4,9,18 (36 uses a
+  // full block). Pad up, then count 1k-deep cascades.
+  static constexpr int kNativeWidths[] = {1, 2, 4, 9, 18, 36};
+  int padded = 36;
+  for (const int w : kNativeWidths) {
+    if (width_bits <= w) {
+      padded = w;
+      break;
+    }
+  }
+  const double cascades = std::ceil(static_cast<double>(entries) / 1024.0);
+  const double blocks_per_cascade = padded <= 18 ? 0.5 : 1.0;
+  // Wider-than-36 words would need multiple blocks side by side; padded
+  // is capped at 36 above, so this is the full cost.
+  return cascades * blocks_per_cascade * std::max(1.0, padded / 36.0);
+}
+
+}  // namespace us3d::fpga

@@ -1,0 +1,40 @@
+// Per-primitive FPGA cost constants. These are the calibration points of
+// the synthesis-model substitution (see DESIGN.md): classic Xilinx 7-series
+// mappings (1 LUT per adder bit on carry chains, LUT6-as-64-bit ROM, 18 Kb
+// BRAM halves with native widths), with two tuned factors documented below.
+#ifndef US3D_FPGA_PRIMITIVES_H
+#define US3D_FPGA_PRIMITIVES_H
+
+#include <cstdint>
+
+#include "fpga/device.h"
+
+namespace us3d::fpga {
+
+/// Ripple-carry adder on the carry chain: ~0.92 LUT/bit after packing
+/// (calibrated; pure carry logic is 1 LUT/bit but synthesis shares LUTs
+/// with neighbouring logic). Registered output adds one FF per bit.
+ResourceUsage adder_cost(int bits, bool registered = true);
+
+/// Magnitude comparator: one LUT per two bits (carry-chain compare).
+ResourceUsage comparator_cost(int bits);
+
+/// LUT-fabric multiplier (no DSP): Booth-recoded partial products come to
+/// ~0.35 LUT per partial-product bit (calibrated against 7-series
+/// soft-multiplier results). Registered output.
+ResourceUsage multiplier_lut_cost(int a_bits, int b_bits);
+
+/// DSP48-based multiplier: one DSP per 18x25 tile.
+ResourceUsage multiplier_dsp_cost(int a_bits, int b_bits);
+
+/// Distributed ROM in LUT6s: 64 bits per LUT.
+ResourceUsage lut_rom_cost(double bits);
+
+/// 36 Kb BRAM blocks needed for `entries` words of `width_bits` each.
+/// Widths are padded to the native port widths (1,2,4,9,18,36); one
+/// 1kx18 bank occupies half a 36 Kb block.
+double bram36_blocks_for(std::int64_t entries, int width_bits);
+
+}  // namespace us3d::fpga
+
+#endif  // US3D_FPGA_PRIMITIVES_H

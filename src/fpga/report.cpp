@@ -1,0 +1,103 @@
+#include "fpga/report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace us3d::fpga {
+
+namespace {
+
+Table2Row tablesteer_row(const imaging::SystemConfig& config,
+                         const FpgaDevice& device,
+                         const delay::TableSteerConfig& ts_config,
+                         const AccuracyEntry& accuracy) {
+  hw::FabricConfig fabric;
+  fabric.entry_format = ts_config.entry_format;
+  const TableSteerFeasibility f =
+      analyze_tablesteer_fpga(config, device, fabric, ts_config);
+  Table2Row row;
+  row.architecture = "TABLESTEER" + ts_config.name_suffix();
+  row.lut_fraction = f.util.lut_fraction;
+  row.register_fraction = f.util.ff_fraction;
+  row.bram_fraction = f.util.bram_fraction;
+  row.clock_hz = TableSteerCostModel{}.clock_hz;
+  row.offchip_bytes_per_second = f.fabric.dram_bandwidth_bytes_per_second;
+  row.inaccuracy = accuracy;
+  row.throughput_delays_per_second = f.fabric.peak_delays_per_second;
+  row.frame_rate = f.fabric.frame_rate_at_peak;
+  row.channels_x = config.probe.elements_x;
+  row.channels_y = config.probe.elements_y;
+  return row;
+}
+
+}  // namespace
+
+std::vector<Table2Row> generate_table2(const imaging::SystemConfig& config,
+                                       const FpgaDevice& device,
+                                       const Table2Inputs& inputs) {
+  US3D_EXPECTS(inputs.segment_count > 0);
+  std::vector<Table2Row> rows;
+
+  // TABLEFREE: normalized to the largest fleet that fits the device (the
+  // paper: "we normalize the results so as to present the resource
+  // utilization and performance of the largest design point that can still
+  // fit in a chip").
+  {
+    const TableFreeFeasibility f = analyze_tablefree_fpga(
+        config, device, inputs.segment_count, inputs.tablefree_stats);
+    Table2Row row;
+    row.architecture = "TABLEFREE";
+    const double fit_units =
+        std::min(static_cast<double>(f.max_units_fitting),
+                 static_cast<double>(config.probe.element_count()));
+    const ResourceUsage fit = f.per_unit.scaled(fit_units);
+    const UtilizationReport util = utilization(fit, device);
+    row.lut_fraction = util.lut_fraction;
+    row.register_fraction = util.ff_fraction;
+    row.bram_fraction = util.bram_fraction;
+    row.clock_hz = TableFreeCostModel{}.clock_hz;
+    row.offchip_bytes_per_second = 0.0;  // all coefficients on chip
+    row.inaccuracy = inputs.tablefree;
+    row.throughput_delays_per_second = f.normalized_delays_per_second;
+    row.frame_rate = f.frame_rate;
+    row.channels_x = f.max_channels_side;
+    row.channels_y = f.max_channels_side;
+    rows.push_back(row);
+  }
+
+  rows.push_back(tablesteer_row(config, device,
+                                delay::TableSteerConfig::bits14(),
+                                inputs.tablesteer14));
+  rows.push_back(tablesteer_row(config, device,
+                                delay::TableSteerConfig::bits18(),
+                                inputs.tablesteer18));
+  return rows;
+}
+
+MarkdownTable render_table2(const std::vector<Table2Row>& rows) {
+  MarkdownTable table({"Architecture", "LUTs", "Registers", "BRAM", "Clock",
+                       "Offchip BW", "Inaccuracy (|off samples|)",
+                       "Throughput", "Frame Rate", "Supported Channels"});
+  for (const Table2Row& r : rows) {
+    table.add_row({
+        r.architecture,
+        format_percent(r.lut_fraction, 0),
+        format_percent(r.register_fraction, 0),
+        format_percent(r.bram_fraction, 0),
+        format_si(r.clock_hz, "Hz", 0),
+        r.offchip_bytes_per_second > 0.0
+            ? format_si(r.offchip_bytes_per_second, "B/s", 1)
+            : "none",
+        "avg " + format_double(r.inaccuracy.avg_off_samples, 2) + ", max " +
+            format_double(r.inaccuracy.max_off_samples, 0),
+        format_si(r.throughput_delays_per_second, "delays/s", 2),
+        format_double(r.frame_rate, 1) + " fps",
+        std::to_string(r.channels_x) + "x" + std::to_string(r.channels_y),
+    });
+  }
+  return table;
+}
+
+}  // namespace us3d::fpga

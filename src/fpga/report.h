@@ -1,0 +1,57 @@
+// Table II generator: assembles the synthesis-model results for TABLEFREE,
+// TABLESTEER-14b and TABLESTEER-18b into the same row layout the paper
+// reports (LUTs / Registers / BRAM / Clock / off-chip bandwidth /
+// inaccuracy / throughput / frame rate / supported channels).
+#ifndef US3D_FPGA_REPORT_H
+#define US3D_FPGA_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "common/table_io.h"
+#include "delay/tablefree.h"
+#include "fpga/tablefree_cost.h"
+#include "fpga/tablesteer_cost.h"
+
+namespace us3d::fpga {
+
+/// Measured delay-selection inaccuracy (|off samples|) of an architecture,
+/// produced by the delay error harness.
+struct AccuracyEntry {
+  double avg_off_samples = 0.0;
+  double max_off_samples = 0.0;
+};
+
+struct Table2Inputs {
+  AccuracyEntry tablefree;
+  AccuracyEntry tablesteer14;
+  AccuracyEntry tablesteer18;
+  /// Tracker statistics of a nappe-order sweep (stall model input).
+  delay::TableFreeEngine::TrackerStats tablefree_stats;
+  /// PWL segment count of the TABLEFREE design point.
+  std::size_t segment_count = 0;
+};
+
+struct Table2Row {
+  std::string architecture;
+  double lut_fraction = 0.0;
+  double register_fraction = 0.0;
+  double bram_fraction = 0.0;
+  double clock_hz = 0.0;
+  double offchip_bytes_per_second = 0.0;  ///< 0 = none
+  AccuracyEntry inaccuracy;
+  double throughput_delays_per_second = 0.0;
+  double frame_rate = 0.0;
+  int channels_x = 0;
+  int channels_y = 0;
+};
+
+std::vector<Table2Row> generate_table2(const imaging::SystemConfig& config,
+                                       const FpgaDevice& device,
+                                       const Table2Inputs& inputs);
+
+MarkdownTable render_table2(const std::vector<Table2Row>& rows);
+
+}  // namespace us3d::fpga
+
+#endif  // US3D_FPGA_REPORT_H

@@ -1,0 +1,62 @@
+#include "fpga/tablefree_cost.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+#include "fpga/primitives.h"
+
+namespace us3d::fpga {
+
+ResourceUsage tablefree_unit_cost(std::size_t segment_count,
+                                  const TableFreeCostModel& model) {
+  US3D_EXPECTS(segment_count > 0);
+  ResourceUsage unit;
+  // Incremental squared-distance updates (Sec. IV-B: "only two additions
+  // ... have to be evaluated specifically for each D", plus the shared-term
+  // registers kept per unit). Only alternate stages carry registers.
+  for (int i = 0; i < model.q_update_adders; ++i) {
+    unit += adder_cost(model.q_bits,
+                       /*registered=*/i < model.registered_q_adders);
+  }
+  // Segment tracking: two boundary comparators (Fig. 2a).
+  unit += comparator_cost(model.comparator_bits);
+  unit += comparator_cost(model.comparator_bits);
+  // The PWL evaluation: one LUT-fabric multiplier and one adder.
+  unit += multiplier_lut_cost(model.mult_a_bits, model.mult_b_bits);
+  unit += adder_cost(model.result_adder_bits);
+  // c1/c0/boundary segment ROM.
+  unit += lut_rom_cost(static_cast<double>(segment_count) *
+                       model.segment_word_bits);
+  unit += ResourceUsage{model.control_luts, model.control_ffs, 0.0, 0.0};
+  return unit;
+}
+
+TableFreeFeasibility analyze_tablefree_fpga(
+    const imaging::SystemConfig& config, const FpgaDevice& device,
+    std::size_t segment_count,
+    const delay::TableFreeEngine::TrackerStats& stats,
+    const TableFreeCostModel& model) {
+  TableFreeFeasibility f;
+  f.per_unit = tablefree_unit_cost(segment_count, model);
+  const int elements = config.probe.element_count();
+  f.full_probe = f.per_unit.scaled(static_cast<double>(elements));
+  f.full_probe_util = utilization(f.full_probe, device);
+
+  // TABLEFREE is LUT-bound (it uses no BRAM); the largest fleet is set by
+  // the LUT budget.
+  f.max_units_fitting =
+      static_cast<int>(std::floor(device.luts / f.per_unit.luts));
+  f.max_channels_side =
+      static_cast<int>(std::floor(std::sqrt(f.max_units_fitting)));
+
+  f.normalized_delays_per_second =
+      static_cast<double>(elements) * model.clock_hz;
+
+  const hw::TableFreeUnitModel timing_model{.clock_hz = model.clock_hz,
+                                            .pipeline_depth = 4};
+  f.frame_rate =
+      hw::analyze_tablefree_timing(config, stats, timing_model).frame_rate;
+  return f;
+}
+
+}  // namespace us3d::fpga

@@ -1,0 +1,60 @@
+// FPGA cost/feasibility model of the TABLEFREE architecture (Sec. IV +
+// Table II row 1). One unit per transducer element; each unit contains the
+// incremental squared-distance datapath, the segment comparator pair, the
+// c1/c0 segment ROM and the PWL multiplier+adder (Fig. 2a). On the FPGA
+// target, the LUT-fabric multiplier dominates area and limits the clock to
+// 167 MHz (the paper: "able to run at only half the frequency of its
+// initial ASIC target, limited by the multiplier").
+#ifndef US3D_FPGA_TABLEFREE_COST_H
+#define US3D_FPGA_TABLEFREE_COST_H
+
+#include <cstddef>
+
+#include "delay/tablefree.h"
+#include "fpga/device.h"
+#include "hw/tablefree_unit.h"
+#include "imaging/system_config.h"
+
+namespace us3d::fpga {
+
+struct TableFreeCostModel {
+  double clock_hz = 167.0e6;  ///< LUT-multiplier limited (Sec. VI-B)
+  int mult_a_bits = 24;       ///< c1 segment slope word
+  int mult_b_bits = 18;       ///< (x - x_start), truncated to the MSBs
+  int q_update_adders = 5;    ///< incremental dx^2/dy^2/dz^2/sum updates
+  int registered_q_adders = 3;  ///< alternate update stages are registered
+  int q_bits = 26;            ///< squared distance in sample^2 units
+  int result_adder_bits = 20; ///< c1*dx + c0
+  int comparator_bits = 26;   ///< the two segment-boundary comparators
+  int segment_word_bits = 64; ///< c1 + c0 + boundary per ROM entry
+  double control_luts = 12.0; ///< per-unit share of sequencing control
+  double control_ffs = 40.0;  ///< per-unit pipeline/control registers
+};
+
+/// Resource demand of one per-element unit for a given PWL segment count.
+ResourceUsage tablefree_unit_cost(std::size_t segment_count,
+                                  const TableFreeCostModel& model = {});
+
+struct TableFreeFeasibility {
+  ResourceUsage per_unit;
+  ResourceUsage full_probe;         ///< element_count units
+  UtilizationReport full_probe_util;
+  int max_units_fitting = 0;        ///< LUT-limited unit count on the device
+  int max_channels_side = 0;        ///< floor(sqrt(max_units))
+  /// Throughput of the normalized design (one unit per probe element, as
+  /// the paper normalizes Table II): units * clock.
+  double normalized_delays_per_second = 0.0;
+  /// Frame rate of the full-probe design at the model clock, including
+  /// tracker stalls (from hw timing analysis).
+  double frame_rate = 0.0;
+};
+
+TableFreeFeasibility analyze_tablefree_fpga(
+    const imaging::SystemConfig& config, const FpgaDevice& device,
+    std::size_t segment_count,
+    const delay::TableFreeEngine::TrackerStats& stats,
+    const TableFreeCostModel& model = {});
+
+}  // namespace us3d::fpga
+
+#endif  // US3D_FPGA_TABLEFREE_COST_H

@@ -1,0 +1,62 @@
+#include "fpga/tablesteer_cost.h"
+
+#include "common/contracts.h"
+#include "delay/table_sizing.h"
+#include "fpga/primitives.h"
+
+namespace us3d::fpga {
+
+ResourceUsage tablesteer_block_cost(const hw::FabricConfig& fabric,
+                                    const TableSteerCostModel& model) {
+  ResourceUsage block;
+  const int w = fabric.entry_format.total_bits();
+  // First stage: one adder per x correction (ref + cx), one guard bit.
+  for (int i = 0; i < fabric.x_corrections; ++i) {
+    block += adder_cost(w + 1, /*registered=*/false);
+  }
+  // Second stage: one adder per (x, y) pair, including the rounding to the
+  // integer echo index ("of which 128 must also perform rounding").
+  const int outputs = fabric.delays_per_cycle_per_block();
+  for (int i = 0; i < outputs; ++i) {
+    block += adder_cost(w + 2, /*registered=*/false);
+  }
+  // Output registers: one steered index per output per cycle.
+  block.ffs += static_cast<double>(outputs) * model.output_index_bits;
+  // Correction operand registers, kept constant through an insonification
+  // ("entirely removing the coefficients from the critical timing path").
+  block.ffs += static_cast<double>(fabric.x_corrections +
+                                   fabric.y_corrections) * w;
+  // Retiming/pipeline registers along the tree + control.
+  const double adder_bits =
+      static_cast<double>(fabric.x_corrections) * (w + 1) +
+      static_cast<double>(outputs) * (w + 2);
+  block.ffs += model.retiming_ff_factor * adder_bits;
+  block.ffs += model.control_ffs_per_block;
+  block.luts += model.block_overhead_luts;
+  // The block's BRAM bank (1k-deep circular buffer at the entry width).
+  block.bram36 += bram36_blocks_for(fabric.bram_lines_per_bank, w);
+  return block;
+}
+
+TableSteerFeasibility analyze_tablesteer_fpga(
+    const imaging::SystemConfig& config, const FpgaDevice& device,
+    const hw::FabricConfig& fabric,
+    const delay::TableSteerConfig& ts_config,
+    const TableSteerCostModel& model) {
+  US3D_EXPECTS(fabric.entry_format == ts_config.entry_format);
+  TableSteerFeasibility f;
+  f.per_block = tablesteer_block_cost(fabric, model);
+
+  const auto steering =
+      delay::steering_set_sizing(config, ts_config.coeff_format);
+  f.corrections.bram36 = bram36_blocks_for(
+      steering.total_coefficients, ts_config.coeff_format.total_bits());
+
+  f.total = f.per_block.scaled(static_cast<double>(fabric.blocks));
+  f.total += f.corrections;
+  f.util = utilization(f.total, device);
+  f.fabric = hw::analyze_fabric(config, fabric);
+  return f;
+}
+
+}  // namespace us3d::fpga

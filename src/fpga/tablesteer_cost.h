@@ -1,0 +1,48 @@
+// FPGA cost/feasibility model of the TABLESTEER fabric (Sec. V + Table II
+// rows 2-3). 128 BRAM-centric blocks x 136 adders each, the correction
+// coefficient store, and the streamed reference-table slice.
+#ifndef US3D_FPGA_TABLESTEER_COST_H
+#define US3D_FPGA_TABLESTEER_COST_H
+
+#include "delay/tablesteer.h"
+#include "fpga/device.h"
+#include "hw/delay_fabric.h"
+#include "imaging/system_config.h"
+
+namespace us3d::fpga {
+
+struct TableSteerCostModel {
+  double clock_hz = 200.0e6;  ///< adder-dominated datapath (Sec. V-B)
+  /// Per-block LUTs beyond the adder tree: BRAM write/port muxing, address
+  /// generation, output serialization and rounding. Calibrated against the
+  /// paper's Table II (the model is linear in adder bits; this is the
+  /// intercept of the fit through the 14b and 18b design points).
+  double block_overhead_luts = 3050.0;
+  /// Retiming registers inserted along the adder tree (fraction of adder
+  /// bits), calibrated the same way.
+  double retiming_ff_factor = 0.3;
+  double control_ffs_per_block = 100.0;
+  int output_index_bits = 13;  ///< rounded echo-buffer index width
+};
+
+/// Resource demand of one Fig. 4 block (adders, registers, its BRAM bank).
+ResourceUsage tablesteer_block_cost(const hw::FabricConfig& fabric,
+                                    const TableSteerCostModel& model = {});
+
+struct TableSteerFeasibility {
+  ResourceUsage per_block;
+  ResourceUsage corrections;    ///< BRAM for the 832e3-coefficient store
+  ResourceUsage total;
+  UtilizationReport util;
+  hw::FabricAnalysis fabric;    ///< throughput / bandwidth analysis
+};
+
+TableSteerFeasibility analyze_tablesteer_fpga(
+    const imaging::SystemConfig& config, const FpgaDevice& device,
+    const hw::FabricConfig& fabric,
+    const delay::TableSteerConfig& ts_config,
+    const TableSteerCostModel& model = {});
+
+}  // namespace us3d::fpga
+
+#endif  // US3D_FPGA_TABLESTEER_COST_H

@@ -1,0 +1,78 @@
+#include "hw/delay_fabric.h"
+
+#include "common/contracts.h"
+#include "delay/table_sizing.h"
+
+namespace us3d::hw {
+
+FabricAnalysis analyze_fabric(const imaging::SystemConfig& config,
+                              const FabricConfig& fabric) {
+  US3D_EXPECTS(fabric.blocks > 0);
+  US3D_EXPECTS(fabric.x_corrections > 0 && fabric.y_corrections > 0);
+  US3D_EXPECTS(fabric.clock_hz > 0.0);
+
+  FabricAnalysis a;
+  a.total_adders = fabric.adders_per_block() * fabric.blocks;
+  a.peak_delays_per_second = static_cast<double>(fabric.blocks) *
+                             fabric.delays_per_cycle_per_block() *
+                             fabric.clock_hz;
+  a.required_delays_per_second = config.delays_per_second();
+  a.utilization = a.required_delays_per_second / a.peak_delays_per_second;
+  a.frame_rate_at_peak =
+      a.peak_delays_per_second /
+      static_cast<double>(config.delays_per_frame());
+  a.meets_realtime = a.frame_rate_at_peak >= config.plan.volume_rate_hz;
+
+  // Memory side: every steered delay comes from one BRAM read amortized
+  // over delays_per_cycle_per_block outputs.
+  a.bram_reads_per_second = a.required_delays_per_second /
+                            fabric.delays_per_cycle_per_block();
+  const auto sizing =
+      delay::reference_table_sizing(config, fabric.entry_format);
+  a.table_fetches_per_second = config.plan.shots_per_second();
+  const double fetch_words_per_second =
+      static_cast<double>(sizing.folded_entries) * a.table_fetches_per_second;
+  a.reuse_per_fetched_entry =
+      fetch_words_per_second > 0.0
+          ? a.bram_reads_per_second / fetch_words_per_second
+          : 0.0;
+  a.dram_bandwidth_bytes_per_second =
+      fetch_words_per_second * fabric.entry_format.total_bits() / 8.0;
+  return a;
+}
+
+StreamBufferReport simulate_fabric_streaming(
+    const imaging::SystemConfig& config, const FabricConfig& fabric,
+    int insonifications, double bandwidth_headroom,
+    std::int64_t blackout_period_cycles,
+    std::int64_t blackout_duration_cycles) {
+  US3D_EXPECTS(insonifications > 0);
+  US3D_EXPECTS(bandwidth_headroom > 0.0);
+
+  const FabricAnalysis a = analyze_fabric(config, fabric);
+  const auto sizing =
+      delay::reference_table_sizing(config, fabric.entry_format);
+
+  StreamBufferConfig sb;
+  sb.capacity_words =
+      static_cast<std::int64_t>(fabric.blocks) * fabric.bram_lines_per_bank;
+  sb.clock_hz = fabric.clock_hz;
+  sb.dram_bandwidth_bytes_per_s =
+      a.dram_bandwidth_bytes_per_second * bandwidth_headroom;
+  sb.word_bits = fabric.entry_format.total_bits();
+  // Continuous operation: new table entries are consumed at the balanced
+  // rate (full table once per insonification, spread over the period).
+  const double cycles_per_insonification =
+      fabric.clock_hz / config.plan.shots_per_second();
+  sb.drain_words_per_cycle = static_cast<double>(sizing.folded_entries) /
+                             cycles_per_insonification;
+  sb.initial_fill_words = sb.capacity_words;
+  sb.blackout_period_cycles = blackout_period_cycles;
+  sb.blackout_duration_cycles = blackout_duration_cycles;
+
+  const std::int64_t total_words =
+      sizing.folded_entries * static_cast<std::int64_t>(insonifications);
+  return simulate_stream(sb, total_words);
+}
+
+}  // namespace us3d::hw

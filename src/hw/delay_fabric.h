@@ -1,0 +1,68 @@
+// The TABLESTEER delay fabric (Fig. 4): 128 memory-centric blocks, each
+// built around one BRAM bank. Per cycle a block reads one reference-delay
+// word and applies all permutations of 8 x-corrections and 16 y-corrections
+// (8 + 16*8 = 136 adders), producing 128 steered delay samples. Blocks hold
+// staggered depth slices so all 128 operate in parallel.
+//
+// This module provides the closed-form throughput/bandwidth analysis and a
+// cycle-level stream simulation that backs the Sec. V-B claims (3.3 Tdelays/s
+// at 200 MHz, ~20 fps, 5.3 GB/s DRAM, 1k-cycle refill margin).
+#ifndef US3D_HW_DELAY_FABRIC_H
+#define US3D_HW_DELAY_FABRIC_H
+
+#include <cstdint>
+
+#include "common/fixed_point.h"
+#include "hw/stream_buffer.h"
+#include "imaging/system_config.h"
+
+namespace us3d::hw {
+
+struct FabricConfig {
+  int blocks = 128;           ///< BRAM-centric blocks instantiated
+  int x_corrections = 8;      ///< x-plane corrections applied per read
+  int y_corrections = 16;     ///< y-plane corrections applied per read
+  double clock_hz = 200.0e6;
+  fx::Format entry_format = fx::kRefDelay18;
+  std::int64_t bram_lines_per_bank = 1024;
+
+  int adders_per_block() const {
+    // First stage: x adders; second stage: one y adder per (x, y) pair.
+    return x_corrections + x_corrections * y_corrections;
+  }
+  int delays_per_cycle_per_block() const {
+    return x_corrections * y_corrections;
+  }
+};
+
+struct FabricAnalysis {
+  int total_adders = 0;
+  double peak_delays_per_second = 0.0;      ///< blocks * 128 * clock
+  double required_delays_per_second = 0.0;  ///< from the system plan
+  double utilization = 0.0;                 ///< required / peak
+  double frame_rate_at_peak = 0.0;          ///< peak / delays-per-frame
+  bool meets_realtime = false;              ///< frame_rate_at_peak >= plan rate
+
+  /// Memory side.
+  double bram_reads_per_second = 0.0;   ///< across all blocks
+  double reuse_per_fetched_entry = 0.0; ///< BRAM reads per DRAM fetch
+  double dram_bandwidth_bytes_per_second = 0.0;
+  double table_fetches_per_second = 0.0;
+};
+
+FabricAnalysis analyze_fabric(const imaging::SystemConfig& config,
+                              const FabricConfig& fabric);
+
+/// Cycle-level check of the circular-buffer streaming: continuous pipelined
+/// operation (receive of shot k+1 overlaps beamforming of shot k), producer
+/// at `bandwidth_headroom` x the balanced DRAM rate, with optional producer
+/// blackouts. Simulates `insonifications` shots.
+StreamBufferReport simulate_fabric_streaming(
+    const imaging::SystemConfig& config, const FabricConfig& fabric,
+    int insonifications, double bandwidth_headroom = 1.0,
+    std::int64_t blackout_period_cycles = 0,
+    std::int64_t blackout_duration_cycles = 0);
+
+}  // namespace us3d::hw
+
+#endif  // US3D_HW_DELAY_FABRIC_H

@@ -1,0 +1,41 @@
+#include "hw/nappe_interleaver.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace us3d::hw {
+
+NappeInterleaver::NappeInterleaver(int banks, std::int64_t quad_elements,
+                                   int depths)
+    : banks_(banks), quad_elements_(quad_elements), depths_(depths) {
+  US3D_EXPECTS(banks > 0);
+  US3D_EXPECTS(quad_elements > 0);
+  US3D_EXPECTS(depths > 0);
+  depth_rows_per_bank_ = (static_cast<std::int64_t>(depths) + banks - 1) /
+                         banks;
+}
+
+NappeInterleaver::Location NappeInterleaver::locate(
+    std::int64_t quad_element, int depth) const {
+  US3D_EXPECTS(quad_element >= 0 && quad_element < quad_elements_);
+  US3D_EXPECTS(depth >= 0 && depth < depths_);
+  Location loc;
+  loc.bank = static_cast<int>(depth % banks_);
+  loc.line = quad_element * depth_rows_per_bank_ + depth / banks_;
+  return loc;
+}
+
+std::int64_t NappeInterleaver::lines_per_bank() const {
+  return quad_elements_ * depth_rows_per_bank_;
+}
+
+int NappeInterleaver::banks_touched_by_depth_window(int first_depth,
+                                                    int window) const {
+  US3D_EXPECTS(first_depth >= 0 && first_depth < depths_);
+  US3D_EXPECTS(window > 0);
+  const int last = std::min(first_depth + window, depths_);
+  return std::min(last - first_depth, banks_);
+}
+
+}  // namespace us3d::hw

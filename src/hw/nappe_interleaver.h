@@ -1,0 +1,53 @@
+// Staggered nappe-to-bank mapping (Sec. V-B): "To ensure that all BRAMs
+// can operate in parallel, the delay values loaded in each should be
+// staggered rather than consecutive, so that a beamformer trying to fetch
+// delay samples for consecutive nappes can retrieve them from the 128
+// BRAMs in parallel."
+//
+// The interleaver assigns table entry (quadrant element q, depth d) to
+// bank (d mod B) at line (q * ceil(D/B) + d div B): any window of B
+// consecutive nappes touches every bank exactly once per element, so the
+// fabric's 128 read ports are all busy.
+#ifndef US3D_HW_NAPPE_INTERLEAVER_H
+#define US3D_HW_NAPPE_INTERLEAVER_H
+
+#include <cstdint>
+
+namespace us3d::hw {
+
+class NappeInterleaver {
+ public:
+  /// `banks` BRAM banks serving a table of `quad_elements` x `depths`
+  /// entries (the folded reference table).
+  NappeInterleaver(int banks, std::int64_t quad_elements, int depths);
+
+  int banks() const { return banks_; }
+  int depths() const { return depths_; }
+  std::int64_t quad_elements() const { return quad_elements_; }
+
+  struct Location {
+    int bank = 0;
+    std::int64_t line = 0;
+  };
+
+  /// Bank/line of entry (element, depth).
+  Location locate(std::int64_t quad_element, int depth) const;
+
+  /// Lines each bank must provide (capacity check against e.g. 1k-line
+  /// circular buffers once chunking is applied on top).
+  std::int64_t lines_per_bank() const;
+
+  /// Number of distinct banks touched by `window` consecutive depths of
+  /// one element: full parallelism means min(window, banks).
+  int banks_touched_by_depth_window(int first_depth, int window) const;
+
+ private:
+  int banks_;
+  std::int64_t quad_elements_;
+  int depths_;
+  std::int64_t depth_rows_per_bank_;
+};
+
+}  // namespace us3d::hw
+
+#endif  // US3D_HW_NAPPE_INTERLEAVER_H

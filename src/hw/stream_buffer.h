@@ -1,0 +1,47 @@
+// DRAM-to-BRAM streaming model (Sec. V-B): the on-FPGA delay-table slice is
+// a circular buffer refilled from external DRAM while the beamformer drains
+// it nappe-by-nappe. The model steps cycle-by-cycle with a bandwidth-limited
+// producer and a demand-driven consumer, and reports whether the consumer
+// ever underruns and how much latency margin remains — the paper claims "an
+// ample margin of 1k cycles of latency to fetch new data".
+#ifndef US3D_HW_STREAM_BUFFER_H
+#define US3D_HW_STREAM_BUFFER_H
+
+#include <cstdint>
+
+namespace us3d::hw {
+
+struct StreamBufferConfig {
+  std::int64_t capacity_words = 0;   ///< circular-buffer size (table entries)
+  double clock_hz = 0.0;             ///< fabric clock
+  double dram_bandwidth_bytes_per_s = 0.0;
+  int word_bits = 0;                 ///< table-entry width
+  /// Consumer demand: words drained per cycle while the beamformer is
+  /// actively sweeping (averaged over a nappe).
+  double drain_words_per_cycle = 0.0;
+  /// Initial fill level before draining starts (words); the paper preloads
+  /// the buffer during the transmit/receive dead time.
+  std::int64_t initial_fill_words = 0;
+  /// Optional producer blackout, modelling DRAM refresh / arbitration
+  /// stalls: every `blackout_period_cycles`, the producer is silent for
+  /// `blackout_duration_cycles`. 0 disables.
+  std::int64_t blackout_period_cycles = 0;
+  std::int64_t blackout_duration_cycles = 0;
+};
+
+struct StreamBufferReport {
+  bool underrun = false;              ///< consumer ever found buffer empty
+  std::int64_t underrun_cycles = 0;   ///< cycles the consumer had to stall
+  std::int64_t min_fill_words = 0;    ///< worst occupancy during the run
+  double min_margin_cycles = 0.0;     ///< min_fill / drain rate
+  double fill_words_per_cycle = 0.0;  ///< producer rate actually used
+  std::int64_t cycles_simulated = 0;
+};
+
+/// Simulates draining `total_words` through the buffer and reports margins.
+StreamBufferReport simulate_stream(const StreamBufferConfig& config,
+                                   std::int64_t total_words);
+
+}  // namespace us3d::hw
+
+#endif  // US3D_HW_STREAM_BUFFER_H

@@ -1,0 +1,32 @@
+#include "hw/tablefree_unit.h"
+
+#include "common/contracts.h"
+
+namespace us3d::hw {
+
+TableFreeTiming analyze_tablefree_timing(
+    const imaging::SystemConfig& config,
+    const delay::TableFreeEngine::TrackerStats& stats,
+    const TableFreeUnitModel& model) {
+  US3D_EXPECTS(model.clock_hz > 0.0);
+  US3D_EXPECTS(model.pipeline_depth >= 0);
+
+  TableFreeTiming t;
+  t.stall_cycles_per_point = stats.mean_steps_per_evaluation();
+  const double points = static_cast<double>(config.volume.total_points());
+  const double refills = static_cast<double>(config.plan.shots_per_volume) *
+                         model.pipeline_depth;
+  US3D_EXPECTS(model.datapath_efficiency > 0.0 &&
+               model.datapath_efficiency <= 1.0);
+  t.cycles_per_frame =
+      points * (1.0 + t.stall_cycles_per_point) / model.datapath_efficiency +
+      refills;
+  t.frame_rate = model.clock_hz / t.cycles_per_frame;
+  t.delays_per_second_per_unit = points * t.frame_rate;
+  t.fleet_delays_per_second =
+      t.delays_per_second_per_unit *
+      static_cast<double>(config.probe.element_count());
+  return t;
+}
+
+}  // namespace us3d::hw

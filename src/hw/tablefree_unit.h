@@ -1,0 +1,50 @@
+// Timing model of the TABLEFREE per-element unit (Sec. IV-B): a pipelined
+// multiplier+adder datapath that emits one receive delay per cycle as long
+// as the PWL segment tracker does not have to move more than one segment.
+// Extra segment steps stall the unit one cycle each — the cost the paper
+// alludes to when noting that a scanline-oriented beamformer pairs poorly
+// with incremental tracking (depth resets cross many segments at once).
+#ifndef US3D_HW_TABLEFREE_UNIT_H
+#define US3D_HW_TABLEFREE_UNIT_H
+
+#include <cstdint>
+
+#include "delay/tablefree.h"
+#include "imaging/system_config.h"
+
+namespace us3d::hw {
+
+struct TableFreeUnitModel {
+  double clock_hz = 167.0e6;  ///< paper's post-place FPGA clock
+  int pipeline_depth = 4;     ///< refill cost at each insonification start
+  /// Fraction of cycles that issue a new focal point. Calibrated to the
+  /// empirical "about 1 fps per 20 MHz of operating frequency" rule the
+  /// paper carries over from [7] (16.4e6 points / 20e6 cycles ~= 0.8);
+  /// covers control bubbles and nappe-boundary turnaround the per-step
+  /// stall model does not see.
+  double datapath_efficiency = 0.8;
+};
+
+struct TableFreeTiming {
+  double stall_cycles_per_point = 0.0;  ///< from tracker statistics
+  double cycles_per_frame = 0.0;        ///< one unit sweeps all focal points
+  double frame_rate = 0.0;
+  double delays_per_second_per_unit = 0.0;
+  /// Aggregate generation rate for one unit per element.
+  double fleet_delays_per_second = 0.0;
+};
+
+/// Computes frame timing for a unit fleet (one unit per probe element),
+/// given measured tracker behaviour for the chosen scan order.
+/// `stats` should come from TableFreeEngine::tracker_stats() after a sweep
+/// in the intended order; extra steps beyond the first are free only when
+/// they are <= 1 per evaluation (the Fig. 2a comparator pair), so every
+/// step is charged one stall cycle.
+TableFreeTiming analyze_tablefree_timing(
+    const imaging::SystemConfig& config,
+    const delay::TableFreeEngine::TrackerStats& stats,
+    const TableFreeUnitModel& model);
+
+}  // namespace us3d::hw
+
+#endif  // US3D_HW_TABLEFREE_UNIT_H

@@ -1,0 +1,23 @@
+// A single focal point of the imaging volume: grid indices, spherical
+// coordinates and the Cartesian position from Eq. (5) of the paper:
+//   S = (r cos(phi) sin(theta), r sin(phi), r cos(phi) cos(theta)).
+#ifndef US3D_IMAGING_FOCAL_POINT_H
+#define US3D_IMAGING_FOCAL_POINT_H
+
+#include "common/vec3.h"
+
+namespace us3d::imaging {
+
+struct FocalPoint {
+  int i_theta = 0;
+  int i_phi = 0;
+  int i_depth = 0;
+  double theta = 0.0;   ///< azimuth steering angle [rad]
+  double phi = 0.0;     ///< elevation steering angle [rad]
+  double radius = 0.0;  ///< distance from the origin [m]
+  Vec3 position{};      ///< Cartesian coordinates [m]
+};
+
+}  // namespace us3d::imaging
+
+#endif  // US3D_IMAGING_FOCAL_POINT_H

@@ -1,0 +1,42 @@
+#include "imaging/insonification.h"
+
+#include "common/contracts.h"
+
+namespace us3d::imaging {
+
+AcquisitionPlan make_plan(const VolumeSpec& volume, int shots_per_volume,
+                          double volume_rate_hz) {
+  US3D_EXPECTS(shots_per_volume > 0);
+  US3D_EXPECTS(volume_rate_hz > 0.0);
+  const std::int64_t lines =
+      static_cast<std::int64_t>(volume.n_theta) * volume.n_phi;
+  US3D_EXPECTS(lines % shots_per_volume == 0);
+  AcquisitionPlan plan;
+  plan.shots_per_volume = shots_per_volume;
+  plan.scanlines_per_shot = static_cast<int>(lines / shots_per_volume);
+  plan.volume_rate_hz = volume_rate_hz;
+  return plan;
+}
+
+double round_trip_seconds(const VolumeSpec& volume, double speed_of_sound) {
+  US3D_EXPECTS(speed_of_sound > 0.0);
+  return 2.0 * volume.max_depth_m / speed_of_sound;
+}
+
+double max_acoustic_volume_rate(const VolumeSpec& volume,
+                                double speed_of_sound, int shots_per_volume) {
+  US3D_EXPECTS(shots_per_volume > 0);
+  return 1.0 /
+         (static_cast<double>(shots_per_volume) *
+          round_trip_seconds(volume, speed_of_sound));
+}
+
+bool is_acoustically_feasible(const AcquisitionPlan& plan,
+                              const VolumeSpec& volume,
+                              double speed_of_sound) {
+  return plan.volume_rate_hz <=
+         max_acoustic_volume_rate(volume, speed_of_sound,
+                                  plan.shots_per_volume);
+}
+
+}  // namespace us3d::imaging

@@ -1,0 +1,46 @@
+// Acquisition planning: how many insonifications (shots) reconstruct one
+// volume, how often the delay table must be re-fetched, and whether the
+// target volume rate is acoustically feasible (Sec. V-B's "64
+// insonifications per volume, 256 scanlines/insonification, 15 Hz, i.e.
+// 960 insonifications/s" design point).
+#ifndef US3D_IMAGING_INSONIFICATION_H
+#define US3D_IMAGING_INSONIFICATION_H
+
+#include <cstdint>
+
+#include "imaging/volume.h"
+
+namespace us3d::imaging {
+
+struct AcquisitionPlan {
+  int shots_per_volume = 0;       ///< insonifications per reconstructed volume
+  int scanlines_per_shot = 0;     ///< parallel receive lines per shot
+  double volume_rate_hz = 0.0;    ///< target volumes (frames) per second
+
+  double shots_per_second() const {
+    return volume_rate_hz * shots_per_volume;
+  }
+};
+
+/// Builds the paper's design point for a grid: chooses scanlines_per_shot =
+/// n_theta*n_phi / shots_per_volume (must divide evenly).
+AcquisitionPlan make_plan(const VolumeSpec& volume, int shots_per_volume,
+                          double volume_rate_hz);
+
+/// Two-way time of flight to the deepest focal point: the minimum interval
+/// between successive insonifications.
+double round_trip_seconds(const VolumeSpec& volume, double speed_of_sound);
+
+/// Highest volume rate the acoustics permit for a plan (ignoring compute):
+/// 1 / (shots_per_volume * round_trip).
+double max_acoustic_volume_rate(const VolumeSpec& volume,
+                                double speed_of_sound, int shots_per_volume);
+
+/// True when the plan's shot rate leaves non-negative slack vs. acoustics.
+bool is_acoustically_feasible(const AcquisitionPlan& plan,
+                              const VolumeSpec& volume,
+                              double speed_of_sound);
+
+}  // namespace us3d::imaging
+
+#endif  // US3D_IMAGING_INSONIFICATION_H

@@ -1,0 +1,56 @@
+#include "imaging/scan_order.h"
+
+#include "common/contracts.h"
+
+namespace us3d::imaging {
+
+const char* to_string(ScanOrder order) {
+  switch (order) {
+    case ScanOrder::kScanlineByScanline:
+      return "scanline-by-scanline";
+    case ScanOrder::kNappeByNappe:
+      return "nappe-by-nappe";
+  }
+  return "?";
+}
+
+ScanCursor::ScanCursor(const VolumeGrid& grid, ScanOrder order)
+    : grid_(&grid), order_(order) {}
+
+bool ScanCursor::next(FocalPoint& out) {
+  const VolumeSpec& s = grid_->spec();
+  if (produced_ >= total()) return false;
+  switch (order_) {
+    case ScanOrder::kScanlineByScanline:
+      // a = theta, b = phi, c = depth (depth innermost).
+      out = grid_->focal_point(a_, b_, c_);
+      if (++c_ == s.n_depth) {
+        c_ = 0;
+        if (++b_ == s.n_phi) {
+          b_ = 0;
+          ++a_;
+        }
+      }
+      break;
+    case ScanOrder::kNappeByNappe:
+      // a = depth, b = theta, c = phi (phi innermost).
+      out = grid_->focal_point(b_, c_, a_);
+      if (++c_ == s.n_phi) {
+        c_ = 0;
+        if (++b_ == s.n_theta) {
+          b_ = 0;
+          ++a_;
+        }
+      }
+      break;
+  }
+  ++produced_;
+  return true;
+}
+
+void ScanCursor::reset() {
+  a_ = b_ = c_ = 0;
+  produced_ = 0;
+}
+
+}  // namespace us3d::imaging

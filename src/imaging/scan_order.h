@@ -1,0 +1,55 @@
+// Scan orders from Algorithm 1: the same focal points, visited either
+// scanline-by-scanline (depth innermost) or nappe-by-nappe (depth outermost).
+// The delay engines are order-sensitive (TABLEFREE tracks PWL segments
+// incrementally; TABLESTEER streams one table slice per nappe), so the order
+// is an explicit, first-class parameter.
+#ifndef US3D_IMAGING_SCAN_ORDER_H
+#define US3D_IMAGING_SCAN_ORDER_H
+
+#include <cstdint>
+
+#include "imaging/volume.h"
+
+namespace us3d::imaging {
+
+enum class ScanOrder {
+  kScanlineByScanline,  ///< for theta { for phi { for depth } } }
+  kNappeByNappe,        ///< for depth { for theta { for phi } } }
+};
+
+const char* to_string(ScanOrder order);
+
+/// Stateful cursor over a VolumeGrid in a given order. Value-semantic;
+/// `next()` returns false when the sweep is complete.
+class ScanCursor {
+ public:
+  ScanCursor(const VolumeGrid& grid, ScanOrder order);
+
+  /// Advances to the next focal point; fills `out`. Returns false at end.
+  bool next(FocalPoint& out);
+
+  /// Sequential position of the *next* point to be produced, in [0, total].
+  std::int64_t position() const { return produced_; }
+  std::int64_t total() const { return grid_->total_points(); }
+  ScanOrder order() const { return order_; }
+
+  void reset();
+
+ private:
+  const VolumeGrid* grid_;  // non-owning; cursor must not outlive grid
+  ScanOrder order_;
+  int a_ = 0, b_ = 0, c_ = 0;  // loop counters, outermost..innermost
+  std::int64_t produced_ = 0;
+};
+
+/// Visits every focal point in the requested order.
+template <typename Fn>
+void for_each_focal_point(const VolumeGrid& grid, ScanOrder order, Fn&& fn) {
+  ScanCursor cursor(grid, order);
+  FocalPoint fp;
+  while (cursor.next(fp)) fn(fp);
+}
+
+}  // namespace us3d::imaging
+
+#endif  // US3D_IMAGING_SCAN_ORDER_H

@@ -1,0 +1,91 @@
+#include "imaging/system_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/contracts.h"
+#include "probe/presets.h"
+
+namespace us3d::imaging {
+
+std::int64_t SystemConfig::echo_buffer_samples() const {
+  // Two-way flight to the deepest on-axis point, plus a guard band: steered
+  // paths to far corner elements exceed 2*dp by up to the aperture radius
+  // (about 130 samples for the paper geometry at 36.5 deg), and the pulse
+  // tail rings past the last arrival. 192 samples (6 us) covers both while
+  // keeping the paper system at a 13-bit index ("slightly more than 8000
+  // samples ... requires 13-bit precision", Sec. V-B).
+  constexpr std::int64_t kGuardSamples = 192;
+  const double two_way = 2.0 * volume.max_depth_m / speed_of_sound;
+  return static_cast<std::int64_t>(
+             std::ceil(two_way * sampling_frequency_hz)) +
+         kGuardSamples;
+}
+
+int SystemConfig::delay_index_bits() const {
+  const std::int64_t n = echo_buffer_samples();
+  int bits = 0;
+  while ((std::int64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+std::int64_t SystemConfig::delays_per_frame() const {
+  return volume.total_points() * probe.element_count();
+}
+
+double SystemConfig::delays_per_second() const {
+  return static_cast<double>(delays_per_frame()) * plan.volume_rate_hz;
+}
+
+SystemConfig paper_system() {
+  SystemConfig cfg;
+  cfg.probe = probe::paper_probe();
+  cfg.speed_of_sound = probe::kSpeedOfSoundTissue;
+  cfg.sampling_frequency_hz = 32.0e6;
+
+  const double lambda = cfg.wavelength_m();
+  cfg.volume = VolumeSpec{
+      .n_theta = 128,
+      .n_phi = 128,
+      .n_depth = 1000,
+      .theta_span_rad = deg_to_rad(73.0),
+      .phi_span_rad = deg_to_rad(73.0),
+      // 1000 focal points spaced lambda/2 apart, out to dp = 500 lambda.
+      .min_depth_m = lambda / 2.0,
+      .max_depth_m = 500.0 * lambda,
+  };
+  cfg.plan = make_plan(cfg.volume, /*shots_per_volume=*/64,
+                       /*volume_rate_hz=*/15.0);
+  return cfg;
+}
+
+SystemConfig scaled_system(int probe_elements_per_side, int n_lines,
+                           int n_depth) {
+  US3D_EXPECTS(probe_elements_per_side > 0);
+  US3D_EXPECTS(n_lines > 0 && n_depth > 0);
+  SystemConfig cfg = paper_system();
+  cfg.probe = probe::small_probe(probe_elements_per_side);
+  cfg.volume.n_theta = n_lines;
+  cfg.volume.n_phi = n_lines;
+  cfg.volume.n_depth = n_depth;
+  // Keep the depth *range* proportional to the line count so the scaled
+  // system has the same focal-point density as the paper system.
+  const double lambda = cfg.wavelength_m();
+  cfg.volume.min_depth_m = lambda / 2.0;
+  cfg.volume.max_depth_m = lambda / 2.0 * static_cast<double>(n_depth);
+  // Largest shot count <= 64 that divides the line count evenly (the paper
+  // plan uses 64; odd grids need a compatible divisor).
+  const int lines = n_lines * n_lines;
+  int shots = 1;
+  for (int s = std::min(64, lines); s >= 1; --s) {
+    if (lines % s == 0) {
+      shots = s;
+      break;
+    }
+  }
+  cfg.plan = make_plan(cfg.volume, shots, 15.0);
+  return cfg;
+}
+
+}  // namespace us3d::imaging

@@ -1,0 +1,58 @@
+// Full system configuration (Table I of the paper) and derived quantities.
+// Every experiment takes a SystemConfig so that scaled-down variants (for
+// tests) and the full paper system share one code path.
+#ifndef US3D_IMAGING_SYSTEM_CONFIG_H
+#define US3D_IMAGING_SYSTEM_CONFIG_H
+
+#include <cstdint>
+
+#include "imaging/insonification.h"
+#include "imaging/volume.h"
+#include "probe/transducer.h"
+
+namespace us3d::imaging {
+
+struct SystemConfig {
+  probe::TransducerSpec probe{};
+  VolumeSpec volume{};
+  double speed_of_sound = 0.0;        ///< c [m/s]
+  double sampling_frequency_hz = 0.0; ///< fs (echo sampling)
+  AcquisitionPlan plan{};
+
+  double wavelength_m() const {
+    return probe.wavelength_m(speed_of_sound);
+  }
+  /// Duration of one echo sample: the delay quantization grain (~30 ns).
+  double sample_period_s() const { return 1.0 / sampling_frequency_hz; }
+  /// Convert a propagation delay in seconds to units of echo samples.
+  double seconds_to_samples(double seconds) const {
+    return seconds * sampling_frequency_hz;
+  }
+  double samples_to_seconds(double samples) const {
+    return samples / sampling_frequency_hz;
+  }
+  /// Echo-buffer length: two-way flight to the deepest point, in samples
+  /// ("slightly more than 8000 samples ... requires 13-bit precision").
+  std::int64_t echo_buffer_samples() const;
+  /// Bits needed to index the echo buffer (13 for the paper system).
+  int delay_index_bits() const;
+
+  /// Total delay coefficients per frame: points x elements (~164e9).
+  std::int64_t delays_per_frame() const;
+  /// Delay coefficients per second at the plan's volume rate (~2.5e12).
+  double delays_per_second() const;
+};
+
+/// The complete Table I system: 100x100 probe, 73 deg x 73 deg x 500 lambda
+/// volume, 128x128x1000 focal points, fs = 32 MHz, 15 Hz, 64 shots/volume.
+SystemConfig paper_system();
+
+/// A reduced system (same physics, smaller probe/grid) whose exhaustive
+/// sweeps run in milliseconds; used by unit tests and examples.
+/// `scale` ~ elements per side; the grid shrinks proportionally.
+SystemConfig scaled_system(int probe_elements_per_side, int n_lines,
+                           int n_depth);
+
+}  // namespace us3d::imaging
+
+#endif  // US3D_IMAGING_SYSTEM_CONFIG_H

@@ -1,0 +1,59 @@
+#include "imaging/volume.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace us3d::imaging {
+
+VolumeGrid::VolumeGrid(const VolumeSpec& spec) : spec_(spec) {
+  US3D_EXPECTS(spec.n_theta > 0 && spec.n_phi > 0 && spec.n_depth > 0);
+  US3D_EXPECTS(spec.theta_span_rad >= 0.0 && spec.phi_span_rad >= 0.0);
+  US3D_EXPECTS(spec.min_depth_m > 0.0);
+  US3D_EXPECTS(spec.max_depth_m >= spec.min_depth_m);
+  theta_step_ = spec.n_theta > 1
+                    ? spec.theta_span_rad / static_cast<double>(spec.n_theta - 1)
+                    : 0.0;
+  phi_step_ = spec.n_phi > 1
+                  ? spec.phi_span_rad / static_cast<double>(spec.n_phi - 1)
+                  : 0.0;
+  depth_step_ = spec.n_depth > 1
+                    ? (spec.max_depth_m - spec.min_depth_m) /
+                          static_cast<double>(spec.n_depth - 1)
+                    : 0.0;
+}
+
+double VolumeGrid::theta(int i) const {
+  US3D_EXPECTS(i >= 0 && i < spec_.n_theta);
+  return -spec_.theta_max_rad() + static_cast<double>(i) * theta_step_;
+}
+
+double VolumeGrid::phi(int i) const {
+  US3D_EXPECTS(i >= 0 && i < spec_.n_phi);
+  return -spec_.phi_max_rad() + static_cast<double>(i) * phi_step_;
+}
+
+double VolumeGrid::radius(int i) const {
+  US3D_EXPECTS(i >= 0 && i < spec_.n_depth);
+  return spec_.min_depth_m + static_cast<double>(i) * depth_step_;
+}
+
+Vec3 VolumeGrid::position(double theta, double phi, double radius) {
+  return {radius * std::cos(phi) * std::sin(theta),
+          radius * std::sin(phi),
+          radius * std::cos(phi) * std::cos(theta)};
+}
+
+FocalPoint VolumeGrid::focal_point(int i_theta, int i_phi, int i_depth) const {
+  FocalPoint fp;
+  fp.i_theta = i_theta;
+  fp.i_phi = i_phi;
+  fp.i_depth = i_depth;
+  fp.theta = theta(i_theta);
+  fp.phi = phi(i_phi);
+  fp.radius = radius(i_depth);
+  fp.position = position(fp.theta, fp.phi, fp.radius);
+  return fp;
+}
+
+}  // namespace us3d::imaging

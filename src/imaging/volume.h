@@ -1,0 +1,56 @@
+// Imaging-volume geometry: the theta x phi x depth focal-point grid
+// (Table I: 73 deg x 73 deg x 500 lambda, 128 x 128 x 1000 focal points).
+#ifndef US3D_IMAGING_VOLUME_H
+#define US3D_IMAGING_VOLUME_H
+
+#include <cstdint>
+
+#include "imaging/focal_point.h"
+
+namespace us3d::imaging {
+
+/// Static description of the scanned volume.
+struct VolumeSpec {
+  int n_theta = 0;           ///< lines of sight along azimuth
+  int n_phi = 0;             ///< lines of sight along elevation
+  int n_depth = 0;           ///< focal points per line of sight
+  double theta_span_rad = 0.0;  ///< full azimuth field of view
+  double phi_span_rad = 0.0;    ///< full elevation field of view
+  double min_depth_m = 0.0;     ///< radius of the first focal point
+  double max_depth_m = 0.0;     ///< radius of the last focal point (dp)
+
+  std::int64_t total_points() const {
+    return static_cast<std::int64_t>(n_theta) * n_phi * n_depth;
+  }
+  double theta_max_rad() const { return theta_span_rad / 2.0; }
+  double phi_max_rad() const { return phi_span_rad / 2.0; }
+};
+
+/// Maps grid indices to angles, radii and Cartesian focal points.
+class VolumeGrid {
+ public:
+  explicit VolumeGrid(const VolumeSpec& spec);
+
+  const VolumeSpec& spec() const { return spec_; }
+
+  double theta(int i_theta) const;  ///< in [-theta_max, +theta_max]
+  double phi(int i_phi) const;      ///< in [-phi_max, +phi_max]
+  double radius(int i_depth) const; ///< uniform in [min_depth, max_depth]
+
+  /// Cartesian position per Eq. (5).
+  static Vec3 position(double theta, double phi, double radius);
+
+  FocalPoint focal_point(int i_theta, int i_phi, int i_depth) const;
+
+  std::int64_t total_points() const { return spec_.total_points(); }
+
+ private:
+  VolumeSpec spec_;
+  double theta_step_;
+  double phi_step_;
+  double depth_step_;
+};
+
+}  // namespace us3d::imaging
+
+#endif  // US3D_IMAGING_VOLUME_H

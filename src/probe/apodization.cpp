@@ -1,0 +1,78 @@
+#include "probe/apodization.h"
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/contracts.h"
+
+namespace us3d::probe {
+
+double window_value(WindowKind kind, double u, double tukey_alpha) {
+  US3D_EXPECTS(u >= 0.0 && u <= 1.0);
+  switch (kind) {
+    case WindowKind::kRect:
+      return 1.0;
+    case WindowKind::kHann:
+      return 0.5 - 0.5 * std::cos(2.0 * kPi * u);
+    case WindowKind::kHamming:
+      return 0.54 - 0.46 * std::cos(2.0 * kPi * u);
+    case WindowKind::kTukey: {
+      US3D_EXPECTS(tukey_alpha >= 0.0 && tukey_alpha <= 1.0);
+      if (tukey_alpha == 0.0) return 1.0;
+      const double half = tukey_alpha / 2.0;
+      if (u < half) {
+        return 0.5 * (1.0 + std::cos(kPi * (2.0 * u / tukey_alpha - 1.0)));
+      }
+      if (u > 1.0 - half) {
+        return 0.5 *
+               (1.0 + std::cos(kPi * (2.0 * u / tukey_alpha -
+                                      2.0 / tukey_alpha + 1.0)));
+      }
+      return 1.0;
+    }
+    case WindowKind::kBlackman:
+      return 0.42 - 0.5 * std::cos(2.0 * kPi * u) +
+             0.08 * std::cos(4.0 * kPi * u);
+  }
+  return 1.0;  // unreachable
+}
+
+ApodizationMap::ApodizationMap(const MatrixProbe& probe, WindowKind kind,
+                               double tukey_alpha)
+    : nx_(probe.elements_x()), ny_(probe.elements_y()) {
+  wx_.reserve(static_cast<std::size_t>(nx_));
+  wy_.reserve(static_cast<std::size_t>(ny_));
+  for (int ix = 0; ix < nx_; ++ix) {
+    const double u = nx_ == 1 ? 0.5
+                              : static_cast<double>(ix) /
+                                    static_cast<double>(nx_ - 1);
+    wx_.push_back(window_value(kind, u, tukey_alpha));
+  }
+  for (int iy = 0; iy < ny_; ++iy) {
+    const double u = ny_ == 1 ? 0.5
+                              : static_cast<double>(iy) /
+                                    static_cast<double>(ny_ - 1);
+    wy_.push_back(window_value(kind, u, tukey_alpha));
+  }
+}
+
+double ApodizationMap::weight(int ix, int iy) const {
+  US3D_EXPECTS(ix >= 0 && ix < nx_);
+  US3D_EXPECTS(iy >= 0 && iy < ny_);
+  return wx_[static_cast<std::size_t>(ix)] * wy_[static_cast<std::size_t>(iy)];
+}
+
+double ApodizationMap::weight_flat(int flat) const {
+  US3D_EXPECTS(flat >= 0 && flat < nx_ * ny_);
+  return weight(flat % nx_, flat / nx_);
+}
+
+double ApodizationMap::total_weight() const {
+  double sx = 0.0;
+  for (const double w : wx_) sx += w;
+  double sy = 0.0;
+  for (const double w : wy_) sy += w;
+  return sx * sy;
+}
+
+}  // namespace us3d::probe

@@ -1,0 +1,50 @@
+// Apodization windows. The paper relies on apodization to suppress the
+// contribution of elements at extreme angles, which is where the TABLESTEER
+// far-field approximation is worst (Sec. V-A, VI-A).
+#ifndef US3D_PROBE_APODIZATION_H
+#define US3D_PROBE_APODIZATION_H
+
+#include <vector>
+
+#include "probe/transducer.h"
+
+namespace us3d::probe {
+
+enum class WindowKind {
+  kRect,
+  kHann,
+  kHamming,
+  kTukey,     ///< flat top with cosine tapers; alpha = taper fraction
+  kBlackman,
+};
+
+/// Scalar window value at normalized position u in [0, 1] across the
+/// aperture (0 and 1 are the aperture edges, 0.5 the centre).
+/// `tukey_alpha` is only used for WindowKind::kTukey.
+double window_value(WindowKind kind, double u, double tukey_alpha = 0.5);
+
+/// Per-element apodization weights for a matrix probe, built as a separable
+/// product of an x-window and a y-window (standard practice for 2D arrays).
+class ApodizationMap {
+ public:
+  ApodizationMap(const MatrixProbe& probe, WindowKind kind,
+                 double tukey_alpha = 0.5);
+
+  double weight(int ix, int iy) const;
+  double weight_flat(int flat_index) const;
+  int elements_x() const { return nx_; }
+  int elements_y() const { return ny_; }
+
+  /// Sum of all weights (useful for normalising beamformed output).
+  double total_weight() const;
+
+ private:
+  int nx_;
+  int ny_;
+  std::vector<double> wx_;
+  std::vector<double> wy_;
+};
+
+}  // namespace us3d::probe
+
+#endif  // US3D_PROBE_APODIZATION_H

@@ -1,0 +1,63 @@
+#include "probe/directivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/contracts.h"
+
+namespace us3d::probe {
+
+namespace {
+
+double sinc(double x) { return x == 0.0 ? 1.0 : std::sin(x) / x; }
+
+}  // namespace
+
+Directivity::Directivity(double element_width_m, double wavelength_m,
+                         double cutoff_angle_rad)
+    : width_over_lambda_(element_width_m / wavelength_m),
+      cutoff_(cutoff_angle_rad) {
+  US3D_EXPECTS(element_width_m > 0.0 && wavelength_m > 0.0);
+  US3D_EXPECTS(cutoff_angle_rad > 0.0 && cutoff_angle_rad <= kPi / 2.0);
+}
+
+Directivity Directivity::from_db_down(double element_width_m,
+                                      double wavelength_m, double db_down) {
+  US3D_EXPECTS(db_down > 0.0);
+  const double target = std::pow(10.0, -db_down / 20.0);
+  // The piston response is monotonically decreasing on [0, pi/2] for
+  // w <= lambda, so bisection is safe.
+  Directivity probe_model(element_width_m, wavelength_m, kPi / 2.0);
+  double lo = 0.0;
+  double hi = kPi / 2.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe_model.amplitude(mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return Directivity(element_width_m, wavelength_m, 0.5 * (lo + hi));
+}
+
+double Directivity::amplitude(double theta_rad) const {
+  const double t = std::abs(theta_rad);
+  if (t >= kPi / 2.0) return 0.0;
+  return std::abs(sinc(kPi * width_over_lambda_ * std::sin(t)) * std::cos(t));
+}
+
+double Directivity::angle_to(const Vec3& element_pos, const Vec3& point) {
+  const Vec3 d = point - element_pos;
+  const double n = d.norm();
+  US3D_EXPECTS(n > 0.0);
+  const double cos_theta = d.z / n;
+  return std::acos(std::clamp(cos_theta, -1.0, 1.0));
+}
+
+bool Directivity::accepts(const Vec3& element_pos, const Vec3& point) const {
+  return angle_to(element_pos, point) <= cutoff_;
+}
+
+}  // namespace us3d::probe

@@ -1,0 +1,48 @@
+// Element directivity model. Matrix elements radiate/receive efficiently
+// only within a cone around their surface normal (+z); the paper uses this
+// to prune reference-table entries (Fig. 3a) and to filter the worst-case
+// steering errors (Sec. VI-A "filtered away by apodization ... beyond the
+// elements' directivity").
+#ifndef US3D_PROBE_DIRECTIVITY_H
+#define US3D_PROBE_DIRECTIVITY_H
+
+#include "common/vec3.h"
+
+namespace us3d::probe {
+
+/// Soft + hard directivity model for a square piston element.
+///
+/// The soft model is the classic hard-baffle piston response
+///   D(theta) = sinc(pi * (w/lambda) * sin(theta)) * cos(theta)
+/// and the hard model is a cone of half-angle `cutoff`, outside which the
+/// element is considered blind (used for pruning and error filtering).
+class Directivity {
+ public:
+  /// Explicit cutoff cone.
+  Directivity(double element_width_m, double wavelength_m,
+              double cutoff_angle_rad);
+
+  /// Derive the cutoff from the soft model's -`db_down` dB point (solved
+  /// numerically at construction; e.g. db_down = 6 for the -6 dB beamwidth).
+  static Directivity from_db_down(double element_width_m, double wavelength_m,
+                                  double db_down);
+
+  /// Soft amplitude response in [0, 1] at angle `theta` off the normal.
+  double amplitude(double theta_rad) const;
+
+  double cutoff_angle() const { return cutoff_; }
+
+  /// Angle between the element normal (+z) and the direction element->point.
+  static double angle_to(const Vec3& element_pos, const Vec3& point);
+
+  /// True if `point` lies inside this element's acceptance cone.
+  bool accepts(const Vec3& element_pos, const Vec3& point) const;
+
+ private:
+  double width_over_lambda_;
+  double cutoff_;
+};
+
+}  // namespace us3d::probe
+
+#endif  // US3D_PROBE_DIRECTIVITY_H

@@ -1,0 +1,37 @@
+#include "probe/presets.h"
+
+#include "common/contracts.h"
+
+namespace us3d::probe {
+
+namespace {
+
+constexpr double kCenterFrequencyHz = 4.0e6;
+constexpr double kBandwidthHz = 4.0e6;
+
+// lambda = c / fc = 1540 / 4e6 = 0.385 mm; pitch = lambda / 2 (Table I).
+constexpr double kPitchM = kSpeedOfSoundTissue / kCenterFrequencyHz / 2.0;
+
+}  // namespace
+
+TransducerSpec paper_probe() {
+  return TransducerSpec{
+      .elements_x = 100,
+      .elements_y = 100,
+      .pitch_m = kPitchM,
+      .center_frequency_hz = kCenterFrequencyHz,
+      .bandwidth_hz = kBandwidthHz,
+  };
+}
+
+TransducerSpec small_probe(int elements_per_side) {
+  US3D_EXPECTS(elements_per_side > 0);
+  TransducerSpec spec = paper_probe();
+  spec.elements_x = elements_per_side;
+  spec.elements_y = elements_per_side;
+  return spec;
+}
+
+TransducerSpec figure3_probe() { return small_probe(16); }
+
+}  // namespace us3d::probe

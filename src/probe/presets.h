@@ -1,0 +1,24 @@
+// Probe presets, including the paper's Table I transducer head.
+#ifndef US3D_PROBE_PRESETS_H
+#define US3D_PROBE_PRESETS_H
+
+#include "probe/transducer.h"
+
+namespace us3d::probe {
+
+/// Speed of sound in soft tissue used throughout the paper (Table I).
+constexpr double kSpeedOfSoundTissue = 1540.0;  // m/s
+
+/// The paper's 100x100-element, 4 MHz, lambda/2-pitch matrix probe.
+TransducerSpec paper_probe();
+
+/// Scaled-down probes with the same fc/pitch, for tests and the imaging
+/// example (a 100x100 probe makes exhaustive checks needlessly slow).
+TransducerSpec small_probe(int elements_per_side);
+
+/// The 16x16 probe used for Figure 3a's illustration geometry.
+TransducerSpec figure3_probe();
+
+}  // namespace us3d::probe
+
+#endif  // US3D_PROBE_PRESETS_H

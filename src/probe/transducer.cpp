@@ -1,0 +1,55 @@
+#include "probe/transducer.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace us3d::probe {
+
+MatrixProbe::MatrixProbe(const TransducerSpec& spec) : spec_(spec) {
+  US3D_EXPECTS(spec.elements_x > 0 && spec.elements_y > 0);
+  US3D_EXPECTS(spec.pitch_m > 0.0);
+  US3D_EXPECTS(spec.center_frequency_hz > 0.0);
+  half_extent_x_ = 0.5 * static_cast<double>(spec.elements_x - 1) * spec.pitch_m;
+  half_extent_y_ = 0.5 * static_cast<double>(spec.elements_y - 1) * spec.pitch_m;
+}
+
+Vec3 MatrixProbe::element_position(int ix, int iy) const {
+  US3D_EXPECTS(ix >= 0 && ix < spec_.elements_x);
+  US3D_EXPECTS(iy >= 0 && iy < spec_.elements_y);
+  return {column_x(ix), row_y(iy), 0.0};
+}
+
+Vec3 MatrixProbe::element_position(int flat) const {
+  return element_position(index_x(flat), index_y(flat));
+}
+
+int MatrixProbe::flat_index(int ix, int iy) const {
+  US3D_EXPECTS(ix >= 0 && ix < spec_.elements_x);
+  US3D_EXPECTS(iy >= 0 && iy < spec_.elements_y);
+  return iy * spec_.elements_x + ix;
+}
+
+int MatrixProbe::index_x(int flat) const {
+  US3D_EXPECTS(flat >= 0 && flat < element_count());
+  return flat % spec_.elements_x;
+}
+
+int MatrixProbe::index_y(int flat) const {
+  US3D_EXPECTS(flat >= 0 && flat < element_count());
+  return flat / spec_.elements_x;
+}
+
+double MatrixProbe::column_x(int ix) const {
+  return static_cast<double>(ix) * spec_.pitch_m - half_extent_x_;
+}
+
+double MatrixProbe::row_y(int iy) const {
+  return static_cast<double>(iy) * spec_.pitch_m - half_extent_y_;
+}
+
+double MatrixProbe::max_element_radius() const {
+  return std::hypot(half_extent_x_, half_extent_y_);
+}
+
+}  // namespace us3d::probe

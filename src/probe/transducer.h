@@ -1,0 +1,68 @@
+// Matrix-transducer geometry. The probe lies in the z=0 plane, centered on
+// the origin, elements on a regular grid with pitch λ/2 (Table I).
+#ifndef US3D_PROBE_TRANSDUCER_H
+#define US3D_PROBE_TRANSDUCER_H
+
+#include <cstddef>
+
+#include "common/vec3.h"
+
+namespace us3d::probe {
+
+/// Static description of a matrix transducer head (Table I, "Transducer
+/// Head" block).
+struct TransducerSpec {
+  int elements_x = 0;             ///< ex: elements along azimuth (x)
+  int elements_y = 0;             ///< ey: elements along elevation (y)
+  double pitch_m = 0.0;           ///< element-to-element spacing
+  double center_frequency_hz = 0.0;  ///< fc
+  double bandwidth_hz = 0.0;         ///< B
+
+  int element_count() const { return elements_x * elements_y; }
+  /// Physical extent of the aperture along x/y.
+  double aperture_x_m() const { return elements_x * pitch_m; }
+  double aperture_y_m() const { return elements_y * pitch_m; }
+  /// Wavelength for a given speed of sound.
+  double wavelength_m(double speed_of_sound) const {
+    return speed_of_sound / center_frequency_hz;
+  }
+};
+
+/// Element-position calculator for a TransducerSpec. Grid indices run
+/// ix in [0, ex), iy in [0, ey); positions are centred so that the grid
+/// centroid coincides with the origin.
+class MatrixProbe {
+ public:
+  explicit MatrixProbe(const TransducerSpec& spec);
+
+  const TransducerSpec& spec() const { return spec_; }
+  int elements_x() const { return spec_.elements_x; }
+  int elements_y() const { return spec_.elements_y; }
+  int element_count() const { return spec_.element_count(); }
+
+  /// Centre coordinate of element (ix, iy); z is always 0.
+  Vec3 element_position(int ix, int iy) const;
+  Vec3 element_position(int flat_index) const;
+
+  /// Row-major flattening: flat = iy * elements_x + ix.
+  int flat_index(int ix, int iy) const;
+  int index_x(int flat_index) const;
+  int index_y(int flat_index) const;
+
+  /// Signed x/y coordinate of a column/row (used by the steering tables,
+  /// which factor corrections per-column and per-row).
+  double column_x(int ix) const;
+  double row_y(int iy) const;
+
+  /// Largest |position| over all elements (aperture corner radius).
+  double max_element_radius() const;
+
+ private:
+  TransducerSpec spec_;
+  double half_extent_x_;  // offset so the grid is centred
+  double half_extent_y_;
+};
+
+}  // namespace us3d::probe
+
+#endif  // US3D_PROBE_TRANSDUCER_H

@@ -1,0 +1,113 @@
+#include "acoustic/echo_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+#include "delay/exact.h"
+#include "probe/transducer.h"
+
+namespace us3d::acoustic {
+namespace {
+
+imaging::SystemConfig small_cfg() { return imaging::scaled_system(6, 8, 40); }
+
+TEST(EchoSynth, BufferShapeMatchesConfig) {
+  const auto cfg = small_cfg();
+  const auto echoes = synthesize_echoes(cfg, {});
+  EXPECT_EQ(echoes.element_count(), 36);
+  EXPECT_EQ(echoes.samples_per_element(), cfg.echo_buffer_samples());
+}
+
+TEST(EchoSynth, EmptyPhantomGivesSilence) {
+  const auto cfg = small_cfg();
+  const auto echoes = synthesize_echoes(cfg, {});
+  for (int e = 0; e < echoes.element_count(); ++e) {
+    for (const float v : echoes.row(e)) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(EchoSynth, EchoPeaksAtExactTwoWayDelay) {
+  // Target inside the scaled system's 7.7 mm depth range.
+  const auto cfg = small_cfg();
+  const Vec3 target{0.0, 0.0, 5.0e-3};
+  const auto echoes = synthesize_echoes(cfg, {{target, 1.0}});
+  const probe::MatrixProbe probe(cfg.probe);
+  for (int e = 0; e < probe.element_count(); e += 7) {
+    const double t = delay::two_way_delay_s(
+        Vec3{}, target, probe.element_position(e), cfg.speed_of_sound);
+    const auto idx = static_cast<std::int64_t>(
+        std::llround(t * cfg.sampling_frequency_hz));
+    // The sample nearest the true delay carries (nearly) the pulse peak.
+    EXPECT_GT(echoes.sample(e, idx), 0.8f);
+    // Far from the arrival, silence.
+    EXPECT_EQ(echoes.sample(e, idx + 400), 0.0f);
+  }
+}
+
+TEST(EchoSynth, AmplitudeScalesLinearly) {
+  const auto cfg = small_cfg();
+  const Vec3 target{1.0e-3, -0.5e-3, 12.0e-3};
+  const auto weak = synthesize_echoes(cfg, {{target, 0.5}});
+  const auto strong = synthesize_echoes(cfg, {{target, 2.0}});
+  for (int i = 0; i < 200; ++i) {
+    const auto idx = cfg.echo_buffer_samples() / 3 + i;
+    EXPECT_NEAR(strong.sample(0, idx), 4.0f * weak.sample(0, idx), 1e-4f);
+  }
+}
+
+TEST(EchoSynth, TwoScatterersSuperpose) {
+  const auto cfg = small_cfg();
+  const Vec3 a{0.0, 0.0, 10.0e-3};
+  const Vec3 b{0.0, 0.0, 20.0e-3};
+  const auto ea = synthesize_echoes(cfg, {{a, 1.0}});
+  const auto eb = synthesize_echoes(cfg, {{b, 1.0}});
+  const auto both = synthesize_echoes(cfg, {{a, 1.0}, {b, 1.0}});
+  for (std::int64_t i = 0; i < cfg.echo_buffer_samples(); i += 17) {
+    EXPECT_NEAR(both.sample(3, i), ea.sample(3, i) + eb.sample(3, i), 1e-5f);
+  }
+}
+
+TEST(EchoSynth, SphericalSpreadingAttenuatesDeepEchoes) {
+  const auto cfg = small_cfg();
+  const Vec3 shallow{0.0, 0.0, 2.0e-3};
+  const Vec3 deep{0.0, 0.0, 7.0e-3};
+  SynthesisOptions opt;
+  opt.spherical_spreading = true;
+  const auto es = synthesize_echoes(cfg, {{shallow, 1.0}}, opt);
+  const auto ed = synthesize_echoes(cfg, {{deep, 1.0}}, opt);
+  auto peak_of = [&](const beamform::EchoBuffer& buf) {
+    float best = 0.0f;
+    for (const float v : buf.row(0)) best = std::max(best, std::abs(v));
+    return best;
+  };
+  EXPECT_GT(peak_of(es), 10.0f * peak_of(ed));
+}
+
+TEST(EchoSynth, DisplacedOriginShiftsArrival) {
+  const auto cfg = small_cfg();
+  const Vec3 target{0.0, 0.0, 5.0e-3};
+  SynthesisOptions opt;
+  opt.origin = Vec3{0.0, 0.0, -2.0e-3};  // virtual source behind probe
+  const auto centred = synthesize_echoes(cfg, {{target, 1.0}});
+  const auto displaced = synthesize_echoes(cfg, {{target, 1.0}}, opt);
+  auto first_nonzero = [](const beamform::EchoBuffer& buf) {
+    const auto row = buf.row(0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (std::abs(row[i]) > 1e-4f) return static_cast<std::int64_t>(i);
+    }
+    return std::int64_t{-1};
+  };
+  EXPECT_GT(first_nonzero(displaced), first_nonzero(centred));
+}
+
+TEST(EchoSynth, RejectsScattererBehindProbe) {
+  const auto cfg = small_cfg();
+  EXPECT_THROW(synthesize_echoes(cfg, {{Vec3{0.0, 0.0, -1.0e-3}, 1.0}}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::acoustic

@@ -1,0 +1,96 @@
+#include "acoustic/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/contracts.h"
+
+namespace us3d::acoustic {
+namespace {
+
+imaging::VolumeSpec spec(int n = 21) {
+  return imaging::VolumeSpec{
+      .n_theta = n,
+      .n_phi = n,
+      .n_depth = n,
+      .theta_span_rad = deg_to_rad(40.0),
+      .phi_span_rad = deg_to_rad(40.0),
+      .min_depth_m = 1.0e-3,
+      .max_depth_m = 21.0e-3,
+  };
+}
+
+/// Builds a separable Gaussian blob centred at (c,c,c).
+beamform::VolumeImage gaussian_blob(double sigma_theta, double sigma_phi,
+                                    double sigma_depth, float floor_level = 0.0f) {
+  const auto s = spec();
+  beamform::VolumeImage img(s);
+  const int c = 10;
+  for (int it = 0; it < s.n_theta; ++it) {
+    for (int ip = 0; ip < s.n_phi; ++ip) {
+      for (int id = 0; id < s.n_depth; ++id) {
+        const double g =
+            std::exp(-0.5 * (std::pow((it - c) / sigma_theta, 2.0) +
+                             std::pow((ip - c) / sigma_phi, 2.0) +
+                             std::pow((id - c) / sigma_depth, 2.0)));
+        img.at(it, ip, id) = static_cast<float>(g) + floor_level;
+      }
+    }
+  }
+  return img;
+}
+
+TEST(PsfMetrics, PeakFoundAtBlobCentre) {
+  const auto img = gaussian_blob(2.0, 2.0, 2.0);
+  const PsfMetrics m = measure_psf(img);
+  EXPECT_EQ(m.peak.i_theta, 10);
+  EXPECT_EQ(m.peak.i_phi, 10);
+  EXPECT_EQ(m.peak.i_depth, 10);
+}
+
+TEST(PsfMetrics, WidthMatchesGaussianFwhm) {
+  // -6 dB (half-amplitude) full width of a Gaussian = 2.355 sigma.
+  const auto img = gaussian_blob(2.0, 2.0, 2.0);
+  const PsfMetrics m = measure_psf(img);
+  EXPECT_NEAR(m.width_theta, 2.355 * 2.0, 0.2);
+  EXPECT_NEAR(m.width_phi, 2.355 * 2.0, 0.2);
+  EXPECT_NEAR(m.width_depth, 2.355 * 2.0, 0.2);
+}
+
+TEST(PsfMetrics, AnisotropicBlobHasAnisotropicWidths) {
+  const auto img = gaussian_blob(1.0, 2.0, 4.0);
+  const PsfMetrics m = measure_psf(img);
+  EXPECT_LT(m.width_theta, m.width_phi);
+  EXPECT_LT(m.width_phi, m.width_depth);
+}
+
+TEST(PsfMetrics, SidelobeRatioDetectsSecondaryPeak) {
+  auto img = gaussian_blob(1.5, 1.5, 1.5);
+  img.at(2, 2, 2) = 0.25f;  // artificial sidelobe far from the main lobe
+  const PsfMetrics m = measure_psf(img, /*mainlobe_exclusion=*/5);
+  EXPECT_NEAR(m.sidelobe_ratio, 0.25, 0.02);
+}
+
+TEST(PsfMetrics, CleanBlobHasLowSidelobes) {
+  const auto img = gaussian_blob(1.5, 1.5, 1.5);
+  const PsfMetrics m = measure_psf(img, 6);
+  EXPECT_LT(m.sidelobe_ratio, 1e-4);
+}
+
+TEST(PsfMetrics, PeakOffsetSteps) {
+  const auto img = gaussian_blob(2.0, 2.0, 2.0);
+  const PsfMetrics m = measure_psf(img);
+  EXPECT_DOUBLE_EQ(peak_offset_steps(m, 10, 10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(peak_offset_steps(m, 10, 10, 13), 3.0);
+  EXPECT_NEAR(peak_offset_steps(m, 9, 9, 9), std::sqrt(3.0), 1e-12);
+}
+
+TEST(PsfMetrics, RejectsNegativeExclusion) {
+  const auto img = gaussian_blob(2.0, 2.0, 2.0);
+  EXPECT_THROW(measure_psf(img, -1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::acoustic

@@ -1,0 +1,67 @@
+#include "acoustic/pulse.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/contracts.h"
+
+namespace us3d::acoustic {
+namespace {
+
+TEST(GaussianPulse, PeakAtZeroIsOne) {
+  const GaussianPulse p(4.0e6, 4.0e6);
+  EXPECT_DOUBLE_EQ(p.value(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.envelope(0.0), 1.0);
+}
+
+TEST(GaussianPulse, EnvelopeIsSymmetric) {
+  const GaussianPulse p(4.0e6, 4.0e6);
+  for (double t = 0.0; t < 1.0e-6; t += 0.05e-6) {
+    EXPECT_DOUBLE_EQ(p.envelope(t), p.envelope(-t));
+  }
+}
+
+TEST(GaussianPulse, OscillatesAtCenterFrequency) {
+  const GaussianPulse p(4.0e6, 1.0e6);  // narrowband: many cycles
+  const double period = 1.0 / 4.0e6;
+  // Zero crossings at quarter-period offsets.
+  EXPECT_NEAR(p.value(period / 4.0) / p.envelope(period / 4.0), 0.0, 1e-9);
+  // Trough at half period.
+  EXPECT_NEAR(p.value(period / 2.0) / p.envelope(period / 2.0), -1.0, 1e-9);
+}
+
+TEST(GaussianPulse, BandwidthSetsSigma) {
+  // sigma = sqrt(2 ln 2) / (pi B): for B = 4 MHz, ~93.7 ns.
+  const GaussianPulse p(4.0e6, 4.0e6);
+  EXPECT_NEAR(p.sigma(), 93.7e-9, 0.5e-9);
+  // Wider bandwidth -> shorter pulse.
+  const GaussianPulse wide(4.0e6, 8.0e6);
+  EXPECT_LT(wide.sigma(), p.sigma());
+}
+
+TEST(GaussianPulse, HalfAmplitudeAtHalfBandwidthOffsetInSpectrum) {
+  // Verify the -6 dB definition numerically via the analytic spectrum
+  // exp(-sigma^2 (2 pi f)^2 / 2) evaluated at f = B/2.
+  const double b = 4.0e6;
+  const GaussianPulse p(4.0e6, b);
+  const double s = p.sigma();
+  const double mag =
+      std::exp(-s * s * std::pow(2.0 * kPi * b / 2.0, 2.0) / 2.0);
+  EXPECT_NEAR(mag, 0.5, 1e-9);
+}
+
+TEST(GaussianPulse, SupportCoversEnvelope) {
+  const GaussianPulse p(4.0e6, 4.0e6);
+  EXPECT_LT(p.envelope(p.support()), 1e-5);
+  EXPECT_GT(p.envelope(p.support() * 0.5), 1e-4);
+}
+
+TEST(GaussianPulse, RejectsBadParameters) {
+  EXPECT_THROW(GaussianPulse(0.0, 1.0e6), ContractViolation);
+  EXPECT_THROW(GaussianPulse(4.0e6, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::acoustic

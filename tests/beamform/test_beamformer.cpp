@@ -1,0 +1,151 @@
+#include "beamform/beamformer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "acoustic/echo_synth.h"
+#include "common/contracts.h"
+#include "delay/exact.h"
+#include "imaging/volume.h"
+#include "probe/presets.h"
+
+namespace us3d::beamform {
+namespace {
+
+imaging::SystemConfig small_cfg() { return imaging::scaled_system(8, 9, 40); }
+
+/// A phantom with one scatterer exactly on a focal-grid node.
+acoustic::Phantom grid_phantom(const imaging::SystemConfig& cfg, int it,
+                               int ip, int id) {
+  const imaging::VolumeGrid grid(cfg.volume);
+  return {acoustic::PointScatterer{grid.focal_point(it, ip, id).position,
+                                   1.0}};
+}
+
+TEST(Beamformer, PeakAppearsAtScattererLocation) {
+  const auto cfg = small_cfg();
+  const auto phantom = grid_phantom(cfg, 4, 4, 25);
+  const auto echoes = acoustic::synthesize_echoes(cfg, phantom);
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kRect);
+  Beamformer bf(cfg, apod);
+  delay::ExactDelayEngine engine(cfg);
+  const VolumeImage img = bf.reconstruct(echoes, engine);
+  const auto peak = img.peak_abs();
+  EXPECT_EQ(peak.i_theta, 4);
+  EXPECT_EQ(peak.i_phi, 4);
+  EXPECT_EQ(peak.i_depth, 25);
+  EXPECT_GT(peak.value, 0.5f);  // coherent sum, normalized
+}
+
+TEST(Beamformer, CoherentGainOverSingleElement) {
+  // At the true focus every element contributes the pulse maximum; the
+  // normalized sum approaches 1.0 while any single echo sample is <= 1.
+  const auto cfg = small_cfg();
+  const auto phantom = grid_phantom(cfg, 4, 4, 30);
+  const auto echoes = acoustic::synthesize_echoes(cfg, phantom);
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kRect);
+  Beamformer bf(cfg, apod);
+  delay::ExactDelayEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  const float focus =
+      bf.beamform_point(echoes, engine, grid.focal_point(4, 4, 30));
+  EXPECT_GT(focus, 0.8f);
+}
+
+TEST(Beamformer, OffFocusIsMuchDimmerThanFocus) {
+  const auto cfg = small_cfg();
+  const auto phantom = grid_phantom(cfg, 4, 4, 30);
+  const auto echoes = acoustic::synthesize_echoes(cfg, phantom);
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kRect);
+  Beamformer bf(cfg, apod);
+  delay::ExactDelayEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  const float focus = std::abs(
+      bf.beamform_point(echoes, engine, grid.focal_point(4, 4, 30)));
+  const float away = std::abs(
+      bf.beamform_point(echoes, engine, grid.focal_point(0, 8, 5)));
+  EXPECT_GT(focus, 10.0f * away);
+}
+
+TEST(Beamformer, ApodizationZeroWeightElementsAreIgnored) {
+  // Hann weights vanish at the aperture edge; corrupting edge-element data
+  // must not change the result.
+  const auto cfg = small_cfg();
+  const auto phantom = grid_phantom(cfg, 4, 4, 20);
+  auto echoes = acoustic::synthesize_echoes(cfg, phantom);
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kHann);
+  Beamformer bf(cfg, apod);
+  delay::ExactDelayEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  const auto fp = grid.focal_point(4, 4, 20);
+  const float before = bf.beamform_point(echoes, engine, fp);
+  for (auto& v : echoes.row(probe.flat_index(0, 0))) v = 99.0f;
+  const float after = bf.beamform_point(echoes, engine, fp);
+  EXPECT_EQ(before, after);
+}
+
+TEST(Beamformer, BothScanOrdersGiveSameVolume) {
+  const auto cfg = small_cfg();
+  const auto phantom = grid_phantom(cfg, 3, 5, 15);
+  const auto echoes = acoustic::synthesize_echoes(cfg, phantom);
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kRect);
+  Beamformer bf(cfg, apod);
+  delay::ExactDelayEngine engine(cfg);
+  const VolumeImage nappe = bf.reconstruct(
+      echoes, engine, {.order = imaging::ScanOrder::kNappeByNappe});
+  const VolumeImage scanline = bf.reconstruct(
+      echoes, engine, {.order = imaging::ScanOrder::kScanlineByScanline});
+  EXPECT_DOUBLE_EQ(VolumeImage::nrmse(nappe, scanline), 0.0);
+}
+
+TEST(Beamformer, OriginOptionReachesTheDelayEngine) {
+  // Regression test: reconstruct() must forward the shot's transmit origin
+  // to the engine; beamforming displaced-origin echoes with a centred
+  // origin shifts the peak deeper by ~origin_z/2.
+  const auto cfg = small_cfg();
+  const Vec3 origin{0.0, 0.0, -8.0 * cfg.wavelength_m()};
+  const auto phantom = grid_phantom(cfg, 4, 4, 20);
+  acoustic::SynthesisOptions opt;
+  opt.origin = origin;
+  const auto echoes = acoustic::synthesize_echoes(cfg, phantom, opt);
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kRect);
+  Beamformer bf(cfg, apod);
+  delay::ExactDelayEngine engine(cfg);
+
+  const VolumeImage right = bf.reconstruct(echoes, engine, {.origin = origin});
+  EXPECT_EQ(right.peak_abs().i_depth, 20);
+
+  const VolumeImage wrong = bf.reconstruct(echoes, engine, {});
+  EXPECT_GT(wrong.peak_abs().i_depth, 22);
+}
+
+TEST(Beamformer, RejectsMismatchedEchoBuffer) {
+  const auto cfg = small_cfg();
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kRect);
+  Beamformer bf(cfg, apod);
+  delay::ExactDelayEngine engine(cfg);
+  EchoBuffer wrong(7, 100);  // wrong element count
+  EXPECT_THROW(bf.reconstruct(wrong, engine), ContractViolation);
+}
+
+TEST(Beamformer, RejectsMismatchedApodization) {
+  const auto cfg = small_cfg();
+  const probe::MatrixProbe other(probe::small_probe(4));
+  const probe::ApodizationMap apod(other, probe::WindowKind::kRect);
+  EXPECT_THROW(Beamformer(cfg, apod), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::beamform

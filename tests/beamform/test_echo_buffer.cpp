@@ -1,0 +1,57 @@
+#include "beamform/echo_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace us3d::beamform {
+namespace {
+
+TEST(EchoBuffer, StartsZeroed) {
+  const EchoBuffer buf(4, 100);
+  for (int e = 0; e < 4; ++e) {
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(buf.sample(e, i), 0.0f);
+  }
+}
+
+TEST(EchoBuffer, RowWritesAreVisibleToSample) {
+  EchoBuffer buf(3, 50);
+  buf.row(1)[10] = 2.5f;
+  EXPECT_EQ(buf.sample(1, 10), 2.5f);
+  EXPECT_EQ(buf.sample(0, 10), 0.0f);
+  EXPECT_EQ(buf.sample(2, 10), 0.0f);
+}
+
+TEST(EchoBuffer, OutOfWindowIndicesReadZero) {
+  EchoBuffer buf(2, 50);
+  buf.row(0)[0] = 1.0f;
+  buf.row(0)[49] = 1.0f;
+  EXPECT_EQ(buf.sample(0, -1), 0.0f);
+  EXPECT_EQ(buf.sample(0, 50), 0.0f);
+  EXPECT_EQ(buf.sample(0, 1'000'000), 0.0f);
+}
+
+TEST(EchoBuffer, RowSpanHasCorrectLength) {
+  EchoBuffer buf(2, 77);
+  EXPECT_EQ(buf.row(0).size(), 77u);
+  const EchoBuffer& cref = buf;
+  EXPECT_EQ(cref.row(1).size(), 77u);
+}
+
+TEST(EchoBuffer, ClearZeroesEverything) {
+  EchoBuffer buf(2, 10);
+  buf.row(0)[5] = 3.0f;
+  buf.clear();
+  EXPECT_EQ(buf.sample(0, 5), 0.0f);
+}
+
+TEST(EchoBuffer, RejectsBadConstructionAndIndices) {
+  EXPECT_THROW(EchoBuffer(0, 10), ContractViolation);
+  EXPECT_THROW(EchoBuffer(4, 0), ContractViolation);
+  EchoBuffer buf(2, 10);
+  EXPECT_THROW(buf.sample(2, 0), ContractViolation);
+  EXPECT_THROW(buf.row(-1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::beamform

@@ -1,0 +1,84 @@
+#include "beamform/volume_image.h"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+#include "common/contracts.h"
+
+namespace us3d::beamform {
+namespace {
+
+imaging::VolumeSpec tiny_spec() {
+  return imaging::VolumeSpec{
+      .n_theta = 4,
+      .n_phi = 5,
+      .n_depth = 6,
+      .theta_span_rad = deg_to_rad(20.0),
+      .phi_span_rad = deg_to_rad(20.0),
+      .min_depth_m = 1.0e-3,
+      .max_depth_m = 6.0e-3,
+  };
+}
+
+TEST(VolumeImage, StartsZeroed) {
+  const VolumeImage img(tiny_spec());
+  EXPECT_EQ(img.voxel_count(), 120);
+  EXPECT_EQ(img.at(0, 0, 0), 0.0f);
+  EXPECT_EQ(img.at(3, 4, 5), 0.0f);
+}
+
+TEST(VolumeImage, ReadWriteRoundTrip) {
+  VolumeImage img(tiny_spec());
+  img.at(2, 3, 4) = 1.5f;
+  EXPECT_EQ(img.at(2, 3, 4), 1.5f);
+  EXPECT_EQ(img.at(2, 3, 3), 0.0f);
+}
+
+TEST(VolumeImage, PeakFindsLargestMagnitude) {
+  VolumeImage img(tiny_spec());
+  img.at(1, 1, 1) = 0.5f;
+  img.at(2, 4, 0) = -3.0f;  // negative but largest magnitude
+  const auto p = img.peak_abs();
+  EXPECT_EQ(p.i_theta, 2);
+  EXPECT_EQ(p.i_phi, 4);
+  EXPECT_EQ(p.i_depth, 0);
+  EXPECT_EQ(p.value, -3.0f);
+}
+
+TEST(VolumeImage, NrmseZeroForIdenticalVolumes) {
+  VolumeImage a(tiny_spec());
+  a.at(0, 0, 0) = 2.0f;
+  EXPECT_DOUBLE_EQ(VolumeImage::nrmse(a, a), 0.0);
+}
+
+TEST(VolumeImage, NrmseScalesWithDifference) {
+  VolumeImage a(tiny_spec()), b(tiny_spec()), c(tiny_spec());
+  a.at(1, 1, 1) = 4.0f;
+  b.at(1, 1, 1) = 4.2f;
+  c.at(1, 1, 1) = 5.0f;
+  EXPECT_LT(VolumeImage::nrmse(a, b), VolumeImage::nrmse(a, c));
+}
+
+TEST(VolumeImage, NrmseRejectsMismatchedShapes) {
+  VolumeImage a(tiny_spec());
+  a.at(0, 0, 0) = 1.0f;
+  auto other = tiny_spec();
+  other.n_depth = 7;
+  VolumeImage b(other);
+  EXPECT_THROW(VolumeImage::nrmse(a, b), ContractViolation);
+}
+
+TEST(VolumeImage, NrmseRejectsAllZeroReference) {
+  const VolumeImage a(tiny_spec());
+  EXPECT_THROW(VolumeImage::nrmse(a, a), ContractViolation);
+}
+
+TEST(VolumeImage, RejectsOutOfRange) {
+  VolumeImage img(tiny_spec());
+  EXPECT_THROW(img.at(4, 0, 0), ContractViolation);
+  EXPECT_THROW(img.at(0, 5, 0), ContractViolation);
+  EXPECT_THROW(img.at(0, 0, 6), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::beamform

@@ -1,0 +1,27 @@
+#include "common/angles.h"
+
+#include <gtest/gtest.h>
+
+namespace us3d {
+namespace {
+
+TEST(Angles, DegToRadKnownValues) {
+  EXPECT_DOUBLE_EQ(deg_to_rad(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(deg_to_rad(90.0), kPi / 2.0);
+  EXPECT_DOUBLE_EQ(deg_to_rad(-45.0), -kPi / 4.0);
+}
+
+TEST(Angles, RoundTrip) {
+  for (double deg = -360.0; deg <= 360.0; deg += 7.3) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(deg)), deg, 1e-12);
+  }
+}
+
+TEST(Angles, PaperFieldOfView) {
+  // Table I: 73 degree span means +/-36.5 degrees.
+  EXPECT_NEAR(deg_to_rad(73.0) / 2.0, deg_to_rad(36.5), 1e-15);
+}
+
+}  // namespace
+}  // namespace us3d

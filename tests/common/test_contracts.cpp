@@ -1,0 +1,46 @@
+#include "common/contracts.h"
+
+#include <gtest/gtest.h>
+
+namespace us3d {
+namespace {
+
+TEST(Contracts, PassingExpectsDoesNothing) {
+  EXPECT_NO_THROW(US3D_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, FailingExpectsThrowsContractViolation) {
+  EXPECT_THROW(US3D_EXPECTS(false), ContractViolation);
+}
+
+TEST(Contracts, FailingEnsuresThrowsContractViolation) {
+  EXPECT_THROW(US3D_ENSURES(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesConditionAndLocation) {
+  try {
+    US3D_EXPECTS(2 > 3);
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresMessageSaysPostcondition) {
+  try {
+    US3D_ENSURES(false);
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ContractViolationIsLogicError) {
+  EXPECT_THROW(US3D_EXPECTS(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace us3d

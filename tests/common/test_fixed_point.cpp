@@ -1,0 +1,183 @@
+#include "common/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/contracts.h"
+#include "common/prng.h"
+
+namespace us3d::fx {
+namespace {
+
+TEST(Format, TotalBitsCountsSign) {
+  EXPECT_EQ(kRefDelay18.total_bits(), 18);   // uQ13.5
+  EXPECT_EQ(kCorrection18.total_bits(), 18); // sQ13.4 = 1+13+4
+  EXPECT_EQ(kRefDelay14.total_bits(), 14);   // uQ13.1
+  EXPECT_EQ(kCorrection14.total_bits(), 14); // sQ13.0
+}
+
+TEST(Format, RangesMatchPaperFormats) {
+  // uQ13.5 spans [0, 8192) samples with 1/32-sample resolution.
+  EXPECT_DOUBLE_EQ(kRefDelay18.lsb(), 1.0 / 32.0);
+  EXPECT_DOUBLE_EQ(kRefDelay18.max_real(), 8192.0 - 1.0 / 32.0);
+  EXPECT_DOUBLE_EQ(kRefDelay18.min_real(), 0.0);
+  // sQ13.4 spans [-8192, 8192) with 1/16-sample resolution.
+  EXPECT_DOUBLE_EQ(kCorrection18.lsb(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(kCorrection18.min_real(), -8192.0);
+}
+
+TEST(Format, ToStringIsReadable) {
+  EXPECT_EQ(kRefDelay18.to_string(), "uQ13.5 (18b)");
+  EXPECT_EQ(kCorrection18.to_string(), "sQ13.4 (18b)");
+}
+
+TEST(Value, FromRealRoundTripsWithinHalfLsb) {
+  const Format fmt{8, 6, true};
+  for (double v = -200.0; v <= 200.0; v += 0.37) {
+    const Value q = Value::from_real(v, fmt);
+    EXPECT_LE(std::abs(q.to_real() - v), fmt.lsb() / 2.0 + 1e-12)
+        << "value " << v;
+  }
+}
+
+TEST(Value, FromRawRejectsOutOfRange) {
+  const Format fmt{4, 0, false};
+  EXPECT_NO_THROW(Value::from_raw(15, fmt));
+  EXPECT_THROW(Value::from_raw(16, fmt), ContractViolation);
+  EXPECT_THROW(Value::from_raw(-1, fmt), ContractViolation);
+}
+
+TEST(Value, SaturationClampsAtBounds) {
+  const Format fmt{4, 0, false};  // [0, 15]
+  EXPECT_EQ(Value::from_real(99.0, fmt).raw(), 15);
+  EXPECT_EQ(Value::from_real(-3.0, fmt).raw(), 0);
+}
+
+TEST(Value, OverflowThrowPolicy) {
+  const Format fmt{4, 0, false};
+  EXPECT_THROW(
+      Value::from_real(99.0, fmt, Rounding::kHalfUp, Overflow::kThrow),
+      ContractViolation);
+}
+
+TEST(Value, WrapPolicyWrapsLikeTwosComplement) {
+  const Format fmt{3, 0, true};  // raw range [-8, 7]
+  const Value v =
+      Value::from_real(9.0, fmt, Rounding::kHalfUp, Overflow::kWrap);
+  EXPECT_EQ(v.raw(), -7);  // 9 mod 16 -> -7
+}
+
+TEST(Value, RoundToIntHalfUp) {
+  const Format fmt{10, 4, true};
+  EXPECT_EQ(Value::from_real(2.5, fmt).round_to_int(Rounding::kHalfUp), 3);
+  EXPECT_EQ(Value::from_real(-2.5, fmt).round_to_int(Rounding::kHalfUp), -3);
+  EXPECT_EQ(Value::from_real(2.4375, fmt).round_to_int(Rounding::kHalfUp), 2);
+}
+
+TEST(Value, RoundToIntHalfEvenBreaksTiesToEven) {
+  const Format fmt{10, 1, true};
+  EXPECT_EQ(Value::from_real(2.5, fmt).round_to_int(Rounding::kHalfEven), 2);
+  EXPECT_EQ(Value::from_real(3.5, fmt).round_to_int(Rounding::kHalfEven), 4);
+}
+
+TEST(Value, RescaleToCoarserRounds) {
+  const Format fine{10, 6, true};
+  const Format coarse{10, 2, true};
+  const Value v = Value::from_real(1.234375, fine);  // 79/64
+  const Value r = v.rescaled(coarse);
+  EXPECT_NEAR(r.to_real(), 1.25, 1e-12);
+}
+
+TEST(Value, RescaleToFinerIsExact) {
+  const Format coarse{10, 2, true};
+  const Format fine{10, 8, true};
+  const Value v = Value::from_real(3.75, coarse);
+  EXPECT_DOUBLE_EQ(v.rescaled(fine).to_real(), 3.75);
+}
+
+TEST(Arithmetic, AddAlignsDifferentFractions) {
+  const Value a = Value::from_real(1.5, Format{8, 1, false});   // 1 frac bit
+  const Value b = Value::from_real(0.25, Format{8, 2, true});   // 2 frac bits
+  const Value sum = add(a, b, Format{9, 2, true});
+  EXPECT_DOUBLE_EQ(sum.to_real(), 1.75);
+}
+
+TEST(Arithmetic, SubCanGoNegative) {
+  const Value a = Value::from_real(1.0, kRefDelay18);
+  const Value b = Value::from_real(2.0, kRefDelay18);
+  const Value diff = sub(a, b, Format{14, 5, true});
+  EXPECT_DOUBLE_EQ(diff.to_real(), -1.0);
+}
+
+TEST(Arithmetic, MulMatchesRealProduct) {
+  const Value a = Value::from_real(3.25, Format{4, 4, true});
+  const Value b = Value::from_real(-1.5, Format{4, 4, true});
+  const Value p = mul(a, b, Format{8, 8, true});
+  EXPECT_DOUBLE_EQ(p.to_real(), -4.875);
+}
+
+TEST(Arithmetic, AddSaturatesInNarrowResult) {
+  const Format narrow{4, 0, false};
+  const Value a = Value::from_real(12.0, narrow);
+  const Value b = Value::from_real(12.0, narrow);
+  EXPECT_EQ(add(a, b, narrow).raw(), 15);
+}
+
+TEST(RoundRealToInt, AllModesOnKnownValues) {
+  EXPECT_EQ(round_real_to_int(2.5, Rounding::kHalfUp), 3);
+  EXPECT_EQ(round_real_to_int(-2.5, Rounding::kHalfUp), -3);
+  EXPECT_EQ(round_real_to_int(2.5, Rounding::kHalfEven), 2);
+  EXPECT_EQ(round_real_to_int(2.9, Rounding::kTruncate), 2);
+  EXPECT_EQ(round_real_to_int(-2.9, Rounding::kTruncate), -2);
+  EXPECT_EQ(round_real_to_int(-2.1, Rounding::kFloor), -3);
+}
+
+// Property sweep: quantization error is bounded by half an LSB for all
+// rounding-to-nearest modes and by one LSB for directed modes, across
+// formats.
+class FixedPointPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(FixedPointPropertyTest, QuantizationErrorBounded) {
+  const auto [int_bits, frac_bits, is_signed] = GetParam();
+  const Format fmt{int_bits, frac_bits, is_signed};
+  SplitMix64 rng(std::uint64_t{0xF00D} + static_cast<std::uint64_t>(frac_bits));
+  const double lo = is_signed ? -fmt.max_real() : 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.next_in(lo, fmt.max_real());
+    const Value nearest = Value::from_real(v, fmt, Rounding::kHalfUp);
+    EXPECT_LE(std::abs(nearest.to_real() - v), fmt.lsb() / 2.0 + 1e-12);
+    const Value floored = Value::from_real(v, fmt, Rounding::kFloor);
+    EXPECT_LE(v - floored.to_real(), fmt.lsb() + 1e-12);
+    EXPECT_GE(v - floored.to_real(), -1e-12);
+  }
+}
+
+TEST_P(FixedPointPropertyTest, AddIsExactWhenResultFits) {
+  const auto [int_bits, frac_bits, is_signed] = GetParam();
+  const Format fmt{int_bits, frac_bits, is_signed};
+  const Format wide{int_bits + 2, frac_bits, true};
+  SplitMix64 rng(std::uint64_t{0xBEEF} + static_cast<std::uint64_t>(int_bits));
+  for (int i = 0; i < 2000; ++i) {
+    const Value a = Value::from_real(
+        rng.next_in(is_signed ? fmt.min_real() : 0.0, fmt.max_real()), fmt);
+    const Value b = Value::from_real(
+        rng.next_in(is_signed ? fmt.min_real() : 0.0, fmt.max_real()), fmt);
+    const Value sum = add(a, b, wide);
+    EXPECT_DOUBLE_EQ(sum.to_real(), a.to_real() + b.to_real());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, FixedPointPropertyTest,
+    ::testing::Values(std::make_tuple(13, 5, false),   // paper uQ13.5
+                      std::make_tuple(13, 4, true),    // paper sQ13.4
+                      std::make_tuple(13, 1, false),   // paper uQ13.1
+                      std::make_tuple(13, 0, true),    // paper sQ13.0
+                      std::make_tuple(8, 8, true),
+                      std::make_tuple(20, 10, false)));
+
+}  // namespace
+}  // namespace us3d::fx

@@ -1,0 +1,58 @@
+#include "common/prng.h"
+
+#include <gtest/gtest.h>
+
+namespace us3d {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(SplitMix64, KnownReferenceValue) {
+  // First output for seed 0 of canonical SplitMix64.
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng.next_u64(), 0xE220A8397B1DCDAFull);
+}
+
+TEST(SplitMix64, UnitRangeIsHalfOpen) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SplitMix64, NextInRespectsBounds) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_in(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(SplitMix64, MeanOfUniformApproachesHalf) {
+  SplitMix64 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_unit();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(SplitMix64, NextBelowStaysBelow) {
+  SplitMix64 rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+}  // namespace
+}  // namespace us3d

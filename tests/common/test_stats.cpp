@@ -1,0 +1,98 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/prng.h"
+
+namespace us3d {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MatchesDirectComputationOnRandomData) {
+  SplitMix64 rng(42);
+  RunningStats s;
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_in(-5.0, 11.0);
+    s.add(v);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), sum_sq / n - mean * mean, 1e-9);
+}
+
+TEST(AbsErrorStats, TracksAbsoluteError) {
+  AbsErrorStats e(1.0);
+  e.add(-2.0);
+  e.add(0.5);
+  e.add(1.0);  // exactly at threshold: not exceeding
+  EXPECT_EQ(e.count(), 3u);
+  EXPECT_DOUBLE_EQ(e.max_abs(), 2.0);
+  EXPECT_NEAR(e.mean_abs(), 3.5 / 3.0, 1e-12);
+  EXPECT_EQ(e.count_exceeding(), 1u);
+  EXPECT_NEAR(e.fraction_exceeding(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(AbsErrorStats, RmsOfConstantIsConstant) {
+  AbsErrorStats e;
+  for (int i = 0; i < 10; ++i) e.add(i % 2 == 0 ? 3.0 : -3.0);
+  EXPECT_DOUBLE_EQ(e.rms(), 3.0);
+}
+
+TEST(Histogram, BinsAndSaturatingEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(50.0);  // clamps to bin 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(9), 2u);
+  for (std::size_t i = 1; i < 9; ++i) EXPECT_EQ(h.bin(i), 0u);
+}
+
+TEST(Histogram, EdgesAreUniform) {
+  Histogram h(-1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lower_edge(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower_edge(3), 0.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Histogram, ToStringMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find(": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace us3d

@@ -1,0 +1,71 @@
+#include "common/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace us3d {
+namespace {
+
+TEST(MarkdownTable, RendersHeaderAndRows) {
+  MarkdownTable t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a"), std::string::npos);
+  EXPECT_NE(s.find("| bb"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(MarkdownTable, PadsColumnsToWidestCell) {
+  MarkdownTable t({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  const std::string s = t.to_string();
+  // Header cell "x" must be padded to the width of "longvalue" (9 chars).
+  EXPECT_NE(s.find("| x         |"), std::string::npos);
+}
+
+TEST(MarkdownTable, RejectsMismatchedRow) {
+  MarkdownTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ContractViolation);
+}
+
+TEST(CsvTable, EscapesSpecialCharacters) {
+  CsvTable t({"name", "note"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Si) {
+  EXPECT_EQ(format_si(2.5e12, "delays/s", 1), "2.5 Tdelays/s");
+  EXPECT_EQ(format_si(5.3e9, "B/s", 1), "5.3 GB/s");
+  EXPECT_EQ(format_si(200.0e6, "Hz", 0), "200 MHz");
+  EXPECT_EQ(format_si(12.0, "x", 0), "12 x");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.25, 0), "25%");
+  EXPECT_EQ(format_percent(0.913, 1), "91.3%");
+}
+
+TEST(Format, BitsAndBytes) {
+  EXPECT_EQ(format_bits(45.0e6), "45.0 Mb");
+  EXPECT_EQ(format_bytes(5.4e9), "5.4 GB");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(1.638e11), "163.80e9");
+  EXPECT_EQ(format_count(123.0), "123");
+}
+
+}  // namespace
+}  // namespace us3d

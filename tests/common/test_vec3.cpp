@@ -1,0 +1,75 @@
+#include "common/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace us3d {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  constexpr Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, ArithmeticOperators) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, -5.0, 6.0};
+  EXPECT_EQ(a + b, (Vec3{5.0, -3.0, 9.0}));
+  EXPECT_EQ(a - b, (Vec3{-3.0, 7.0, -3.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1.0, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1.0, -2.0, -3.0}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += Vec3{1.0, 2.0, 3.0};
+  EXPECT_EQ(v, (Vec3{2.0, 3.0, 4.0}));
+  v -= Vec3{2.0, 3.0, 4.0};
+  EXPECT_EQ(v, Vec3{});
+}
+
+TEST(Vec3, DotAndNorm) {
+  const Vec3 a{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm_squared(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Vec3, DotIsBilinear) {
+  const Vec3 a{1.0, -2.0, 0.5};
+  const Vec3 b{2.0, 0.25, -1.0};
+  const Vec3 c{-3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ((a + b).dot(c), a.dot(c) + b.dot(c));
+  EXPECT_DOUBLE_EQ((a * 3.0).dot(b), 3.0 * a.dot(b));
+}
+
+TEST(Vec3, DistanceIsSymmetric) {
+  const Vec3 a{0.0, 1.0, 2.0};
+  const Vec3 b{-1.0, 5.0, 0.5};
+  EXPECT_DOUBLE_EQ(a.distance_to(b), b.distance_to(a));
+  EXPECT_DOUBLE_EQ(a.distance_to(a), 0.0);
+}
+
+TEST(Vec3, TriangleInequality) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-2.0, 0.0, 1.0};
+  const Vec3 c{4.0, -1.0, 2.0};
+  EXPECT_LE(a.distance_to(c), a.distance_to(b) + b.distance_to(c) + 1e-15);
+}
+
+TEST(Vec3, NormalizedHasUnitLength) {
+  const Vec3 v{2.0, -3.0, 6.0};
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-15);
+}
+
+TEST(Vec3, NormalizedZeroIsZero) {
+  EXPECT_EQ(Vec3{}.normalized(), Vec3{});
+}
+
+}  // namespace
+}  // namespace us3d

@@ -1,0 +1,146 @@
+#include "delay/error_harness.h"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+#include "common/contracts.h"
+#include "delay/exact.h"
+#include "delay/tablefree.h"
+#include "delay/tablesteer.h"
+#include "probe/presets.h"
+
+namespace us3d::delay {
+namespace {
+
+imaging::SystemConfig small_cfg() { return imaging::scaled_system(8, 12, 50); }
+
+TEST(SelectionError, ExactEngineHasZeroError) {
+  const auto cfg = small_cfg();
+  ExactDelayEngine exact(cfg);
+  const auto report = measure_selection_error(
+      cfg, exact, imaging::ScanOrder::kNappeByNappe, SweepStrides{});
+  EXPECT_EQ(report.pairs_total, cfg.delays_per_frame());
+  EXPECT_DOUBLE_EQ(report.all.mean_abs(), 0.0);
+  EXPECT_DOUBLE_EQ(report.all.max_abs(), 0.0);
+}
+
+TEST(SelectionError, TableFreeWithinPaperBounds) {
+  const auto cfg = small_cfg();
+  TableFreeEngine engine(cfg);
+  const auto report = measure_selection_error(
+      cfg, engine, imaging::ScanOrder::kNappeByNappe, SweepStrides{});
+  EXPECT_LE(report.all.max_abs(), 2.0);   // paper: max 2
+  EXPECT_LT(report.all.mean_abs(), 0.35); // paper: ~0.25
+  EXPECT_GT(report.all.mean_abs(), 0.05);
+}
+
+TEST(SelectionError, StridesReduceSweptPairs) {
+  const auto cfg = small_cfg();
+  ExactDelayEngine exact(cfg);
+  SweepStrides strides{2, 2, 5, 2, 2};
+  const auto report = measure_selection_error(
+      cfg, exact, imaging::ScanOrder::kNappeByNappe, strides);
+  EXPECT_EQ(report.pairs_total, 6LL * 6 * 10 * 4 * 4);
+}
+
+TEST(SelectionError, DirectivityFilterShrinksPairSet) {
+  const auto cfg = small_cfg();
+  TableSteerEngine engine(cfg);
+  const probe::Directivity dir(cfg.probe.pitch_m, cfg.wavelength_m(),
+                               deg_to_rad(30.0));
+  const auto report =
+      measure_selection_error(cfg, engine, imaging::ScanOrder::kNappeByNappe,
+                              SweepStrides{2, 2, 5, 2, 2}, dir);
+  EXPECT_LT(report.pairs_in_directivity, report.pairs_total);
+  EXPECT_GT(report.pairs_in_directivity, 0);
+  // Filtering only removes pairs, and removes the worst ones.
+  EXPECT_LE(report.filtered.max_abs(), report.all.max_abs());
+}
+
+TEST(SelectionError, RejectsBadStrides) {
+  const auto cfg = small_cfg();
+  ExactDelayEngine exact(cfg);
+  SweepStrides bad;
+  bad.depth = 0;
+  EXPECT_THROW(measure_selection_error(
+                   cfg, exact, imaging::ScanOrder::kNappeByNappe, bad),
+               ContractViolation);
+}
+
+TEST(SteeringAlgorithmicError, UnsteeredVolumeHasTinyError) {
+  // A volume with a single on-axis line: Eq. 7 is exact there.
+  auto cfg = imaging::scaled_system(8, 1, 40);
+  cfg.volume.theta_span_rad = 0.0;
+  cfg.volume.phi_span_rad = 0.0;
+  const auto report =
+      measure_steering_algorithmic_error(cfg, SweepStrides{});
+  EXPECT_LT(report.samples_all.max_abs(), 1e-6);
+}
+
+TEST(SteeringAlgorithmicError, SteeredVolumeShowsFarFieldError) {
+  const auto cfg = small_cfg();
+  const auto report =
+      measure_steering_algorithmic_error(cfg, SweepStrides{});
+  EXPECT_GT(report.samples_all.max_abs(), 0.5);
+  EXPECT_GT(report.max_error_seconds_all, 0.0);
+  // Mean stays moderate even unfiltered (errors concentrate at edges).
+  EXPECT_LT(report.samples_all.mean_abs(), report.samples_all.max_abs());
+}
+
+TEST(WeightedSteeringError, WeightedMeanBelowUnweightedMean) {
+  // Apodization deweights the aperture edges and directivity deweights the
+  // steep angles — exactly where the steering error peaks — so the
+  // weighted mean must undercut the raw mean.
+  const auto cfg = small_cfg();
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kHann);
+  const auto dir = probe::Directivity::from_db_down(
+      cfg.probe.pitch_m, cfg.wavelength_m(), 6.0);
+  const auto weighted =
+      measure_steering_weighted_error(cfg, SweepStrides{}, apod, dir);
+  const auto raw = measure_steering_algorithmic_error(cfg, SweepStrides{});
+  EXPECT_GT(weighted.total_weight, 0.0);
+  EXPECT_LT(weighted.weighted_mean_abs_samples, raw.samples_all.mean_abs());
+  EXPECT_LE(weighted.max_abs_samples_significant, raw.samples_all.max_abs());
+}
+
+TEST(WeightedSteeringError, RectApodizationStillWeightsByDirectivity) {
+  const auto cfg = small_cfg();
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap rect(probe, probe::WindowKind::kRect);
+  const auto dir = probe::Directivity::from_db_down(
+      cfg.probe.pitch_m, cfg.wavelength_m(), 6.0);
+  const auto weighted =
+      measure_steering_weighted_error(cfg, SweepStrides{2, 2, 5, 2, 2},
+                                      rect, dir);
+  const auto raw = measure_steering_algorithmic_error(
+      cfg, SweepStrides{2, 2, 5, 2, 2});
+  EXPECT_LT(weighted.weighted_mean_abs_samples, raw.samples_all.mean_abs());
+}
+
+TEST(WeightedSteeringError, RejectsMismatchedApodization) {
+  const auto cfg = small_cfg();
+  const probe::MatrixProbe other(probe::small_probe(4));
+  const probe::ApodizationMap apod(other, probe::WindowKind::kHann);
+  const auto dir = probe::Directivity::from_db_down(
+      cfg.probe.pitch_m, cfg.wavelength_m(), 6.0);
+  EXPECT_THROW(
+      measure_steering_weighted_error(cfg, SweepStrides{}, apod, dir),
+      ContractViolation);
+}
+
+TEST(SteeringAlgorithmicError, DirectivityFilterRemovesWorstErrors) {
+  const auto cfg = small_cfg();
+  const probe::Directivity dir(cfg.probe.pitch_m, cfg.wavelength_m(),
+                               deg_to_rad(35.0));
+  const auto report =
+      measure_steering_algorithmic_error(cfg, SweepStrides{}, dir);
+  EXPECT_LT(report.samples_filtered.max_abs(),
+            report.samples_all.max_abs());
+  EXPECT_LE(report.max_error_seconds_filtered,
+            report.max_error_seconds_all);
+  EXPECT_LE(report.mean_error_seconds_filtered * 1e9, 1000.0);
+}
+
+}  // namespace
+}  // namespace us3d::delay

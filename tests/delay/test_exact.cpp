@@ -1,0 +1,118 @@
+#include "delay/exact.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.h"
+#include "imaging/scan_order.h"
+
+namespace us3d::delay {
+namespace {
+
+TEST(TwoWayDelay, KnownGeometry) {
+  // Origin at 0, scatterer straight ahead at 77 mm, element at origin:
+  // both paths are 77 mm -> 2*77mm/1540 = 100 us.
+  const Vec3 s{0.0, 0.0, 77.0e-3};
+  EXPECT_NEAR(two_way_delay_s(Vec3{}, s, Vec3{}, 1540.0), 100.0e-6, 1e-12);
+}
+
+TEST(TwoWayDelay, SplitsIntoTxPlusRx) {
+  const Vec3 o{1.0e-3, 0.0, 0.0};
+  const Vec3 s{5.0e-3, -2.0e-3, 30.0e-3};
+  const Vec3 d{-4.0e-3, 3.0e-3, 0.0};
+  EXPECT_NEAR(two_way_delay_s(o, s, d, 1540.0),
+              one_way_delay_s(s, o, 1540.0) + one_way_delay_s(s, d, 1540.0),
+              1e-15);
+}
+
+TEST(TwoWayDelay, SymmetricInReceiveElementMirror) {
+  // |S-D| is invariant when both S.x and D.x flip sign: the symmetry the
+  // reference-table folding exploits.
+  const Vec3 s{5.0e-3, 2.0e-3, 30.0e-3};
+  const Vec3 s_mirror{-5.0e-3, 2.0e-3, 30.0e-3};
+  const Vec3 d{3.0e-3, -1.0e-3, 0.0};
+  const Vec3 d_mirror{-3.0e-3, -1.0e-3, 0.0};
+  EXPECT_DOUBLE_EQ(two_way_delay_s(Vec3{}, s, d, 1540.0),
+                   two_way_delay_s(Vec3{}, s_mirror, d_mirror, 1540.0));
+}
+
+TEST(TwoWayDelay, RejectsNonPositiveSpeed) {
+  EXPECT_THROW(two_way_delay_s(Vec3{}, Vec3{0, 0, 1e-3}, Vec3{}, 0.0),
+               ContractViolation);
+}
+
+TEST(ExactDelayEngine, MatchesFreeFunction) {
+  const auto cfg = imaging::scaled_system(8, 8, 20);
+  ExactDelayEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  const imaging::FocalPoint fp = grid.focal_point(3, 5, 10);
+  std::vector<std::int32_t> out(static_cast<std::size_t>(
+      engine.element_count()));
+  engine.compute(fp, out);
+  const probe::MatrixProbe probe(cfg.probe);
+  for (int e = 0; e < engine.element_count(); ++e) {
+    const double t = two_way_delay_s(Vec3{}, fp.position,
+                                     probe.element_position(e),
+                                     cfg.speed_of_sound);
+    const double samples = cfg.seconds_to_samples(t);
+    EXPECT_NEAR(out[static_cast<std::size_t>(e)], samples, 0.5 + 1e-9);
+    EXPECT_NEAR(engine.delay_samples(fp, e), samples, 1e-9);
+  }
+}
+
+TEST(ExactDelayEngine, DelaysIncreaseWithDepth) {
+  const auto cfg = imaging::scaled_system(4, 4, 50);
+  ExactDelayEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> shallow(16), deep(16);
+  engine.compute(grid.focal_point(2, 2, 5), shallow);
+  engine.compute(grid.focal_point(2, 2, 45), deep);
+  for (std::size_t e = 0; e < 16; ++e) EXPECT_GT(deep[e], shallow[e]);
+}
+
+TEST(ExactDelayEngine, DisplacedOriginAddsTransmitPath) {
+  const auto cfg = imaging::scaled_system(4, 4, 20);
+  ExactDelayEngine engine(cfg);
+  const imaging::VolumeGrid grid(cfg.volume);
+  const imaging::FocalPoint fp = grid.focal_point(1, 1, 10);
+  std::vector<std::int32_t> centred(16), displaced(16);
+  engine.begin_frame(Vec3{});
+  engine.compute(fp, centred);
+  engine.begin_frame(Vec3{0.0, 0.0, -10.0e-3});  // virtual source behind
+  engine.compute(fp, displaced);
+  for (std::size_t e = 0; e < 16; ++e) EXPECT_GT(displaced[e], centred[e]);
+}
+
+TEST(ExactDelayEngine, DelayFitsEchoBuffer) {
+  const auto cfg = imaging::scaled_system(8, 8, 60);
+  ExactDelayEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> out(64);
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kNappeByNappe,
+      [&](const imaging::FocalPoint& fp) {
+        engine.compute(fp, out);
+        for (const auto v : out) {
+          EXPECT_GE(v, 0);
+          EXPECT_LE(v, cfg.echo_buffer_samples());
+        }
+      });
+}
+
+TEST(ExactDelayEngine, RejectsWrongSpanSize) {
+  const auto cfg = imaging::scaled_system(4, 4, 10);
+  ExactDelayEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> wrong(7);
+  EXPECT_THROW(engine.compute(grid.focal_point(0, 0, 0), wrong),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::delay

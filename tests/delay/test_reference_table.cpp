@@ -1,0 +1,134 @@
+#include "delay/reference_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "delay/table_sizing.h"
+#include "common/angles.h"
+#include "common/contracts.h"
+
+namespace us3d::delay {
+namespace {
+
+imaging::SystemConfig small_cfg() { return imaging::scaled_system(8, 8, 50); }
+
+TEST(ReferenceDelayTable, FoldedDimensions) {
+  const ReferenceDelayTable table(small_cfg());
+  EXPECT_EQ(table.quad_x(), 4);
+  EXPECT_EQ(table.quad_y(), 4);
+  EXPECT_EQ(table.depths(), 50);
+  EXPECT_EQ(table.entry_count(), 4 * 4 * 50);
+}
+
+TEST(ReferenceDelayTable, OddProbeKeepsCentreColumn) {
+  auto cfg = small_cfg();
+  cfg.probe.elements_x = 9;
+  const ReferenceDelayTable table(cfg);
+  EXPECT_EQ(table.quad_x(), 5);
+}
+
+TEST(ReferenceDelayTable, EntriesMatchExactWithinHalfLsb) {
+  const auto cfg = small_cfg();
+  const ReferenceDelayTable table(cfg);
+  for (int ix = 0; ix < 8; ix += 3) {
+    for (int iy = 0; iy < 8; iy += 2) {
+      for (int k = 0; k < 50; k += 7) {
+        const double exact = table.exact_entry_samples(ix, iy, k);
+        EXPECT_NEAR(table.entry_real(ix, iy, k), exact,
+                    fx::kRefDelay18.lsb() / 2.0 + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ReferenceDelayTable, MirrorElementsShareEntries) {
+  // The folding invariant: elements at (+x,+y), (-x,+y), (+x,-y), (-x,-y)
+  // all read the same stored word.
+  const auto cfg = small_cfg();
+  const ReferenceDelayTable table(cfg);
+  for (int ix = 0; ix < 4; ++ix) {
+    for (int iy = 0; iy < 4; ++iy) {
+      const int mx = 7 - ix;
+      const int my = 7 - iy;
+      for (int k = 0; k < 50; k += 11) {
+        const auto v = table.entry(ix, iy, k);
+        EXPECT_EQ(v, table.entry(mx, iy, k));
+        EXPECT_EQ(v, table.entry(ix, my, k));
+        EXPECT_EQ(v, table.entry(mx, my, k));
+      }
+    }
+  }
+}
+
+TEST(ReferenceDelayTable, FoldIndicesAreInvolutions) {
+  const ReferenceDelayTable table(small_cfg());
+  for (int ix = 0; ix < 8; ++ix) {
+    EXPECT_EQ(table.fold_x(ix), table.fold_x(7 - ix));
+    EXPECT_GE(table.fold_x(ix), 0);
+    EXPECT_LT(table.fold_x(ix), table.quad_x());
+  }
+}
+
+TEST(ReferenceDelayTable, DelayIncreasesWithDepth) {
+  const ReferenceDelayTable table(small_cfg());
+  for (int k = 1; k < 50; ++k) {
+    EXPECT_GT(table.entry_real(0, 0, k), table.entry_real(0, 0, k - 1));
+  }
+}
+
+TEST(ReferenceDelayTable, FartherElementsHaveLargerDelay) {
+  const ReferenceDelayTable table(small_cfg());
+  // Element (0,0) is the far corner; (3,3)/(4,4) are innermost.
+  EXPECT_GT(table.entry_real(0, 0, 10), table.entry_real(4, 4, 10));
+}
+
+TEST(ReferenceDelayTable, StorageBitsMatchesSizingModule) {
+  const auto cfg = small_cfg();
+  const ReferenceDelayTable table(cfg);
+  const auto sizing = reference_table_sizing(cfg, fx::kRefDelay18);
+  EXPECT_EQ(table.entry_count(), sizing.folded_entries);
+  EXPECT_DOUBLE_EQ(table.storage_bits(), sizing.folded_bits);
+}
+
+TEST(ReferenceDelayTable, FourteenBitEntriesCoarser) {
+  const auto cfg = small_cfg();
+  const ReferenceDelayTable t18(cfg);
+  const ReferenceDelayTable t14(
+      cfg, ReferenceTableConfig{.entry_format = fx::kRefDelay14});
+  // Both approximate the same exact value, at different grain.
+  const double exact = t18.exact_entry_samples(2, 2, 25);
+  EXPECT_NEAR(t14.entry_real(2, 2, 25), exact, fx::kRefDelay14.lsb() / 2.0);
+  EXPECT_LE(std::abs(t18.entry_real(2, 2, 25) - exact),
+            std::abs(t14.entry_real(2, 2, 25) - exact) + 1e-9);
+}
+
+TEST(ReferenceDelayTable, DirectivityPruningCountsShallowWideEntries) {
+  auto cfg = small_cfg();
+  ReferenceTableConfig tc;
+  tc.pruning = probe::Directivity(cfg.probe.pitch_m, cfg.wavelength_m(),
+                                  deg_to_rad(30.0));
+  const ReferenceDelayTable table(cfg, tc);
+  EXPECT_GT(table.prunable_count(), 0);
+  EXPECT_LT(table.prunable_fraction(), 1.0);
+  // The far-corner element cannot see the shallowest on-axis points.
+  EXPECT_TRUE(table.is_prunable(0, 0, 0));
+  // Every element sees the deepest on-axis point.
+  EXPECT_FALSE(table.is_prunable(0, 0, 49));
+}
+
+TEST(ReferenceDelayTable, NoPruningByDefault) {
+  const ReferenceDelayTable table(small_cfg());
+  EXPECT_EQ(table.prunable_count(), 0);
+  EXPECT_DOUBLE_EQ(table.prunable_fraction(), 0.0);
+}
+
+TEST(ReferenceDelayTable, RejectsOutOfRange) {
+  const ReferenceDelayTable table(small_cfg());
+  EXPECT_THROW(table.entry(8, 0, 0), ContractViolation);
+  EXPECT_THROW(table.entry_quad(4, 0, 0), ContractViolation);
+  EXPECT_THROW(table.entry(0, 0, 50), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::delay

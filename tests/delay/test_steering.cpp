@@ -1,0 +1,139 @@
+#include "delay/steering.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "delay/table_sizing.h"
+#include "common/angles.h"
+#include "common/contracts.h"
+#include "delay/exact.h"
+#include "imaging/volume.h"
+#include "probe/transducer.h"
+
+namespace us3d::delay {
+namespace {
+
+imaging::SystemConfig small_cfg() { return imaging::scaled_system(8, 16, 50); }
+
+TEST(SteeringCorrection, ZeroForUnsteeredLine) {
+  const auto cfg = small_cfg();
+  EXPECT_DOUBLE_EQ(
+      steering_correction_samples(cfg, 0.0, 0.0, 1.0e-3, 2.0e-3), 0.0);
+}
+
+TEST(SteeringCorrection, MatchesFormula) {
+  const auto cfg = small_cfg();
+  const double theta = deg_to_rad(15.0);
+  const double phi = deg_to_rad(-7.0);
+  const double x = 2.0e-3, y = -1.5e-3;
+  const double expected =
+      -(x * std::cos(phi) * std::sin(theta) + y * std::sin(phi)) /
+      cfg.speed_of_sound * cfg.sampling_frequency_hz;
+  EXPECT_NEAR(steering_correction_samples(cfg, theta, phi, x, y), expected,
+              1e-12);
+}
+
+TEST(SteeringCorrection, OddInThetaForXTerm) {
+  const auto cfg = small_cfg();
+  const double phi = deg_to_rad(5.0);
+  EXPECT_NEAR(
+      steering_correction_samples(cfg, 0.3, phi, 1.0e-3, 0.0),
+      -steering_correction_samples(cfg, -0.3, phi, 1.0e-3, 0.0), 1e-12);
+}
+
+TEST(SteeredDelay, ExactOnTheReferenceLine) {
+  // For theta = phi = 0 the steered delay IS the reference delay: zero
+  // algorithmic error on the unsteered line of sight.
+  const auto cfg = small_cfg();
+  const probe::MatrixProbe probe(cfg.probe);
+  const imaging::VolumeGrid grid(cfg.volume);
+  imaging::FocalPoint fp = grid.focal_point(0, 0, 25);
+  fp.theta = 0.0;
+  fp.phi = 0.0;
+  fp.position = imaging::VolumeGrid::position(0.0, 0.0, fp.radius);
+  for (int e = 0; e < probe.element_count(); e += 7) {
+    const Vec3 elem = probe.element_position(e);
+    const double exact = cfg.seconds_to_samples(
+        two_way_delay_s(Vec3{}, fp.position, elem, cfg.speed_of_sound));
+    EXPECT_NEAR(steered_delay_samples(cfg, fp, elem), exact, 1e-9);
+  }
+}
+
+TEST(SteeredDelay, FarFieldErrorShrinksWithDepth) {
+  // The Taylor error is O(aperture^2 / r): deep points are approximated
+  // far better than shallow ones.
+  const auto cfg = small_cfg();
+  const probe::MatrixProbe probe(cfg.probe);
+  const imaging::VolumeGrid grid(cfg.volume);
+  const Vec3 elem = probe.element_position(0, 0);
+  auto error_at = [&](int k) {
+    const imaging::FocalPoint fp =
+        grid.focal_point(cfg.volume.n_theta - 1, cfg.volume.n_phi - 1, k);
+    const double exact = cfg.seconds_to_samples(
+        two_way_delay_s(Vec3{}, fp.position, elem, cfg.speed_of_sound));
+    return std::abs(steered_delay_samples(cfg, fp, elem) - exact);
+  };
+  EXPECT_GT(error_at(1), error_at(49));
+}
+
+TEST(SteeringCorrections, TableMatchesFormulaEverywhere) {
+  const auto cfg = small_cfg();
+  const SteeringCorrections corr(cfg);
+  const probe::MatrixProbe probe(cfg.probe);
+  const imaging::VolumeGrid grid(cfg.volume);
+  for (int ix = 0; ix < 8; ix += 2) {
+    for (int it = 0; it < cfg.volume.n_theta; it += 5) {
+      for (int ip = 0; ip < cfg.volume.n_phi; ip += 3) {
+        const double expected = -probe.column_x(ix) *
+                                std::cos(grid.phi(ip)) *
+                                std::sin(grid.theta(it)) /
+                                cfg.speed_of_sound *
+                                cfg.sampling_frequency_hz;
+        EXPECT_NEAR(corr.x_correction(ix, it, ip).to_real(), expected,
+                    fx::kCorrection18.lsb() / 2.0 + 1e-9)
+            << ix << " " << it << " " << ip;
+      }
+    }
+  }
+  for (int iy = 0; iy < 8; ++iy) {
+    for (int ip = 0; ip < cfg.volume.n_phi; ip += 4) {
+      const double expected = -probe.row_y(iy) * std::sin(grid.phi(ip)) /
+                              cfg.speed_of_sound * cfg.sampling_frequency_hz;
+      EXPECT_NEAR(corr.y_correction(iy, ip).to_real(), expected,
+                  fx::kCorrection18.lsb() / 2.0 + 1e-9);
+    }
+  }
+}
+
+TEST(SteeringCorrections, PhiFoldUsesCosineSymmetry) {
+  // cos(phi) = cos(-phi): x corrections for mirrored phi indices are the
+  // same stored coefficient.
+  const auto cfg = small_cfg();
+  const SteeringCorrections corr(cfg);
+  const int n = cfg.volume.n_phi;
+  for (int ip = 0; ip < n / 2; ++ip) {
+    EXPECT_EQ(corr.x_correction(3, 7, ip).raw(),
+              corr.x_correction(3, 7, n - 1 - ip).raw());
+  }
+}
+
+TEST(SteeringCorrections, CoefficientCountMatchesSizing) {
+  const auto cfg = small_cfg();
+  const SteeringCorrections corr(cfg);
+  const auto sizing = steering_set_sizing(cfg, fx::kCorrection18);
+  EXPECT_EQ(corr.x_coefficient_count(), sizing.x_coefficients);
+  EXPECT_EQ(corr.y_coefficient_count(), sizing.y_coefficients);
+  EXPECT_DOUBLE_EQ(corr.storage_bits(), sizing.total_bits);
+}
+
+TEST(SteeringCorrections, RejectsOutOfRange) {
+  const auto cfg = small_cfg();
+  const SteeringCorrections corr(cfg);
+  EXPECT_THROW(corr.x_correction(8, 0, 0), ContractViolation);
+  EXPECT_THROW(corr.x_correction(0, 16, 0), ContractViolation);
+  EXPECT_THROW(corr.y_correction(0, 16), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::delay

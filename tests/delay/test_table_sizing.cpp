@@ -1,0 +1,92 @@
+#include "delay/table_sizing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace us3d::delay {
+namespace {
+
+const imaging::SystemConfig kPaper = imaging::paper_system();
+
+TEST(NaiveTableSizing, PaperNumbers) {
+  // Sec. II-B: ~164e9 coefficients; Sec. II-C: ~2.5e12 accesses/s.
+  const NaiveTableSizing s = naive_table_sizing(kPaper, 13);
+  EXPECT_EQ(s.coefficients, 163'840'000'000LL);
+  EXPECT_NEAR(s.accesses_per_second, 2.4576e12, 1e7);
+  // 13-bit coefficients: ~266 GB of storage, ~4 TB/s of access bandwidth.
+  EXPECT_NEAR(s.total_bytes, 266.24e9, 1e8);
+  EXPECT_GT(s.bandwidth_bytes_per_second, 3.9e12);
+}
+
+TEST(NaiveTableSizing, ScalesWithWidth) {
+  const NaiveTableSizing s13 = naive_table_sizing(kPaper, 13);
+  const NaiveTableSizing s26 = naive_table_sizing(kPaper, 26);
+  EXPECT_DOUBLE_EQ(s26.total_bits, 2.0 * s13.total_bits);
+}
+
+TEST(NaiveTableSizing, RejectsNonPositiveWidth) {
+  EXPECT_THROW(naive_table_sizing(kPaper, 0), ContractViolation);
+}
+
+TEST(ReferenceTableSizing, PaperNumbers) {
+  // Sec. V-A: 100x100x1000 = 10e6 raw, folded to 50x50x1000 = 2.5e6;
+  // Sec. V-B: 2.5e6 x 18 bits = 45 Mb.
+  const ReferenceTableSizing s = reference_table_sizing(kPaper,
+                                                        fx::kRefDelay18);
+  EXPECT_EQ(s.raw_entries, 10'000'000);
+  EXPECT_EQ(s.folded_entries, 2'500'000);
+  EXPECT_EQ(s.bits_per_entry, 18);
+  EXPECT_DOUBLE_EQ(s.folded_bits, 45.0e6);
+}
+
+TEST(ReferenceTableSizing, FoldingIsQuarterForEvenGrids) {
+  const ReferenceTableSizing s = reference_table_sizing(kPaper,
+                                                        fx::kRefDelay18);
+  EXPECT_EQ(s.folded_entries * 4, s.raw_entries);
+}
+
+TEST(ReferenceTableSizing, OddGridsKeepCentreLine) {
+  imaging::SystemConfig cfg = kPaper;
+  cfg.probe.elements_x = 101;
+  cfg.probe.elements_y = 101;
+  const ReferenceTableSizing s = reference_table_sizing(cfg, fx::kRefDelay18);
+  EXPECT_EQ(s.folded_entries, 51LL * 51 * 1000);
+}
+
+TEST(SteeringSetSizing, PaperNumbers) {
+  // Sec. V-B: 100x64x128 + 100x128 = 832e3 values; x18 bits = 14.3 Mib.
+  const SteeringSetSizing s = steering_set_sizing(kPaper, fx::kCorrection18);
+  EXPECT_EQ(s.x_coefficients, 819'200);
+  EXPECT_EQ(s.y_coefficients, 12'800);
+  EXPECT_EQ(s.total_coefficients, 832'000);
+  EXPECT_DOUBLE_EQ(s.total_bits, 14'976'000.0);
+  EXPECT_NEAR(s.total_bits / (1024.0 * 1024.0), 14.28, 0.01);  // Mib
+}
+
+TEST(StreamingSizing, PaperNumbers) {
+  // Sec. V-B: table fetched 960x/s at ~5.3 GB/s; 128 banks x 1k x 18b =
+  // 2.3 Mb slice; slice + corrections ~ 2.3 + 14.3 Mb on chip.
+  const StreamingSizing s = streaming_sizing(kPaper, fx::kRefDelay18,
+                                             fx::kCorrection18, 128, 1024);
+  EXPECT_DOUBLE_EQ(s.table_fetches_per_second, 960.0);
+  EXPECT_NEAR(s.bandwidth_bytes_per_second, 5.4e9, 0.1e9);
+  EXPECT_NEAR(s.on_chip_slice_bits, 2.36e6, 0.01e6);
+  EXPECT_NEAR(s.on_chip_total_bits, 17.3e6, 0.1e6);
+}
+
+TEST(StreamingSizing, FourteenBitVariantSavesBandwidth) {
+  // Table II: TABLESTEER-14b needs ~4.1 GB/s vs ~5.3 for 18b.
+  const StreamingSizing s14 = streaming_sizing(kPaper, fx::kRefDelay14,
+                                               fx::kCorrection14, 128, 1024);
+  EXPECT_NEAR(s14.bandwidth_bytes_per_second, 4.2e9, 0.1e9);
+}
+
+TEST(StreamingSizing, RejectsBadGeometry) {
+  EXPECT_THROW(
+      streaming_sizing(kPaper, fx::kRefDelay18, fx::kCorrection18, 0, 1024),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::delay

@@ -1,0 +1,185 @@
+#include "delay/tablefree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.h"
+#include "delay/exact.h"
+#include "imaging/scan_order.h"
+
+namespace us3d::delay {
+namespace {
+
+imaging::SystemConfig small_cfg() { return imaging::scaled_system(8, 12, 60); }
+
+TEST(TableFreeEngine, NameAndElementCount) {
+  TableFreeEngine engine(small_cfg());
+  EXPECT_EQ(engine.name(), "TABLEFREE");
+  EXPECT_EQ(engine.element_count(), 64);
+}
+
+TEST(TableFreeEngine, WithinTwoSamplesOfExactEverywhere) {
+  // Sec. VI-A: maximum absolute selection error of 2 for the fixed-point
+  // implementation.
+  const auto cfg = small_cfg();
+  TableFreeEngine engine(cfg);
+  ExactDelayEngine exact(cfg);
+  engine.begin_frame(Vec3{});
+  exact.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> a(64), b(64);
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kNappeByNappe,
+      [&](const imaging::FocalPoint& fp) {
+        engine.compute(fp, a);
+        exact.compute(fp, b);
+        for (std::size_t e = 0; e < 64; ++e) {
+          EXPECT_LE(std::abs(a[e] - b[e]), 2)
+              << "point (" << fp.i_theta << "," << fp.i_phi << ","
+              << fp.i_depth << ") element " << e;
+        }
+      });
+}
+
+TEST(TableFreeEngine, MeanSelectionErrorNearQuarterSample) {
+  // Sec. VI-A: mean absolute selection error ~0.2489 on the paper system;
+  // scaled systems land in the same 0.15-0.30 band.
+  const auto cfg = small_cfg();
+  TableFreeEngine engine(cfg);
+  ExactDelayEngine exact(cfg);
+  engine.begin_frame(Vec3{});
+  exact.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> a(64), b(64);
+  double sum = 0.0;
+  std::int64_t n = 0;
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kNappeByNappe,
+      [&](const imaging::FocalPoint& fp) {
+        engine.compute(fp, a);
+        exact.compute(fp, b);
+        for (std::size_t e = 0; e < 64; ++e) {
+          sum += std::abs(a[e] - b[e]);
+          ++n;
+        }
+      });
+  const double mean = sum / static_cast<double>(n);
+  EXPECT_GT(mean, 0.10);
+  EXPECT_LT(mean, 0.35);
+}
+
+TEST(TableFreeEngine, DoublePrecisionModeIsWithinTheoreticalBound) {
+  // With fixed-point disabled the only error source is the PWL bound:
+  // |tx error| + |rx error| <= 2 * delta = 0.5, plus the final rounding.
+  auto cfg = small_cfg();
+  TableFreeConfig tf;
+  tf.use_fixed_point = false;
+  TableFreeEngine engine(cfg, tf);
+  ExactDelayEngine exact(cfg);
+  engine.begin_frame(Vec3{});
+  exact.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> a(64);
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kNappeByNappe,
+      [&](const imaging::FocalPoint& fp) {
+        engine.compute(fp, a);
+        for (std::size_t e = 0; e < 64; ++e) {
+          const double exact_samples =
+              exact.delay_samples(fp, static_cast<int>(e));
+          EXPECT_LE(std::abs(a[e] - exact_samples), 0.5 + 0.5 + 1e-6);
+        }
+      });
+}
+
+TEST(TableFreeEngine, SmallerDeltaGivesMoreSegments) {
+  auto cfg = small_cfg();
+  TableFreeConfig coarse, fine;
+  coarse.delta = 0.5;
+  fine.delta = 0.125;
+  EXPECT_GT(TableFreeEngine(cfg, fine).pwl().segment_count(),
+            TableFreeEngine(cfg, coarse).pwl().segment_count());
+}
+
+TEST(TableFreeEngine, TrackerStaysIncrementalInNappeOrder) {
+  const auto cfg = small_cfg();
+  TableFreeEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> out(64);
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kNappeByNappe,
+      [&](const imaging::FocalPoint& fp) { engine.compute(fp, out); });
+  const auto stats = engine.tracker_stats();
+  EXPECT_GT(stats.evaluations, 0);
+  // In nappe order the argument changes slowly: steps per evaluation is a
+  // few percent, and single evaluations never cross many segments.
+  EXPECT_LT(stats.mean_steps_per_evaluation(), 0.2);
+  EXPECT_LE(stats.max_steps_single_evaluation, 4);
+}
+
+TEST(TableFreeEngine, ScanlineOrderCausesLargeJumps) {
+  const auto cfg = small_cfg();
+  TableFreeEngine nappe(cfg), scanline(cfg);
+  std::vector<std::int32_t> out(64);
+  const imaging::VolumeGrid grid(cfg.volume);
+
+  nappe.begin_frame(Vec3{});
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kNappeByNappe,
+      [&](const imaging::FocalPoint& fp) { nappe.compute(fp, out); });
+  scanline.begin_frame(Vec3{});
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kScanlineByScanline,
+      [&](const imaging::FocalPoint& fp) { scanline.compute(fp, out); });
+
+  // The depth reset at each new scanline sweeps the tracker across many
+  // segments at once (Sec. II-A: "inefficiencies could arise if paired
+  // with a scanline-by-scanline beamformer").
+  EXPECT_GT(scanline.tracker_stats().max_steps_single_evaluation,
+            nappe.tracker_stats().max_steps_single_evaluation);
+  EXPECT_GT(scanline.tracker_stats().total_steps,
+            nappe.tracker_stats().total_steps);
+}
+
+TEST(TableFreeEngine, ResetTrackerStatsClearsCounters) {
+  const auto cfg = small_cfg();
+  TableFreeEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> out(64);
+  engine.compute(grid.focal_point(0, 0, 0), out);
+  engine.compute(grid.focal_point(0, 0, 59), out);
+  engine.reset_tracker_stats();
+  const auto stats = engine.tracker_stats();
+  EXPECT_EQ(stats.evaluations, 0);
+  EXPECT_EQ(stats.total_steps, 0);
+}
+
+TEST(TableFreeEngine, BeginFrameReseeksWithoutCharge) {
+  const auto cfg = small_cfg();
+  TableFreeEngine engine(cfg);
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> out(64);
+  engine.begin_frame(Vec3{});
+  engine.compute(grid.focal_point(0, 0, 59), out);  // deep point
+  engine.reset_tracker_stats();
+  engine.begin_frame(Vec3{});
+  engine.compute(grid.focal_point(0, 0, 0), out);   // shallow point
+  // The frame-start seek must not be charged as stall steps.
+  EXPECT_EQ(engine.tracker_stats().total_steps, 0);
+}
+
+TEST(TableFreeEngine, RejectsWrongSpan) {
+  TableFreeEngine engine(small_cfg());
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(small_cfg().volume);
+  std::vector<std::int32_t> wrong(3);
+  EXPECT_THROW(engine.compute(grid.focal_point(0, 0, 0), wrong),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::delay

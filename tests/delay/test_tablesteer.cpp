@@ -1,0 +1,149 @@
+#include "delay/tablesteer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "delay/table_sizing.h"
+#include "common/contracts.h"
+#include "delay/exact.h"
+#include "delay/steering.h"
+#include "imaging/scan_order.h"
+#include "probe/transducer.h"
+
+namespace us3d::delay {
+namespace {
+
+imaging::SystemConfig small_cfg() { return imaging::scaled_system(8, 12, 60); }
+
+TEST(TableSteerConfig, NamedDesignPoints) {
+  EXPECT_EQ(TableSteerConfig::bits18().entry_format, fx::kRefDelay18);
+  EXPECT_EQ(TableSteerConfig::bits18().coeff_format, fx::kCorrection18);
+  EXPECT_EQ(TableSteerConfig::bits14().entry_format, fx::kRefDelay14);
+  EXPECT_EQ(TableSteerConfig::bits13().entry_format.total_bits(), 13);
+  EXPECT_EQ(TableSteerConfig::bits18().name_suffix(), "-18b");
+  EXPECT_EQ(TableSteerConfig::bits14().name_suffix(), "-14b");
+}
+
+TEST(TableSteerEngine, NameIncludesWidth) {
+  TableSteerEngine engine(small_cfg());
+  EXPECT_EQ(engine.name(), "TABLESTEER-18b");
+  TableSteerEngine engine14(small_cfg(), TableSteerConfig::bits14());
+  EXPECT_EQ(engine14.name(), "TABLESTEER-14b");
+}
+
+TEST(TableSteerEngine, MatchesDoubleSteeringFormulaWithinFixedPoint) {
+  // The engine's integer output must be the fixed-point image of the
+  // double-precision Eq. 7 evaluation: |difference| <= 1 sample (the
+  // paper's bound on fixed-point effects: "in all cases ... +/-1 sample").
+  const auto cfg = small_cfg();
+  TableSteerEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const probe::MatrixProbe probe(cfg.probe);
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> out(64);
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kNappeByNappe,
+      [&](const imaging::FocalPoint& fp) {
+        engine.compute(fp, out);
+        for (int e = 0; e < 64; ++e) {
+          const double formula = steered_delay_samples(
+              cfg, fp, probe.element_position(e));
+          const auto ideal =
+              fx::round_real_to_int(formula, fx::Rounding::kHalfUp);
+          EXPECT_LE(std::abs(out[static_cast<std::size_t>(e)] - ideal), 1)
+              << "point (" << fp.i_theta << "," << fp.i_phi << ","
+              << fp.i_depth << ") element " << e;
+        }
+      });
+}
+
+TEST(TableSteerEngine, ExactOnUnsteeredCentreLineAtDepth) {
+  // Where theta ~ 0, phi ~ 0 and the point is deep, TABLESTEER equals the
+  // exact delay to within fixed-point rounding.
+  auto cfg = imaging::scaled_system(8, 13, 60);  // odd line count: true 0
+  TableSteerEngine engine(cfg);
+  ExactDelayEngine exact(cfg);
+  engine.begin_frame(Vec3{});
+  exact.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  const int centre = 6;  // theta = phi = 0 for 13 lines
+  std::vector<std::int32_t> a(64), b(64);
+  const auto fp = grid.focal_point(centre, centre, 59);
+  engine.compute(fp, a);
+  exact.compute(fp, b);
+  for (std::size_t e = 0; e < 64; ++e) {
+    EXPECT_LE(std::abs(a[e] - b[e]), 1);
+  }
+}
+
+TEST(TableSteerEngine, FourteenBitIsCoarserThanEighteen) {
+  const auto cfg = small_cfg();
+  TableSteerEngine e18(cfg, TableSteerConfig::bits18());
+  TableSteerEngine e14(cfg, TableSteerConfig::bits14());
+  ExactDelayEngine exact(cfg);
+  e18.begin_frame(Vec3{});
+  e14.begin_frame(Vec3{});
+  exact.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> a(64), b(64), c(64);
+  double err18 = 0.0, err14 = 0.0;
+  std::int64_t n = 0;
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kNappeByNappe,
+      [&](const imaging::FocalPoint& fp) {
+        e18.compute(fp, a);
+        e14.compute(fp, b);
+        exact.compute(fp, c);
+        for (std::size_t e = 0; e < 64; ++e) {
+          err18 += std::abs(a[e] - c[e]);
+          err14 += std::abs(b[e] - c[e]);
+          ++n;
+        }
+      });
+  // Table II: avg inaccuracy 1.44 (18b) vs 1.55 (14b): 14b is worse.
+  EXPECT_LE(err18, err14);
+}
+
+TEST(TableSteerEngine, DelaysAreNonNegative) {
+  const auto cfg = small_cfg();
+  TableSteerEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(cfg.volume);
+  std::vector<std::int32_t> out(64);
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kNappeByNappe,
+      [&](const imaging::FocalPoint& fp) {
+        engine.compute(fp, out);
+        for (const auto v : out) EXPECT_GE(v, 0);
+      });
+}
+
+TEST(TableSteerEngine, RejectsDisplacedOrigin) {
+  TableSteerEngine engine(small_cfg());
+  EXPECT_THROW(engine.begin_frame(Vec3{1.0e-3, 0.0, 0.0}),
+               ContractViolation);
+  EXPECT_NO_THROW(engine.begin_frame(Vec3{}));
+}
+
+TEST(TableSteerEngine, RejectsWrongSpan) {
+  TableSteerEngine engine(small_cfg());
+  engine.begin_frame(Vec3{});
+  const imaging::VolumeGrid grid(small_cfg().volume);
+  std::vector<std::int32_t> wrong(10);
+  EXPECT_THROW(engine.compute(grid.focal_point(0, 0, 0), wrong),
+               ContractViolation);
+}
+
+TEST(TableSteerEngine, SharesSizingWithComponents) {
+  const auto cfg = small_cfg();
+  TableSteerEngine engine(cfg);
+  EXPECT_EQ(engine.reference_table().entry_count(),
+            reference_table_sizing(cfg, fx::kRefDelay18).folded_entries);
+  EXPECT_EQ(engine.corrections().coefficient_count(),
+            steering_set_sizing(cfg, fx::kCorrection18).total_coefficients);
+}
+
+}  // namespace
+}  // namespace us3d::delay

@@ -1,0 +1,69 @@
+#include "fpga/device.h"
+
+#include <gtest/gtest.h>
+
+namespace us3d::fpga {
+namespace {
+
+TEST(Device, Virtex7Inventory) {
+  const FpgaDevice d = xc7vx1140t();
+  EXPECT_EQ(d.name, "XC7VX1140T-2");
+  EXPECT_DOUBLE_EQ(d.luts, 712'000.0);
+  EXPECT_DOUBLE_EQ(d.ffs, 1'424'000.0);
+  // Sec. V-B: "the largest Xilinx Virtex 7 carry up to 68 Mb of BRAM".
+  // Xilinx counts 1024-bit kilobits: 1880 x 36 Kb = 67,680 Kb = 69.3e6 bits.
+  EXPECT_NEAR(d.bram_bits() / 1024.0 / 1000.0, 67.68, 0.1);
+}
+
+TEST(Device, UltraScaleProjectionDoublesLuts) {
+  // Sec. VI-B: UltraScale parts "feature twice the LUT count".
+  EXPECT_DOUBLE_EQ(ultrascale_projection().luts, 2.0 * xc7vx1140t().luts);
+}
+
+TEST(ResourceUsage, AccumulatesAndScales) {
+  ResourceUsage a{100.0, 50.0, 2.0, 1.0};
+  const ResourceUsage b{10.0, 5.0, 0.5, 0.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.luts, 110.0);
+  EXPECT_DOUBLE_EQ(a.bram36, 2.5);
+  const ResourceUsage s = b.scaled(4.0);
+  EXPECT_DOUBLE_EQ(s.luts, 40.0);
+  const ResourceUsage sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.ffs, 60.0);
+}
+
+TEST(Utilization, FractionsAndLimiting) {
+  const FpgaDevice d = xc7vx1140t();
+  ResourceUsage u;
+  u.luts = d.luts / 2.0;
+  u.ffs = d.ffs / 4.0;
+  u.bram36 = d.bram36_blocks * 0.75;
+  const UtilizationReport r = utilization(u, d);
+  EXPECT_DOUBLE_EQ(r.lut_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(r.ff_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(r.bram_fraction, 0.75);
+  EXPECT_TRUE(r.fits);
+  EXPECT_EQ(r.limiting_resource, "BRAM");
+  EXPECT_DOUBLE_EQ(r.limiting_fraction, 0.75);
+}
+
+TEST(Utilization, OverflowingDesignDoesNotFit) {
+  const FpgaDevice d = xc7vx1140t();
+  ResourceUsage u;
+  u.luts = d.luts * 1.2;
+  const UtilizationReport r = utilization(u, d);
+  EXPECT_FALSE(r.fits);
+  EXPECT_EQ(r.limiting_resource, "LUT");
+}
+
+TEST(Utilization, DspLimitedDesign) {
+  const FpgaDevice d = xc7vx1140t();
+  ResourceUsage u;
+  u.dsps = d.dsps * 2.0;
+  const UtilizationReport r = utilization(u, d);
+  EXPECT_EQ(r.limiting_resource, "DSP");
+  EXPECT_FALSE(r.fits);
+}
+
+}  // namespace
+}  // namespace us3d::fpga

@@ -1,0 +1,70 @@
+#include "fpga/primitives.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace us3d::fpga {
+namespace {
+
+TEST(Primitives, AdderScalesWithWidth) {
+  const ResourceUsage a16 = adder_cost(16);
+  const ResourceUsage a32 = adder_cost(32);
+  EXPECT_DOUBLE_EQ(a32.luts, 2.0 * a16.luts);
+  EXPECT_DOUBLE_EQ(a16.ffs, 16.0);
+  EXPECT_DOUBLE_EQ(adder_cost(16, /*registered=*/false).ffs, 0.0);
+}
+
+TEST(Primitives, ComparatorIsCheaperThanAdder) {
+  EXPECT_LT(comparator_cost(26).luts, adder_cost(26).luts);
+}
+
+TEST(Primitives, LutMultiplierScalesWithProductOfWidths) {
+  const double m18 = multiplier_lut_cost(18, 18).luts;
+  const double m36 = multiplier_lut_cost(36, 18).luts;
+  EXPECT_DOUBLE_EQ(m36, 2.0 * m18);
+  // An 18x18 soft multiplier lands near the classic ~110-130 LUT range.
+  EXPECT_GT(m18, 80.0);
+  EXPECT_LT(m18, 150.0);
+}
+
+TEST(Primitives, DspMultiplierTiles) {
+  EXPECT_DOUBLE_EQ(multiplier_dsp_cost(18, 18).dsps, 1.0);
+  EXPECT_DOUBLE_EQ(multiplier_dsp_cost(25, 18).dsps, 1.0);
+  EXPECT_DOUBLE_EQ(multiplier_dsp_cost(26, 18).dsps, 2.0);
+  EXPECT_DOUBLE_EQ(multiplier_dsp_cost(26, 19).dsps, 4.0);
+}
+
+TEST(Primitives, RomPacks64BitsPerLut) {
+  EXPECT_DOUBLE_EQ(lut_rom_cost(64.0).luts, 1.0);
+  EXPECT_DOUBLE_EQ(lut_rom_cost(65.0).luts, 2.0);
+  EXPECT_DOUBLE_EQ(lut_rom_cost(4900.0).luts, 77.0);
+}
+
+TEST(Primitives, BramHalfBlockFor1kx18) {
+  // One 1k x 18b bank = half a 36 Kb block (the Fig. 4 design point).
+  EXPECT_DOUBLE_EQ(bram36_blocks_for(1024, 18), 0.5);
+  EXPECT_DOUBLE_EQ(bram36_blocks_for(1024, 14), 0.5);  // padded to 18
+  EXPECT_DOUBLE_EQ(bram36_blocks_for(1024, 36), 1.0);
+}
+
+TEST(Primitives, BramCascadesWithDepth) {
+  EXPECT_DOUBLE_EQ(bram36_blocks_for(2048, 18), 1.0);
+  EXPECT_DOUBLE_EQ(bram36_blocks_for(4096, 18), 2.0);
+}
+
+TEST(Primitives, BramPaperCorrectionStore) {
+  // 832e3 coefficients at 18 bits: ~406 blocks (~14.96 Mb padded).
+  EXPECT_NEAR(bram36_blocks_for(832'000, 18), 406.5, 1.0);
+}
+
+TEST(Primitives, RejectBadArguments) {
+  EXPECT_THROW(adder_cost(0), ContractViolation);
+  EXPECT_THROW(multiplier_lut_cost(0, 8), ContractViolation);
+  EXPECT_THROW(lut_rom_cost(-1.0), ContractViolation);
+  EXPECT_THROW(bram36_blocks_for(0, 18), ContractViolation);
+  EXPECT_THROW(bram36_blocks_for(100, 80), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::fpga

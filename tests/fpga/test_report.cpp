@@ -1,0 +1,88 @@
+#include "fpga/report.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace us3d::fpga {
+namespace {
+
+Table2Inputs sample_inputs() {
+  Table2Inputs in;
+  in.segment_count = 70;
+  in.tablefree = {0.25, 2.0};
+  in.tablesteer14 = {1.55, 100.0};
+  in.tablesteer18 = {1.44, 100.0};
+  in.tablefree_stats.evaluations = 1'000'000;
+  in.tablefree_stats.total_steps = 17'000;
+  in.tablefree_stats.max_steps_single_evaluation = 3;
+  return in;
+}
+
+TEST(Table2, HasThreeArchitectureRows) {
+  const auto rows = generate_table2(imaging::paper_system(), xc7vx1140t(),
+                                    sample_inputs());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].architecture, "TABLEFREE");
+  EXPECT_EQ(rows[1].architecture, "TABLESTEER-14b");
+  EXPECT_EQ(rows[2].architecture, "TABLESTEER-18b");
+}
+
+TEST(Table2, ShapeMatchesPaper) {
+  const auto rows = generate_table2(imaging::paper_system(), xc7vx1140t(),
+                                    sample_inputs());
+  const Table2Row& tf = rows[0];
+  const Table2Row& ts14 = rows[1];
+  const Table2Row& ts18 = rows[2];
+
+  // TABLEFREE: no BRAM, no off-chip traffic, lower clock, fewer channels.
+  EXPECT_DOUBLE_EQ(tf.bram_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(tf.offchip_bytes_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(tf.clock_hz, 167.0e6);
+  EXPECT_LT(tf.channels_x, 100);
+
+  // TABLESTEER: BRAM-heavy, GB/s off-chip, full 100x100 support, ~2.5x
+  // the frame rate.
+  EXPECT_GT(ts18.bram_fraction, 0.2);
+  EXPECT_GT(ts18.offchip_bytes_per_second, 4.0e9);
+  EXPECT_EQ(ts18.channels_x, 100);
+  EXPECT_GT(ts18.frame_rate, 2.0 * tf.frame_rate);
+  EXPECT_GT(ts18.throughput_delays_per_second,
+            tf.throughput_delays_per_second);
+
+  // 14b variant trades accuracy for bandwidth, not throughput.
+  EXPECT_LT(ts14.offchip_bytes_per_second, ts18.offchip_bytes_per_second);
+  EXPECT_DOUBLE_EQ(ts14.throughput_delays_per_second,
+                   ts18.throughput_delays_per_second);
+  EXPECT_GT(ts14.inaccuracy.avg_off_samples, ts18.inaccuracy.avg_off_samples);
+}
+
+TEST(Table2, OnlyTableSteerMeetsRealtime15) {
+  const auto rows = generate_table2(imaging::paper_system(), xc7vx1140t(),
+                                    sample_inputs());
+  EXPECT_LT(rows[0].frame_rate, 15.0);
+  EXPECT_GT(rows[1].frame_rate, 15.0);
+  EXPECT_GT(rows[2].frame_rate, 15.0);
+}
+
+TEST(Table2, RenderContainsAllRows) {
+  const auto rows = generate_table2(imaging::paper_system(), xc7vx1140t(),
+                                    sample_inputs());
+  const std::string s = render_table2(rows).to_string();
+  EXPECT_NE(s.find("TABLEFREE"), std::string::npos);
+  EXPECT_NE(s.find("TABLESTEER-14b"), std::string::npos);
+  EXPECT_NE(s.find("TABLESTEER-18b"), std::string::npos);
+  EXPECT_NE(s.find("none"), std::string::npos);  // TABLEFREE off-chip BW
+  EXPECT_NE(s.find("100x100"), std::string::npos);
+}
+
+TEST(Table2, RejectsMissingSegmentCount) {
+  Table2Inputs in = sample_inputs();
+  in.segment_count = 0;
+  EXPECT_THROW(
+      generate_table2(imaging::paper_system(), xc7vx1140t(), in),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::fpga

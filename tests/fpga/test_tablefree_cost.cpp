@@ -1,0 +1,75 @@
+#include "fpga/tablefree_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace us3d::fpga {
+namespace {
+
+const imaging::SystemConfig kPaper = imaging::paper_system();
+
+delay::TableFreeEngine::TrackerStats nappe_stats() {
+  delay::TableFreeEngine::TrackerStats s;
+  s.evaluations = 1'000'000;
+  s.total_steps = 17'000;  // ~1.7% steps/eval, as measured in nappe order
+  s.max_steps_single_evaluation = 3;
+  return s;
+}
+
+TEST(TableFreeUnitCost, AboutFourHundredLuts) {
+  // Calibration anchor: 712k LUTs / ~400 LUT per unit ~= 1764 units = 42x42
+  // supported channels (Table II).
+  const ResourceUsage unit = tablefree_unit_cost(70);
+  EXPECT_GT(unit.luts, 350.0);
+  EXPECT_LT(unit.luts, 450.0);
+  EXPECT_EQ(unit.bram36, 0.0);  // the whole point: no BRAM
+  EXPECT_EQ(unit.dsps, 0.0);    // LUT-fabric multiplier
+}
+
+TEST(TableFreeUnitCost, GrowsWithSegmentCount) {
+  EXPECT_GT(tablefree_unit_cost(140).luts, tablefree_unit_cost(70).luts);
+}
+
+TEST(TableFreeUnitCost, RejectsZeroSegments) {
+  EXPECT_THROW(tablefree_unit_cost(0), ContractViolation);
+}
+
+TEST(TableFreeFeasibility, PaperTableIIRow) {
+  const TableFreeFeasibility f =
+      analyze_tablefree_fpga(kPaper, xc7vx1140t(), 70, nappe_stats());
+  // "a transducer with only 42x42 elements" fits the device.
+  EXPECT_NEAR(f.max_channels_side, 42, 1);
+  // The full 100x100 fleet needs several devices.
+  EXPECT_FALSE(f.full_probe_util.fits);
+  EXPECT_GT(f.full_probe_util.lut_fraction, 4.0);
+  // Normalized throughput: 10000 units x 167 MHz = 1.67 Tdelays/s.
+  EXPECT_NEAR(f.normalized_delays_per_second, 1.67e12, 0.01e12);
+  // Frame rate ~7.8-8.3 fps (Table II: 7.8).
+  EXPECT_NEAR(f.frame_rate, 8.0, 0.5);
+}
+
+TEST(TableFreeFeasibility, UltraScaleSupportsMoreChannels) {
+  // Sec. VI-B projection: a 2x-LUT part should roughly double unit count
+  // (~59x59), approaching 100x100 with further generations.
+  const TableFreeFeasibility v7 =
+      analyze_tablefree_fpga(kPaper, xc7vx1140t(), 70, nappe_stats());
+  const TableFreeFeasibility us =
+      analyze_tablefree_fpga(kPaper, ultrascale_projection(), 70,
+                             nappe_stats());
+  EXPECT_GT(us.max_units_fitting, 1.9 * v7.max_units_fitting);
+  EXPECT_GE(us.max_channels_side, 59);
+}
+
+TEST(TableFreeFeasibility, RegistersWellUnderLuts) {
+  // Table II: registers 23% when LUTs are 100%.
+  const TableFreeFeasibility f =
+      analyze_tablefree_fpga(kPaper, xc7vx1140t(), 70, nappe_stats());
+  const ResourceUsage fit =
+      f.per_unit.scaled(static_cast<double>(f.max_units_fitting));
+  const UtilizationReport util = utilization(fit, xc7vx1140t());
+  EXPECT_NEAR(util.ff_fraction, 0.23, 0.04);
+}
+
+}  // namespace
+}  // namespace us3d::fpga

@@ -1,0 +1,75 @@
+#include "fpga/tablesteer_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace us3d::fpga {
+namespace {
+
+const imaging::SystemConfig kPaper = imaging::paper_system();
+
+hw::FabricConfig fabric_for(const delay::TableSteerConfig& ts) {
+  hw::FabricConfig f;
+  f.entry_format = ts.entry_format;
+  return f;
+}
+
+TEST(TableSteerBlockCost, AddersAndBramPerBlock) {
+  const ResourceUsage block = tablesteer_block_cost(hw::FabricConfig{});
+  // 136 19-21 bit adders plus overhead: a few thousand LUTs.
+  EXPECT_GT(block.luts, 4'000.0);
+  EXPECT_LT(block.luts, 7'000.0);
+  // One 1kx18 bank = half a 36 Kb block.
+  EXPECT_DOUBLE_EQ(block.bram36, 0.5);
+}
+
+TEST(TableSteerFeasibility, EighteenBitTableIIRow) {
+  const auto ts = delay::TableSteerConfig::bits18();
+  const TableSteerFeasibility f =
+      analyze_tablesteer_fpga(kPaper, xc7vx1140t(), fabric_for(ts), ts);
+  // Table II: LUTs 100%, Registers 30%, BRAM 25%.
+  EXPECT_NEAR(f.util.lut_fraction, 1.00, 0.05);
+  EXPECT_NEAR(f.util.ff_fraction, 0.30, 0.05);
+  EXPECT_NEAR(f.util.bram_fraction, 0.25, 0.02);
+  EXPECT_TRUE(f.fabric.meets_realtime);
+  EXPECT_NEAR(f.fabric.dram_bandwidth_bytes_per_second, 5.4e9, 0.2e9);
+}
+
+TEST(TableSteerFeasibility, FourteenBitTableIIRow) {
+  const auto ts = delay::TableSteerConfig::bits14();
+  const TableSteerFeasibility f =
+      analyze_tablesteer_fpga(kPaper, xc7vx1140t(), fabric_for(ts), ts);
+  // Table II: LUTs 91%, Registers 25%, BRAM 25% (14b pads to 18b ports).
+  EXPECT_NEAR(f.util.lut_fraction, 0.91, 0.05);
+  EXPECT_NEAR(f.util.ff_fraction, 0.25, 0.05);
+  EXPECT_NEAR(f.util.bram_fraction, 0.25, 0.02);
+  EXPECT_NEAR(f.fabric.dram_bandwidth_bytes_per_second, 4.2e9, 0.2e9);
+}
+
+TEST(TableSteerFeasibility, CorrectionsDominateBram) {
+  const auto ts = delay::TableSteerConfig::bits18();
+  const TableSteerFeasibility f =
+      analyze_tablesteer_fpga(kPaper, xc7vx1140t(), fabric_for(ts), ts);
+  // ~406 blocks of corrections vs 64 blocks of slice buffers.
+  EXPECT_GT(f.corrections.bram36, 5.0 * 64.0);
+}
+
+TEST(TableSteerFeasibility, RejectsMismatchedFormats) {
+  hw::FabricConfig f;
+  f.entry_format = fx::kRefDelay14;
+  EXPECT_THROW(analyze_tablesteer_fpga(kPaper, xc7vx1140t(), f,
+                                       delay::TableSteerConfig::bits18()),
+               ContractViolation);
+}
+
+TEST(TableSteerFeasibility, WiderFabricCostsMoreLuts) {
+  hw::FabricConfig wide;
+  wide.y_corrections = 32;  // 8 + 32*8 adders per block
+  const ResourceUsage base = tablesteer_block_cost(hw::FabricConfig{});
+  const ResourceUsage big = tablesteer_block_cost(wide);
+  EXPECT_GT(big.luts, base.luts);
+}
+
+}  // namespace
+}  // namespace us3d::fpga

@@ -1,0 +1,90 @@
+#include "hw/delay_fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace us3d::hw {
+namespace {
+
+const imaging::SystemConfig kPaper = imaging::paper_system();
+
+TEST(FabricConfig, PaperBlockGeometry) {
+  const FabricConfig f;
+  // Sec. V-B: "8 + 16 x 8 = 136 adders per block", 128 outputs per cycle.
+  EXPECT_EQ(f.adders_per_block(), 136);
+  EXPECT_EQ(f.delays_per_cycle_per_block(), 128);
+}
+
+TEST(FabricAnalysis, PaperThroughputNumbers) {
+  const FabricAnalysis a = analyze_fabric(kPaper, FabricConfig{});
+  // Sec. V-B: "128 blocks ... can reach a peak throughput of 3.3 Tdelays/s
+  // at 200 MHz, meeting specifications".
+  EXPECT_NEAR(a.peak_delays_per_second, 3.28e12, 0.01e12);
+  EXPECT_NEAR(a.required_delays_per_second, 2.46e12, 0.01e12);
+  EXPECT_NEAR(a.utilization, 0.75, 0.01);
+  EXPECT_TRUE(a.meets_realtime);
+  // Table II: ~19.7-20 fps at peak.
+  EXPECT_NEAR(a.frame_rate_at_peak, 20.0, 0.5);
+  EXPECT_EQ(a.total_adders, 136 * 128);
+}
+
+TEST(FabricAnalysis, PaperMemoryNumbers) {
+  const FabricAnalysis a = analyze_fabric(kPaper, FabricConfig{});
+  EXPECT_DOUBLE_EQ(a.table_fetches_per_second, 960.0);
+  EXPECT_NEAR(a.dram_bandwidth_bytes_per_second, 5.4e9, 0.1e9);
+  // Each fetched entry is reused 8x from BRAM (4 mirrored elements x
+  // 256 scanlines / 128 outputs per read).
+  EXPECT_NEAR(a.reuse_per_fetched_entry, 8.0, 0.01);
+}
+
+TEST(FabricAnalysis, FourteenBitLowersBandwidthOnly) {
+  FabricConfig f14;
+  f14.entry_format = fx::kRefDelay14;
+  const FabricAnalysis a18 = analyze_fabric(kPaper, FabricConfig{});
+  const FabricAnalysis a14 = analyze_fabric(kPaper, f14);
+  EXPECT_DOUBLE_EQ(a14.peak_delays_per_second, a18.peak_delays_per_second);
+  EXPECT_LT(a14.dram_bandwidth_bytes_per_second,
+            a18.dram_bandwidth_bytes_per_second);
+  EXPECT_NEAR(a14.dram_bandwidth_bytes_per_second, 4.2e9, 0.1e9);
+}
+
+TEST(FabricAnalysis, HalfTheBlocksMissRealtime) {
+  FabricConfig f;
+  f.blocks = 32;
+  const FabricAnalysis a = analyze_fabric(kPaper, f);
+  EXPECT_FALSE(a.meets_realtime);
+  EXPECT_GT(a.utilization, 1.0);
+}
+
+TEST(FabricStreaming, BalancedBandwidthRunsCleanly) {
+  const StreamBufferReport r =
+      simulate_fabric_streaming(kPaper, FabricConfig{}, 3, 1.02);
+  EXPECT_FALSE(r.underrun);
+  // Sec. V-B: "an ample margin of 1k cycles of latency to fetch new data".
+  EXPECT_GT(r.min_margin_cycles, 1000.0);
+}
+
+TEST(FabricStreaming, ToleratesRefreshBlackouts) {
+  const StreamBufferReport r = simulate_fabric_streaming(
+      kPaper, FabricConfig{}, 3, 1.05, /*blackout_period=*/7800,
+      /*blackout_duration=*/200);
+  EXPECT_FALSE(r.underrun);
+}
+
+TEST(FabricStreaming, InsufficientBandwidthUnderruns) {
+  const StreamBufferReport r =
+      simulate_fabric_streaming(kPaper, FabricConfig{}, 2, 0.5);
+  EXPECT_TRUE(r.underrun);
+}
+
+TEST(FabricAnalysis, RejectsInvalidConfig) {
+  FabricConfig f;
+  f.blocks = 0;
+  EXPECT_THROW(analyze_fabric(kPaper, f), ContractViolation);
+  EXPECT_THROW(simulate_fabric_streaming(kPaper, FabricConfig{}, 0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::hw

@@ -1,0 +1,82 @@
+#include "hw/nappe_interleaver.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace us3d::hw {
+namespace {
+
+TEST(NappeInterleaver, ConsecutiveDepthsHitDistinctBanks) {
+  const NappeInterleaver il(128, 2500, 1000);
+  std::set<int> banks;
+  for (int d = 0; d < 128; ++d) banks.insert(il.locate(7, d).bank);
+  EXPECT_EQ(banks.size(), 128u);  // full parallelism over a bank-wide window
+}
+
+TEST(NappeInterleaver, MappingIsInjective) {
+  const NappeInterleaver il(8, 16, 40);
+  std::set<std::pair<int, std::int64_t>> seen;
+  for (std::int64_t q = 0; q < 16; ++q) {
+    for (int d = 0; d < 40; ++d) {
+      const auto loc = il.locate(q, d);
+      EXPECT_TRUE(seen.insert({loc.bank, loc.line}).second)
+          << "collision at element " << q << " depth " << d;
+      EXPECT_GE(loc.bank, 0);
+      EXPECT_LT(loc.bank, 8);
+      EXPECT_GE(loc.line, 0);
+      EXPECT_LT(loc.line, il.lines_per_bank());
+    }
+  }
+}
+
+TEST(NappeInterleaver, BankIsDepthModuloBanks) {
+  const NappeInterleaver il(128, 2500, 1000);
+  EXPECT_EQ(il.locate(0, 0).bank, 0);
+  EXPECT_EQ(il.locate(0, 127).bank, 127);
+  EXPECT_EQ(il.locate(0, 128).bank, 0);
+  EXPECT_EQ(il.locate(42, 200).bank, 200 % 128);
+}
+
+TEST(NappeInterleaver, LinesPerBankCoversTable) {
+  const NappeInterleaver il(128, 2500, 1000);
+  // 1000 depths / 128 banks = 8 rows per element per bank.
+  EXPECT_EQ(il.lines_per_bank(), 2500 * 8);
+  // Total capacity >= table entries.
+  EXPECT_GE(il.lines_per_bank() * 128, 2'500'000);
+}
+
+TEST(NappeInterleaver, WindowParallelism) {
+  const NappeInterleaver il(128, 2500, 1000);
+  EXPECT_EQ(il.banks_touched_by_depth_window(0, 1), 1);
+  EXPECT_EQ(il.banks_touched_by_depth_window(0, 64), 64);
+  EXPECT_EQ(il.banks_touched_by_depth_window(0, 128), 128);
+  EXPECT_EQ(il.banks_touched_by_depth_window(0, 500), 128);  // saturates
+  // Clipped at the end of the depth range.
+  EXPECT_EQ(il.banks_touched_by_depth_window(999, 128), 1);
+}
+
+TEST(NappeInterleaver, UnevenDepthsStillInjective) {
+  const NappeInterleaver il(8, 5, 11);  // 11 depths over 8 banks
+  std::set<std::pair<int, std::int64_t>> seen;
+  for (std::int64_t q = 0; q < 5; ++q) {
+    for (int d = 0; d < 11; ++d) {
+      EXPECT_TRUE(
+          seen.insert({il.locate(q, d).bank, il.locate(q, d).line}).second);
+    }
+  }
+}
+
+TEST(NappeInterleaver, RejectsBadArguments) {
+  EXPECT_THROW(NappeInterleaver(0, 10, 10), ContractViolation);
+  const NappeInterleaver il(8, 10, 10);
+  EXPECT_THROW(il.locate(10, 0), ContractViolation);
+  EXPECT_THROW(il.locate(0, 10), ContractViolation);
+  EXPECT_THROW(il.banks_touched_by_depth_window(0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::hw

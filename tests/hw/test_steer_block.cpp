@@ -1,0 +1,154 @@
+#include "hw/steer_block.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.h"
+#include "delay/reference_table.h"
+#include "delay/steering.h"
+#include "imaging/system_config.h"
+#include "probe/transducer.h"
+
+namespace us3d::hw {
+namespace {
+
+imaging::SystemConfig small_cfg() { return imaging::scaled_system(8, 16, 60); }
+
+delay::TableSteerConfig fmt18() { return delay::TableSteerConfig::bits18(); }
+
+TEST(SteerBlock, GeometryMatchesPaperBlock) {
+  const SteerBlock block(fmt18());
+  EXPECT_EQ(block.x_slots(), 8);
+  EXPECT_EQ(block.y_slots(), 16);
+  EXPECT_EQ(block.outputs_per_cycle(), 128);
+  EXPECT_EQ(block.adder_count(), 136);  // 8 + 16*8 (Sec. V-B)
+}
+
+TEST(SteerBlock, RequiresLoadBeforeCycle) {
+  const SteerBlock block(fmt18());
+  std::vector<std::int32_t> out(128);
+  const fx::Value ref = fx::Value::from_real(100.0, fmt18().entry_format);
+  EXPECT_THROW(block.cycle(ref, out), ContractViolation);
+}
+
+TEST(SteerBlock, ZeroCorrectionsPassReferenceThrough) {
+  SteerBlock block(fmt18());
+  const fx::Value zero = fx::Value::from_raw(0, fmt18().coeff_format);
+  std::vector<fx::Value> xs(8, zero), ys(16, zero);
+  block.load_corrections(xs, ys);
+  const fx::Value ref = fx::Value::from_real(1234.5, fmt18().entry_format);
+  std::vector<std::int32_t> out(128);
+  block.cycle(ref, out);
+  for (const auto v : out) {
+    EXPECT_EQ(v, 1235);  // round-half-up of 1234.5
+  }
+}
+
+TEST(SteerBlock, OutputsOrderedYOuterXInner) {
+  SteerBlock block(fmt18());
+  std::vector<fx::Value> xs, ys;
+  for (int i = 0; i < 8; ++i) {
+    xs.push_back(fx::Value::from_real(i, fmt18().coeff_format));
+  }
+  for (int j = 0; j < 16; ++j) {
+    ys.push_back(fx::Value::from_real(100.0 * j, fmt18().coeff_format));
+  }
+  block.load_corrections(xs, ys);
+  const fx::Value ref = fx::Value::from_real(1000.0, fmt18().entry_format);
+  std::vector<std::int32_t> out(128);
+  block.cycle(ref, out);
+  // out[j*8 + i] = 1000 + i + 100 j.
+  EXPECT_EQ(out[0], 1000);
+  EXPECT_EQ(out[3], 1003);
+  EXPECT_EQ(out[8], 1100);
+  EXPECT_EQ(out[127], 1000 + 7 + 1500);
+}
+
+TEST(SteerBlock, NegativeSumsClampToZero) {
+  SteerBlock block(fmt18());
+  const fx::Value big_negative =
+      fx::Value::from_real(-500.0, fmt18().coeff_format);
+  std::vector<fx::Value> xs(8, big_negative), ys(16, big_negative);
+  block.load_corrections(xs, ys);
+  const fx::Value ref = fx::Value::from_real(100.0, fmt18().entry_format);
+  std::vector<std::int32_t> out(128);
+  block.cycle(ref, out);
+  for (const auto v : out) EXPECT_EQ(v, 0);
+}
+
+TEST(SteerBlock, BitExactAgainstTableSteerEngine) {
+  // The decisive check: one block computing an 8-theta x 16-phi patch of a
+  // nappe for one element must reproduce the engine's indices exactly.
+  const auto cfg = small_cfg();
+  delay::TableSteerEngine engine(cfg);
+  engine.begin_frame(Vec3{});
+  const probe::MatrixProbe probe(cfg.probe);
+  const imaging::VolumeGrid grid(cfg.volume);
+
+  const int ix = 5, iy = 2;       // element under test
+  const int theta0 = 4, phi0 = 0; // patch origin: 8 thetas x 16 phis
+  const int k = 37;               // depth slice
+
+  // Load the block's correction registers from the shared correction set.
+  SteerBlock block(delay::TableSteerConfig::bits18());
+  std::vector<fx::Value> xs, ys;
+  // x corrections depend on phi as well; the fabric reloads them per phi
+  // group, so pick one phi for stage-1 and iterate phi via stage 2 only
+  // where the x-correction is phi-independent. For the equivalence check
+  // we iterate the 16 phis and reload stage 1 accordingly.
+  std::vector<std::int32_t> engine_out(
+      static_cast<std::size_t>(engine.element_count()));
+  for (int jp = 0; jp < 16; ++jp) {
+    const int i_phi = phi0 + jp;
+    xs.clear();
+    ys.clear();
+    for (int it = 0; it < 8; ++it) {
+      xs.push_back(
+          engine.corrections().x_correction(ix, theta0 + it, i_phi));
+    }
+    // Stage 2 applies the same y correction to the 8 stage-1 sums; load
+    // 16 identical copies so one cycle yields all 8 outputs 16 times.
+    const fx::Value cy = engine.corrections().y_correction(iy, i_phi);
+    ys.assign(16, cy);
+    block.load_corrections(xs, ys);
+
+    const fx::Value ref = engine.reference_table().entry(ix, iy, k);
+    std::vector<std::int32_t> block_out(128);
+    block.cycle(ref, block_out);
+
+    for (int it = 0; it < 8; ++it) {
+      const auto fp = grid.focal_point(theta0 + it, i_phi, k);
+      engine.compute(fp, engine_out);
+      const auto flat =
+          static_cast<std::size_t>(probe.flat_index(ix, iy));
+      EXPECT_EQ(block_out[static_cast<std::size_t>(it)], engine_out[flat])
+          << "theta " << theta0 + it << " phi " << i_phi;
+    }
+  }
+}
+
+TEST(SteerBlock, RejectsWrongFormatsAndSizes) {
+  SteerBlock block(fmt18());
+  const fx::Value zero18 = fx::Value::from_raw(0, fmt18().coeff_format);
+  std::vector<fx::Value> xs(8, zero18), ys(16, zero18);
+  std::vector<fx::Value> xs_short(7, zero18);
+  EXPECT_THROW(block.load_corrections(xs_short, ys), ContractViolation);
+  // Wrong coefficient format.
+  const fx::Value zero14 =
+      fx::Value::from_raw(0, delay::TableSteerConfig::bits14().coeff_format);
+  std::vector<fx::Value> xs_wrong(8, zero14);
+  EXPECT_THROW(block.load_corrections(xs_wrong, ys), ContractViolation);
+  // Wrong reference format / output size.
+  block.load_corrections(xs, ys);
+  std::vector<std::int32_t> out_small(64);
+  const fx::Value ref = fx::Value::from_real(10.0, fmt18().entry_format);
+  EXPECT_THROW(block.cycle(ref, out_small), ContractViolation);
+  const fx::Value ref14 = fx::Value::from_real(
+      10.0, delay::TableSteerConfig::bits14().entry_format);
+  std::vector<std::int32_t> out(128);
+  EXPECT_THROW(block.cycle(ref14, out), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::hw

@@ -1,0 +1,76 @@
+#include "hw/tablefree_unit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace us3d::hw {
+namespace {
+
+const imaging::SystemConfig kPaper = imaging::paper_system();
+
+delay::TableFreeEngine::TrackerStats stats_with_mean(double steps_per_eval) {
+  delay::TableFreeEngine::TrackerStats s;
+  s.evaluations = 1'000'000;
+  s.total_steps = static_cast<std::int64_t>(steps_per_eval * 1.0e6);
+  s.max_steps_single_evaluation = 3;
+  return s;
+}
+
+TEST(TableFreeTiming, PaperRuleOfThumbOneFpsPer20MHz) {
+  // Sec. IV-B: "an achievable frame rate of about 1 fps per 20 MHz of
+  // operating frequency" -> 167 MHz gives ~8 fps (Table II says 7.8).
+  const TableFreeTiming t = analyze_tablefree_timing(
+      kPaper, stats_with_mean(0.02), TableFreeUnitModel{});
+  EXPECT_NEAR(t.frame_rate, 8.0, 0.5);
+  EXPECT_NEAR(t.frame_rate, 167.0e6 / 20.0e6, 0.6);
+}
+
+TEST(TableFreeTiming, CyclesScaleWithVolume) {
+  const TableFreeTiming t = analyze_tablefree_timing(
+      kPaper, stats_with_mean(0.0), TableFreeUnitModel{});
+  // 16.384e6 points / 0.8 efficiency plus refills.
+  EXPECT_NEAR(t.cycles_per_frame, 16.384e6 / 0.8, 1e4);
+}
+
+TEST(TableFreeTiming, StallsReduceFrameRate) {
+  const TableFreeTiming clean = analyze_tablefree_timing(
+      kPaper, stats_with_mean(0.0), TableFreeUnitModel{});
+  const TableFreeTiming stalled = analyze_tablefree_timing(
+      kPaper, stats_with_mean(0.5), TableFreeUnitModel{});
+  EXPECT_LT(stalled.frame_rate, clean.frame_rate);
+  EXPECT_NEAR(stalled.frame_rate, clean.frame_rate / 1.5, 0.1);
+}
+
+TEST(TableFreeTiming, FleetThroughputIsPerUnitTimesElements) {
+  const TableFreeTiming t = analyze_tablefree_timing(
+      kPaper, stats_with_mean(0.0), TableFreeUnitModel{});
+  EXPECT_NEAR(t.fleet_delays_per_second,
+              t.delays_per_second_per_unit * 10'000.0, 1.0);
+}
+
+TEST(TableFreeTiming, HigherClockScalesLinearly) {
+  TableFreeUnitModel fast;
+  fast.clock_hz = 334.0e6;
+  const TableFreeTiming slow = analyze_tablefree_timing(
+      kPaper, stats_with_mean(0.0), TableFreeUnitModel{});
+  const TableFreeTiming quick =
+      analyze_tablefree_timing(kPaper, stats_with_mean(0.0), fast);
+  EXPECT_NEAR(quick.frame_rate / slow.frame_rate, 2.0, 0.01);
+}
+
+TEST(TableFreeTiming, RejectsBadModel) {
+  TableFreeUnitModel bad;
+  bad.clock_hz = 0.0;
+  EXPECT_THROW(
+      analyze_tablefree_timing(kPaper, stats_with_mean(0.0), bad),
+      ContractViolation);
+  bad = TableFreeUnitModel{};
+  bad.datapath_efficiency = 0.0;
+  EXPECT_THROW(
+      analyze_tablefree_timing(kPaper, stats_with_mean(0.0), bad),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::hw

@@ -1,0 +1,66 @@
+#include "imaging/insonification.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "imaging/system_config.h"
+#include "probe/presets.h"
+
+namespace us3d::imaging {
+namespace {
+
+TEST(AcquisitionPlan, PaperDesignPoint) {
+  // Sec. V-B: 64 insonifications per volume, 256 scanlines each, 15 Hz ->
+  // 960 insonifications/s.
+  const SystemConfig cfg = paper_system();
+  EXPECT_EQ(cfg.plan.shots_per_volume, 64);
+  EXPECT_EQ(cfg.plan.scanlines_per_shot, 256);
+  EXPECT_DOUBLE_EQ(cfg.plan.volume_rate_hz, 15.0);
+  EXPECT_DOUBLE_EQ(cfg.plan.shots_per_second(), 960.0);
+}
+
+TEST(AcquisitionPlan, MakePlanSplitsLinesEvenly) {
+  const SystemConfig cfg = paper_system();
+  const AcquisitionPlan plan = make_plan(cfg.volume, 128, 20.0);
+  EXPECT_EQ(plan.scanlines_per_shot, 128);
+  EXPECT_DOUBLE_EQ(plan.shots_per_second(), 2560.0);
+}
+
+TEST(AcquisitionPlan, RejectsUnevenSplit) {
+  const SystemConfig cfg = paper_system();
+  EXPECT_THROW(make_plan(cfg.volume, 63, 15.0), ContractViolation);
+}
+
+TEST(RoundTrip, PaperSystemIsQuarterMillisecond) {
+  const SystemConfig cfg = paper_system();
+  // 2 x 192.5 mm / 1540 m/s = 250 us ("sub-millisecond", Sec. I).
+  EXPECT_NEAR(round_trip_seconds(cfg.volume, cfg.speed_of_sound), 250.0e-6,
+              1.0e-6);
+}
+
+TEST(Feasibility, PaperPlanIsAcousticallyFeasible) {
+  const SystemConfig cfg = paper_system();
+  // 960 shots/s x 250 us = 24% duty: feasible.
+  EXPECT_TRUE(
+      is_acoustically_feasible(cfg.plan, cfg.volume, cfg.speed_of_sound));
+  EXPECT_NEAR(
+      max_acoustic_volume_rate(cfg.volume, cfg.speed_of_sound, 64), 62.5,
+      0.5);
+}
+
+TEST(Feasibility, TooManyShotsBecomesInfeasible) {
+  const SystemConfig cfg = paper_system();
+  const AcquisitionPlan plan = make_plan(cfg.volume, 16384, 15.0);
+  EXPECT_FALSE(
+      is_acoustically_feasible(plan, cfg.volume, cfg.speed_of_sound));
+}
+
+TEST(Feasibility, MultiKilohertz2DRatesPossible) {
+  // Sec. I: "multi-kHz frame rates are possible" for single-shot imaging.
+  const SystemConfig cfg = paper_system();
+  EXPECT_GT(max_acoustic_volume_rate(cfg.volume, cfg.speed_of_sound, 1),
+            1000.0);
+}
+
+}  // namespace
+}  // namespace us3d::imaging

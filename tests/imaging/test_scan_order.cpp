@@ -1,0 +1,149 @@
+#include "imaging/scan_order.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/angles.h"
+
+namespace us3d::imaging {
+namespace {
+
+VolumeSpec tiny_spec(int nt = 3, int np = 4, int nd = 5) {
+  return VolumeSpec{
+      .n_theta = nt,
+      .n_phi = np,
+      .n_depth = nd,
+      .theta_span_rad = deg_to_rad(40.0),
+      .phi_span_rad = deg_to_rad(40.0),
+      .min_depth_m = 1.0e-3,
+      .max_depth_m = 5.0e-3,
+  };
+}
+
+TEST(ScanOrder, ToString) {
+  EXPECT_STREQ(to_string(ScanOrder::kScanlineByScanline),
+               "scanline-by-scanline");
+  EXPECT_STREQ(to_string(ScanOrder::kNappeByNappe), "nappe-by-nappe");
+}
+
+TEST(ScanCursor, VisitsEveryPointExactlyOnce) {
+  for (const auto order :
+       {ScanOrder::kScanlineByScanline, ScanOrder::kNappeByNappe}) {
+    const VolumeGrid grid(tiny_spec());
+    std::set<std::tuple<int, int, int>> seen;
+    for_each_focal_point(grid, order, [&](const FocalPoint& fp) {
+      seen.insert({fp.i_theta, fp.i_phi, fp.i_depth});
+    });
+    EXPECT_EQ(static_cast<std::int64_t>(seen.size()), grid.total_points());
+  }
+}
+
+TEST(ScanCursor, ScanlineOrderHasDepthInnermost) {
+  const VolumeGrid grid(tiny_spec());
+  std::vector<FocalPoint> fps;
+  for_each_focal_point(grid, ScanOrder::kScanlineByScanline,
+                       [&](const FocalPoint& fp) { fps.push_back(fp); });
+  // First n_depth points share the first line of sight.
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(fps[static_cast<std::size_t>(k)].i_theta, 0);
+    EXPECT_EQ(fps[static_cast<std::size_t>(k)].i_phi, 0);
+    EXPECT_EQ(fps[static_cast<std::size_t>(k)].i_depth, k);
+  }
+  // Then phi advances.
+  EXPECT_EQ(fps[5].i_phi, 1);
+  EXPECT_EQ(fps[5].i_depth, 0);
+}
+
+TEST(ScanCursor, NappeOrderHasDepthOutermost) {
+  const VolumeGrid grid(tiny_spec());
+  std::vector<FocalPoint> fps;
+  for_each_focal_point(grid, ScanOrder::kNappeByNappe,
+                       [&](const FocalPoint& fp) { fps.push_back(fp); });
+  // The first n_theta*n_phi points form the first nappe (constant depth 0).
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(fps[static_cast<std::size_t>(i)].i_depth, 0);
+  }
+  EXPECT_EQ(fps[12].i_depth, 1);
+  // Within a nappe, phi is innermost.
+  EXPECT_EQ(fps[0].i_phi, 0);
+  EXPECT_EQ(fps[1].i_phi, 1);
+}
+
+TEST(ScanCursor, BothOrdersVisitSameSet) {
+  const VolumeGrid grid(tiny_spec(4, 3, 6));
+  std::set<std::tuple<int, int, int>> a, b;
+  for_each_focal_point(grid, ScanOrder::kScanlineByScanline,
+                       [&](const FocalPoint& fp) {
+                         a.insert({fp.i_theta, fp.i_phi, fp.i_depth});
+                       });
+  for_each_focal_point(grid, ScanOrder::kNappeByNappe,
+                       [&](const FocalPoint& fp) {
+                         b.insert({fp.i_theta, fp.i_phi, fp.i_depth});
+                       });
+  EXPECT_EQ(a, b);
+}
+
+TEST(ScanCursor, PositionAndTotalTrackProgress) {
+  const VolumeGrid grid(tiny_spec());
+  ScanCursor cursor(grid, ScanOrder::kNappeByNappe);
+  EXPECT_EQ(cursor.total(), 60);
+  EXPECT_EQ(cursor.position(), 0);
+  FocalPoint fp;
+  ASSERT_TRUE(cursor.next(fp));
+  EXPECT_EQ(cursor.position(), 1);
+  while (cursor.next(fp)) {
+  }
+  EXPECT_EQ(cursor.position(), 60);
+  EXPECT_FALSE(cursor.next(fp));
+}
+
+TEST(ScanCursor, ResetRestarts) {
+  const VolumeGrid grid(tiny_spec());
+  ScanCursor cursor(grid, ScanOrder::kScanlineByScanline);
+  FocalPoint first, again;
+  ASSERT_TRUE(cursor.next(first));
+  cursor.reset();
+  ASSERT_TRUE(cursor.next(again));
+  EXPECT_EQ(first.i_theta, again.i_theta);
+  EXPECT_EQ(first.i_phi, again.i_phi);
+  EXPECT_EQ(first.i_depth, again.i_depth);
+  EXPECT_EQ(cursor.position(), 1);
+}
+
+TEST(ScanCursor, NappeDepthChangesSlowlyScanlineDepthJumps) {
+  // The property TABLEFREE exploits: in nappe order the radius changes by
+  // one step at a time; in scanline order it resets by the whole depth
+  // range at each new line.
+  const VolumeGrid grid(tiny_spec(2, 2, 50));
+  double max_jump_nappe = 0.0, max_jump_scanline = 0.0;
+  double prev = -1.0;
+  for_each_focal_point(grid, ScanOrder::kNappeByNappe,
+                       [&](const FocalPoint& fp) {
+                         if (prev >= 0.0) {
+                           max_jump_nappe =
+                               std::max(max_jump_nappe,
+                                        std::abs(fp.radius - prev));
+                         }
+                         prev = fp.radius;
+                       });
+  prev = -1.0;
+  for_each_focal_point(grid, ScanOrder::kScanlineByScanline,
+                       [&](const FocalPoint& fp) {
+                         if (prev >= 0.0) {
+                           max_jump_scanline =
+                               std::max(max_jump_scanline,
+                                        std::abs(fp.radius - prev));
+                         }
+                         prev = fp.radius;
+                       });
+  EXPECT_LT(max_jump_nappe, 1.1e-4);       // one depth step (~0.08 mm) or 0
+  EXPECT_GT(max_jump_scanline, 3.9e-3);    // full depth reset
+}
+
+}  // namespace
+}  // namespace us3d::imaging

@@ -1,0 +1,94 @@
+// Parameterized shape sweep for the scan cursor: both orders must cover
+// every focal point exactly once on any grid shape, including degenerate
+// single-line and single-nappe volumes. TABLEFREE's correctness depends on
+// this enumeration being exact.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/angles.h"
+#include "imaging/scan_order.h"
+
+namespace us3d::imaging {
+namespace {
+
+using Shape = std::tuple<int, int, int>;  // n_theta, n_phi, n_depth
+
+class ScanOrderShape : public ::testing::TestWithParam<Shape> {
+ protected:
+  VolumeSpec spec() const {
+    const auto [nt, np, nd] = GetParam();
+    return VolumeSpec{
+        .n_theta = nt,
+        .n_phi = np,
+        .n_depth = nd,
+        .theta_span_rad = nt > 1 ? deg_to_rad(60.0) : 0.0,
+        .phi_span_rad = np > 1 ? deg_to_rad(60.0) : 0.0,
+        .min_depth_m = 1.0e-3,
+        .max_depth_m = 1.0e-3 * nd,
+    };
+  }
+};
+
+TEST_P(ScanOrderShape, BothOrdersCoverExactlyOnce) {
+  const VolumeGrid grid(spec());
+  for (const auto order :
+       {ScanOrder::kScanlineByScanline, ScanOrder::kNappeByNappe}) {
+    std::set<std::tuple<int, int, int>> seen;
+    std::int64_t visits = 0;
+    for_each_focal_point(grid, order, [&](const FocalPoint& fp) {
+      seen.insert({fp.i_theta, fp.i_phi, fp.i_depth});
+      ++visits;
+    });
+    EXPECT_EQ(visits, grid.total_points()) << to_string(order);
+    EXPECT_EQ(static_cast<std::int64_t>(seen.size()), grid.total_points())
+        << to_string(order);
+  }
+}
+
+TEST_P(ScanOrderShape, CursorTerminatesAndReportsTotal) {
+  const VolumeGrid grid(spec());
+  ScanCursor cursor(grid, ScanOrder::kNappeByNappe);
+  FocalPoint fp;
+  std::int64_t n = 0;
+  while (cursor.next(fp)) ++n;
+  EXPECT_EQ(n, cursor.total());
+  EXPECT_FALSE(cursor.next(fp));  // stays exhausted
+  cursor.reset();
+  EXPECT_TRUE(cursor.next(fp));
+}
+
+TEST_P(ScanOrderShape, NappeOrderNeverRetreatsInDepth) {
+  const VolumeGrid grid(spec());
+  int prev_depth = -1;
+  for_each_focal_point(grid, ScanOrder::kNappeByNappe,
+                       [&](const FocalPoint& fp) {
+    EXPECT_GE(fp.i_depth, prev_depth);
+    prev_depth = fp.i_depth;
+  });
+}
+
+TEST_P(ScanOrderShape, ScanlineOrderNeverRetreatsInTheta) {
+  const VolumeGrid grid(spec());
+  int prev_theta = -1;
+  for_each_focal_point(grid, ScanOrder::kScanlineByScanline,
+                       [&](const FocalPoint& fp) {
+    EXPECT_GE(fp.i_theta, prev_theta);
+    prev_theta = fp.i_theta;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ScanOrderShape,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 1, 16}, Shape{16, 1, 1},
+                      Shape{1, 16, 1}, Shape{2, 3, 5}, Shape{5, 3, 2},
+                      Shape{7, 7, 7}, Shape{16, 8, 4}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace us3d::imaging

@@ -1,0 +1,78 @@
+#include "imaging/system_config.h"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+
+namespace us3d::imaging {
+namespace {
+
+TEST(SystemConfig, PaperSystemMatchesTableI) {
+  const SystemConfig cfg = paper_system();
+  EXPECT_DOUBLE_EQ(cfg.speed_of_sound, 1540.0);
+  EXPECT_DOUBLE_EQ(cfg.sampling_frequency_hz, 32.0e6);
+  EXPECT_EQ(cfg.volume.n_theta, 128);
+  EXPECT_EQ(cfg.volume.n_phi, 128);
+  EXPECT_EQ(cfg.volume.n_depth, 1000);
+  EXPECT_NEAR(cfg.volume.theta_span_rad, deg_to_rad(73.0), 1e-12);
+  EXPECT_NEAR(cfg.wavelength_m(), 0.385e-3, 1e-9);
+}
+
+TEST(SystemConfig, SamplePeriodIsAbout30ns) {
+  // Sec. II-B: "tp should be calculated with a very fine grain of about
+  // 30 ns" (1/32 MHz = 31.25 ns).
+  EXPECT_NEAR(paper_system().sample_period_s(), 31.25e-9, 1e-12);
+}
+
+TEST(SystemConfig, SampleConversionRoundTrip) {
+  const SystemConfig cfg = paper_system();
+  EXPECT_DOUBLE_EQ(cfg.seconds_to_samples(cfg.samples_to_seconds(123.0)),
+                   123.0);
+  EXPECT_DOUBLE_EQ(cfg.seconds_to_samples(1.0e-6), 32.0);
+}
+
+TEST(SystemConfig, EchoBufferSlightlyMoreThan8000Samples) {
+  // Sec. V-B: "an echo buffer containing slightly more than 8000 samples,
+  // corresponding to a 32 MHz sampling of ... 2 x 500 lambda. This
+  // requires 13-bit precision."
+  const SystemConfig cfg = paper_system();
+  EXPECT_GT(cfg.echo_buffer_samples(), 8000);
+  // 13 bits index samples 0..8191, i.e. a buffer of up to 8192 samples.
+  EXPECT_LE(cfg.echo_buffer_samples(), 8192);
+  EXPECT_EQ(cfg.delay_index_bits(), 13);
+}
+
+TEST(SystemConfig, DelaysPerFrameIs164Billion) {
+  // Sec. II-B: "the theoretical number of delay values to be calculated is
+  // about 164e9".
+  const SystemConfig cfg = paper_system();
+  EXPECT_EQ(cfg.delays_per_frame(), 128LL * 128 * 1000 * 100 * 100);
+  EXPECT_NEAR(static_cast<double>(cfg.delays_per_frame()), 163.84e9, 1e6);
+}
+
+TEST(SystemConfig, DelaysPerSecondIs2500Billion) {
+  // Sec. II-C: "about 2.5e12 delay values/s for reconstruction at 15 fps".
+  EXPECT_NEAR(paper_system().delays_per_second(), 2.4576e12, 1e7);
+}
+
+TEST(ScaledSystem, PreservesDensityAndPhysics) {
+  const SystemConfig small = scaled_system(16, 32, 100);
+  EXPECT_EQ(small.probe.elements_x, 16);
+  EXPECT_EQ(small.volume.n_theta, 32);
+  EXPECT_EQ(small.volume.n_depth, 100);
+  EXPECT_DOUBLE_EQ(small.speed_of_sound, paper_system().speed_of_sound);
+  // Depth step stays lambda/2.
+  const double step = (small.volume.max_depth_m - small.volume.min_depth_m) /
+                      (small.volume.n_depth - 1);
+  EXPECT_NEAR(step, small.wavelength_m() / 2.0, 1e-9);
+}
+
+TEST(ScaledSystem, TinyGridPlanDividesLinesEvenly) {
+  const SystemConfig tiny = scaled_system(4, 4, 10);
+  // 16 scanlines: the largest shot count <= 64 dividing them is 16.
+  EXPECT_EQ(tiny.plan.shots_per_volume, 16);
+  EXPECT_EQ(tiny.plan.scanlines_per_shot, 1);
+}
+
+}  // namespace
+}  // namespace us3d::imaging

@@ -1,0 +1,119 @@
+#include "imaging/volume.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/contracts.h"
+#include "imaging/system_config.h"
+
+namespace us3d::imaging {
+namespace {
+
+VolumeSpec small_spec() {
+  return VolumeSpec{
+      .n_theta = 9,
+      .n_phi = 9,
+      .n_depth = 11,
+      .theta_span_rad = deg_to_rad(73.0),
+      .phi_span_rad = deg_to_rad(73.0),
+      .min_depth_m = 1.0e-3,
+      .max_depth_m = 11.0e-3,
+  };
+}
+
+TEST(VolumeSpec, TotalPoints) {
+  EXPECT_EQ(small_spec().total_points(), 9 * 9 * 11);
+  EXPECT_EQ(paper_system().volume.total_points(), 128LL * 128 * 1000);
+}
+
+TEST(VolumeGrid, AngleEndpointsAndSymmetry) {
+  const VolumeGrid grid(small_spec());
+  EXPECT_NEAR(grid.theta(0), -deg_to_rad(36.5), 1e-12);
+  EXPECT_NEAR(grid.theta(8), deg_to_rad(36.5), 1e-12);
+  EXPECT_NEAR(grid.theta(4), 0.0, 1e-12);  // odd count: centre on axis
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_NEAR(grid.theta(i), -grid.theta(8 - i), 1e-12);
+    EXPECT_NEAR(grid.phi(i), -grid.phi(8 - i), 1e-12);
+  }
+}
+
+TEST(VolumeGrid, RadiusIsUniform) {
+  const VolumeGrid grid(small_spec());
+  EXPECT_DOUBLE_EQ(grid.radius(0), 1.0e-3);
+  EXPECT_DOUBLE_EQ(grid.radius(10), 11.0e-3);
+  for (int k = 1; k < 11; ++k) {
+    EXPECT_NEAR(grid.radius(k) - grid.radius(k - 1), 1.0e-3, 1e-15);
+  }
+}
+
+TEST(VolumeGrid, PositionMatchesEq5) {
+  // S = (r cos(phi) sin(theta), r sin(phi), r cos(phi) cos(theta)).
+  const double theta = deg_to_rad(20.0);
+  const double phi = deg_to_rad(-10.0);
+  const double r = 42.0e-3;
+  const Vec3 s = VolumeGrid::position(theta, phi, r);
+  EXPECT_NEAR(s.x, r * std::cos(phi) * std::sin(theta), 1e-15);
+  EXPECT_NEAR(s.y, r * std::sin(phi), 1e-15);
+  EXPECT_NEAR(s.z, r * std::cos(phi) * std::cos(theta), 1e-15);
+}
+
+TEST(VolumeGrid, PositionPreservesRadius) {
+  const VolumeGrid grid(small_spec());
+  for (int it = 0; it < 9; it += 2) {
+    for (int ip = 0; ip < 9; ip += 2) {
+      for (int id = 0; id < 11; id += 3) {
+        const FocalPoint fp = grid.focal_point(it, ip, id);
+        EXPECT_NEAR(fp.position.norm(), fp.radius, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(VolumeGrid, OnAxisPointIsStraightAhead) {
+  const VolumeGrid grid(small_spec());
+  const FocalPoint fp = grid.focal_point(4, 4, 5);
+  EXPECT_NEAR(fp.position.x, 0.0, 1e-12);
+  EXPECT_NEAR(fp.position.y, 0.0, 1e-12);
+  EXPECT_NEAR(fp.position.z, fp.radius, 1e-12);
+}
+
+TEST(VolumeGrid, FocalPointCarriesIndices) {
+  const VolumeGrid grid(small_spec());
+  const FocalPoint fp = grid.focal_point(2, 7, 3);
+  EXPECT_EQ(fp.i_theta, 2);
+  EXPECT_EQ(fp.i_phi, 7);
+  EXPECT_EQ(fp.i_depth, 3);
+  EXPECT_DOUBLE_EQ(fp.theta, grid.theta(2));
+  EXPECT_DOUBLE_EQ(fp.phi, grid.phi(7));
+  EXPECT_DOUBLE_EQ(fp.radius, grid.radius(3));
+}
+
+TEST(VolumeGrid, RejectsBadSpec) {
+  VolumeSpec bad = small_spec();
+  bad.n_theta = 0;
+  EXPECT_THROW(VolumeGrid{bad}, ContractViolation);
+  bad = small_spec();
+  bad.min_depth_m = 0.0;
+  EXPECT_THROW(VolumeGrid{bad}, ContractViolation);
+  bad = small_spec();
+  bad.max_depth_m = bad.min_depth_m / 2.0;
+  EXPECT_THROW(VolumeGrid{bad}, ContractViolation);
+}
+
+TEST(VolumeGrid, RejectsOutOfRangeIndices) {
+  const VolumeGrid grid(small_spec());
+  EXPECT_THROW(grid.theta(9), ContractViolation);
+  EXPECT_THROW(grid.phi(-1), ContractViolation);
+  EXPECT_THROW(grid.radius(11), ContractViolation);
+}
+
+TEST(VolumeGrid, PaperDepthRangeIs500Lambda) {
+  const SystemConfig cfg = paper_system();
+  EXPECT_NEAR(cfg.volume.max_depth_m, 500.0 * cfg.wavelength_m(), 1e-9);
+  EXPECT_NEAR(cfg.volume.max_depth_m, 192.5e-3, 1e-6);
+}
+
+}  // namespace
+}  // namespace us3d::imaging

@@ -1,0 +1,116 @@
+// One place that pins every headline number of the paper against this
+// implementation (at full paper scale where cheap, strided where a full
+// sweep would take minutes). EXPERIMENTS.md cross-references these.
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+#include "delay/error_harness.h"
+#include "delay/quantization.h"
+#include "delay/table_sizing.h"
+#include "delay/tablefree.h"
+#include "fpga/report.h"
+#include "hw/delay_fabric.h"
+#include "imaging/scan_order.h"
+
+namespace us3d {
+namespace {
+
+const imaging::SystemConfig kPaper = imaging::paper_system();
+
+TEST(PaperNumbers, SecIIB_164BillionCoefficients) {
+  EXPECT_EQ(kPaper.delays_per_frame(), 163'840'000'000LL);
+}
+
+TEST(PaperNumbers, SecIIC_2500BillionPerSecond) {
+  EXPECT_NEAR(kPaper.delays_per_second() / 1.0e12, 2.46, 0.05);
+}
+
+TEST(PaperNumbers, SecIVB_About70SegmentsAtQuarterSample) {
+  const delay::TableFreeEngine engine(kPaper);
+  EXPECT_GE(engine.pwl().segment_count(), 60u);
+  EXPECT_LE(engine.pwl().segment_count(), 80u);
+  EXPECT_LE(engine.pwl().measured_max_error(), 0.25 + 1e-9);
+}
+
+TEST(PaperNumbers, SecVA_TableFoldsTo2Point5Million) {
+  const auto s = delay::reference_table_sizing(kPaper, fx::kRefDelay18);
+  EXPECT_EQ(s.raw_entries, 10'000'000);
+  EXPECT_EQ(s.folded_entries, 2'500'000);
+  EXPECT_DOUBLE_EQ(s.folded_bits, 45.0e6);  // 45 Mb
+}
+
+TEST(PaperNumbers, SecVB_832kCorrectionCoefficients) {
+  const auto s = delay::steering_set_sizing(kPaper, fx::kCorrection18);
+  EXPECT_EQ(s.total_coefficients, 832'000);
+}
+
+TEST(PaperNumbers, SecVB_StreamingBandwidth) {
+  const auto s = delay::streaming_sizing(kPaper, fx::kRefDelay18,
+                                         fx::kCorrection18, 128, 1024);
+  EXPECT_DOUBLE_EQ(s.table_fetches_per_second, 960.0);
+  EXPECT_NEAR(s.bandwidth_bytes_per_second / 1.0e9, 5.4, 0.15);  // ~5.3
+}
+
+TEST(PaperNumbers, SecVB_FabricReaches3Point3Tdelays) {
+  const auto a = hw::analyze_fabric(kPaper, hw::FabricConfig{});
+  EXPECT_NEAR(a.peak_delays_per_second / 1.0e12, 3.3, 0.05);
+  EXPECT_TRUE(a.meets_realtime);
+}
+
+TEST(PaperNumbers, SecVIA_QuantizationThirtyThreePercentVsFewPercent) {
+  delay::QuantizationExperimentConfig q13;
+  q13.ref_format = fx::Format{13, 0, false};
+  q13.corr_format = fx::Format{13, 0, true};
+  q13.sum_format = fx::Format{14, 0, true};
+  q13.trials = 1'000'000;
+  const auto r13 = delay::run_quantization_experiment(q13);
+  EXPECT_NEAR(r13.fraction_changed(), 0.33, 0.01);
+  EXPECT_EQ(r13.max_abs_index_diff, 1);
+
+  delay::QuantizationExperimentConfig q18;
+  q18.trials = 1'000'000;
+  const auto r18 = delay::run_quantization_experiment(q18);
+  EXPECT_LT(r18.fraction_changed(), 0.05);
+  EXPECT_EQ(r18.max_abs_index_diff, 1);
+}
+
+TEST(PaperNumbers, SecVIA_SteeringErrorShape) {
+  // Strided sweep of the full paper system. Paper: avg ~44.6 ns
+  // (~1.43 samples) inside directivity; max ~3.1 us (99 samples); raw
+  // worst case bounded by the ~214-sample theoretical bound.
+  const auto dir = probe::Directivity::from_db_down(
+      kPaper.probe.pitch_m, kPaper.wavelength_m(), 6.0);
+  const auto rep = delay::measure_steering_algorithmic_error(
+      kPaper, delay::SweepStrides{16, 16, 50, 9, 9}, dir);
+  EXPECT_LT(rep.samples_all.max_abs(), 214.0 + 1.0);
+  EXPECT_GT(rep.samples_all.max_abs(), 100.0);
+  EXPECT_NEAR(rep.samples_filtered.mean_abs(), 1.4, 0.7);
+  EXPECT_LT(rep.max_error_seconds_filtered, 3.1e-6 * 1.2);
+  EXPECT_NEAR(rep.mean_error_seconds_filtered * 1e9, 44.0, 20.0);
+}
+
+TEST(PaperNumbers, TableII_ShapeHolds) {
+  fpga::Table2Inputs in;
+  in.segment_count = 70;
+  in.tablefree = {0.25, 2.0};
+  in.tablesteer14 = {1.55, 100.0};
+  in.tablesteer18 = {1.44, 100.0};
+  in.tablefree_stats.evaluations = 1'000'000;
+  in.tablefree_stats.total_steps = 17'000;
+  in.tablefree_stats.max_steps_single_evaluation = 3;
+  const auto rows =
+      fpga::generate_table2(kPaper, fpga::xc7vx1140t(), in);
+  ASSERT_EQ(rows.size(), 3u);
+  // Paper row 1: 100% LUT / 23% FF / 0% BRAM / none / 1.67T / 7.8 / 42x42.
+  EXPECT_NEAR(rows[0].lut_fraction, 1.0, 0.02);
+  EXPECT_NEAR(rows[0].register_fraction, 0.23, 0.03);
+  EXPECT_EQ(rows[0].channels_x, 42);
+  EXPECT_NEAR(rows[0].frame_rate, 7.8, 0.7);
+  // Paper row 3: 100% LUT / 30% FF / 25% BRAM / 5.3 GB/s / 3.3T / 19.7.
+  EXPECT_NEAR(rows[2].lut_fraction, 1.0, 0.05);
+  EXPECT_NEAR(rows[2].bram_fraction, 0.25, 0.02);
+  EXPECT_NEAR(rows[2].frame_rate, 19.7, 0.7);
+}
+
+}  // namespace
+}  // namespace us3d

@@ -1,0 +1,100 @@
+#include "probe/apodization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "probe/presets.h"
+
+namespace us3d::probe {
+namespace {
+
+TEST(WindowValue, RectIsFlat) {
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    EXPECT_DOUBLE_EQ(window_value(WindowKind::kRect, u), 1.0);
+  }
+}
+
+TEST(WindowValue, HannIsZeroAtEdgesOneAtCentre) {
+  EXPECT_NEAR(window_value(WindowKind::kHann, 0.0), 0.0, 1e-15);
+  EXPECT_NEAR(window_value(WindowKind::kHann, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(window_value(WindowKind::kHann, 0.5), 1.0, 1e-15);
+}
+
+TEST(WindowValue, HammingHasClassicEdgeValue) {
+  EXPECT_NEAR(window_value(WindowKind::kHamming, 0.0), 0.08, 1e-12);
+  EXPECT_NEAR(window_value(WindowKind::kHamming, 0.5), 1.0, 1e-12);
+}
+
+TEST(WindowValue, BlackmanEdgesNearZero) {
+  EXPECT_NEAR(window_value(WindowKind::kBlackman, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(window_value(WindowKind::kBlackman, 0.5), 1.0, 1e-12);
+}
+
+TEST(WindowValue, TukeyFlatTopAndTapers) {
+  // alpha = 0.5: flat for u in [0.25, 0.75], cosine tapers outside.
+  EXPECT_DOUBLE_EQ(window_value(WindowKind::kTukey, 0.5, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(window_value(WindowKind::kTukey, 0.3, 0.5), 1.0);
+  EXPECT_NEAR(window_value(WindowKind::kTukey, 0.0, 0.5), 0.0, 1e-15);
+  EXPECT_NEAR(window_value(WindowKind::kTukey, 1.0, 0.5), 0.0, 1e-12);
+  // alpha = 0 degenerates to rect.
+  EXPECT_DOUBLE_EQ(window_value(WindowKind::kTukey, 0.0, 0.0), 1.0);
+}
+
+TEST(WindowValue, AllWindowsSymmetric) {
+  for (const auto kind : {WindowKind::kHann, WindowKind::kHamming,
+                          WindowKind::kTukey, WindowKind::kBlackman}) {
+    for (double u = 0.0; u <= 0.5; u += 0.05) {
+      EXPECT_NEAR(window_value(kind, u), window_value(kind, 1.0 - u), 1e-12);
+    }
+  }
+}
+
+TEST(WindowValue, RejectsOutOfRangePosition) {
+  EXPECT_THROW(window_value(WindowKind::kHann, -0.1), ContractViolation);
+  EXPECT_THROW(window_value(WindowKind::kHann, 1.1), ContractViolation);
+}
+
+TEST(ApodizationMap, SeparableProduct) {
+  const MatrixProbe probe(small_probe(8));
+  const ApodizationMap map(probe, WindowKind::kHann);
+  // weight(ix,iy) = wx(ix)*wy(iy): check against scalar window.
+  for (int ix = 0; ix < 8; ++ix) {
+    const double u = ix / 7.0;
+    EXPECT_NEAR(map.weight(ix, 3),
+                window_value(WindowKind::kHann, u) *
+                    window_value(WindowKind::kHann, 3.0 / 7.0),
+                1e-12);
+  }
+}
+
+TEST(ApodizationMap, FlatIndexMatchesGridIndex) {
+  const MatrixProbe probe(small_probe(6));
+  const ApodizationMap map(probe, WindowKind::kHamming);
+  for (int e = 0; e < probe.element_count(); ++e) {
+    EXPECT_DOUBLE_EQ(map.weight_flat(e),
+                     map.weight(probe.index_x(e), probe.index_y(e)));
+  }
+}
+
+TEST(ApodizationMap, TotalWeightMatchesSum) {
+  const MatrixProbe probe(small_probe(5));
+  const ApodizationMap map(probe, WindowKind::kHann);
+  double sum = 0.0;
+  for (int e = 0; e < probe.element_count(); ++e) sum += map.weight_flat(e);
+  EXPECT_NEAR(map.total_weight(), sum, 1e-12);
+}
+
+TEST(ApodizationMap, RectTotalIsElementCount) {
+  const MatrixProbe probe(small_probe(9));
+  const ApodizationMap map(probe, WindowKind::kRect);
+  EXPECT_DOUBLE_EQ(map.total_weight(), 81.0);
+}
+
+TEST(ApodizationMap, SingleElementProbeGetsCentreWeight) {
+  const MatrixProbe probe(small_probe(1));
+  const ApodizationMap map(probe, WindowKind::kHann);
+  EXPECT_DOUBLE_EQ(map.weight(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace us3d::probe

@@ -1,0 +1,93 @@
+#include "probe/directivity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/contracts.h"
+
+namespace us3d::probe {
+namespace {
+
+constexpr double kLambda = 0.385e-3;
+constexpr double kWidth = kLambda / 2.0;
+
+TEST(Directivity, AmplitudeIsOneOnAxis) {
+  const Directivity d(kWidth, kLambda, deg_to_rad(45.0));
+  EXPECT_DOUBLE_EQ(d.amplitude(0.0), 1.0);
+}
+
+TEST(Directivity, AmplitudeDecreasesMonotonically) {
+  const Directivity d(kWidth, kLambda, deg_to_rad(45.0));
+  double prev = 1.0;
+  for (double deg = 1.0; deg <= 89.0; deg += 1.0) {
+    const double a = d.amplitude(deg_to_rad(deg));
+    EXPECT_LT(a, prev + 1e-12) << "at " << deg << " deg";
+    prev = a;
+  }
+}
+
+TEST(Directivity, AmplitudeIsZeroAtGrazing) {
+  const Directivity d(kWidth, kLambda, deg_to_rad(45.0));
+  EXPECT_NEAR(d.amplitude(kPi / 2.0), 0.0, 1e-12);
+}
+
+TEST(Directivity, AmplitudeIsEven) {
+  const Directivity d(kWidth, kLambda, deg_to_rad(45.0));
+  EXPECT_DOUBLE_EQ(d.amplitude(0.3), d.amplitude(-0.3));
+}
+
+TEST(Directivity, FromDbDownFindsHalfAmplitudeAngle) {
+  const Directivity d = Directivity::from_db_down(kWidth, kLambda, 6.0);
+  // At the cutoff, the response should be 10^(-6/20) ~= 0.501.
+  EXPECT_NEAR(d.amplitude(d.cutoff_angle()), std::pow(10.0, -6.0 / 20.0),
+              1e-6);
+  // Half-wavelength elements are wide radiators: cutoff near 50 degrees.
+  EXPECT_NEAR(rad_to_deg(d.cutoff_angle()), 49.8, 0.5);
+}
+
+TEST(Directivity, DeeperCutoffGivesWiderCone) {
+  const Directivity d6 = Directivity::from_db_down(kWidth, kLambda, 6.0);
+  const Directivity d12 = Directivity::from_db_down(kWidth, kLambda, 12.0);
+  EXPECT_GT(d12.cutoff_angle(), d6.cutoff_angle());
+}
+
+TEST(Directivity, AngleToOnAxisPointIsZero) {
+  const Vec3 elem{1.0e-3, 2.0e-3, 0.0};
+  const Vec3 straight_ahead = elem + Vec3{0.0, 0.0, 50.0e-3};
+  EXPECT_NEAR(Directivity::angle_to(elem, straight_ahead), 0.0, 1e-12);
+}
+
+TEST(Directivity, AngleToLateralPointIs90Deg) {
+  const Vec3 elem{};
+  const Vec3 side{10.0e-3, 0.0, 0.0};
+  EXPECT_NEAR(Directivity::angle_to(elem, side), kPi / 2.0, 1e-12);
+}
+
+TEST(Directivity, AngleToKnown45Deg) {
+  const Vec3 elem{};
+  const Vec3 p{5.0e-3, 0.0, 5.0e-3};
+  EXPECT_NEAR(Directivity::angle_to(elem, p), kPi / 4.0, 1e-12);
+}
+
+TEST(Directivity, AcceptsInsideConeRejectsOutside) {
+  const Directivity d(kWidth, kLambda, deg_to_rad(30.0));
+  const Vec3 elem{};
+  EXPECT_TRUE(d.accepts(elem, Vec3{0.0, 0.0, 10.0e-3}));
+  EXPECT_TRUE(d.accepts(elem, Vec3{2.0e-3, 0.0, 10.0e-3}));   // ~11 deg
+  EXPECT_FALSE(d.accepts(elem, Vec3{10.0e-3, 0.0, 10.0e-3})); // 45 deg
+}
+
+TEST(Directivity, RejectsInvalidConstruction) {
+  EXPECT_THROW(Directivity(0.0, kLambda, 0.5), ContractViolation);
+  EXPECT_THROW(Directivity(kWidth, kLambda, 0.0), ContractViolation);
+  EXPECT_THROW(Directivity(kWidth, kLambda, kPi), ContractViolation);
+}
+
+TEST(Directivity, AngleToCoincidentPointRejected) {
+  EXPECT_THROW(Directivity::angle_to(Vec3{}, Vec3{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::probe

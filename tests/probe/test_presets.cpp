@@ -1,0 +1,44 @@
+#include "probe/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace us3d::probe {
+namespace {
+
+TEST(Presets, PaperProbeMatchesTableI) {
+  const TransducerSpec spec = paper_probe();
+  EXPECT_EQ(spec.elements_x, 100);
+  EXPECT_EQ(spec.elements_y, 100);
+  EXPECT_DOUBLE_EQ(spec.center_frequency_hz, 4.0e6);
+  EXPECT_DOUBLE_EQ(spec.bandwidth_hz, 4.0e6);
+  // pitch = lambda/2 = c/fc/2 = 192.5 um.
+  EXPECT_NEAR(spec.pitch_m, 0.19250e-3, 1e-9);
+}
+
+TEST(Presets, SpeedOfSoundIsTableIValue) {
+  EXPECT_DOUBLE_EQ(kSpeedOfSoundTissue, 1540.0);
+}
+
+TEST(Presets, SmallProbeKeepsPhysics) {
+  const TransducerSpec spec = small_probe(16);
+  EXPECT_EQ(spec.elements_x, 16);
+  EXPECT_EQ(spec.elements_y, 16);
+  EXPECT_DOUBLE_EQ(spec.pitch_m, paper_probe().pitch_m);
+  EXPECT_DOUBLE_EQ(spec.center_frequency_hz,
+                   paper_probe().center_frequency_hz);
+}
+
+TEST(Presets, Figure3ProbeIs16x16) {
+  const TransducerSpec spec = figure3_probe();
+  EXPECT_EQ(spec.elements_x, 16);
+  EXPECT_EQ(spec.elements_y, 16);
+}
+
+TEST(Presets, SmallProbeRejectsNonPositive) {
+  EXPECT_THROW(small_probe(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::probe

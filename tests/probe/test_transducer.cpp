@@ -1,0 +1,104 @@
+#include "probe/transducer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.h"
+#include "probe/presets.h"
+
+namespace us3d::probe {
+namespace {
+
+MatrixProbe make_probe(int nx, int ny, double pitch = 1.0e-3) {
+  return MatrixProbe(TransducerSpec{nx, ny, pitch, 4.0e6, 4.0e6});
+}
+
+TEST(TransducerSpec, DerivedQuantities) {
+  const TransducerSpec spec = paper_probe();
+  EXPECT_EQ(spec.element_count(), 10000);
+  EXPECT_NEAR(spec.wavelength_m(1540.0), 0.385e-3, 1e-9);
+  // Table I: matrix dimension d = 50 lambda = 19.25 mm.
+  EXPECT_NEAR(spec.aperture_x_m(), 19.25e-3, 1e-6);
+  EXPECT_NEAR(spec.aperture_y_m(), 19.25e-3, 1e-6);
+}
+
+TEST(MatrixProbe, GridIsCentred) {
+  const MatrixProbe probe = make_probe(4, 4);
+  Vec3 sum{};
+  for (int e = 0; e < probe.element_count(); ++e) {
+    sum += probe.element_position(e);
+  }
+  EXPECT_NEAR(sum.x, 0.0, 1e-15);
+  EXPECT_NEAR(sum.y, 0.0, 1e-15);
+  EXPECT_NEAR(sum.z, 0.0, 1e-15);
+}
+
+TEST(MatrixProbe, ElementsLieInZPlane) {
+  const MatrixProbe probe = make_probe(5, 3);
+  for (int e = 0; e < probe.element_count(); ++e) {
+    EXPECT_EQ(probe.element_position(e).z, 0.0);
+  }
+}
+
+TEST(MatrixProbe, PitchBetweenNeighbours) {
+  const double pitch = 0.1925e-3;
+  const MatrixProbe probe = make_probe(10, 10, pitch);
+  const Vec3 a = probe.element_position(3, 5);
+  const Vec3 b = probe.element_position(4, 5);
+  const Vec3 c = probe.element_position(3, 6);
+  EXPECT_NEAR(b.x - a.x, pitch, 1e-15);
+  EXPECT_NEAR(c.y - a.y, pitch, 1e-15);
+}
+
+TEST(MatrixProbe, FlatIndexRoundTrip) {
+  const MatrixProbe probe = make_probe(7, 5);
+  for (int iy = 0; iy < 5; ++iy) {
+    for (int ix = 0; ix < 7; ++ix) {
+      const int flat = probe.flat_index(ix, iy);
+      EXPECT_EQ(probe.index_x(flat), ix);
+      EXPECT_EQ(probe.index_y(flat), iy);
+      EXPECT_EQ(probe.element_position(flat), probe.element_position(ix, iy));
+    }
+  }
+}
+
+TEST(MatrixProbe, MirrorSymmetryOfColumns) {
+  const MatrixProbe probe = make_probe(100, 100);
+  for (int ix = 0; ix < 100; ++ix) {
+    EXPECT_NEAR(probe.column_x(ix), -probe.column_x(99 - ix), 1e-15);
+  }
+}
+
+TEST(MatrixProbe, EvenGridHasNoElementOnAxis) {
+  // With lambda/2 pitch and even counts, element x coordinates are odd
+  // multiples of pitch/2 (the folding in the reference table relies on it).
+  const MatrixProbe probe = make_probe(100, 100, 0.1925e-3);
+  for (int ix = 0; ix < 100; ++ix) {
+    EXPECT_GT(std::abs(probe.column_x(ix)), 0.09e-3);
+  }
+}
+
+TEST(MatrixProbe, MaxElementRadiusIsCornerDistance) {
+  const MatrixProbe probe = make_probe(100, 100, 0.1925e-3);
+  const Vec3 corner = probe.element_position(0, 0);
+  EXPECT_NEAR(probe.max_element_radius(), corner.norm(), 1e-12);
+}
+
+TEST(MatrixProbe, RejectsInvalidSpec) {
+  EXPECT_THROW(make_probe(0, 4), ContractViolation);
+  EXPECT_THROW(MatrixProbe(TransducerSpec{4, 4, -1.0, 4e6, 4e6}),
+               ContractViolation);
+  EXPECT_THROW(MatrixProbe(TransducerSpec{4, 4, 1e-3, 0.0, 4e6}),
+               ContractViolation);
+}
+
+TEST(MatrixProbe, RejectsOutOfRangeIndices) {
+  const MatrixProbe probe = make_probe(4, 4);
+  EXPECT_THROW(probe.element_position(4, 0), ContractViolation);
+  EXPECT_THROW(probe.element_position(-1), ContractViolation);
+  EXPECT_THROW(probe.flat_index(0, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::probe
