@@ -1,17 +1,23 @@
 // A3 — Host-CPU throughput of each delay engine (google-benchmark). Not a
 // paper table: contextualizes the software-beamformer option the paper
 // cites ([13]) by measuring how far a CPU core is from the 2.5e12
-// delays/s the system needs.
+// delays/s the system needs. The BM_Pipeline* benchmarks sweep the
+// runtime::FramePipeline over 1/2/4/8 worker threads: the whole-frame
+// beamform (delay generation + delay-and-sum) should scale near-linearly
+// until the core count runs out.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "beamform/echo_buffer.h"
 #include "delay/exact.h"
 #include "delay/full_table.h"
 #include "delay/tablefree.h"
 #include "delay/tablesteer.h"
 #include "imaging/scan_order.h"
 #include "imaging/system_config.h"
+#include "probe/apodization.h"
+#include "runtime/frame_pipeline.h"
 
 namespace {
 
@@ -80,6 +86,56 @@ void BM_FullTableLookup(benchmark::State& state) {
   run_engine_sweep(state, engine);
 }
 BENCHMARK(BM_FullTableLookup)->Unit(benchmark::kMillisecond);
+
+// Thread-count sweep of the parallel frame pipeline: one full-frame
+// reconstruction per iteration, 1/2/4/8 workers. Items processed counts
+// delay coefficients, so the delays/s column is directly comparable with
+// the single-engine sweeps above.
+template <typename Engine>
+void run_pipeline_sweep(benchmark::State& state, const Engine& prototype) {
+  const auto& cfg = bench_config();
+  const probe::ApodizationMap apod(probe::MatrixProbe(cfg.probe),
+                                   probe::WindowKind::kRect);
+  runtime::FramePipeline pipeline(
+      cfg, apod, prototype,
+      runtime::PipelineConfig{
+          .worker_threads = static_cast<int>(state.range(0))});
+  beamform::EchoBuffer echoes(prototype.element_count(),
+                              cfg.echo_buffer_samples());
+  for (auto _ : state) {
+    auto volume = pipeline.reconstruct_frame(echoes, Vec3{});
+    benchmark::DoNotOptimize(volume.voxel_count());
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.delays_per_frame());
+}
+
+void BM_PipelineTableFree(benchmark::State& state) {
+  delay::TableFreeEngine prototype(bench_config());
+  run_pipeline_sweep(state, prototype);
+}
+BENCHMARK(BM_PipelineTableFree)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_PipelineTableSteer18(benchmark::State& state) {
+  delay::TableSteerEngine prototype(bench_config(),
+                                    delay::TableSteerConfig::bits18());
+  run_pipeline_sweep(state, prototype);
+}
+BENCHMARK(BM_PipelineTableSteer18)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_PipelineExact(benchmark::State& state) {
+  delay::ExactDelayEngine prototype(bench_config());
+  run_pipeline_sweep(state, prototype);
+}
+BENCHMARK(BM_PipelineExact)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // Microbenchmark: the PWL sqrt evaluation itself vs std::sqrt.
 void BM_PwlSqrtEvaluate(benchmark::State& state) {

@@ -31,21 +31,33 @@ float Beamformer::accumulate(const EchoBuffer& echoes,
 VolumeImage Beamformer::reconstruct(const EchoBuffer& echoes,
                                     delay::DelayEngine& engine,
                                     const BeamformOptions& options) const {
-  US3D_EXPECTS(echoes.element_count() == engine.element_count());
-  const imaging::VolumeGrid grid(config_.volume);
   VolumeImage image(config_.volume);
+  engine.begin_frame(options.origin);
+  reconstruct_span(echoes, engine,
+                   imaging::full_scan_range(config_.volume, options.order),
+                   image, options);
+  return image;
+}
+
+void Beamformer::reconstruct_span(const EchoBuffer& echoes,
+                                  delay::DelayEngine& engine,
+                                  const imaging::ScanRange& range,
+                                  VolumeImage& image,
+                                  const BeamformOptions& options) const {
+  US3D_EXPECTS(echoes.element_count() == engine.element_count());
+  US3D_EXPECTS(engine.frame_begun());
+  US3D_EXPECTS(image.spec().total_points() == config_.volume.total_points());
+  const imaging::VolumeGrid grid(config_.volume);
   std::vector<std::int32_t> delays(
       static_cast<std::size_t>(engine.element_count()));
 
-  engine.begin_frame(options.origin);
   imaging::for_each_focal_point(
-      grid, options.order, [&](const imaging::FocalPoint& fp) {
+      grid, options.order, range, [&](const imaging::FocalPoint& fp) {
         engine.compute(fp, delays);
         float v = accumulate(echoes, delays);
         if (options.normalize) v *= static_cast<float>(weight_norm_);
         image.at(fp.i_theta, fp.i_phi, fp.i_depth) = v;
       });
-  return image;
 }
 
 float Beamformer::beamform_point(const EchoBuffer& echoes,

@@ -29,10 +29,22 @@ class Beamformer {
   Beamformer(const imaging::SystemConfig& config,
              const probe::ApodizationMap& apodization);
 
-  /// Reconstructs the whole volume with delays from `engine`.
+  /// Reconstructs the whole volume with delays from `engine`. Equivalent
+  /// to begin_frame() + reconstruct_span() over the full scan range.
   VolumeImage reconstruct(const EchoBuffer& echoes,
                           delay::DelayEngine& engine,
                           const BeamformOptions& options = {}) const;
+
+  /// Beamforms one outer-axis slab of the volume into `image` (only the
+  /// voxels inside `range` are written). The caller owns the frame
+  /// protocol: `engine.begin_frame()` must already have been called with
+  /// the frame's origin. This is the unit of work the parallel runtime
+  /// hands to each worker — sweeping disjoint ranges of the same frame
+  /// with independent engine clones writes disjoint voxels and is
+  /// bit-identical to the serial sweep.
+  void reconstruct_span(const EchoBuffer& echoes, delay::DelayEngine& engine,
+                        const imaging::ScanRange& range, VolumeImage& image,
+                        const BeamformOptions& options = {}) const;
 
   /// Beamforms a single focal point (used by tests).
   float beamform_point(const EchoBuffer& echoes, delay::DelayEngine& engine,

@@ -7,13 +7,25 @@
 // PWL segment per element and therefore expects focal points in a smooth
 // scan order (Algorithm 1). Callers must call begin_frame() before a sweep
 // and then feed focal points in a single ScanCursor order.
+//
+// Statefulness contract (enforced here, not per engine): compute() before
+// begin_frame() is a precondition violation. begin_frame() fixes the
+// transmit origin and resets all per-frame state, so a frame sweep is a
+// begin_frame() followed by compute() calls only. clone() produces an
+// independently usable engine with identical configuration and tables but
+// *no* begun frame — the runtime clones one prototype per worker thread and
+// each worker begins its own frame, which is what makes parallel
+// reconstruction bit-identical to serial (delay values depend only on the
+// focal point and origin, never on the visit order).
 #ifndef US3D_DELAY_ENGINE_H
 #define US3D_DELAY_ENGINE_H
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 
+#include "common/contracts.h"
 #include "common/vec3.h"
 #include "imaging/focal_point.h"
 
@@ -30,13 +42,46 @@ class DelayEngine {
   /// compute() must have exactly this many entries (probe flat order).
   virtual int element_count() const = 0;
 
+  /// Deep copy with identical configuration and precomputed tables. The
+  /// clone shares nothing mutable with the original and starts with no
+  /// begun frame, so engine and clone can sweep concurrently on different
+  /// threads once each has called begin_frame().
+  virtual std::unique_ptr<DelayEngine> clone() const = 0;
+
   /// Resets per-frame state and fixes the transmit origin O for the frame.
-  virtual void begin_frame(const Vec3& origin) = 0;
+  void begin_frame(const Vec3& origin) {
+    do_begin_frame(origin);
+    frame_begun_ = true;
+  }
 
   /// Computes the two-way delay, rounded to an echo-buffer sample index,
-  /// for every element at focal point `fp`.
-  virtual void compute(const imaging::FocalPoint& fp,
-                       std::span<std::int32_t> out) = 0;
+  /// for every element at focal point `fp`. begin_frame() must have been
+  /// called first (a cloned engine does not inherit the prototype's frame).
+  void compute(const imaging::FocalPoint& fp, std::span<std::int32_t> out) {
+    US3D_EXPECTS(frame_begun_);  // compute() before begin_frame()
+    do_compute(fp, out);
+  }
+
+  /// Whether begin_frame() has been called on *this* instance.
+  bool frame_begun() const { return frame_begun_; }
+
+ protected:
+  DelayEngine() = default;
+  // Copies never inherit a begun frame — neither the source's (copy) nor
+  // the target's previous one (assignment): the result must get its own
+  // begin_frame() before compute().
+  DelayEngine(const DelayEngine&) : frame_begun_(false) {}
+  DelayEngine& operator=(const DelayEngine&) {
+    frame_begun_ = false;
+    return *this;
+  }
+
+  virtual void do_begin_frame(const Vec3& origin) = 0;
+  virtual void do_compute(const imaging::FocalPoint& fp,
+                          std::span<std::int32_t> out) = 0;
+
+ private:
+  bool frame_begun_ = false;
 };
 
 }  // namespace us3d::delay

@@ -24,7 +24,11 @@ ExactDelayEngine::ExactDelayEngine(const imaging::SystemConfig& config)
 
 int ExactDelayEngine::element_count() const { return probe_.element_count(); }
 
-void ExactDelayEngine::begin_frame(const Vec3& origin) { origin_ = origin; }
+std::unique_ptr<DelayEngine> ExactDelayEngine::clone() const {
+  return std::make_unique<ExactDelayEngine>(*this);
+}
+
+void ExactDelayEngine::do_begin_frame(const Vec3& origin) { origin_ = origin; }
 
 double ExactDelayEngine::delay_samples(const imaging::FocalPoint& fp,
                                        int flat_element) const {
@@ -33,8 +37,8 @@ double ExactDelayEngine::delay_samples(const imaging::FocalPoint& fp,
       two_way_delay_s(origin_, fp.position, d, config_.speed_of_sound));
 }
 
-void ExactDelayEngine::compute(const imaging::FocalPoint& fp,
-                               std::span<std::int32_t> out) {
+void ExactDelayEngine::do_compute(const imaging::FocalPoint& fp,
+                                  std::span<std::int32_t> out) {
   US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
   const double tx =
       config_.seconds_to_samples(

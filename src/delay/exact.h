@@ -26,15 +26,18 @@ class ExactDelayEngine final : public DelayEngine {
 
   std::string name() const override { return "EXACT"; }
   int element_count() const override;
-  void begin_frame(const Vec3& origin) override;
-  void compute(const imaging::FocalPoint& fp,
-               std::span<std::int32_t> out) override;
+  std::unique_ptr<DelayEngine> clone() const override;
 
   /// Unrounded two-way delay in echo samples, for error analyses.
   double delay_samples(const imaging::FocalPoint& fp, int flat_element) const;
 
   const probe::MatrixProbe& probe() const { return probe_; }
   const imaging::SystemConfig& config() const { return config_; }
+
+ protected:
+  void do_begin_frame(const Vec3& origin) override;
+  void do_compute(const imaging::FocalPoint& fp,
+                  std::span<std::int32_t> out) override;
 
  private:
   imaging::SystemConfig config_;

@@ -28,7 +28,11 @@ FullTableEngine::FullTableEngine(const imaging::SystemConfig& config,
 
 int FullTableEngine::element_count() const { return probe_.element_count(); }
 
-void FullTableEngine::begin_frame(const Vec3& origin) {
+std::unique_ptr<DelayEngine> FullTableEngine::clone() const {
+  return std::make_unique<FullTableEngine>(*this);
+}
+
+void FullTableEngine::do_begin_frame(const Vec3& origin) {
   // The table was precomputed for the centred origin.
   US3D_EXPECTS(origin == Vec3{});
 }
@@ -47,8 +51,8 @@ std::size_t FullTableEngine::base_index(int i_theta, int i_phi,
   return point_index * static_cast<std::size_t>(probe_.element_count());
 }
 
-void FullTableEngine::compute(const imaging::FocalPoint& fp,
-                              std::span<std::int32_t> out) {
+void FullTableEngine::do_compute(const imaging::FocalPoint& fp,
+                                 std::span<std::int32_t> out) {
   US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
   const std::size_t base = base_index(fp.i_theta, fp.i_phi, fp.i_depth);
   for (std::size_t e = 0; e < out.size(); ++e) out[e] = table_[base + e];

@@ -24,12 +24,16 @@ class FullTableEngine final : public DelayEngine {
 
   std::string name() const override { return "FULLTABLE"; }
   int element_count() const override;
-  void begin_frame(const Vec3& origin) override;
-  void compute(const imaging::FocalPoint& fp,
-               std::span<std::int32_t> out) override;
+  /// Copies the materialized table rather than recomputing it.
+  std::unique_ptr<DelayEngine> clone() const override;
 
   std::int64_t entry_count() const;
   double storage_bytes() const;  ///< as materialized here (int32 entries)
+
+ protected:
+  void do_begin_frame(const Vec3& origin) override;
+  void do_compute(const imaging::FocalPoint& fp,
+                  std::span<std::int32_t> out) override;
 
  private:
   std::size_t base_index(int i_theta, int i_phi, int i_depth) const;

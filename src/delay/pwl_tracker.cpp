@@ -30,6 +30,11 @@ PwlTracker::Evaluation PwlTracker::evaluate(double x) {
 
 void PwlTracker::seek(double x) { segment_ = table_->find_segment(x); }
 
+void PwlTracker::rebind(const PwlSqrt& table) {
+  US3D_EXPECTS(table.segment_count() == table_->segment_count());
+  table_ = &table;
+}
+
 void PwlTracker::reset_statistics() {
   total_steps_ = 0;
   evaluations_ = 0;

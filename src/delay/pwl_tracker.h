@@ -41,6 +41,13 @@ class PwlTracker {
   /// frame start) without charging steps.
   void seek(double x);
 
+  /// Re-points the tracker at an identical segmentation owned elsewhere.
+  /// Used when an engine that owns both the PwlSqrt and its trackers is
+  /// copied: the copied trackers must follow the copy's table, not the
+  /// original's. The segment index and statistics are preserved, so the
+  /// tables must have the same segmentation.
+  void rebind(const PwlSqrt& table);
+
   void reset_statistics();
 
  private:

@@ -37,6 +37,15 @@ MultiOriginTableRepository::MultiOriginTableRepository(
   }
 }
 
+MultiOriginTableRepository::MultiOriginTableRepository(
+    const MultiOriginTableRepository& other)
+    : config_(other.config_), origin_zs_(other.origin_zs_) {
+  tables_.reserve(other.tables_.size());
+  for (const auto& t : other.tables_) {
+    tables_.push_back(std::make_unique<ReferenceDelayTable>(*t));
+  }
+}
+
 const ReferenceDelayTable& MultiOriginTableRepository::table(
     int origin_index) const {
   US3D_EXPECTS(origin_index >= 0 && origin_index < origin_count());
@@ -75,7 +84,11 @@ int SyntheticApertureSteerEngine::element_count() const {
   return probe_.element_count();
 }
 
-void SyntheticApertureSteerEngine::begin_frame(const Vec3& origin) {
+std::unique_ptr<DelayEngine> SyntheticApertureSteerEngine::clone() const {
+  return std::unique_ptr<DelayEngine>(new SyntheticApertureSteerEngine(*this));
+}
+
+void SyntheticApertureSteerEngine::do_begin_frame(const Vec3& origin) {
   US3D_EXPECTS(std::abs(origin.x) < 1e-12 && std::abs(origin.y) < 1e-12);
   for (int i = 0; i < repo_.origin_count(); ++i) {
     if (std::abs(repo_.origin_z(i) - origin.z) < 1e-12) {
@@ -87,8 +100,8 @@ void SyntheticApertureSteerEngine::begin_frame(const Vec3& origin) {
       "synthetic-aperture origin not present in the table repository");
 }
 
-void SyntheticApertureSteerEngine::compute(const imaging::FocalPoint& fp,
-                                           std::span<std::int32_t> out) {
+void SyntheticApertureSteerEngine::do_compute(const imaging::FocalPoint& fp,
+                                              std::span<std::int32_t> out) {
   US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
   const ReferenceDelayTable& table = repo_.table(active_);
   const int nx = probe_.elements_x();

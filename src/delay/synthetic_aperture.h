@@ -46,6 +46,10 @@ class MultiOriginTableRepository {
   MultiOriginTableRepository(const imaging::SystemConfig& config,
                              const SyntheticAperturePlan& plan,
                              const fx::Format& entry_format = fx::kRefDelay18);
+  /// Deep copy (one table copy per origin, no recomputation).
+  MultiOriginTableRepository(const MultiOriginTableRepository& other);
+  MultiOriginTableRepository& operator=(const MultiOriginTableRepository&) =
+      delete;
 
   int origin_count() const { return static_cast<int>(tables_.size()); }
   const ReferenceDelayTable& table(int origin_index) const;
@@ -75,14 +79,17 @@ class SyntheticApertureSteerEngine final : public DelayEngine {
 
   std::string name() const override { return "TABLESTEER-SA"; }
   int element_count() const override;
-
-  /// Selects the table whose origin matches (on-axis origins only).
-  void begin_frame(const Vec3& origin) override;
-  void compute(const imaging::FocalPoint& fp,
-               std::span<std::int32_t> out) override;
+  /// Deep-copies the whole table repository.
+  std::unique_ptr<DelayEngine> clone() const override;
 
   const MultiOriginTableRepository& repository() const { return repo_; }
   int active_origin() const { return active_; }
+
+ protected:
+  /// Selects the table whose origin matches (on-axis origins only).
+  void do_begin_frame(const Vec3& origin) override;
+  void do_compute(const imaging::FocalPoint& fp,
+                  std::span<std::int32_t> out) override;
 
  private:
   imaging::SystemConfig config_;

@@ -48,9 +48,29 @@ TableFreeEngine::TableFreeEngine(const imaging::SystemConfig& config,
   }
 }
 
+TableFreeEngine::TableFreeEngine(const TableFreeEngine& other)
+    : DelayEngine(other),
+      config_(other.config_),
+      probe_(other.probe_),
+      tf_config_(other.tf_config_),
+      pwl_(other.pwl_),
+      fixed_pwl_(other.fixed_pwl_),
+      element_pos_samples_(other.element_pos_samples_),
+      rx_trackers_(other.rx_trackers_),
+      tx_tracker_(other.tx_tracker_),
+      origin_samples_(other.origin_samples_),
+      pending_seek_(other.pending_seek_) {
+  for (PwlTracker& t : rx_trackers_) t.rebind(pwl_);
+  tx_tracker_.rebind(pwl_);
+}
+
 int TableFreeEngine::element_count() const { return probe_.element_count(); }
 
-void TableFreeEngine::begin_frame(const Vec3& origin) {
+std::unique_ptr<DelayEngine> TableFreeEngine::clone() const {
+  return std::make_unique<TableFreeEngine>(*this);
+}
+
+void TableFreeEngine::do_begin_frame(const Vec3& origin) {
   const double k = config_.sampling_frequency_hz / config_.speed_of_sound;
   origin_samples_ = origin * k;
   pending_seek_ = true;
@@ -60,8 +80,8 @@ double TableFreeEngine::squared_distance(const Vec3& a, const Vec3& b) {
   return (a - b).norm_squared();
 }
 
-void TableFreeEngine::compute(const imaging::FocalPoint& fp,
-                              std::span<std::int32_t> out) {
+void TableFreeEngine::do_compute(const imaging::FocalPoint& fp,
+                                 std::span<std::int32_t> out) {
   US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
   const double k = config_.sampling_frequency_hz / config_.speed_of_sound;
   const Vec3 s = fp.position * k;  // focal point in sample units

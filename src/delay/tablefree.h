@@ -36,12 +36,14 @@ class TableFreeEngine final : public DelayEngine {
  public:
   TableFreeEngine(const imaging::SystemConfig& config,
                   const TableFreeConfig& tf_config = {});
+  /// Copying rebinds the per-element trackers to the copy's own PWL table
+  /// (they hold a pointer to the engine-owned segmentation).
+  TableFreeEngine(const TableFreeEngine& other);
+  TableFreeEngine& operator=(const TableFreeEngine&) = delete;
 
   std::string name() const override { return "TABLEFREE"; }
   int element_count() const override;
-  void begin_frame(const Vec3& origin) override;
-  void compute(const imaging::FocalPoint& fp,
-               std::span<std::int32_t> out) override;
+  std::unique_ptr<DelayEngine> clone() const override;
 
   const PwlSqrt& pwl() const { return pwl_; }
   const FixedPwlSqrt& fixed_pwl() const { return fixed_pwl_; }
@@ -61,6 +63,11 @@ class TableFreeEngine final : public DelayEngine {
   };
   TrackerStats tracker_stats() const;
   void reset_tracker_stats();
+
+ protected:
+  void do_begin_frame(const Vec3& origin) override;
+  void do_compute(const imaging::FocalPoint& fp,
+                  std::span<std::int32_t> out) override;
 
  private:
   /// Squared distance in sample^2 units between two points given in

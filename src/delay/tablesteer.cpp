@@ -49,15 +49,19 @@ std::string TableSteerEngine::name() const {
 
 int TableSteerEngine::element_count() const { return probe_.element_count(); }
 
-void TableSteerEngine::begin_frame(const Vec3& origin) {
+std::unique_ptr<DelayEngine> TableSteerEngine::clone() const {
+  return std::make_unique<TableSteerEngine>(*this);
+}
+
+void TableSteerEngine::do_begin_frame(const Vec3& origin) {
   // The reference table was built for O at the array centre; a displaced
   // origin would need a different (larger) table (Sec. V-A).
   US3D_EXPECTS(std::abs(origin.x) < 1e-12 && std::abs(origin.y) < 1e-12 &&
                std::abs(origin.z) < 1e-12);
 }
 
-void TableSteerEngine::compute(const imaging::FocalPoint& fp,
-                               std::span<std::int32_t> out) {
+void TableSteerEngine::do_compute(const imaging::FocalPoint& fp,
+                                  std::span<std::int32_t> out) {
   US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
   const int nx = probe_.elements_x();
   const int ny = probe_.elements_y();

@@ -39,17 +39,20 @@ class TableSteerEngine final : public DelayEngine {
 
   std::string name() const override;
   int element_count() const override;
-
-  /// TABLESTEER assumes a constant origin on the probe's vertical axis
-  /// (Sec. V: "we assume a constant origin O across frames"); begin_frame
-  /// rejects anything else.
-  void begin_frame(const Vec3& origin) override;
-  void compute(const imaging::FocalPoint& fp,
-               std::span<std::int32_t> out) override;
+  /// Copies the reference table and steering coefficients (no recompute).
+  std::unique_ptr<DelayEngine> clone() const override;
 
   const ReferenceDelayTable& reference_table() const { return table_; }
   const SteeringCorrections& corrections() const { return corrections_; }
   const TableSteerConfig& config() const { return ts_config_; }
+
+ protected:
+  /// TABLESTEER assumes a constant origin on the probe's vertical axis
+  /// (Sec. V: "we assume a constant origin O across frames"); begin_frame
+  /// rejects anything else.
+  void do_begin_frame(const Vec3& origin) override;
+  void do_compute(const imaging::FocalPoint& fp,
+                  std::span<std::int32_t> out) override;
 
  private:
   imaging::SystemConfig config_;

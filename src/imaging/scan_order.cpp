@@ -14,8 +14,51 @@ const char* to_string(ScanOrder order) {
   return "?";
 }
 
+int outer_extent(const VolumeSpec& spec, ScanOrder order) {
+  return order == ScanOrder::kNappeByNappe ? spec.n_depth : spec.n_theta;
+}
+
+ScanRange full_scan_range(const VolumeSpec& spec, ScanOrder order) {
+  return ScanRange{0, outer_extent(spec, order)};
+}
+
+std::vector<ScanRange> partition_scan(const VolumeSpec& spec, ScanOrder order,
+                                      int parts) {
+  US3D_EXPECTS(parts > 0);
+  const int extent = outer_extent(spec, order);
+  const int n = parts < extent ? parts : extent;
+  std::vector<ScanRange> ranges;
+  ranges.reserve(static_cast<std::size_t>(n > 0 ? n : 0));
+  // First (extent % n) ranges get one extra slab so sizes differ by <= 1.
+  int begin = 0;
+  for (int i = 0; i < n; ++i) {
+    const int size = extent / n + (i < extent % n ? 1 : 0);
+    ranges.push_back(ScanRange{begin, begin + size});
+    begin += size;
+  }
+  US3D_ENSURES(begin == extent);
+  return ranges;
+}
+
 ScanCursor::ScanCursor(const VolumeGrid& grid, ScanOrder order)
-    : grid_(&grid), order_(order) {}
+    : ScanCursor(grid, order, full_scan_range(grid.spec(), order)) {}
+
+ScanCursor::ScanCursor(const VolumeGrid& grid, ScanOrder order,
+                       const ScanRange& range)
+    : grid_(&grid), order_(order), range_(range), a_(range.outer_begin) {
+  US3D_EXPECTS(range.outer_begin >= 0 &&
+               range.outer_end <= outer_extent(grid.spec(), order) &&
+               range.outer_begin <= range.outer_end);
+}
+
+std::int64_t ScanCursor::total() const {
+  const VolumeSpec& s = grid_->spec();
+  const std::int64_t inner =
+      order_ == ScanOrder::kNappeByNappe
+          ? static_cast<std::int64_t>(s.n_theta) * s.n_phi
+          : static_cast<std::int64_t>(s.n_phi) * s.n_depth;
+  return inner * range_.extent();
+}
 
 bool ScanCursor::next(FocalPoint& out) {
   const VolumeSpec& s = grid_->spec();
@@ -49,7 +92,8 @@ bool ScanCursor::next(FocalPoint& out) {
 }
 
 void ScanCursor::reset() {
-  a_ = b_ = c_ = 0;
+  a_ = range_.outer_begin;
+  b_ = c_ = 0;
   produced_ = 0;
 }
 

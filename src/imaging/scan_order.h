@@ -3,10 +3,19 @@
 // The delay engines are order-sensitive (TABLEFREE tracks PWL segments
 // incrementally; TABLESTEER streams one table slice per nappe), so the order
 // is an explicit, first-class parameter.
+//
+// For parallel reconstruction the volume is partitioned along the
+// *outermost* loop axis of the chosen order (depth nappes for
+// kNappeByNappe, theta scanline groups for kScanlineByScanline): each
+// worker sweeps a contiguous ScanRange with its own cursor, so an
+// order-sensitive engine still sees a smooth in-order point stream inside
+// its range — only the one-off seek at the range start differs from the
+// serial sweep, and delay *values* never depend on the visit order.
 #ifndef US3D_IMAGING_SCAN_ORDER_H
 #define US3D_IMAGING_SCAN_ORDER_H
 
 #include <cstdint>
+#include <vector>
 
 #include "imaging/volume.h"
 
@@ -19,25 +28,53 @@ enum class ScanOrder {
 
 const char* to_string(ScanOrder order);
 
+/// Contiguous slab of the outermost loop axis: [outer_begin, outer_end).
+/// For kNappeByNappe the axis is depth; for kScanlineByScanline it is theta.
+struct ScanRange {
+  int outer_begin = 0;
+  int outer_end = 0;
+
+  int extent() const { return outer_end - outer_begin; }
+  bool empty() const { return outer_end <= outer_begin; }
+  bool operator==(const ScanRange&) const = default;
+};
+
+/// Size of the outermost loop axis of `order` (n_depth or n_theta).
+int outer_extent(const VolumeSpec& spec, ScanOrder order);
+
+/// The whole volume as one range.
+ScanRange full_scan_range(const VolumeSpec& spec, ScanOrder order);
+
+/// Splits the outermost axis into at most `parts` contiguous, non-empty,
+/// near-equal ranges covering it exactly (fewer when the axis is shorter
+/// than `parts`). Concatenating the ranges in return order reproduces the
+/// serial sweep.
+std::vector<ScanRange> partition_scan(const VolumeSpec& spec, ScanOrder order,
+                                      int parts);
+
 /// Stateful cursor over a VolumeGrid in a given order. Value-semantic;
-/// `next()` returns false when the sweep is complete.
+/// `next()` returns false when the sweep is complete. The two-argument
+/// form sweeps the whole volume; the range form sweeps one outer-axis slab.
 class ScanCursor {
  public:
   ScanCursor(const VolumeGrid& grid, ScanOrder order);
+  ScanCursor(const VolumeGrid& grid, ScanOrder order, const ScanRange& range);
 
   /// Advances to the next focal point; fills `out`. Returns false at end.
   bool next(FocalPoint& out);
 
   /// Sequential position of the *next* point to be produced, in [0, total].
   std::int64_t position() const { return produced_; }
-  std::int64_t total() const { return grid_->total_points(); }
+  std::int64_t total() const;
   ScanOrder order() const { return order_; }
+  const ScanRange& range() const { return range_; }
 
   void reset();
 
  private:
   const VolumeGrid* grid_;  // non-owning; cursor must not outlive grid
   ScanOrder order_;
+  ScanRange range_;
   int a_ = 0, b_ = 0, c_ = 0;  // loop counters, outermost..innermost
   std::int64_t produced_ = 0;
 };
@@ -46,6 +83,15 @@ class ScanCursor {
 template <typename Fn>
 void for_each_focal_point(const VolumeGrid& grid, ScanOrder order, Fn&& fn) {
   ScanCursor cursor(grid, order);
+  FocalPoint fp;
+  while (cursor.next(fp)) fn(fp);
+}
+
+/// Visits the focal points of one outer-axis slab in the requested order.
+template <typename Fn>
+void for_each_focal_point(const VolumeGrid& grid, ScanOrder order,
+                          const ScanRange& range, Fn&& fn) {
+  ScanCursor cursor(grid, order, range);
   FocalPoint fp;
   while (cursor.next(fp)) fn(fp);
 }

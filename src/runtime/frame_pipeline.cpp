@@ -1,0 +1,200 @@
+#include "runtime/frame_pipeline.h"
+
+#include <array>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace us3d::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+FramePipeline::FramePipeline(const imaging::SystemConfig& config,
+                             const probe::ApodizationMap& apodization,
+                             const delay::DelayEngine& prototype,
+                             const PipelineConfig& pipeline_config)
+    : config_(config),
+      beamformer_(config, apodization),
+      pipeline_config_(pipeline_config),
+      ranges_(imaging::partition_scan(config.volume, pipeline_config.order,
+                                      pipeline_config.worker_threads)),
+      pool_(static_cast<int>(ranges_.size())) {
+  US3D_EXPECTS(pipeline_config.worker_threads >= 1);
+  US3D_EXPECTS(prototype.element_count() ==
+               probe::MatrixProbe(config.probe).element_count());
+  engines_.reserve(ranges_.size());
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    engines_.push_back(prototype.clone());
+  }
+  stats_.worker_threads = worker_threads();
+}
+
+void FramePipeline::reset_stats() {
+  stats_ = PipelineStats{};
+  stats_.worker_threads = worker_threads();
+}
+
+void FramePipeline::beamform_into(const beamform::EchoBuffer& echoes,
+                                  const Vec3& origin,
+                                  beamform::VolumeImage& image) {
+  const beamform::BeamformOptions options{
+      .order = pipeline_config_.order,
+      .normalize = pipeline_config_.normalize,
+      .origin = origin,
+  };
+  pool_.run(static_cast<int>(ranges_.size()), [&](int worker) {
+    delay::DelayEngine& engine = *engines_[static_cast<std::size_t>(worker)];
+    engine.begin_frame(origin);
+    beamformer_.reconstruct_span(echoes, engine,
+                                 ranges_[static_cast<std::size_t>(worker)],
+                                 image, options);
+  });
+}
+
+beamform::VolumeImage FramePipeline::reconstruct_frame(
+    const beamform::EchoBuffer& echoes, const Vec3& origin) {
+  beamform::VolumeImage image(config_.volume);
+  const auto t0 = Clock::now();
+  beamform_into(echoes, origin, image);
+  const double elapsed = seconds_since(t0);
+  stats_.beamform.record(elapsed);
+  stats_.wall_s += elapsed;
+  ++stats_.frames;
+  stats_.voxels += image.voxel_count();
+  return image;
+}
+
+PipelineStats FramePipeline::run(FrameSource& source, const VolumeSink& sink) {
+  PipelineStats run_stats;
+  run_stats.worker_threads = worker_threads();
+  const auto t_run = Clock::now();
+  const std::int64_t max_frames = pipeline_config_.max_frames;
+
+  if (!pipeline_config_.double_buffered) {
+    beamform::VolumeImage volume(config_.volume);
+    while (max_frames < 0 || run_stats.frames < max_frames) {
+      const auto t_ingest = Clock::now();
+      std::optional<EchoFrame> frame = source.next_frame();
+      if (!frame) break;
+      run_stats.ingest.record(seconds_since(t_ingest));
+
+      const auto t_beamform = Clock::now();
+      beamform_into(frame->echoes, frame->origin, volume);
+      run_stats.beamform.record(seconds_since(t_beamform));
+
+      const auto t_consume = Clock::now();
+      sink(volume, frame->sequence);
+      run_stats.consume.record(seconds_since(t_consume));
+
+      ++run_stats.frames;
+      run_stats.voxels += volume.voxel_count();
+    }
+  } else {
+    // Double buffering: the producer (this thread + pool) alternates
+    // between two output volumes while a consumer thread runs the sink on
+    // the previously finished one. seq[i] >= 0 publishes buffer i.
+    std::array<beamform::VolumeImage, 2> buffers{
+        beamform::VolumeImage(config_.volume),
+        beamform::VolumeImage(config_.volume)};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::array<std::int64_t, 2> seq{-1, -1};
+    bool done = false;
+    bool sink_failed = false;
+    std::exception_ptr sink_error;
+
+    std::thread consumer([&] {
+      int slot = 0;
+      while (true) {
+        std::int64_t sequence;
+        {
+          std::unique_lock<std::mutex> lock(mutex);
+          cv.wait(lock, [&] { return seq[slot] >= 0 || done; });
+          if (seq[slot] < 0) return;  // stream over, nothing published
+          sequence = seq[slot];
+        }
+        const auto t_consume = Clock::now();
+        try {
+          sink(buffers[static_cast<std::size_t>(slot)], sequence);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          sink_error = std::current_exception();
+          sink_failed = true;
+          cv.notify_all();
+          return;
+        }
+        run_stats.consume.record(seconds_since(t_consume));
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          seq[slot] = -1;
+          cv.notify_all();
+        }
+        slot ^= 1;
+      }
+    });
+
+    std::exception_ptr producer_error;
+    try {
+      int slot = 0;
+      while (max_frames < 0 || run_stats.frames < max_frames) {
+        const auto t_ingest = Clock::now();
+        std::optional<EchoFrame> frame = source.next_frame();
+        if (!frame) break;
+        run_stats.ingest.record(seconds_since(t_ingest));
+
+        {
+          std::unique_lock<std::mutex> lock(mutex);
+          cv.wait(lock, [&] { return seq[slot] < 0 || sink_failed; });
+          if (sink_failed) break;
+        }
+        beamform::VolumeImage& volume =
+            buffers[static_cast<std::size_t>(slot)];
+        const auto t_beamform = Clock::now();
+        beamform_into(frame->echoes, frame->origin, volume);
+        run_stats.beamform.record(seconds_since(t_beamform));
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          seq[slot] = frame->sequence;
+          cv.notify_all();
+        }
+        slot ^= 1;
+        ++run_stats.frames;
+        run_stats.voxels += volume.voxel_count();
+      }
+    } catch (...) {
+      producer_error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      done = true;
+      cv.notify_all();
+    }
+    consumer.join();
+    if (producer_error) std::rethrow_exception(producer_error);
+    if (sink_error) std::rethrow_exception(sink_error);
+  }
+
+  run_stats.wall_s = seconds_since(t_run);
+
+  // Fold the run into the pipeline-lifetime stats.
+  stats_.frames += run_stats.frames;
+  stats_.voxels += run_stats.voxels;
+  stats_.wall_s += run_stats.wall_s;
+  stats_.ingest.merge(run_stats.ingest);
+  stats_.beamform.merge(run_stats.beamform);
+  stats_.consume.merge(run_stats.consume);
+  return run_stats;
+}
+
+}  // namespace us3d::runtime

@@ -1,0 +1,102 @@
+// The streaming frame pipeline — the runtime that makes on-the-fly delay
+// generation pay off at the system level. A FramePipeline owns a persistent
+// worker pool and one DelayEngine clone per worker; each frame's volume is
+// partitioned into contiguous outer-axis slabs (nappes for kNappeByNappe)
+// via imaging::partition_scan, and every worker sweeps its slab with its
+// private engine through Beamformer::reconstruct_span. Because delay values
+// depend only on (origin, focal point) — never on visit order — the parallel
+// result is bit-identical to Beamformer::reconstruct on one thread; the
+// property tests in tests/runtime/ pin that invariant for every engine.
+//
+// run() adds double buffering on top: two output volumes alternate so the
+// sink callback (display, encoder, network) consumes frame N while the pool
+// beamforms frame N+1. PipelineStats records per-stage latency and the
+// sustained frame rate.
+#ifndef US3D_RUNTIME_FRAME_PIPELINE_H
+#define US3D_RUNTIME_FRAME_PIPELINE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "beamform/beamformer.h"
+#include "beamform/volume_image.h"
+#include "delay/engine.h"
+#include "imaging/scan_order.h"
+#include "imaging/system_config.h"
+#include "probe/apodization.h"
+#include "runtime/frame_source.h"
+#include "runtime/pipeline_stats.h"
+#include "runtime/worker_pool.h"
+
+namespace us3d::runtime {
+
+struct PipelineConfig {
+  /// Parallelism of the per-frame sweep. 1 reproduces the serial
+  /// beamformer exactly (and shares its code path).
+  int worker_threads = 1;
+  imaging::ScanOrder order = imaging::ScanOrder::kNappeByNappe;
+  /// Forwarded to BeamformOptions.
+  bool normalize = true;
+  /// Overlap the sink callback with the next frame's beamform in run().
+  /// Off: frames are fully sequential (beamform, then sink, then next).
+  bool double_buffered = true;
+  /// Stop run() after this many frames; < 0 means drain the source.
+  std::int64_t max_frames = -1;
+};
+
+class FramePipeline {
+ public:
+  /// Clones `prototype` once per worker slab. The prototype itself is not
+  /// retained and never computes — it only serves as the configured
+  /// template (tables, formats, probe geometry).
+  FramePipeline(const imaging::SystemConfig& config,
+                const probe::ApodizationMap& apodization,
+                const delay::DelayEngine& prototype,
+                const PipelineConfig& pipeline_config = {});
+
+  /// Actual sweep parallelism: min(worker_threads, outer axis extent).
+  int worker_threads() const { return static_cast<int>(ranges_.size()); }
+  const std::vector<imaging::ScanRange>& ranges() const { return ranges_; }
+  std::string engine_name() const { return engines_.front()->name(); }
+
+  /// Cumulative stats since construction / the last reset_stats(). run()
+  /// additionally returns the snapshot for just that run.
+  const PipelineStats& stats() const { return stats_; }
+  void reset_stats();
+
+  /// Parallel reconstruction of a single frame; bit-identical to
+  /// Beamformer::reconstruct(echoes, engine, {order, normalize, origin}).
+  beamform::VolumeImage reconstruct_frame(const beamform::EchoBuffer& echoes,
+                                          const Vec3& origin);
+
+  /// Called once per finished frame, in frame order. The volume reference
+  /// is only valid for the duration of the call (its buffer is recycled).
+  using VolumeSink =
+      std::function<void(const beamform::VolumeImage& volume,
+                         std::int64_t sequence)>;
+
+  /// Streams frames from `source` until it runs dry (or max_frames),
+  /// beamforming each across the pool and handing finished volumes to
+  /// `sink` in order. Returns the stats for this run. Exceptions thrown by
+  /// the sink or by workers propagate after the pipeline has quiesced.
+  PipelineStats run(FrameSource& source, const VolumeSink& sink);
+
+ private:
+  /// Parallel sweep of one frame into `image` (all slabs, one per worker).
+  void beamform_into(const beamform::EchoBuffer& echoes, const Vec3& origin,
+                     beamform::VolumeImage& image);
+
+  imaging::SystemConfig config_;
+  beamform::Beamformer beamformer_;
+  PipelineConfig pipeline_config_;
+  std::vector<imaging::ScanRange> ranges_;
+  std::vector<std::unique_ptr<delay::DelayEngine>> engines_;  // per slab
+  WorkerPool pool_;
+  PipelineStats stats_;
+};
+
+}  // namespace us3d::runtime
+
+#endif  // US3D_RUNTIME_FRAME_PIPELINE_H

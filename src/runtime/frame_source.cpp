@@ -1,0 +1,58 @@
+#include "runtime/frame_source.h"
+
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace us3d::runtime {
+
+ReplayFrameSource::ReplayFrameSource(std::vector<EchoFrame> frames,
+                                     int repeats)
+    : frames_(std::move(frames)), repeats_(repeats) {
+  US3D_EXPECTS(!frames_.empty());
+  US3D_EXPECTS(repeats >= 1);
+}
+
+std::int64_t ReplayFrameSource::total_frames() const {
+  return static_cast<std::int64_t>(frames_.size()) * repeats_;
+}
+
+std::optional<EchoFrame> ReplayFrameSource::next_frame() {
+  if (emitted_ >= total_frames()) return std::nullopt;
+  EchoFrame frame = frames_[static_cast<std::size_t>(
+      emitted_ % static_cast<std::int64_t>(frames_.size()))];
+  frame.sequence = emitted_++;
+  return frame;
+}
+
+void ReplayFrameSource::rewind() { emitted_ = 0; }
+
+StreamedFrameSource::StreamedFrameSource(FrameSource& inner,
+                                         const hw::StreamBufferConfig& config)
+    : inner_(&inner), config_(config) {
+  US3D_EXPECTS(config.capacity_words > 0);
+  US3D_EXPECTS(config.clock_hz > 0.0);
+  US3D_EXPECTS(config.dram_bandwidth_bytes_per_s > 0.0);
+  US3D_EXPECTS(config.word_bits > 0);
+  US3D_EXPECTS(config.drain_words_per_cycle > 0.0);
+}
+
+std::optional<EchoFrame> StreamedFrameSource::next_frame() {
+  std::optional<EchoFrame> frame = inner_->next_frame();
+  if (!frame) return frame;
+  const std::int64_t words =
+      static_cast<std::int64_t>(frame->echoes.element_count()) *
+      frame->echoes.samples_per_element();
+  const hw::StreamBufferReport r = hw::simulate_stream(config_, words);
+  if (r.underrun) {
+    ++report_.underrun_frames;
+    report_.stall_cycles += r.underrun_cycles;
+  }
+  if (report_.frames == 0 || r.min_margin_cycles < report_.min_margin_cycles) {
+    report_.min_margin_cycles = r.min_margin_cycles;
+  }
+  ++report_.frames;
+  return frame;
+}
+
+}  // namespace us3d::runtime

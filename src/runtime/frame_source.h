@@ -1,0 +1,91 @@
+// Frame ingest for the streaming pipeline. A FrameSource produces the
+// echo frames the pipeline beamforms — one EchoBuffer plus the shot's
+// transmit origin per insonification. ReplayFrameSource replays a
+// pre-synthesized sequence (benches, tests); StreamedFrameSource wraps any
+// source with the hw/stream_buffer DRAM-ingest model, so a pipeline run
+// also answers whether a real front-end at the configured bandwidth could
+// have delivered those frames without underrunning the acquisition buffer.
+#ifndef US3D_RUNTIME_FRAME_SOURCE_H
+#define US3D_RUNTIME_FRAME_SOURCE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "beamform/echo_buffer.h"
+#include "common/vec3.h"
+#include "hw/stream_buffer.h"
+
+namespace us3d::runtime {
+
+/// One insonification's worth of input: the per-element RF traces and the
+/// transmit origin the delay engines must begin_frame() with.
+struct EchoFrame {
+  beamform::EchoBuffer echoes;
+  Vec3 origin{};
+  std::int64_t sequence = 0;  ///< 0-based shot index within the stream
+};
+
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  /// Next frame in acquisition order, or nullopt when the stream ends.
+  virtual std::optional<EchoFrame> next_frame() = 0;
+};
+
+/// Replays a fixed frame set `repeats` times (sequence numbers keep
+/// increasing across repeats). The frames are copied out on emission, so
+/// the source can be rewound and rerun.
+class ReplayFrameSource final : public FrameSource {
+ public:
+  explicit ReplayFrameSource(std::vector<EchoFrame> frames, int repeats = 1);
+
+  std::optional<EchoFrame> next_frame() override;
+
+  /// Restarts the stream from the first frame.
+  void rewind();
+
+  std::int64_t total_frames() const;
+
+ private:
+  std::vector<EchoFrame> frames_;
+  int repeats_;
+  std::int64_t emitted_ = 0;
+};
+
+/// Ingest-feasibility report of a StreamedFrameSource: for each delivered
+/// frame the cycle-level hw::simulate_stream model checks whether the
+/// configured DRAM bandwidth keeps the acquisition buffer ahead of a
+/// consumer draining at the configured rate.
+struct IngestModelReport {
+  std::int64_t frames = 0;
+  std::int64_t underrun_frames = 0;    ///< frames whose ingest fell behind
+  std::int64_t stall_cycles = 0;       ///< total modeled consumer stalls
+  double min_margin_cycles = 0.0;      ///< worst latency margin seen
+
+  bool feasible() const { return underrun_frames == 0; }
+};
+
+/// Decorator: forwards frames from `inner` unchanged while running the
+/// stream-buffer ingest model over each frame's word count.
+class StreamedFrameSource final : public FrameSource {
+ public:
+  /// `config.capacity_words`, bandwidth, clock etc. describe the modeled
+  /// front-end buffer; the per-frame word count comes from the frame itself
+  /// (elements x samples).
+  StreamedFrameSource(FrameSource& inner, const hw::StreamBufferConfig& config);
+
+  std::optional<EchoFrame> next_frame() override;
+
+  const IngestModelReport& report() const { return report_; }
+
+ private:
+  FrameSource* inner_;
+  hw::StreamBufferConfig config_;
+  IngestModelReport report_;
+};
+
+}  // namespace us3d::runtime
+
+#endif  // US3D_RUNTIME_FRAME_SOURCE_H

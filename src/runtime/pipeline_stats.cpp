@@ -1,0 +1,68 @@
+#include "runtime/pipeline_stats.h"
+
+#include <sstream>
+
+#include "common/table_io.h"
+
+namespace us3d::runtime {
+
+void StageStats::record(double seconds) {
+  if (count == 0 || seconds < min_s) min_s = seconds;
+  if (count == 0 || seconds > max_s) max_s = seconds;
+  total_s += seconds;
+  ++count;
+}
+
+void StageStats::merge(const StageStats& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.min_s < min_s) min_s = other.min_s;
+  if (count == 0 || other.max_s > max_s) max_s = other.max_s;
+  count += other.count;
+  total_s += other.total_s;
+}
+
+namespace {
+
+void stage_json(std::ostringstream& os, const char* name,
+                const StageStats& s) {
+  os << '"' << name << "\":{\"count\":" << s.count
+     << ",\"mean_ms\":" << s.mean_s() * 1e3 << ",\"min_ms\":" << s.min_s * 1e3
+     << ",\"max_ms\":" << s.max_s * 1e3 << '}';
+}
+
+void stage_text(std::ostringstream& os, const char* name,
+                const StageStats& s) {
+  os << "  " << name << ": " << format_double(s.mean_s() * 1e3, 3)
+     << " ms/frame mean (min " << format_double(s.min_s * 1e3, 3) << ", max "
+     << format_double(s.max_s * 1e3, 3) << ", n=" << s.count << ")\n";
+}
+
+}  // namespace
+
+std::string PipelineStats::to_string() const {
+  std::ostringstream os;
+  os << "pipeline: " << frames << " frames, " << worker_threads
+     << " worker thread(s), " << format_double(wall_s * 1e3, 1) << " ms wall\n";
+  stage_text(os, "ingest  ", ingest);
+  stage_text(os, "beamform", beamform);
+  stage_text(os, "consume ", consume);
+  os << "  sustained " << format_double(sustained_fps(), 2) << " fps, "
+     << format_si(voxels_per_second(), "voxels/s", 2) << "\n";
+  return os.str();
+}
+
+std::string PipelineStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"frames\":" << frames << ",\"worker_threads\":" << worker_threads
+     << ",\"wall_s\":" << wall_s << ",\"sustained_fps\":" << sustained_fps()
+     << ",\"voxels_per_second\":" << voxels_per_second() << ",";
+  stage_json(os, "ingest", ingest);
+  os << ',';
+  stage_json(os, "beamform", beamform);
+  os << ',';
+  stage_json(os, "consume", consume);
+  os << '}';
+  return os.str();
+}
+
+}  // namespace us3d::runtime

@@ -1,0 +1,59 @@
+// Instrumentation for the streaming frame pipeline: per-stage latency
+// accumulators (ingest / beamform / consume), sustained frame rate and
+// voxel throughput. The JSON emitter is what the bench trajectory files
+// (BENCH_runtime.json) are built from, so its keys are part of the bench
+// contract and should only grow, never be renamed.
+#ifndef US3D_RUNTIME_PIPELINE_STATS_H
+#define US3D_RUNTIME_PIPELINE_STATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace us3d::runtime {
+
+/// Latency accumulator for one pipeline stage, in seconds.
+struct StageStats {
+  std::int64_t count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+
+  void record(double seconds);
+  /// Folds another accumulator into this one (same empty-is-count-0
+  /// convention as record()).
+  void merge(const StageStats& other);
+  double mean_s() const {
+    return count ? total_s / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// One pipeline run's worth of measurements. Latencies are wall-clock and
+/// per frame: `ingest` covers pulling a frame from the FrameSource,
+/// `beamform` the parallel reconstruction, `consume` the sink callback
+/// (which overlaps the next frame's beamform when double buffering is on —
+/// that is why sustained fps can beat mean(beamform)+mean(consume)).
+struct PipelineStats {
+  StageStats ingest;
+  StageStats beamform;
+  StageStats consume;
+  std::int64_t frames = 0;
+  std::int64_t voxels = 0;    ///< total voxels written across frames
+  double wall_s = 0.0;        ///< whole-run wall-clock time
+  int worker_threads = 0;
+
+  double sustained_fps() const {
+    return wall_s > 0.0 ? static_cast<double>(frames) / wall_s : 0.0;
+  }
+  double voxels_per_second() const {
+    return wall_s > 0.0 ? static_cast<double>(voxels) / wall_s : 0.0;
+  }
+
+  /// Human-readable multi-line summary.
+  std::string to_string() const;
+  /// Machine-readable single JSON object (no trailing newline).
+  std::string to_json() const;
+};
+
+}  // namespace us3d::runtime
+
+#endif  // US3D_RUNTIME_PIPELINE_STATS_H

@@ -1,0 +1,88 @@
+#include "runtime/worker_pool.h"
+
+#include "common/contracts.h"
+
+namespace us3d::runtime {
+
+WorkerPool::WorkerPool(int threads) : threads_(threads) {
+  US3D_EXPECTS(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    drain_job();
+  }
+}
+
+void WorkerPool::drain_job() {
+  while (true) {
+    int task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_task_ >= job_tasks_) return;
+      task = next_task_++;
+    }
+    std::exception_ptr error;
+    try {
+      (*job_)(task);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_tasks_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::run(int task_count, const std::function<void(int)>& fn) {
+  US3D_EXPECTS(task_count >= 0);
+  if (task_count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    US3D_EXPECTS(job_ == nullptr);  // run() is not reentrant
+    job_ = &fn;
+    job_tasks_ = task_count;
+    next_task_ = 0;
+    pending_tasks_ = task_count;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain_job();  // the caller is a pool member too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_tasks_ == 0; });
+    job_ = nullptr;
+    job_tasks_ = 0;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace us3d::runtime

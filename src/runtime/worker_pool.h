@@ -1,0 +1,62 @@
+// Persistent thread pool for the frame pipeline. Threads are spawned once
+// and reused across every frame (spawning per frame would dominate the
+// small scaled-system workloads the tests use). run() is a blocking
+// parallel-for: the calling thread participates in draining the task
+// queue, so WorkerPool(1) runs everything inline on the caller with no
+// cross-thread traffic at all — the serial baseline and the parallel path
+// share one code path.
+#ifndef US3D_RUNTIME_WORKER_POOL_H
+#define US3D_RUNTIME_WORKER_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace us3d::runtime {
+
+class WorkerPool {
+ public:
+  /// `threads` >= 1 is the parallelism of run() (threads - 1 are spawned;
+  /// the caller is the remaining one).
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  /// Runs fn(task) for every task in [0, task_count), distributing tasks
+  /// dynamically over the pool, and blocks until all complete. If any task
+  /// throws, the first exception is rethrown here (remaining tasks still
+  /// run to completion so the pool stays consistent). Not reentrant.
+  void run(int task_count, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claims and runs queued tasks until none remain; returns when the
+  /// current job is drained.
+  void drain_job();
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  // bumped per run() to wake workers
+  const std::function<void(int)>* job_ = nullptr;
+  int job_tasks_ = 0;
+  int next_task_ = 0;     // next unclaimed task (guarded by mutex_)
+  int pending_tasks_ = 0; // claimed-or-unclaimed tasks not yet finished
+  std::exception_ptr first_error_;
+};
+
+}  // namespace us3d::runtime
+
+#endif  // US3D_RUNTIME_WORKER_POOL_H

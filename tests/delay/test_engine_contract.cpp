@@ -1,0 +1,164 @@
+// The DelayEngine statefulness contract, across every engine: compute()
+// before begin_frame() is a precondition violation, and clone() yields an
+// independent engine with identical configuration, no inherited frame, and
+// bit-identical delays once it begins its own frame. These are the
+// invariants the parallel runtime leans on when it clones one prototype
+// per worker thread.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+#include "delay/exact.h"
+#include "delay/full_table.h"
+#include "delay/synthetic_aperture.h"
+#include "delay/tablefree.h"
+#include "delay/tablesteer.h"
+#include "imaging/scan_order.h"
+#include "imaging/system_config.h"
+
+namespace us3d::delay {
+namespace {
+
+imaging::SystemConfig cfg() { return imaging::scaled_system(6, 7, 24); }
+
+struct EngineCase {
+  std::string label;
+  std::function<std::unique_ptr<DelayEngine>()> make;
+};
+
+std::vector<EngineCase> all_engines() {
+  return {
+      {"EXACT",
+       [] { return std::make_unique<ExactDelayEngine>(cfg()); }},
+      {"TABLEFREE",
+       [] { return std::make_unique<TableFreeEngine>(cfg()); }},
+      {"TABLESTEER-18b",
+       [] {
+         return std::make_unique<TableSteerEngine>(
+             cfg(), TableSteerConfig::bits18());
+       }},
+      {"FULLTABLE",
+       [] { return std::make_unique<FullTableEngine>(cfg()); }},
+      {"TABLESTEER-SA",
+       [] {
+         return std::make_unique<SyntheticApertureSteerEngine>(
+             cfg(), diverging_wave_plan(3, 4.0e-3));
+       }},
+  };
+}
+
+TEST(EngineContract, ComputeBeforeBeginFrameThrows) {
+  const imaging::VolumeGrid grid(cfg().volume);
+  for (const EngineCase& c : all_engines()) {
+    auto engine = c.make();
+    EXPECT_FALSE(engine->frame_begun()) << c.label;
+    std::vector<std::int32_t> out(
+        static_cast<std::size_t>(engine->element_count()));
+    EXPECT_THROW(engine->compute(grid.focal_point(0, 0, 0), out),
+                 ContractViolation)
+        << c.label;
+    engine->begin_frame(Vec3{});
+    EXPECT_TRUE(engine->frame_begun()) << c.label;
+    EXPECT_NO_THROW(engine->compute(grid.focal_point(0, 0, 0), out))
+        << c.label;
+  }
+}
+
+TEST(EngineContract, CloneDoesNotInheritTheBegunFrame) {
+  const imaging::VolumeGrid grid(cfg().volume);
+  for (const EngineCase& c : all_engines()) {
+    auto engine = c.make();
+    engine->begin_frame(Vec3{});
+    auto clone = engine->clone();
+    EXPECT_FALSE(clone->frame_begun()) << c.label;
+    std::vector<std::int32_t> out(
+        static_cast<std::size_t>(clone->element_count()));
+    EXPECT_THROW(clone->compute(grid.focal_point(0, 0, 0), out),
+                 ContractViolation)
+        << c.label;
+  }
+}
+
+TEST(EngineContract, ClonePreservesIdentity) {
+  for (const EngineCase& c : all_engines()) {
+    auto engine = c.make();
+    auto clone = engine->clone();
+    EXPECT_EQ(clone->name(), engine->name()) << c.label;
+    EXPECT_EQ(clone->element_count(), engine->element_count()) << c.label;
+  }
+}
+
+TEST(EngineContract, CloneProducesBitIdenticalDelays) {
+  const imaging::SystemConfig config = cfg();
+  const imaging::VolumeGrid grid(config.volume);
+  for (const EngineCase& c : all_engines()) {
+    auto engine = c.make();
+    auto clone = engine->clone();
+    engine->begin_frame(Vec3{});
+    clone->begin_frame(Vec3{});
+    std::vector<std::int32_t> a(
+        static_cast<std::size_t>(engine->element_count()));
+    std::vector<std::int32_t> b(a.size());
+    imaging::for_each_focal_point(
+        grid, imaging::ScanOrder::kNappeByNappe,
+        [&](const imaging::FocalPoint& fp) {
+          engine->compute(fp, a);
+          clone->compute(fp, b);
+          ASSERT_EQ(a, b) << c.label << " at depth " << fp.i_depth;
+        });
+  }
+}
+
+TEST(EngineContract, CloneIsIndependentOfThePrototype) {
+  // Sweep the prototype deep into the volume, then let the clone start its
+  // own frame from scratch: the clone's first-nappe delays must match a
+  // fresh engine's, not be perturbed by the prototype's tracker state.
+  const imaging::SystemConfig config = cfg();
+  const imaging::VolumeGrid grid(config.volume);
+  TableFreeEngine prototype{config};
+  prototype.begin_frame(Vec3{});
+  std::vector<std::int32_t> scratch(
+      static_cast<std::size_t>(prototype.element_count()));
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kNappeByNappe,
+      [&](const imaging::FocalPoint& fp) { prototype.compute(fp, scratch); });
+
+  auto clone = prototype.clone();
+  TableFreeEngine fresh{config};
+  clone->begin_frame(Vec3{});
+  fresh.begin_frame(Vec3{});
+  std::vector<std::int32_t> a(scratch.size()), b(scratch.size());
+  imaging::for_each_focal_point(
+      grid, imaging::ScanOrder::kNappeByNappe,
+      [&](const imaging::FocalPoint& fp) {
+        clone->compute(fp, a);
+        fresh.compute(fp, b);
+        ASSERT_EQ(a, b);
+      });
+}
+
+TEST(EngineContract, SyntheticApertureCloneKeepsAllOrigins) {
+  const imaging::SystemConfig config = cfg();
+  const SyntheticAperturePlan plan = diverging_wave_plan(3, 4.0e-3);
+  SyntheticApertureSteerEngine engine(config, plan);
+  auto clone = engine.clone();
+  const imaging::VolumeGrid grid(config.volume);
+  std::vector<std::int32_t> a(
+      static_cast<std::size_t>(engine.element_count()));
+  std::vector<std::int32_t> b(a.size());
+  for (const double z : plan.origin_z) {
+    const Vec3 origin{0.0, 0.0, z};
+    engine.begin_frame(origin);
+    clone->begin_frame(origin);
+    engine.compute(grid.focal_point(1, 2, 3), a);
+    clone->compute(grid.focal_point(1, 2, 3), b);
+    EXPECT_EQ(a, b) << "origin_z=" << z;
+  }
+}
+
+}  // namespace
+}  // namespace us3d::delay

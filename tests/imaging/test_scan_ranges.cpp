@@ -1,0 +1,132 @@
+// Partitioned scan sweeps: the ranges the parallel runtime hands its
+// workers must tile the serial sweep exactly, for both scan orders.
+#include "imaging/scan_order.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace us3d::imaging {
+namespace {
+
+VolumeSpec spec(int n_theta, int n_phi, int n_depth) {
+  VolumeSpec s;
+  s.n_theta = n_theta;
+  s.n_phi = n_phi;
+  s.n_depth = n_depth;
+  s.theta_span_rad = 1.0;
+  s.phi_span_rad = 1.0;
+  s.min_depth_m = 0.01;
+  s.max_depth_m = 0.08;
+  return s;
+}
+
+std::vector<std::array<int, 3>> sweep_indices(const VolumeGrid& grid,
+                                              ScanOrder order,
+                                              const ScanRange& range) {
+  std::vector<std::array<int, 3>> out;
+  for_each_focal_point(grid, order, range, [&](const FocalPoint& fp) {
+    out.push_back({fp.i_theta, fp.i_phi, fp.i_depth});
+  });
+  return out;
+}
+
+TEST(ScanRange, OuterExtentFollowsTheOrder) {
+  const VolumeSpec s = spec(7, 5, 11);
+  EXPECT_EQ(outer_extent(s, ScanOrder::kNappeByNappe), 11);
+  EXPECT_EQ(outer_extent(s, ScanOrder::kScanlineByScanline), 7);
+  EXPECT_EQ(full_scan_range(s, ScanOrder::kNappeByNappe), (ScanRange{0, 11}));
+}
+
+TEST(ScanRange, PartitionTilesTheAxisExactly) {
+  const VolumeSpec s = spec(7, 5, 11);
+  for (const ScanOrder order :
+       {ScanOrder::kNappeByNappe, ScanOrder::kScanlineByScanline}) {
+    for (int parts = 1; parts <= 16; ++parts) {
+      const auto ranges = partition_scan(s, order, parts);
+      ASSERT_FALSE(ranges.empty());
+      EXPECT_LE(static_cast<int>(ranges.size()), parts);
+      EXPECT_EQ(ranges.front().outer_begin, 0);
+      EXPECT_EQ(ranges.back().outer_end, outer_extent(s, order));
+      for (std::size_t i = 0; i < ranges.size(); ++i) {
+        EXPECT_FALSE(ranges[i].empty());
+        if (i > 0) {
+          EXPECT_EQ(ranges[i].outer_begin, ranges[i - 1].outer_end);
+        }
+      }
+    }
+  }
+}
+
+TEST(ScanRange, PartitionIsNearEqual) {
+  const auto ranges =
+      partition_scan(spec(5, 4, 23), ScanOrder::kNappeByNappe, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  int smallest = ranges[0].extent(), largest = ranges[0].extent();
+  for (const ScanRange& r : ranges) {
+    smallest = std::min(smallest, r.extent());
+    largest = std::max(largest, r.extent());
+  }
+  EXPECT_LE(largest - smallest, 1);
+}
+
+TEST(ScanRange, MorePartsThanSlabsClampsToSlabs) {
+  const auto ranges =
+      partition_scan(spec(3, 4, 5), ScanOrder::kNappeByNappe, 64);
+  EXPECT_EQ(ranges.size(), 5u);
+  for (const ScanRange& r : ranges) EXPECT_EQ(r.extent(), 1);
+}
+
+TEST(ScanRange, ConcatenatedRangeSweepsEqualTheSerialSweep) {
+  const VolumeSpec s = spec(6, 5, 13);
+  const VolumeGrid grid(s);
+  for (const ScanOrder order :
+       {ScanOrder::kNappeByNappe, ScanOrder::kScanlineByScanline}) {
+    const auto serial = sweep_indices(grid, order, full_scan_range(s, order));
+    for (const int parts : {2, 3, 5}) {
+      std::vector<std::array<int, 3>> tiled;
+      for (const ScanRange& r : partition_scan(s, order, parts)) {
+        const auto part = sweep_indices(grid, order, r);
+        tiled.insert(tiled.end(), part.begin(), part.end());
+      }
+      EXPECT_EQ(tiled, serial) << to_string(order) << " parts=" << parts;
+    }
+  }
+}
+
+TEST(ScanRange, RangedCursorTotalAndPosition) {
+  const VolumeSpec s = spec(4, 3, 10);
+  const VolumeGrid grid(s);
+  ScanCursor cursor(grid, ScanOrder::kNappeByNappe, ScanRange{2, 5});
+  EXPECT_EQ(cursor.total(), 3 * 4 * 3);
+  FocalPoint fp;
+  int n = 0;
+  while (cursor.next(fp)) {
+    EXPECT_GE(fp.i_depth, 2);
+    EXPECT_LT(fp.i_depth, 5);
+    ++n;
+  }
+  EXPECT_EQ(n, cursor.total());
+  EXPECT_EQ(cursor.position(), cursor.total());
+  cursor.reset();
+  ASSERT_TRUE(cursor.next(fp));
+  EXPECT_EQ(fp.i_depth, 2);  // reset returns to the range start, not 0
+}
+
+TEST(ScanRange, RejectsOutOfBoundsRanges) {
+  const VolumeSpec s = spec(4, 3, 10);
+  const VolumeGrid grid(s);
+  EXPECT_THROW(ScanCursor(grid, ScanOrder::kNappeByNappe, ScanRange{-1, 3}),
+               ContractViolation);
+  EXPECT_THROW(ScanCursor(grid, ScanOrder::kNappeByNappe, ScanRange{0, 11}),
+               ContractViolation);
+  EXPECT_THROW(partition_scan(s, ScanOrder::kNappeByNappe, 0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::imaging

@@ -1,0 +1,344 @@
+// FramePipeline invariants. The headline property — the reason the runtime
+// may parallelize order-sensitive engines at all — is that parallel
+// reconstruction is BIT-IDENTICAL to the serial Beamformer::reconstruct for
+// every delay engine, every scan order and every thread count, because
+// delay values depend only on (origin, focal point). The property tests
+// sweep seeded-random system configurations to pin this down, and the
+// streaming tests check ordering, double buffering and stats plumbing.
+#include "runtime/frame_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "acoustic/echo_synth.h"
+#include "acoustic/phantom.h"
+#include "common/prng.h"
+#include "delay/exact.h"
+#include "delay/full_table.h"
+#include "delay/synthetic_aperture.h"
+#include "delay/tablefree.h"
+#include "delay/tablesteer.h"
+#include "probe/presets.h"
+
+namespace us3d::runtime {
+namespace {
+
+using beamform::VolumeImage;
+
+struct EngineCase {
+  std::string label;
+  std::function<std::unique_ptr<delay::DelayEngine>(
+      const imaging::SystemConfig&)>
+      make;
+};
+
+std::vector<EngineCase> pipeline_engines() {
+  return {
+      {"EXACT",
+       [](const imaging::SystemConfig& cfg) {
+         return std::make_unique<delay::ExactDelayEngine>(cfg);
+       }},
+      {"TABLEFREE",
+       [](const imaging::SystemConfig& cfg) {
+         return std::make_unique<delay::TableFreeEngine>(cfg);
+       }},
+      {"TABLESTEER-18b",
+       [](const imaging::SystemConfig& cfg) {
+         return std::make_unique<delay::TableSteerEngine>(
+             cfg, delay::TableSteerConfig::bits18());
+       }},
+      {"FULLTABLE",
+       [](const imaging::SystemConfig& cfg) {
+         return std::make_unique<delay::FullTableEngine>(cfg);
+       }},
+  };
+}
+
+/// Voxel-for-voxel equality (float ==, no tolerance).
+void expect_bit_identical(const VolumeImage& a, const VolumeImage& b,
+                          const std::string& what) {
+  const auto& s = a.spec();
+  ASSERT_EQ(s.total_points(), b.spec().total_points()) << what;
+  for (int it = 0; it < s.n_theta; ++it) {
+    for (int ip = 0; ip < s.n_phi; ++ip) {
+      for (int id = 0; id < s.n_depth; ++id) {
+        ASSERT_EQ(a.at(it, ip, id), b.at(it, ip, id))
+            << what << " differs at (" << it << "," << ip << "," << id << ")";
+      }
+    }
+  }
+}
+
+acoustic::Phantom random_phantom(const imaging::SystemConfig& cfg,
+                                 SplitMix64& rng, int scatterers) {
+  const imaging::VolumeGrid grid(cfg.volume);
+  acoustic::Phantom phantom;
+  for (int i = 0; i < scatterers; ++i) {
+    const int it = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(cfg.volume.n_theta)));
+    const int ip = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(cfg.volume.n_phi)));
+    const int id = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(cfg.volume.n_depth)));
+    phantom.push_back(acoustic::PointScatterer{
+        grid.focal_point(it, ip, id).position, rng.next_in(0.5, 1.5)});
+  }
+  return phantom;
+}
+
+probe::ApodizationMap rect_apod(const imaging::SystemConfig& cfg) {
+  return probe::ApodizationMap(probe::MatrixProbe(cfg.probe),
+                               probe::WindowKind::kRect);
+}
+
+TEST(FramePipeline, ParallelIsBitIdenticalToSerialForEveryEngine) {
+  const imaging::SystemConfig cfg = imaging::scaled_system(8, 9, 30);
+  SplitMix64 rng(42);
+  const auto echoes =
+      acoustic::synthesize_echoes(cfg, random_phantom(cfg, rng, 3));
+  const auto apod = rect_apod(cfg);
+  const beamform::Beamformer serial(cfg, apod);
+
+  for (const EngineCase& c : pipeline_engines()) {
+    auto serial_engine = c.make(cfg);
+    const VolumeImage reference = serial.reconstruct(echoes, *serial_engine);
+    for (const int threads : {1, 2, 3, 8}) {
+      auto prototype = c.make(cfg);
+      FramePipeline pipeline(cfg, apod, *prototype,
+                             PipelineConfig{.worker_threads = threads});
+      const VolumeImage parallel = pipeline.reconstruct_frame(echoes, Vec3{});
+      expect_bit_identical(reference, parallel,
+                           c.label + " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(FramePipeline, BitIdenticalInBothScanOrders) {
+  const imaging::SystemConfig cfg = imaging::scaled_system(6, 8, 24);
+  SplitMix64 rng(7);
+  const auto echoes =
+      acoustic::synthesize_echoes(cfg, random_phantom(cfg, rng, 2));
+  const auto apod = rect_apod(cfg);
+  const beamform::Beamformer serial(cfg, apod);
+  for (const imaging::ScanOrder order :
+       {imaging::ScanOrder::kNappeByNappe,
+        imaging::ScanOrder::kScanlineByScanline}) {
+    delay::TableFreeEngine engine(cfg);
+    const VolumeImage reference =
+        serial.reconstruct(echoes, engine, {.order = order});
+    delay::TableFreeEngine prototype(cfg);
+    FramePipeline pipeline(
+        cfg, apod, prototype,
+        PipelineConfig{.worker_threads = 4, .order = order});
+    expect_bit_identical(reference, pipeline.reconstruct_frame(echoes, Vec3{}),
+                         std::string("order=") + to_string(order));
+  }
+}
+
+TEST(FramePipeline, PropertyRandomConfigsStayBitIdentical) {
+  // Seeded-PRNG sweep over system geometry, engine, thread count and
+  // phantom: the parallel/serial equivalence must hold for all of them.
+  SplitMix64 rng(0xC0FFEEu);
+  const auto engines = pipeline_engines();
+  for (int trial = 0; trial < 6; ++trial) {
+    const int side = 4 + static_cast<int>(rng.next_below(5));    // 4..8
+    const int lines = 5 + static_cast<int>(rng.next_below(5));   // 5..9
+    const int depths = 16 + static_cast<int>(rng.next_below(17)); // 16..32
+    const imaging::SystemConfig cfg =
+        imaging::scaled_system(side, lines, depths);
+    const auto& engine_case =
+        engines[static_cast<std::size_t>(rng.next_below(engines.size()))];
+    const int threads = 2 + static_cast<int>(rng.next_below(5));  // 2..6
+    const auto order = rng.next_below(2) == 0
+                           ? imaging::ScanOrder::kNappeByNappe
+                           : imaging::ScanOrder::kScanlineByScanline;
+    const auto echoes =
+        acoustic::synthesize_echoes(cfg, random_phantom(cfg, rng, 2));
+    const auto apod = rect_apod(cfg);
+
+    auto serial_engine = engine_case.make(cfg);
+    const VolumeImage reference = beamform::Beamformer(cfg, apod).reconstruct(
+        echoes, *serial_engine, {.order = order});
+    auto prototype = engine_case.make(cfg);
+    FramePipeline pipeline(
+        cfg, apod, *prototype,
+        PipelineConfig{.worker_threads = threads, .order = order});
+    expect_bit_identical(
+        reference, pipeline.reconstruct_frame(echoes, Vec3{}),
+        "trial " + std::to_string(trial) + " " + engine_case.label +
+            " side=" + std::to_string(side) + " threads=" +
+            std::to_string(threads));
+  }
+}
+
+TEST(FramePipeline, RepeatedRunsAreDeterministic) {
+  const imaging::SystemConfig cfg = imaging::scaled_system(6, 7, 20);
+  SplitMix64 rng(99);
+  const auto echoes =
+      acoustic::synthesize_echoes(cfg, random_phantom(cfg, rng, 3));
+  const auto apod = rect_apod(cfg);
+  delay::TableFreeEngine prototype(cfg);
+  FramePipeline pipeline(cfg, apod, prototype,
+                         PipelineConfig{.worker_threads = 4});
+  const VolumeImage first = pipeline.reconstruct_frame(echoes, Vec3{});
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    expect_bit_identical(first, pipeline.reconstruct_frame(echoes, Vec3{}),
+                         "repeat " + std::to_string(repeat));
+  }
+}
+
+TEST(FramePipeline, SyntheticApertureOriginsFlowThroughTheWorkers) {
+  const imaging::SystemConfig cfg = imaging::scaled_system(6, 7, 20);
+  const delay::SyntheticAperturePlan plan =
+      delay::diverging_wave_plan(3, 3.0e-3);
+  const Vec3 origin{0.0, 0.0, plan.origin_z[1]};
+  SplitMix64 rng(5);
+  acoustic::SynthesisOptions synth;
+  synth.origin = origin;
+  const auto echoes =
+      acoustic::synthesize_echoes(cfg, random_phantom(cfg, rng, 2), synth);
+  const auto apod = rect_apod(cfg);
+
+  delay::SyntheticApertureSteerEngine serial_engine(cfg, plan);
+  const VolumeImage reference = beamform::Beamformer(cfg, apod).reconstruct(
+      echoes, serial_engine, {.origin = origin});
+  delay::SyntheticApertureSteerEngine prototype(cfg, plan);
+  FramePipeline pipeline(cfg, apod, prototype,
+                         PipelineConfig{.worker_threads = 3});
+  expect_bit_identical(reference, pipeline.reconstruct_frame(echoes, origin),
+                       "synthetic aperture");
+}
+
+TEST(FramePipeline, ThreadCountClampsToOuterExtent) {
+  const imaging::SystemConfig cfg = imaging::scaled_system(4, 5, 6);
+  delay::ExactDelayEngine prototype(cfg);
+  FramePipeline pipeline(cfg, rect_apod(cfg), prototype,
+                         PipelineConfig{.worker_threads = 64});
+  EXPECT_EQ(pipeline.worker_threads(), 6);  // n_depth nappes
+}
+
+std::vector<EchoFrame> synth_frames(const imaging::SystemConfig& cfg, int n,
+                                    std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<EchoFrame> frames;
+  for (int i = 0; i < n; ++i) {
+    frames.push_back(EchoFrame{
+        acoustic::synthesize_echoes(cfg, random_phantom(cfg, rng, 2)), Vec3{},
+        0});
+  }
+  return frames;
+}
+
+TEST(FramePipeline, StreamingRunDeliversEveryFrameInOrder) {
+  const imaging::SystemConfig cfg = imaging::scaled_system(6, 7, 20);
+  const auto apod = rect_apod(cfg);
+  const auto frames = synth_frames(cfg, 5, 11);
+  const beamform::Beamformer serial(cfg, apod);
+
+  // Serial references, one per frame.
+  std::vector<VolumeImage> references;
+  for (const EchoFrame& f : frames) {
+    delay::TableFreeEngine engine(cfg);
+    references.push_back(serial.reconstruct(f.echoes, engine));
+  }
+
+  for (const bool double_buffered : {false, true}) {
+    delay::TableFreeEngine prototype(cfg);
+    FramePipeline pipeline(
+        cfg, apod, prototype,
+        PipelineConfig{.worker_threads = 3,
+                       .double_buffered = double_buffered});
+    ReplayFrameSource source(frames);
+    std::vector<std::int64_t> order;
+    std::vector<VolumeImage> received;
+    const PipelineStats stats =
+        pipeline.run(source, [&](const VolumeImage& v, std::int64_t seq) {
+          order.push_back(seq);
+          received.push_back(v);  // copy: the buffer is recycled
+        });
+    ASSERT_EQ(order.size(), 5u);
+    for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    for (std::size_t i = 0; i < references.size(); ++i) {
+      expect_bit_identical(references[i], received[i],
+                           "frame " + std::to_string(i) + " db=" +
+                               std::to_string(double_buffered));
+    }
+    EXPECT_EQ(stats.frames, 5);
+    EXPECT_EQ(stats.voxels, 5 * cfg.volume.total_points());
+    EXPECT_EQ(stats.beamform.count, 5);
+    EXPECT_EQ(stats.consume.count, 5);
+    EXPECT_GT(stats.sustained_fps(), 0.0);
+  }
+}
+
+TEST(FramePipeline, MaxFramesLimitsTheRun) {
+  const imaging::SystemConfig cfg = imaging::scaled_system(5, 6, 16);
+  delay::ExactDelayEngine prototype(cfg);
+  FramePipeline pipeline(
+      cfg, rect_apod(cfg), prototype,
+      PipelineConfig{.worker_threads = 2, .max_frames = 3});
+  ReplayFrameSource source(synth_frames(cfg, 2, 21), 4);  // 8 available
+  int delivered = 0;
+  const PipelineStats stats =
+      pipeline.run(source, [&](const VolumeImage&, std::int64_t) {
+        ++delivered;
+      });
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(stats.frames, 3);
+}
+
+TEST(FramePipeline, SinkExceptionsPropagateAndThePipelineSurvives) {
+  const imaging::SystemConfig cfg = imaging::scaled_system(5, 6, 16);
+  delay::ExactDelayEngine prototype(cfg);
+  FramePipeline pipeline(cfg, rect_apod(cfg), prototype,
+                         PipelineConfig{.worker_threads = 2});
+  const auto frames = synth_frames(cfg, 4, 31);
+  {
+    ReplayFrameSource source(frames);
+    EXPECT_THROW(
+        pipeline.run(source,
+                     [&](const VolumeImage&, std::int64_t seq) {
+                       if (seq == 1) throw std::runtime_error("sink failed");
+                     }),
+        std::runtime_error);
+  }
+  // The pipeline stays usable after a failed run.
+  ReplayFrameSource source(frames);
+  int delivered = 0;
+  pipeline.run(source,
+               [&](const VolumeImage&, std::int64_t) { ++delivered; });
+  EXPECT_EQ(delivered, 4);
+}
+
+TEST(FramePipeline, StatsAccumulateAcrossRunsAndReset) {
+  const imaging::SystemConfig cfg = imaging::scaled_system(5, 6, 16);
+  delay::ExactDelayEngine prototype(cfg);
+  FramePipeline pipeline(cfg, rect_apod(cfg), prototype,
+                         PipelineConfig{.worker_threads = 2});
+  const auto frames = synth_frames(cfg, 2, 41);
+  for (int i = 0; i < 2; ++i) {
+    ReplayFrameSource source(frames);
+    pipeline.run(source, [](const VolumeImage&, std::int64_t) {});
+  }
+  EXPECT_EQ(pipeline.stats().frames, 4);
+  // reconstruct_frame() also contributes wall time, so lifetime rates
+  // stay meaningful for frame-at-a-time callers.
+  (void)pipeline.reconstruct_frame(frames[0].echoes, Vec3{});
+  EXPECT_EQ(pipeline.stats().frames, 5);
+  EXPECT_GT(pipeline.stats().wall_s, 0.0);
+  EXPECT_GT(pipeline.stats().sustained_fps(), 0.0);
+  const std::string json = pipeline.stats().to_json();
+  EXPECT_NE(json.find("\"sustained_fps\""), std::string::npos);
+  EXPECT_NE(json.find("\"beamform\""), std::string::npos);
+  pipeline.reset_stats();
+  EXPECT_EQ(pipeline.stats().frames, 0);
+  EXPECT_EQ(pipeline.stats().worker_threads, 2);
+}
+
+}  // namespace
+}  // namespace us3d::runtime

@@ -1,0 +1,136 @@
+#include "runtime/frame_source.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/prng.h"
+
+namespace us3d::runtime {
+namespace {
+
+EchoFrame noise_frame(std::uint64_t seed, int elements, int samples) {
+  EchoFrame frame{beamform::EchoBuffer(elements, samples), Vec3{}, 0};
+  SplitMix64 rng(seed);
+  for (int e = 0; e < elements; ++e) {
+    for (float& v : frame.echoes.row(e)) {
+      v = static_cast<float>(rng.next_in(-1.0, 1.0));
+    }
+  }
+  return frame;
+}
+
+std::vector<EchoFrame> noise_frames(int n) {
+  std::vector<EchoFrame> frames;
+  for (int i = 0; i < n; ++i) {
+    frames.push_back(noise_frame(1000 + static_cast<std::uint64_t>(i), 4, 64));
+  }
+  return frames;
+}
+
+TEST(ReplayFrameSource, EmitsFramesInOrderWithSequenceNumbers) {
+  ReplayFrameSource source(noise_frames(3));
+  EXPECT_EQ(source.total_frames(), 3);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    auto frame = source.next_frame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->sequence, i);
+  }
+  EXPECT_FALSE(source.next_frame().has_value());
+}
+
+TEST(ReplayFrameSource, RepeatsCycleThroughTheFrameSet) {
+  ReplayFrameSource source(noise_frames(2), 3);
+  EXPECT_EQ(source.total_frames(), 6);
+  std::vector<float> first_samples;
+  for (std::int64_t i = 0; i < 6; ++i) {
+    auto frame = source.next_frame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->sequence, i);
+    first_samples.push_back(frame->echoes.sample(0, 0));
+  }
+  EXPECT_FALSE(source.next_frame().has_value());
+  // Frame content cycles with period 2 while sequence keeps increasing.
+  EXPECT_EQ(first_samples[0], first_samples[2]);
+  EXPECT_EQ(first_samples[1], first_samples[3]);
+  EXPECT_NE(first_samples[0], first_samples[1]);
+}
+
+TEST(ReplayFrameSource, RewindRestartsTheStream) {
+  ReplayFrameSource source(noise_frames(2));
+  (void)source.next_frame();
+  (void)source.next_frame();
+  EXPECT_FALSE(source.next_frame().has_value());
+  source.rewind();
+  auto frame = source.next_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->sequence, 0);
+}
+
+TEST(ReplayFrameSource, RejectsEmptyAndZeroRepeats) {
+  EXPECT_THROW(ReplayFrameSource({}), ContractViolation);
+  EXPECT_THROW(ReplayFrameSource(noise_frames(1), 0), ContractViolation);
+}
+
+hw::StreamBufferConfig ingest_config(double bandwidth_bytes_per_s) {
+  hw::StreamBufferConfig cfg;
+  cfg.capacity_words = 512;
+  cfg.clock_hz = 100.0e6;
+  cfg.dram_bandwidth_bytes_per_s = bandwidth_bytes_per_s;
+  cfg.word_bits = 32;
+  cfg.drain_words_per_cycle = 0.25;
+  // Small preload relative to the 256-word frames, so the steady-state
+  // bandwidth balance (not the preload) decides feasibility.
+  cfg.initial_fill_words = 16;
+  return cfg;
+}
+
+TEST(StreamedFrameSource, GenerousBandwidthIsFeasible) {
+  // Drain: 0.25 words/cycle @ 100 MHz @ 32-bit words = 100 MB/s demand.
+  ReplayFrameSource inner(noise_frames(4));
+  StreamedFrameSource source(inner, ingest_config(400.0e6));
+  int frames = 0;
+  while (source.next_frame()) ++frames;
+  EXPECT_EQ(frames, 4);
+  EXPECT_EQ(source.report().frames, 4);
+  EXPECT_TRUE(source.report().feasible());
+  EXPECT_EQ(source.report().underrun_frames, 0);
+}
+
+TEST(StreamedFrameSource, StarvedBandwidthReportsUnderruns) {
+  ReplayFrameSource inner(noise_frames(4));
+  StreamedFrameSource source(inner, ingest_config(10.0e6));
+  while (source.next_frame()) {
+  }
+  EXPECT_FALSE(source.report().feasible());
+  EXPECT_EQ(source.report().underrun_frames, 4);
+  EXPECT_GT(source.report().stall_cycles, 0);
+}
+
+TEST(StreamedFrameSource, ForwardsFramesUnchanged) {
+  const auto frames = noise_frames(2);
+  ReplayFrameSource plain(frames);
+  ReplayFrameSource inner(frames);
+  StreamedFrameSource source(inner, ingest_config(400.0e6));
+  for (int i = 0; i < 2; ++i) {
+    auto a = plain.next_frame();
+    auto b = source.next_frame();
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->sequence, b->sequence);
+    for (int e = 0; e < a->echoes.element_count(); ++e) {
+      for (std::int64_t s = 0; s < a->echoes.samples_per_element(); ++s) {
+        ASSERT_EQ(a->echoes.sample(e, s), b->echoes.sample(e, s));
+      }
+    }
+  }
+}
+
+TEST(StreamedFrameSource, RejectsUnconfiguredModel) {
+  ReplayFrameSource inner(noise_frames(1));
+  EXPECT_THROW(StreamedFrameSource(inner, hw::StreamBufferConfig{}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::runtime

@@ -1,0 +1,78 @@
+#include "runtime/pipeline_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace us3d::runtime {
+namespace {
+
+TEST(StageStats, RecordsMinMeanMax) {
+  StageStats s;
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean_s(), 0.0);
+  s.record(0.010);
+  s.record(0.030);
+  s.record(0.020);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.min_s, 0.010);
+  EXPECT_DOUBLE_EQ(s.max_s, 0.030);
+  EXPECT_DOUBLE_EQ(s.mean_s(), 0.020);
+}
+
+TEST(StageStats, MergeMatchesDirectRecording) {
+  StageStats a, b, all;
+  for (const double v : {0.010, 0.030}) {
+    a.record(v);
+    all.record(v);
+  }
+  for (const double v : {0.005, 0.040}) {
+    b.record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count, all.count);
+  EXPECT_DOUBLE_EQ(a.min_s, all.min_s);
+  EXPECT_DOUBLE_EQ(a.max_s, all.max_s);
+  EXPECT_DOUBLE_EQ(a.total_s, all.total_s);
+  // Merging an empty accumulator changes nothing, in either direction.
+  StageStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count, all.count);
+  empty.merge(b);
+  EXPECT_DOUBLE_EQ(empty.min_s, b.min_s);
+  EXPECT_EQ(empty.count, b.count);
+}
+
+TEST(PipelineStats, ThroughputDerivesFromWallClock) {
+  PipelineStats p;
+  p.frames = 30;
+  p.voxels = 30 * 1000;
+  p.wall_s = 2.0;
+  EXPECT_DOUBLE_EQ(p.sustained_fps(), 15.0);
+  EXPECT_DOUBLE_EQ(p.voxels_per_second(), 15000.0);
+}
+
+TEST(PipelineStats, EmptyStatsAreSafe) {
+  const PipelineStats p;
+  EXPECT_DOUBLE_EQ(p.sustained_fps(), 0.0);
+  EXPECT_DOUBLE_EQ(p.voxels_per_second(), 0.0);
+  EXPECT_FALSE(p.to_string().empty());
+  EXPECT_FALSE(p.to_json().empty());
+}
+
+TEST(PipelineStats, JsonCarriesTheBenchContractKeys) {
+  PipelineStats p;
+  p.frames = 4;
+  p.worker_threads = 2;
+  p.wall_s = 1.0;
+  p.beamform.record(0.25);
+  const std::string json = p.to_json();
+  for (const char* key :
+       {"\"frames\"", "\"worker_threads\"", "\"wall_s\"", "\"sustained_fps\"",
+        "\"voxels_per_second\"", "\"ingest\"", "\"beamform\"", "\"consume\"",
+        "\"mean_ms\"", "\"min_ms\"", "\"max_ms\"", "\"count\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+}  // namespace
+}  // namespace us3d::runtime

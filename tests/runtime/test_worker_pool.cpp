@@ -1,0 +1,64 @@
+#include "runtime/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace us3d::runtime {
+namespace {
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
+  for (const int threads : {1, 2, 4, 7}) {
+    WorkerPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    std::vector<std::atomic<int>> hits(37);
+    pool.run(37, [&](int task) { hits[static_cast<std::size_t>(task)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(WorkerPool, ZeroTasksIsANoOp) {
+  WorkerPool pool(3);
+  pool.run(0, [](int) { FAIL() << "no task should run"; });
+}
+
+TEST(WorkerPool, ReusableAcrossManyJobs) {
+  WorkerPool pool(4);
+  std::atomic<long> sum{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.run(8, [&](int task) { sum += task; });
+  }
+  EXPECT_EQ(sum.load(), 50 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(WorkerPool, PropagatesTheFirstTaskException) {
+  WorkerPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.run(10,
+               [&](int task) {
+                 ran++;
+                 if (task == 4) throw std::runtime_error("task 4 failed");
+               }),
+      std::runtime_error);
+  // All tasks still ran: a failed task does not strand the others.
+  EXPECT_EQ(ran.load(), 10);
+  // And the pool is still usable afterwards.
+  std::atomic<int> again{0};
+  pool.run(5, [&](int) { again++; });
+  EXPECT_EQ(again.load(), 5);
+}
+
+TEST(WorkerPool, RejectsBadArguments) {
+  EXPECT_THROW(WorkerPool(0), ContractViolation);
+  WorkerPool pool(2);
+  EXPECT_THROW(pool.run(-1, [](int) {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace us3d::runtime
