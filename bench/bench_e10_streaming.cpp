@@ -18,12 +18,13 @@ namespace {
 
 // Streaming workload for the host-side parallel runtime: a scaled system
 // large enough that the per-frame beamform dominates thread handoff, a
-// short replayed shot sequence, and a 1/2/4/8 worker sweep. Emits the
-// per-thread-count PipelineStats to BENCH_runtime.json so later PRs can
-// track the throughput trajectory.
+// short replayed shot sequence, and a 1/2/4/8 worker sweep — run once per
+// reconstruction path (block vs per-voxel) so BENCH_runtime.json tracks
+// the block refactor's trajectory alongside the thread scaling.
 void runtime_thread_sweep() {
   using namespace us3d;
-  bench::section("parallel runtime: FramePipeline thread sweep (TABLEFREE)");
+  bench::section(
+      "parallel runtime: FramePipeline thread x path sweep (TABLEFREE)");
 
   const imaging::SystemConfig cfg = imaging::scaled_system(12, 24, 120);
   const probe::ApodizationMap apod(probe::MatrixProbe(cfg.probe),
@@ -37,35 +38,44 @@ void runtime_thread_sweep() {
       2, runtime::EchoFrame{acoustic::synthesize_echoes(cfg, phantom),
                             Vec3{}, 0});
 
-  MarkdownTable table({"threads", "frames", "beamform [ms/frame]",
+  MarkdownTable table({"path", "threads", "frames", "beamform [ms/frame]",
                        "sustained fps", "voxels/s", "speedup"});
   std::ostringstream sweep_json;
-  double fps_1thread = 0.0;
-  for (const int threads : {1, 2, 4, 8}) {
-    delay::TableFreeEngine prototype(cfg);
-    runtime::FramePipeline pipeline(
-        cfg, apod, prototype,
-        runtime::PipelineConfig{.worker_threads = threads});
-    runtime::ReplayFrameSource source(frames, /*repeats=*/2);
-    const runtime::PipelineStats stats = pipeline.run(
-        source, [](const beamform::VolumeImage&, std::int64_t) {});
-    if (threads == 1) fps_1thread = stats.sustained_fps();
-    const double speedup =
-        fps_1thread > 0.0 ? stats.sustained_fps() / fps_1thread : 0.0;
-    table.add_row({std::to_string(threads), std::to_string(stats.frames),
-                   format_double(stats.beamform.mean_s() * 1e3, 2),
-                   format_double(stats.sustained_fps(), 2),
-                   format_si(stats.voxels_per_second(), "voxels/s", 2),
-                   format_double(speedup, 2) + "x"});
-    if (sweep_json.tellp() > 0) sweep_json << ',';
-    sweep_json << "{\"threads\":" << threads << ",\"speedup\":" << speedup
-               << ",\"stats\":" << stats.to_json() << '}';
+  for (const beamform::ReconstructPath path :
+       {beamform::ReconstructPath::kBlock,
+        beamform::ReconstructPath::kPerVoxel}) {
+    const char* path_name =
+        path == beamform::ReconstructPath::kBlock ? "block" : "per-voxel";
+    double fps_1thread = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+      delay::TableFreeEngine prototype(cfg);
+      runtime::FramePipeline pipeline(
+          cfg, apod, prototype,
+          runtime::PipelineConfig{.worker_threads = threads, .path = path});
+      runtime::ReplayFrameSource source(frames, /*repeats=*/2);
+      const runtime::PipelineStats stats = pipeline.run(
+          source, [](const beamform::VolumeImage&, std::int64_t) {});
+      if (threads == 1) fps_1thread = stats.sustained_fps();
+      const double speedup =
+          fps_1thread > 0.0 ? stats.sustained_fps() / fps_1thread : 0.0;
+      table.add_row({path_name, std::to_string(threads),
+                     std::to_string(stats.frames),
+                     format_double(stats.beamform.mean_s() * 1e3, 2),
+                     format_double(stats.sustained_fps(), 2),
+                     format_si(stats.voxels_per_second(), "voxels/s", 2),
+                     format_double(speedup, 2) + "x"});
+      if (sweep_json.tellp() > 0) sweep_json << ',';
+      sweep_json << "{\"path\":\"" << path_name << "\",\"threads\":" << threads
+                 << ",\"speedup\":" << speedup
+                 << ",\"stats\":" << stats.to_json() << '}';
+    }
   }
   table.print(std::cout);
   std::cout << "\nEach worker sweeps a contiguous nappe range with its own "
                "cloned TABLEFREE engine;\nthe output is bit-identical to the "
-               "serial beamformer at every thread count\n(asserted by "
-               "tests/runtime/), so the speedup column is free lunch.\n";
+               "serial beamformer at every thread count and on\nboth paths "
+               "(asserted by tests/runtime/ and tests/beamform/), so the "
+               "speedup\ncolumns are free lunch.\n";
 
   std::ofstream json("BENCH_runtime.json");
   json << "{\"bench\":\"e10_runtime_thread_sweep\",\"engine\":\"TABLEFREE\","

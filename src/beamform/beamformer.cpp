@@ -1,19 +1,38 @@
 #include "beamform/beamformer.h"
 
-#include <vector>
+#include <algorithm>
+#include <chrono>
 
 #include "common/contracts.h"
 
 namespace us3d::beamform {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
 Beamformer::Beamformer(const imaging::SystemConfig& config,
                        const probe::ApodizationMap& apodization)
-    : config_(config), apodization_(apodization) {
+    : config_(config), apodization_(apodization), kernel_(apodization) {
   US3D_EXPECTS(apodization.elements_x() == config.probe.elements_x);
   US3D_EXPECTS(apodization.elements_y() == config.probe.elements_y);
   const double total = apodization_.total_weight();
   US3D_EXPECTS(total > 0.0);
   weight_norm_ = 1.0 / total;
+}
+
+int Beamformer::auto_block_points(int elements) {
+  constexpr int kTargetBytes = 256 * 1024;
+  const int points =
+      kTargetBytes / (static_cast<int>(sizeof(std::int32_t)) * elements);
+  return std::clamp(points, 16, 1024);
+}
+
+BeamformScratch& Beamformer::thread_scratch() {
+  thread_local BeamformScratch scratch;
+  return scratch;
 }
 
 float Beamformer::accumulate(const EchoBuffer& echoes,
@@ -43,30 +62,69 @@ void Beamformer::reconstruct_span(const EchoBuffer& echoes,
                                   delay::DelayEngine& engine,
                                   const imaging::ScanRange& range,
                                   VolumeImage& image,
+                                  BeamformScratch& scratch,
                                   const BeamformOptions& options) const {
   US3D_EXPECTS(echoes.element_count() == engine.element_count());
   US3D_EXPECTS(engine.frame_begun());
   US3D_EXPECTS(image.spec().total_points() == config_.volume.total_points());
   const imaging::VolumeGrid grid(config_.volume);
-  std::vector<std::int32_t> delays(
-      static_cast<std::size_t>(engine.element_count()));
 
-  imaging::for_each_focal_point(
-      grid, options.order, range, [&](const imaging::FocalPoint& fp) {
-        engine.compute(fp, delays);
-        float v = accumulate(echoes, delays);
-        if (options.normalize) v *= static_cast<float>(weight_norm_);
-        image.at(fp.i_theta, fp.i_phi, fp.i_depth) = v;
+  if (options.path == ReconstructPath::kPerVoxel) {
+    // Legacy loop: one virtual compute() and one weighted sum per voxel.
+    scratch.point_delays.resize(
+        static_cast<std::size_t>(engine.element_count()));
+    imaging::for_each_focal_point(
+        grid, options.order, range, [&](const imaging::FocalPoint& fp) {
+          engine.compute(fp, scratch.point_delays);
+          float v = accumulate(echoes, scratch.point_delays);
+          if (options.normalize) v *= static_cast<float>(weight_norm_);
+          image.at(fp.i_theta, fp.i_phi, fp.i_depth) = v;
+        });
+    return;
+  }
+
+  const int block_points = options.block_points > 0
+                               ? options.block_points
+                               : auto_block_points(engine.element_count());
+  if (scratch.acc.size() < static_cast<std::size_t>(block_points)) {
+    scratch.acc.resize(static_cast<std::size_t>(block_points));
+  }
+  imaging::for_each_focal_block(
+      grid, options.order, range, block_points, scratch.block_points,
+      [&](const imaging::FocalBlock& block) {
+        const auto t0 = scratch.profile ? Clock::now() : Clock::time_point{};
+        engine.compute_block(block, scratch.plane);
+        kernel_.accumulate_block(echoes, scratch.plane, scratch.acc);
+        for (int p = 0; p < block.size(); ++p) {
+          // Cast to float before the normalization multiply, exactly as
+          // the per-voxel path always has — keeps the two paths (and the
+          // pre-block history) bit-identical.
+          float v = static_cast<float>(scratch.acc[static_cast<std::size_t>(p)]);
+          if (options.normalize) v *= static_cast<float>(weight_norm_);
+          const imaging::FocalPoint& fp = block[p];
+          image.at(fp.i_theta, fp.i_phi, fp.i_depth) = v;
+        }
+        if (scratch.profile) scratch.profile_data.record(seconds_since(t0));
       });
+}
+
+void Beamformer::reconstruct_span(const EchoBuffer& echoes,
+                                  delay::DelayEngine& engine,
+                                  const imaging::ScanRange& range,
+                                  VolumeImage& image,
+                                  const BeamformOptions& options) const {
+  reconstruct_span(echoes, engine, range, image, thread_scratch(), options);
 }
 
 float Beamformer::beamform_point(const EchoBuffer& echoes,
                                  delay::DelayEngine& engine,
                                  const imaging::FocalPoint& fp) const {
-  std::vector<std::int32_t> delays(
+  BeamformScratch& scratch = thread_scratch();
+  scratch.point_delays.resize(
       static_cast<std::size_t>(engine.element_count()));
-  engine.compute(fp, delays);
-  return accumulate(echoes, delays) * static_cast<float>(weight_norm_);
+  engine.compute(fp, scratch.point_delays);
+  return accumulate(echoes, scratch.point_delays) *
+         static_cast<float>(weight_norm_);
 }
 
 }  // namespace us3d::beamform

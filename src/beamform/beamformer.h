@@ -3,17 +3,39 @@
 // The engine is a plug-in, so the same beamformer runs with EXACT,
 // TABLEFREE, TABLESTEER or FULLTABLE delays — image quality then directly
 // reflects delay accuracy, as Sec. II-A argues.
+//
+// The hot path is block-based: reconstruct_span decomposes its range into
+// smooth-order FocalBlocks, asks the engine for a DelayPlane per block
+// (one virtual call per run instead of per voxel) and feeds it to the
+// DasKernel. The per-voxel path is kept selectable via
+// BeamformOptions::path for A/B benchmarking; both produce bit-identical
+// volumes. All mutable sweep state lives in a caller-owned BeamformScratch
+// so workers reuse one scratch per thread and frames allocate nothing.
 #ifndef US3D_BEAMFORM_BEAMFORMER_H
 #define US3D_BEAMFORM_BEAMFORMER_H
 
+#include <cstdint>
+#include <vector>
+
+#include "beamform/das_kernel.h"
 #include "beamform/echo_buffer.h"
 #include "beamform/volume_image.h"
+#include "common/latency.h"
+#include "delay/delay_plane.h"
 #include "delay/engine.h"
 #include "imaging/scan_order.h"
 #include "imaging/system_config.h"
 #include "probe/apodization.h"
 
 namespace us3d::beamform {
+
+/// Which reconstruction inner loop to run. kBlock is the production path;
+/// kPerVoxel is the legacy one-compute()-per-focal-point loop, kept for
+/// benchmarking the dispatch overhead it pays (bench_a11).
+enum class ReconstructPath {
+  kBlock,
+  kPerVoxel,
+};
 
 struct BeamformOptions {
   imaging::ScanOrder order = imaging::ScanOrder::kNappeByNappe;
@@ -22,6 +44,26 @@ struct BeamformOptions {
   /// Transmit origin for this frame, forwarded to the delay engine's
   /// begin_frame(). Synthetic-aperture shots pass their virtual source.
   Vec3 origin{};
+  ReconstructPath path = ReconstructPath::kBlock;
+  /// Max focal points per block; 0 picks a size that keeps the DelayPlane
+  /// around 256 KiB (see Beamformer::auto_block_points).
+  int block_points = 0;
+};
+
+/// Reusable sweep state: the DelayPlane the engine fills, the partial-sum
+/// array the kernel accumulates into, the block point storage, and the
+/// per-point delay row for the per-voxel path. Everything grows once to
+/// the high-water mark and is then reused — one scratch per worker thread
+/// makes whole frames allocation-free.
+struct BeamformScratch {
+  delay::DelayPlane plane;
+  std::vector<double> acc;
+  std::vector<imaging::FocalPoint> block_points;
+  std::vector<std::int32_t> point_delays;
+  /// When true, reconstruct_span times each block into `profile_data`
+  /// (one record per FocalBlock swept).
+  bool profile = false;
+  LatencyStats profile_data;
 };
 
 class Beamformer {
@@ -41,21 +83,40 @@ class Beamformer {
   /// the frame's origin. This is the unit of work the parallel runtime
   /// hands to each worker — sweeping disjoint ranges of the same frame
   /// with independent engine clones writes disjoint voxels and is
-  /// bit-identical to the serial sweep.
+  /// bit-identical to the serial sweep. `scratch` is the worker's reusable
+  /// sweep state.
+  void reconstruct_span(const EchoBuffer& echoes, delay::DelayEngine& engine,
+                        const imaging::ScanRange& range, VolumeImage& image,
+                        BeamformScratch& scratch,
+                        const BeamformOptions& options = {}) const;
+
+  /// Convenience overload backed by a thread-local scratch (tests,
+  /// one-shot callers). Concurrent sweeps from different threads are fine;
+  /// each thread reuses its own buffers.
   void reconstruct_span(const EchoBuffer& echoes, delay::DelayEngine& engine,
                         const imaging::ScanRange& range, VolumeImage& image,
                         const BeamformOptions& options = {}) const;
 
-  /// Beamforms a single focal point (used by tests).
+  /// Beamforms a single focal point (used by tests). Uses the thread-local
+  /// scratch — no per-call heap allocation.
   float beamform_point(const EchoBuffer& echoes, delay::DelayEngine& engine,
                        const imaging::FocalPoint& fp) const;
+
+  const DasKernel& kernel() const { return kernel_; }
+
+  /// The block size used when BeamformOptions::block_points is 0: as many
+  /// points as keep `elements` DelayPlane rows near 256 KiB, clamped to
+  /// [16, 1024].
+  static int auto_block_points(int elements);
 
  private:
   float accumulate(const EchoBuffer& echoes,
                    std::span<const std::int32_t> delays) const;
+  static BeamformScratch& thread_scratch();
 
   imaging::SystemConfig config_;
   probe::ApodizationMap apodization_;
+  DasKernel kernel_;
   double weight_norm_;
 };
 

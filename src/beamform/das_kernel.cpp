@@ -1,0 +1,47 @@
+#include "beamform/das_kernel.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace us3d::beamform {
+
+DasKernel::DasKernel(const probe::ApodizationMap& apodization)
+    : elements_(apodization.elements_x() * apodization.elements_y()) {
+  for (int e = 0; e < elements_; ++e) {
+    const double w = apodization.weight_flat(e);
+    if (w == 0.0) continue;
+    active_.push_back(e);
+    weights_.push_back(w);
+  }
+}
+
+void DasKernel::accumulate_block(const EchoBuffer& echoes,
+                                 const delay::DelayPlane& plane,
+                                 std::span<double> acc) const {
+  const int n = plane.point_count();
+  US3D_EXPECTS(acc.size() >= static_cast<std::size_t>(n));
+  US3D_EXPECTS(echoes.element_count() == plane.element_count());
+  // The active list indexes up to the apodization map's element count; a
+  // smaller plane/echo pair must fail loudly, not read out of bounds.
+  US3D_EXPECTS(plane.element_count() == elements_);
+  std::fill(acc.begin(), acc.begin() + n, 0.0);
+  const std::int64_t samples = echoes.samples_per_element();
+  for (std::size_t k = 0; k < active_.size(); ++k) {
+    const int e = active_[k];
+    const double w = weights_[k];
+    const std::span<const float> echo = echoes.row(e);
+    const std::span<const std::int32_t> delays = plane.row(e);
+    for (int p = 0; p < n; ++p) {
+      const std::int32_t idx = delays[static_cast<std::size_t>(p)];
+      // Same clamp-to-zero semantics as EchoBuffer::sample, inlined so the
+      // loop body stays branch-light and vectorizable.
+      const float s = (idx >= 0 && idx < samples)
+                          ? echo[static_cast<std::size_t>(idx)]
+                          : 0.0f;
+      acc[static_cast<std::size_t>(p)] += w * s;
+    }
+  }
+}
+
+}  // namespace us3d::beamform

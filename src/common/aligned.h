@@ -1,0 +1,45 @@
+// Minimal over-aligned allocator for std::vector-backed SoA buffers whose
+// rows are laid out at a cache-line pitch (delay/delay_plane.h). C++17
+// aligned operator new does the heavy lifting.
+#ifndef US3D_COMMON_ALIGNED_H
+#define US3D_COMMON_ALIGNED_H
+
+#include <cstddef>
+#include <new>
+
+namespace us3d {
+
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two no smaller than alignof(T)");
+
+  using value_type = T;
+  // The non-type Alignment parameter defeats allocator_traits' default
+  // rebind deduction, so spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const {
+    return true;
+  }
+};
+
+}  // namespace us3d
+
+#endif  // US3D_COMMON_ALIGNED_H

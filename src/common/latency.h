@@ -1,0 +1,54 @@
+// The one latency accumulator: count / total / min / max over recorded
+// wall-clock intervals, plus the steady-clock helper that produces them.
+// Shared by the runtime pipeline stages (runtime::StageStats is an alias)
+// and the beamformer's per-block profile, so per-block and per-frame
+// timings always use the same clock and the same aggregation.
+#ifndef US3D_COMMON_LATENCY_H
+#define US3D_COMMON_LATENCY_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace us3d {
+
+/// Seconds elapsed since `start` on the steady clock.
+inline double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Latency accumulator for one instrumented stage, in seconds.
+struct LatencyStats {
+  std::int64_t count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+
+  void record(double seconds) {
+    if (count == 0 || seconds < min_s) min_s = seconds;
+    if (count == 0 || seconds > max_s) max_s = seconds;
+    total_s += seconds;
+    ++count;
+  }
+
+  /// Folds another accumulator into this one (same empty-is-count-0
+  /// convention as record()).
+  void merge(const LatencyStats& other) {
+    if (other.count == 0) return;
+    if (count == 0 || other.min_s < min_s) min_s = other.min_s;
+    if (count == 0 || other.max_s > max_s) max_s = other.max_s;
+    count += other.count;
+    total_s += other.total_s;
+  }
+
+  double mean_s() const {
+    return count ? total_s / static_cast<double>(count) : 0.0;
+  }
+
+  void reset() { *this = LatencyStats{}; }
+};
+
+}  // namespace us3d
+
+#endif  // US3D_COMMON_LATENCY_H

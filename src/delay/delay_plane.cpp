@@ -1,0 +1,19 @@
+#include "delay/delay_plane.h"
+
+#include "common/contracts.h"
+
+namespace us3d::delay {
+
+void DelayPlane::reshape(int elements, int points) {
+  US3D_EXPECTS(elements > 0);
+  US3D_EXPECTS(points >= 0);
+  elements_ = elements;
+  points_ = points;
+  // 16 int32 entries = one 64-byte cache line per pitch step.
+  constexpr std::size_t kLine = 16;
+  stride_ = (static_cast<std::size_t>(points) + kLine - 1) / kLine * kLine;
+  const std::size_t needed = static_cast<std::size_t>(elements) * stride_;
+  if (needed > data_.size()) data_.resize(needed);
+}
+
+}  // namespace us3d::delay

@@ -1,0 +1,65 @@
+// Structure-of-arrays output of the batched delay API: one row of echo
+// sample indices per probe element, one column per focal point of a
+// FocalBlock. The [element][point] layout is what the delay-and-sum kernel
+// wants — it walks one element's row against that element's echo stream in
+// a plain contiguous loop — and rows are padded to a 64-byte pitch (and the
+// buffer 64-byte aligned) so each row starts on its own cache line and the
+// compiler can vectorize row sweeps without peeling.
+//
+// A DelayPlane is scratch: reshape() grows capacity monotonically and never
+// releases it, so one plane per worker serves every block of every frame
+// with zero steady-state allocation.
+#ifndef US3D_DELAY_DELAY_PLANE_H
+#define US3D_DELAY_DELAY_PLANE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.h"
+
+namespace us3d::delay {
+
+class DelayPlane {
+ public:
+  DelayPlane() = default;
+
+  /// Shapes the plane to `elements` rows of `points` valid entries each.
+  /// Existing contents are discarded. Allocates only when the required
+  /// storage exceeds anything seen before (grow-only capacity).
+  void reshape(int elements, int points);
+
+  int element_count() const { return elements_; }
+  int point_count() const { return points_; }
+  /// Padded row pitch in entries (a multiple of 16 int32 = 64 bytes).
+  std::size_t row_stride() const { return stride_; }
+
+  /// One element's delays across the block, densely packed (size = points).
+  std::span<std::int32_t> row(int element) {
+    return {data_.data() + static_cast<std::size_t>(element) * stride_,
+            static_cast<std::size_t>(points_)};
+  }
+  std::span<const std::int32_t> row(int element) const {
+    return {data_.data() + static_cast<std::size_t>(element) * stride_,
+            static_cast<std::size_t>(points_)};
+  }
+
+  std::int32_t& at(int element, int point) {
+    return data_[static_cast<std::size_t>(element) * stride_ +
+                 static_cast<std::size_t>(point)];
+  }
+  std::int32_t at(int element, int point) const {
+    return data_[static_cast<std::size_t>(element) * stride_ +
+                 static_cast<std::size_t>(point)];
+  }
+
+ private:
+  int elements_ = 0;
+  int points_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<std::int32_t, AlignedAllocator<std::int32_t, 64>> data_;
+};
+
+}  // namespace us3d::delay
+
+#endif  // US3D_DELAY_DELAY_PLANE_H

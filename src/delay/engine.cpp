@@ -1,0 +1,28 @@
+#include "delay/engine.h"
+
+#include <vector>
+
+namespace us3d::delay {
+
+void DelayEngine::compute_block_reference(const imaging::FocalBlock& block,
+                                          DelayPlane& plane) {
+  US3D_EXPECTS(frame_begun_);
+  plane.reshape(element_count(), block.size());
+  if (block.empty()) return;
+  DelayEngine::do_compute_block(block, plane);
+}
+
+void DelayEngine::do_compute_block(const imaging::FocalBlock& block,
+                                   DelayPlane& plane) {
+  // Per-point gather row, scattered into the SoA plane. This is the oracle
+  // path; native overrides avoid both the allocation and the transpose.
+  std::vector<std::int32_t> row(static_cast<std::size_t>(element_count()));
+  for (int p = 0; p < block.size(); ++p) {
+    do_compute(block[p], row);
+    for (int e = 0; e < element_count(); ++e) {
+      plane.at(e, p) = row[static_cast<std::size_t>(e)];
+    }
+  }
+}
+
+}  // namespace us3d::delay

@@ -17,6 +17,25 @@
 // each worker begins its own frame, which is what makes parallel
 // reconstruction bit-identical to serial (delay values depend only on the
 // focal point and origin, never on the visit order).
+//
+// Block contract (the batched hot path): compute_block() fills a DelayPlane
+// — [element][point] rows — for a FocalBlock, i.e. a contiguous run of
+// focal points in the active scan order that never crosses an outer-axis
+// boundary (see imaging::BlockCursor). Feeding a frame's blocks in order is
+// *equivalent by construction* to feeding its points one by one: delay
+// values depend only on (origin, focal point), so per-voxel and block
+// sweeps are bit-identical, and compute() and compute_block() may even be
+// interleaved within one frame. What the block form buys is amortization:
+// one virtual dispatch per run instead of per voxel, per-element state
+// advanced once across the whole run (TABLEFREE's PWL trackers walk their
+// segment monotonically along a smooth run — exactly Algorithm 1's
+// intention), and per-block invariants hoisted out of inner loops
+// (TABLESTEER reads its reference-table entry once per element when the
+// block's depth is uniform, which kNappeByNappe blocks always are). The
+// caller passes a reusable DelayPlane scratch; reshape() grows it once and
+// steady-state sweeps allocate nothing. compute_block_reference() is the
+// non-virtual per-point oracle the property tests pin every native block
+// implementation against.
 #ifndef US3D_DELAY_ENGINE_H
 #define US3D_DELAY_ENGINE_H
 
@@ -27,6 +46,8 @@
 
 #include "common/contracts.h"
 #include "common/vec3.h"
+#include "delay/delay_plane.h"
+#include "imaging/focal_block.h"
 #include "imaging/focal_point.h"
 
 namespace us3d::delay {
@@ -62,6 +83,22 @@ class DelayEngine {
     do_compute(fp, out);
   }
 
+  /// Batched form: fills `plane` (reshaped to element_count() x
+  /// block.size()) for a smooth-order run. Bit-identical to calling
+  /// compute() on each point in block order; see the block contract above.
+  void compute_block(const imaging::FocalBlock& block, DelayPlane& plane) {
+    US3D_EXPECTS(frame_begun_);
+    plane.reshape(element_count(), block.size());
+    if (!block.empty()) do_compute_block(block, plane);
+  }
+
+  /// The per-point oracle: the exact loop-over-compute() path the block
+  /// implementations must reproduce bit-for-bit. Non-virtual on purpose —
+  /// property tests run it on a clone and compare against compute_block().
+  /// Allocates a per-call gather row; never use it on a hot path.
+  void compute_block_reference(const imaging::FocalBlock& block,
+                               DelayPlane& plane);
+
   /// Whether begin_frame() has been called on *this* instance.
   bool frame_begun() const { return frame_begun_; }
 
@@ -79,6 +116,11 @@ class DelayEngine {
   virtual void do_begin_frame(const Vec3& origin) = 0;
   virtual void do_compute(const imaging::FocalPoint& fp,
                           std::span<std::int32_t> out) = 0;
+  /// Default: the per-point reference loop. Every shipped engine overrides
+  /// this with a native batched implementation; the fallback keeps custom
+  /// engines correct and is what compute_block_reference() runs.
+  virtual void do_compute_block(const imaging::FocalBlock& block,
+                                DelayPlane& plane);
 
  private:
   bool frame_begun_ = false;

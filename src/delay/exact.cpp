@@ -51,4 +51,25 @@ void ExactDelayEngine::do_compute(const imaging::FocalPoint& fp,
   }
 }
 
+void ExactDelayEngine::do_compute_block(const imaging::FocalBlock& block,
+                                        DelayPlane& plane) {
+  const int n = block.size();
+  block_tx_.resize(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    block_tx_[static_cast<std::size_t>(p)] = config_.seconds_to_samples(
+        one_way_delay_s(block[p].position, origin_, config_.speed_of_sound));
+  }
+  for (int e = 0; e < element_count(); ++e) {
+    const Vec3 d = probe_.element_position(e);
+    const std::span<std::int32_t> row = plane.row(e);
+    for (int p = 0; p < n; ++p) {
+      const double rx = config_.seconds_to_samples(
+          one_way_delay_s(block[p].position, d, config_.speed_of_sound));
+      row[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(
+          fx::round_real_to_int(block_tx_[static_cast<std::size_t>(p)] + rx,
+                                fx::Rounding::kHalfUp));
+    }
+  }
+}
+
 }  // namespace us3d::delay

@@ -5,6 +5,7 @@
 #define US3D_DELAY_EXACT_H
 
 #include <memory>
+#include <vector>
 
 #include "delay/engine.h"
 #include "imaging/system_config.h"
@@ -38,11 +39,16 @@ class ExactDelayEngine final : public DelayEngine {
   void do_begin_frame(const Vec3& origin) override;
   void do_compute(const imaging::FocalPoint& fp,
                   std::span<std::int32_t> out) override;
+  /// Native block path: the transmit leg is evaluated once per point for
+  /// the whole run, then each element sweeps its contiguous plane row.
+  void do_compute_block(const imaging::FocalBlock& block,
+                        DelayPlane& plane) override;
 
  private:
   imaging::SystemConfig config_;
   probe::MatrixProbe probe_;
   Vec3 origin_{};
+  std::vector<double> block_tx_;  // per-block transmit delays, reused
 };
 
 }  // namespace us3d::delay

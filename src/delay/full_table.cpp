@@ -58,6 +58,18 @@ void FullTableEngine::do_compute(const imaging::FocalPoint& fp,
   for (std::size_t e = 0; e < out.size(); ++e) out[e] = table_[base + e];
 }
 
+void FullTableEngine::do_compute_block(const imaging::FocalBlock& block,
+                                       DelayPlane& plane) {
+  const auto n_elements = static_cast<std::size_t>(element_count());
+  for (int p = 0; p < block.size(); ++p) {
+    const imaging::FocalPoint& fp = block[p];
+    const std::size_t base = base_index(fp.i_theta, fp.i_phi, fp.i_depth);
+    for (std::size_t e = 0; e < n_elements; ++e) {
+      plane.at(static_cast<int>(e), p) = table_[base + e];
+    }
+  }
+}
+
 std::int64_t FullTableEngine::entry_count() const {
   return static_cast<std::int64_t>(table_.size());
 }

@@ -34,6 +34,11 @@ class FullTableEngine final : public DelayEngine {
   void do_begin_frame(const Vec3& origin) override;
   void do_compute(const imaging::FocalPoint& fp,
                   std::span<std::int32_t> out) override;
+  /// Native block path: one contiguous table read per point, scattered
+  /// into the SoA rows (the table is [point][element], the plane the
+  /// transpose).
+  void do_compute_block(const imaging::FocalBlock& block,
+                        DelayPlane& plane) override;
 
  private:
   std::size_t base_index(int i_theta, int i_phi, int i_depth) const;

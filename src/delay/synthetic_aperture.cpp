@@ -103,21 +103,14 @@ void SyntheticApertureSteerEngine::do_begin_frame(const Vec3& origin) {
 void SyntheticApertureSteerEngine::do_compute(const imaging::FocalPoint& fp,
                                               std::span<std::int32_t> out) {
   US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
-  const ReferenceDelayTable& table = repo_.table(active_);
-  const int nx = probe_.elements_x();
-  const int ny = probe_.elements_y();
-  for (int iy = 0; iy < ny; ++iy) {
-    const fx::Value cy = corrections_.y_correction(iy, fp.i_phi);
-    for (int ix = 0; ix < nx; ++ix) {
-      const fx::Value ref = table.entry(ix, iy, fp.i_depth);
-      const fx::Value cx = corrections_.x_correction(ix, fp.i_theta, fp.i_phi);
-      const fx::Value sum0 = fx::add(ref, cx, ts_config_.sum_format);
-      const fx::Value sum1 = fx::add(sum0, cy, ts_config_.sum_format);
-      const std::int64_t idx = sum1.round_to_int(fx::Rounding::kHalfUp);
-      out[static_cast<std::size_t>(probe_.flat_index(ix, iy))] =
-          static_cast<std::int32_t>(idx < 0 ? 0 : idx);
-    }
-  }
+  steer_compute_point(probe_, repo_.table(active_), corrections_, ts_config_,
+                      fp, out);
+}
+
+void SyntheticApertureSteerEngine::do_compute_block(
+    const imaging::FocalBlock& block, DelayPlane& plane) {
+  steer_compute_block(probe_, repo_.table(active_), corrections_, ts_config_,
+                      block, plane, block_cy_);
 }
 
 }  // namespace us3d::delay

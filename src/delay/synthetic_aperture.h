@@ -90,6 +90,10 @@ class SyntheticApertureSteerEngine final : public DelayEngine {
   void do_begin_frame(const Vec3& origin) override;
   void do_compute(const imaging::FocalPoint& fp,
                   std::span<std::int32_t> out) override;
+  /// Native block path: the shared TABLESTEER block kernel against the
+  /// insonification's active table.
+  void do_compute_block(const imaging::FocalBlock& block,
+                        DelayPlane& plane) override;
 
  private:
   imaging::SystemConfig config_;
@@ -98,6 +102,7 @@ class SyntheticApertureSteerEngine final : public DelayEngine {
   MultiOriginTableRepository repo_;
   SteeringCorrections corrections_;
   int active_ = 0;
+  std::vector<fx::Value> block_cy_;  // per-block y-corrections, reused
 };
 
 }  // namespace us3d::delay

@@ -80,6 +80,29 @@ double TableFreeEngine::squared_distance(const Vec3& a, const Vec3& b) {
   return (a - b).norm_squared();
 }
 
+void TableFreeEngine::seed_trackers(const Vec3& s0) {
+  // At frame start the control logic preloads each unit's segment
+  // register (a one-off seek, not charged as stall cycles).
+  tx_tracker_.seek(std::clamp(squared_distance(s0, origin_samples_),
+                              pwl_.x_min(), pwl_.x_max()));
+  for (std::size_t e = 0; e < rx_trackers_.size(); ++e) {
+    rx_trackers_[e].seek(
+        std::clamp(squared_distance(s0, element_pos_samples_[e]),
+                   pwl_.x_min(), pwl_.x_max()));
+  }
+  pending_seek_ = false;
+}
+
+double TableFreeEngine::evaluate_path(PwlTracker& tracker, double q) const {
+  tracker.evaluate(q);
+  if (tf_config_.use_fixed_point) {
+    return fixed_pwl_
+        .evaluate_in_segment(static_cast<std::int64_t>(q), tracker.segment())
+        .to_real();
+  }
+  return pwl_.evaluate_in_segment(q, tracker.segment());
+}
+
 void TableFreeEngine::do_compute(const imaging::FocalPoint& fp,
                                  std::span<std::int32_t> out) {
   US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
@@ -89,47 +112,59 @@ void TableFreeEngine::do_compute(const imaging::FocalPoint& fp,
   const double q_tx =
       std::clamp(squared_distance(s, origin_samples_), pwl_.x_min(),
                  pwl_.x_max());
-  if (pending_seek_) {
-    // At frame start the control logic preloads each unit's segment
-    // register (a one-off seek, not charged as stall cycles).
-    tx_tracker_.seek(q_tx);
-    for (std::size_t e = 0; e < rx_trackers_.size(); ++e) {
-      const double q0 = std::clamp(
-          squared_distance(s, element_pos_samples_[e]), pwl_.x_min(),
-          pwl_.x_max());
-      rx_trackers_[e].seek(q0);
-    }
-    pending_seek_ = false;
-  }
+  if (pending_seek_) seed_trackers(s);
 
   // Transmit path: one evaluation per focal point, shared by all elements.
-  double t_tx;
-  tx_tracker_.evaluate(q_tx);
-  if (tf_config_.use_fixed_point) {
-    t_tx = fixed_pwl_
-               .evaluate_in_segment(static_cast<std::int64_t>(q_tx),
-                                    tx_tracker_.segment())
-               .to_real();
-  } else {
-    t_tx = pwl_.evaluate_in_segment(q_tx, tx_tracker_.segment());
-  }
+  const double t_tx = evaluate_path(tx_tracker_, q_tx);
 
   for (std::size_t e = 0; e < rx_trackers_.size(); ++e) {
     const double q_rx = std::clamp(
         squared_distance(s, element_pos_samples_[e]), pwl_.x_min(),
         pwl_.x_max());
-    rx_trackers_[e].evaluate(q_rx);
-    double t_rx;
-    if (tf_config_.use_fixed_point) {
-      t_rx = fixed_pwl_
-                 .evaluate_in_segment(static_cast<std::int64_t>(q_rx),
-                                      rx_trackers_[e].segment())
-                 .to_real();
-    } else {
-      t_rx = pwl_.evaluate_in_segment(q_rx, rx_trackers_[e].segment());
-    }
+    const double t_rx = evaluate_path(rx_trackers_[e], q_rx);
     out[e] = static_cast<std::int32_t>(
         fx::round_real_to_int(t_tx + t_rx, fx::Rounding::kHalfUp));
+  }
+}
+
+void TableFreeEngine::do_compute_block(const imaging::FocalBlock& block,
+                                       DelayPlane& plane) {
+  const double k = config_.sampling_frequency_hz / config_.speed_of_sound;
+  const int n = block.size();
+  block_pos_.resize(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    block_pos_[static_cast<std::size_t>(p)] = block[p].position * k;
+  }
+
+  if (pending_seek_) seed_trackers(block_pos_.front());
+
+  // Transmit leg: the shared tracker walks the whole run once.
+  block_tx_.resize(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    const double q_tx =
+        std::clamp(squared_distance(block_pos_[static_cast<std::size_t>(p)],
+                                    origin_samples_),
+                   pwl_.x_min(), pwl_.x_max());
+    block_tx_[static_cast<std::size_t>(p)] = evaluate_path(tx_tracker_, q_tx);
+  }
+
+  // Receive legs: each element's tracker advances once across the whole
+  // run before the next element is touched. The tracker sees the same q
+  // sequence as in the per-point sweep, so segments — and therefore delay
+  // values and step counts — are identical.
+  for (std::size_t e = 0; e < rx_trackers_.size(); ++e) {
+    PwlTracker& tracker = rx_trackers_[e];
+    const Vec3 d = element_pos_samples_[e];
+    const std::span<std::int32_t> row = plane.row(static_cast<int>(e));
+    for (int p = 0; p < n; ++p) {
+      const double q_rx = std::clamp(
+          squared_distance(block_pos_[static_cast<std::size_t>(p)], d),
+          pwl_.x_min(), pwl_.x_max());
+      const double t_rx = evaluate_path(tracker, q_rx);
+      row[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(
+          fx::round_real_to_int(block_tx_[static_cast<std::size_t>(p)] + t_rx,
+                                fx::Rounding::kHalfUp));
+    }
   }
 }
 

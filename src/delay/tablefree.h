@@ -68,11 +68,29 @@ class TableFreeEngine final : public DelayEngine {
   void do_begin_frame(const Vec3& origin) override;
   void do_compute(const imaging::FocalPoint& fp,
                   std::span<std::int32_t> out) override;
+  /// Native block path — Algorithm 1's amortization made explicit: the
+  /// shared transmit tracker walks the run once, then each element's
+  /// receive tracker advances across the *whole* run before the next
+  /// element is touched. Segment tracking stays incremental (the argument
+  /// changes smoothly along a run), but the per-voxel re-dispatch into
+  /// every tracker is gone.
+  void do_compute_block(const imaging::FocalBlock& block,
+                        DelayPlane& plane) override;
 
  private:
   /// Squared distance in sample^2 units between two points given in
   /// sample-scaled coordinates.
   static double squared_distance(const Vec3& a, const Vec3& b);
+
+  /// One PWL receive/transmit path evaluation at squared distance q using
+  /// `tracker`'s current segment (which evaluate() just advanced).
+  double evaluate_path(PwlTracker& tracker, double q) const;
+
+  /// Frame-start preload of every tracker's segment register at the first
+  /// focal point `s0` (sample units) — the one-off seek both compute entry
+  /// points run when pending_seek_ is set, kept in one place so compute()
+  /// and compute_block() stay interleavable within a frame.
+  void seed_trackers(const Vec3& s0);
 
   imaging::SystemConfig config_;
   probe::MatrixProbe probe_;
@@ -84,6 +102,8 @@ class TableFreeEngine final : public DelayEngine {
   PwlTracker tx_tracker_;
   Vec3 origin_samples_{};
   bool pending_seek_ = true;
+  std::vector<Vec3> block_pos_;    // per-block scaled positions, reused
+  std::vector<double> block_tx_;   // per-block transmit delays, reused
 };
 
 }  // namespace us3d::delay

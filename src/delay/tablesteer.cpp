@@ -34,6 +34,82 @@ std::string TableSteerConfig::name_suffix() const {
   return "-" + std::to_string(entry_format.total_bits()) + "b";
 }
 
+void steer_compute_point(const probe::MatrixProbe& probe,
+                         const ReferenceDelayTable& table,
+                         const SteeringCorrections& corrections,
+                         const TableSteerConfig& ts_config,
+                         const imaging::FocalPoint& fp,
+                         std::span<std::int32_t> out) {
+  const int nx = probe.elements_x();
+  const int ny = probe.elements_y();
+  for (int iy = 0; iy < ny; ++iy) {
+    const fx::Value cy = corrections.y_correction(iy, fp.i_phi);
+    for (int ix = 0; ix < nx; ++ix) {
+      const fx::Value ref = table.entry(ix, iy, fp.i_depth);
+      const fx::Value cx = corrections.x_correction(ix, fp.i_theta, fp.i_phi);
+      // Two adders per element in the Fig. 4 block; the second performs
+      // the rounding to the integer echo-sample index.
+      const fx::Value sum0 = fx::add(ref, cx, ts_config.sum_format);
+      const fx::Value sum1 = fx::add(sum0, cy, ts_config.sum_format);
+      const std::int64_t idx = sum1.round_to_int(fx::Rounding::kHalfUp);
+      out[static_cast<std::size_t>(probe.flat_index(ix, iy))] =
+          static_cast<std::int32_t>(idx < 0 ? 0 : idx);
+    }
+  }
+}
+
+void steer_compute_block(const probe::MatrixProbe& probe,
+                         const ReferenceDelayTable& table,
+                         const SteeringCorrections& corrections,
+                         const TableSteerConfig& ts_config,
+                         const imaging::FocalBlock& block, DelayPlane& plane,
+                         std::vector<fx::Value>& cy_scratch) {
+  const int n = block.size();
+  const int nx = probe.elements_x();
+  const int ny = probe.elements_y();
+  cy_scratch.resize(static_cast<std::size_t>(n));
+  for (int iy = 0; iy < ny; ++iy) {
+    // One y-correction gather per row, shared by all nx columns.
+    for (int p = 0; p < n; ++p) {
+      cy_scratch[static_cast<std::size_t>(p)] =
+          corrections.y_correction(iy, block[p].i_phi);
+    }
+    for (int ix = 0; ix < nx; ++ix) {
+      const std::span<std::int32_t> row = plane.row(probe.flat_index(ix, iy));
+      // kNappeByNappe blocks never span two nappes, so the table entry is
+      // a per-element constant there; fall back to a per-point read when a
+      // scanline-order block mixes depths.
+      if (block.uniform_depth) {
+        const fx::Value ref = table.entry(ix, iy, block.front().i_depth);
+        for (int p = 0; p < n; ++p) {
+          const fx::Value cx =
+              corrections.x_correction(ix, block[p].i_theta, block[p].i_phi);
+          const fx::Value sum0 = fx::add(ref, cx, ts_config.sum_format);
+          const fx::Value sum1 =
+              fx::add(sum0, cy_scratch[static_cast<std::size_t>(p)],
+                      ts_config.sum_format);
+          const std::int64_t idx = sum1.round_to_int(fx::Rounding::kHalfUp);
+          row[static_cast<std::size_t>(p)] =
+              static_cast<std::int32_t>(idx < 0 ? 0 : idx);
+        }
+      } else {
+        for (int p = 0; p < n; ++p) {
+          const fx::Value ref = table.entry(ix, iy, block[p].i_depth);
+          const fx::Value cx =
+              corrections.x_correction(ix, block[p].i_theta, block[p].i_phi);
+          const fx::Value sum0 = fx::add(ref, cx, ts_config.sum_format);
+          const fx::Value sum1 =
+              fx::add(sum0, cy_scratch[static_cast<std::size_t>(p)],
+                      ts_config.sum_format);
+          const std::int64_t idx = sum1.round_to_int(fx::Rounding::kHalfUp);
+          row[static_cast<std::size_t>(p)] =
+              static_cast<std::int32_t>(idx < 0 ? 0 : idx);
+        }
+      }
+    }
+  }
+}
+
 TableSteerEngine::TableSteerEngine(const imaging::SystemConfig& config,
                                    const TableSteerConfig& ts_config)
     : config_(config),
@@ -63,22 +139,13 @@ void TableSteerEngine::do_begin_frame(const Vec3& origin) {
 void TableSteerEngine::do_compute(const imaging::FocalPoint& fp,
                                   std::span<std::int32_t> out) {
   US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
-  const int nx = probe_.elements_x();
-  const int ny = probe_.elements_y();
-  for (int iy = 0; iy < ny; ++iy) {
-    const fx::Value cy = corrections_.y_correction(iy, fp.i_phi);
-    for (int ix = 0; ix < nx; ++ix) {
-      const fx::Value ref = table_.entry(ix, iy, fp.i_depth);
-      const fx::Value cx = corrections_.x_correction(ix, fp.i_theta, fp.i_phi);
-      // Two adders per element in the Fig. 4 block; the second performs
-      // the rounding to the integer echo-sample index.
-      const fx::Value sum0 = fx::add(ref, cx, ts_config_.sum_format);
-      const fx::Value sum1 = fx::add(sum0, cy, ts_config_.sum_format);
-      const std::int64_t idx = sum1.round_to_int(fx::Rounding::kHalfUp);
-      out[static_cast<std::size_t>(probe_.flat_index(ix, iy))] =
-          static_cast<std::int32_t>(idx < 0 ? 0 : idx);
-    }
-  }
+  steer_compute_point(probe_, table_, corrections_, ts_config_, fp, out);
+}
+
+void TableSteerEngine::do_compute_block(const imaging::FocalBlock& block,
+                                        DelayPlane& plane) {
+  steer_compute_block(probe_, table_, corrections_, ts_config_, block, plane,
+                      block_cy_);
 }
 
 }  // namespace us3d::delay

@@ -6,6 +6,7 @@
 #define US3D_DELAY_TABLESTEER_H
 
 #include <memory>
+#include <vector>
 
 #include "delay/engine.h"
 #include "delay/reference_table.h"
@@ -32,6 +33,26 @@ struct TableSteerConfig {
   std::string name_suffix() const;  ///< "-18b", "-14b", ...
 };
 
+/// The Fig. 4 datapath (table read + two adds + rounding) for one focal
+/// point. Shared by TableSteerEngine and the synthetic-aperture engine,
+/// which runs the same datapath against whichever origin's table is
+/// active; steer_compute_block is the batched form of exactly this.
+void steer_compute_point(const probe::MatrixProbe& probe,
+                         const ReferenceDelayTable& table,
+                         const SteeringCorrections& corrections,
+                         const TableSteerConfig& ts_config,
+                         const imaging::FocalPoint& fp,
+                         std::span<std::int32_t> out);
+
+/// The same datapath applied to a whole block, element-outer. `cy_scratch`
+/// is reusable per-point y-correction storage (grown once).
+void steer_compute_block(const probe::MatrixProbe& probe,
+                         const ReferenceDelayTable& table,
+                         const SteeringCorrections& corrections,
+                         const TableSteerConfig& ts_config,
+                         const imaging::FocalBlock& block, DelayPlane& plane,
+                         std::vector<fx::Value>& cy_scratch);
+
 class TableSteerEngine final : public DelayEngine {
  public:
   TableSteerEngine(const imaging::SystemConfig& config,
@@ -53,6 +74,12 @@ class TableSteerEngine final : public DelayEngine {
   void do_begin_frame(const Vec3& origin) override;
   void do_compute(const imaging::FocalPoint& fp,
                   std::span<std::int32_t> out) override;
+  /// Native block path: element-outer sweep with the per-row y-correction
+  /// gathered once per row and — on uniform-depth blocks, i.e. every
+  /// kNappeByNappe block — the reference-table entry read once per element
+  /// instead of once per (element, point).
+  void do_compute_block(const imaging::FocalBlock& block,
+                        DelayPlane& plane) override;
 
  private:
   imaging::SystemConfig config_;
@@ -60,6 +87,7 @@ class TableSteerEngine final : public DelayEngine {
   TableSteerConfig ts_config_;
   ReferenceDelayTable table_;
   SteeringCorrections corrections_;
+  std::vector<fx::Value> block_cy_;  // per-block y-corrections, reused
 };
 
 }  // namespace us3d::delay

@@ -1,0 +1,36 @@
+// A contiguous run of focal points in scan order — the unit of work of the
+// block-based hot path. A FocalBlock is a *view* over points produced by a
+// BlockCursor (scan_order.h): consecutive in the active ScanOrder, never
+// crossing an outer-axis boundary, so an order-sensitive delay engine sees
+// the same smooth point stream it would see point-by-point. In
+// kNappeByNappe order every block therefore lies inside one nappe and
+// `uniform_depth` is true — which is what lets TABLESTEER hoist the
+// reference-table read out of its inner loop.
+#ifndef US3D_IMAGING_FOCAL_BLOCK_H
+#define US3D_IMAGING_FOCAL_BLOCK_H
+
+#include <span>
+
+#include "imaging/focal_point.h"
+
+namespace us3d::imaging {
+
+struct FocalBlock {
+  /// The run's points, consecutive in scan order. The view is only valid
+  /// until the producing cursor advances (its buffer is reused per block).
+  std::span<const FocalPoint> points{};
+  /// True when every point shares the same i_depth (always the case for
+  /// kNappeByNappe blocks, which never span two nappes).
+  bool uniform_depth = false;
+
+  int size() const { return static_cast<int>(points.size()); }
+  bool empty() const { return points.empty(); }
+  const FocalPoint& operator[](int i) const {
+    return points[static_cast<std::size_t>(i)];
+  }
+  const FocalPoint& front() const { return points.front(); }
+};
+
+}  // namespace us3d::imaging
+
+#endif  // US3D_IMAGING_FOCAL_BLOCK_H

@@ -97,4 +97,39 @@ void ScanCursor::reset() {
   produced_ = 0;
 }
 
+BlockCursor::BlockCursor(const VolumeGrid& grid, ScanOrder order,
+                         const ScanRange& range, int max_points,
+                         std::vector<FocalPoint>& buffer)
+    : cursor_(grid, order, range),
+      order_(order),
+      max_points_(max_points),
+      buffer_(&buffer) {
+  US3D_EXPECTS(max_points > 0);
+}
+
+bool BlockCursor::next(FocalBlock& out) {
+  std::vector<FocalPoint>& buf = *buffer_;
+  buf.clear();
+  if (!has_pending_) {
+    FocalPoint fp;
+    if (!cursor_.next(fp)) return false;
+    pending_ = fp;
+    has_pending_ = true;
+  }
+  const int outer = outer_of(pending_);
+  bool uniform_depth = true;
+  const int first_depth = pending_.i_depth;
+  // Consume the lookahead point, then extend the run until the cap, an
+  // outer-axis boundary, or the end of the range.
+  while (has_pending_ && outer_of(pending_) == outer &&
+         static_cast<int>(buf.size()) < max_points_) {
+    uniform_depth = uniform_depth && pending_.i_depth == first_depth;
+    buf.push_back(pending_);
+    has_pending_ = cursor_.next(pending_);
+  }
+  out.points = std::span<const FocalPoint>(buf.data(), buf.size());
+  out.uniform_depth = uniform_depth;
+  return true;
+}
+
 }  // namespace us3d::imaging

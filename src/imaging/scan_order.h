@@ -15,8 +15,10 @@
 #define US3D_IMAGING_SCAN_ORDER_H
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "imaging/focal_block.h"
 #include "imaging/volume.h"
 
 namespace us3d::imaging {
@@ -79,6 +81,40 @@ class ScanCursor {
   std::int64_t produced_ = 0;
 };
 
+/// Decomposes a ScanRange into maximal smooth-order runs (FocalBlocks): the
+/// exact point stream of ScanCursor, chopped into blocks of at most
+/// `max_points` that additionally never cross an outer-axis boundary
+/// (nappe strips for kNappeByNappe, scanline-slab strips for
+/// kScanlineByScanline). Concatenating the blocks reproduces the per-point
+/// sweep, so feeding them to an order-sensitive engine is equivalent to
+/// feeding the points one by one.
+///
+/// The caller supplies the reusable point storage; each produced FocalBlock
+/// views into it and is invalidated by the next `next()` call. The buffer
+/// grows to at most `max_points` entries once and is then reused, which is
+/// what keeps the per-frame hot path allocation-free.
+class BlockCursor {
+ public:
+  BlockCursor(const VolumeGrid& grid, ScanOrder order, const ScanRange& range,
+              int max_points, std::vector<FocalPoint>& buffer);
+
+  /// Fills `out` with the next run; returns false when the sweep is done.
+  bool next(FocalBlock& out);
+
+ private:
+  /// Outer-axis index of a point under the active order.
+  int outer_of(const FocalPoint& fp) const {
+    return order_ == ScanOrder::kNappeByNappe ? fp.i_depth : fp.i_theta;
+  }
+
+  ScanCursor cursor_;
+  ScanOrder order_;
+  int max_points_;
+  std::vector<FocalPoint>* buffer_;  // non-owning; caller-provided scratch
+  FocalPoint pending_{};             // one-point lookahead across blocks
+  bool has_pending_ = false;
+};
+
 /// Visits every focal point in the requested order.
 template <typename Fn>
 void for_each_focal_point(const VolumeGrid& grid, ScanOrder order, Fn&& fn) {
@@ -94,6 +130,26 @@ void for_each_focal_point(const VolumeGrid& grid, ScanOrder order,
   ScanCursor cursor(grid, order, range);
   FocalPoint fp;
   while (cursor.next(fp)) fn(fp);
+}
+
+/// Visits one slab as maximal smooth-order runs using caller-owned point
+/// storage (see BlockCursor for the reuse contract).
+template <typename Fn>
+void for_each_focal_block(const VolumeGrid& grid, ScanOrder order,
+                          const ScanRange& range, int max_points,
+                          std::vector<FocalPoint>& buffer, Fn&& fn) {
+  BlockCursor cursor(grid, order, range, max_points, buffer);
+  FocalBlock block;
+  while (cursor.next(block)) fn(block);
+}
+
+/// Convenience overload with its own temporary buffer (tests, one-shots).
+template <typename Fn>
+void for_each_focal_block(const VolumeGrid& grid, ScanOrder order,
+                          const ScanRange& range, int max_points, Fn&& fn) {
+  std::vector<FocalPoint> buffer;
+  for_each_focal_block(grid, order, range, max_points, buffer,
+                       std::forward<Fn>(fn));
 }
 
 }  // namespace us3d::imaging

@@ -14,10 +14,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
 }  // namespace
 
 FramePipeline::FramePipeline(const imaging::SystemConfig& config,
@@ -37,6 +33,11 @@ FramePipeline::FramePipeline(const imaging::SystemConfig& config,
   for (std::size_t i = 0; i < ranges_.size(); ++i) {
     engines_.push_back(prototype.clone());
   }
+  // One reusable sweep scratch per worker: DelayPlane, partial sums and
+  // block storage grow to their high-water mark on the first frame and are
+  // reused for every frame after — the steady state allocates nothing.
+  scratch_.resize(ranges_.size());
+  for (beamform::BeamformScratch& s : scratch_) s.profile = true;
   stats_.worker_threads = worker_threads();
 }
 
@@ -45,28 +46,39 @@ void FramePipeline::reset_stats() {
   stats_.worker_threads = worker_threads();
 }
 
-void FramePipeline::beamform_into(const beamform::EchoBuffer& echoes,
-                                  const Vec3& origin,
-                                  beamform::VolumeImage& image) {
+StageStats FramePipeline::beamform_into(const beamform::EchoBuffer& echoes,
+                                        const Vec3& origin,
+                                        beamform::VolumeImage& image) {
   const beamform::BeamformOptions options{
       .order = pipeline_config_.order,
       .normalize = pipeline_config_.normalize,
       .origin = origin,
+      .path = pipeline_config_.path,
+      .block_points = pipeline_config_.block_points,
   };
   pool_.run(static_cast<int>(ranges_.size()), [&](int worker) {
     delay::DelayEngine& engine = *engines_[static_cast<std::size_t>(worker)];
     engine.begin_frame(origin);
     beamformer_.reconstruct_span(echoes, engine,
                                  ranges_[static_cast<std::size_t>(worker)],
-                                 image, options);
+                                 image, scratch_[static_cast<std::size_t>(worker)],
+                                 options);
   });
+  // Fold the workers' per-block profiles into one frame-level accumulator
+  // (after the pool has quiesced, so no synchronization is needed).
+  StageStats frame_blocks;
+  for (beamform::BeamformScratch& s : scratch_) {
+    frame_blocks.merge(s.profile_data);
+    s.profile_data.reset();
+  }
+  return frame_blocks;
 }
 
 beamform::VolumeImage FramePipeline::reconstruct_frame(
     const beamform::EchoBuffer& echoes, const Vec3& origin) {
   beamform::VolumeImage image(config_.volume);
   const auto t0 = Clock::now();
-  beamform_into(echoes, origin, image);
+  stats_.block.merge(beamform_into(echoes, origin, image));
   const double elapsed = seconds_since(t0);
   stats_.beamform.record(elapsed);
   stats_.wall_s += elapsed;
@@ -90,7 +102,7 @@ PipelineStats FramePipeline::run(FrameSource& source, const VolumeSink& sink) {
       run_stats.ingest.record(seconds_since(t_ingest));
 
       const auto t_beamform = Clock::now();
-      beamform_into(frame->echoes, frame->origin, volume);
+      run_stats.block.merge(beamform_into(frame->echoes, frame->origin, volume));
       run_stats.beamform.record(seconds_since(t_beamform));
 
       const auto t_consume = Clock::now();
@@ -161,7 +173,8 @@ PipelineStats FramePipeline::run(FrameSource& source, const VolumeSink& sink) {
         beamform::VolumeImage& volume =
             buffers[static_cast<std::size_t>(slot)];
         const auto t_beamform = Clock::now();
-        beamform_into(frame->echoes, frame->origin, volume);
+        run_stats.block.merge(
+            beamform_into(frame->echoes, frame->origin, volume));
         run_stats.beamform.record(seconds_since(t_beamform));
         {
           std::lock_guard<std::mutex> lock(mutex);
@@ -194,6 +207,7 @@ PipelineStats FramePipeline::run(FrameSource& source, const VolumeSink& sink) {
   stats_.ingest.merge(run_stats.ingest);
   stats_.beamform.merge(run_stats.beamform);
   stats_.consume.merge(run_stats.consume);
+  stats_.block.merge(run_stats.block);
   return run_stats;
 }
 

@@ -39,6 +39,11 @@ struct PipelineConfig {
   imaging::ScanOrder order = imaging::ScanOrder::kNappeByNappe;
   /// Forwarded to BeamformOptions.
   bool normalize = true;
+  /// Inner-loop selection, forwarded to BeamformOptions. kBlock is the
+  /// production path; kPerVoxel exists for A/B throughput tracking.
+  beamform::ReconstructPath path = beamform::ReconstructPath::kBlock;
+  /// Max focal points per block (0 = auto), forwarded to BeamformOptions.
+  int block_points = 0;
   /// Overlap the sink callback with the next frame's beamform in run().
   /// Off: frames are fully sequential (beamform, then sink, then next).
   bool double_buffered = true;
@@ -85,14 +90,16 @@ class FramePipeline {
 
  private:
   /// Parallel sweep of one frame into `image` (all slabs, one per worker).
-  void beamform_into(const beamform::EchoBuffer& echoes, const Vec3& origin,
-                     beamform::VolumeImage& image);
+  /// Returns the per-block timing gathered from the workers' scratches.
+  StageStats beamform_into(const beamform::EchoBuffer& echoes,
+                           const Vec3& origin, beamform::VolumeImage& image);
 
   imaging::SystemConfig config_;
   beamform::Beamformer beamformer_;
   PipelineConfig pipeline_config_;
   std::vector<imaging::ScanRange> ranges_;
   std::vector<std::unique_ptr<delay::DelayEngine>> engines_;  // per slab
+  std::vector<beamform::BeamformScratch> scratch_;            // per slab
   WorkerPool pool_;
   PipelineStats stats_;
 };

@@ -6,21 +6,6 @@
 
 namespace us3d::runtime {
 
-void StageStats::record(double seconds) {
-  if (count == 0 || seconds < min_s) min_s = seconds;
-  if (count == 0 || seconds > max_s) max_s = seconds;
-  total_s += seconds;
-  ++count;
-}
-
-void StageStats::merge(const StageStats& other) {
-  if (other.count == 0) return;
-  if (count == 0 || other.min_s < min_s) min_s = other.min_s;
-  if (count == 0 || other.max_s > max_s) max_s = other.max_s;
-  count += other.count;
-  total_s += other.total_s;
-}
-
 namespace {
 
 void stage_json(std::ostringstream& os, const char* name,
@@ -46,6 +31,7 @@ std::string PipelineStats::to_string() const {
   stage_text(os, "ingest  ", ingest);
   stage_text(os, "beamform", beamform);
   stage_text(os, "consume ", consume);
+  if (block.count > 0) stage_text(os, "block   ", block);
   os << "  sustained " << format_double(sustained_fps(), 2) << " fps, "
      << format_si(voxels_per_second(), "voxels/s", 2) << "\n";
   return os.str();
@@ -61,6 +47,8 @@ std::string PipelineStats::to_json() const {
   stage_json(os, "beamform", beamform);
   os << ',';
   stage_json(os, "consume", consume);
+  os << ',';
+  stage_json(os, "block", block);
   os << '}';
   return os.str();
 }

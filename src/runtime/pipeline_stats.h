@@ -9,33 +9,27 @@
 #include <cstdint>
 #include <string>
 
+#include "common/latency.h"
+
 namespace us3d::runtime {
 
-/// Latency accumulator for one pipeline stage, in seconds.
-struct StageStats {
-  std::int64_t count = 0;
-  double total_s = 0.0;
-  double min_s = 0.0;
-  double max_s = 0.0;
-
-  void record(double seconds);
-  /// Folds another accumulator into this one (same empty-is-count-0
-  /// convention as record()).
-  void merge(const StageStats& other);
-  double mean_s() const {
-    return count ? total_s / static_cast<double>(count) : 0.0;
-  }
-};
+/// Latency accumulator for one pipeline stage, in seconds (the shared
+/// accumulator under its historical runtime name).
+using StageStats = ::us3d::LatencyStats;
 
 /// One pipeline run's worth of measurements. Latencies are wall-clock and
 /// per frame: `ingest` covers pulling a frame from the FrameSource,
 /// `beamform` the parallel reconstruction, `consume` the sink callback
 /// (which overlaps the next frame's beamform when double buffering is on —
 /// that is why sustained fps can beat mean(beamform)+mean(consume)).
+/// `block` is finer-grained: one record per FocalBlock swept by any worker
+/// (engine compute_block + DAS kernel + image scatter), aggregated across
+/// workers after each frame.
 struct PipelineStats {
   StageStats ingest;
   StageStats beamform;
   StageStats consume;
+  StageStats block;
   std::int64_t frames = 0;
   std::int64_t voxels = 0;    ///< total voxels written across frames
   double wall_s = 0.0;        ///< whole-run wall-clock time

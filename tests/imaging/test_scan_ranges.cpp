@@ -117,6 +117,102 @@ TEST(ScanRange, RangedCursorTotalAndPosition) {
   EXPECT_EQ(fp.i_depth, 2);  // reset returns to the range start, not 0
 }
 
+TEST(BlockCursor, BlocksTileTheRangeInSweepOrder) {
+  const VolumeSpec s = spec(6, 5, 13);
+  const VolumeGrid grid(s);
+  for (const ScanOrder order :
+       {ScanOrder::kNappeByNappe, ScanOrder::kScanlineByScanline}) {
+    for (const ScanRange range :
+         {full_scan_range(s, order), ScanRange{1, 4}, ScanRange{3, 4}}) {
+      const auto serial = sweep_indices(grid, order, range);
+      for (const int max_points : {1, 7, 16, 1024}) {
+        std::vector<std::array<int, 3>> tiled;
+        for_each_focal_block(
+            grid, order, range, max_points, [&](const FocalBlock& block) {
+              EXPECT_GT(block.size(), 0);
+              EXPECT_LE(block.size(), max_points);
+              for (int p = 0; p < block.size(); ++p) {
+                tiled.push_back(
+                    {block[p].i_theta, block[p].i_phi, block[p].i_depth});
+              }
+            });
+        EXPECT_EQ(tiled, serial)
+            << to_string(order) << " max_points=" << max_points;
+      }
+    }
+  }
+}
+
+TEST(BlockCursor, BlocksNeverCrossAnOuterAxisBoundary) {
+  const VolumeSpec s = spec(4, 3, 6);
+  const VolumeGrid grid(s);
+  for (const ScanOrder order :
+       {ScanOrder::kNappeByNappe, ScanOrder::kScanlineByScanline}) {
+    for_each_focal_block(
+        grid, order, full_scan_range(s, order), 1 << 20,
+        [&](const FocalBlock& block) {
+          const int outer = order == ScanOrder::kNappeByNappe
+                                ? block.front().i_depth
+                                : block.front().i_theta;
+          for (int p = 0; p < block.size(); ++p) {
+            const int point_outer = order == ScanOrder::kNappeByNappe
+                                        ? block[p].i_depth
+                                        : block[p].i_theta;
+            EXPECT_EQ(point_outer, outer);
+          }
+          // An uncapped block is a whole outer slab (maximal run).
+          const int inner = order == ScanOrder::kNappeByNappe
+                                ? s.n_theta * s.n_phi
+                                : s.n_phi * s.n_depth;
+          EXPECT_EQ(block.size(), inner);
+        });
+  }
+}
+
+TEST(BlockCursor, UniformDepthIsExactForBothOrders) {
+  const VolumeSpec s = spec(4, 3, 6);
+  const VolumeGrid grid(s);
+  for (const ScanOrder order :
+       {ScanOrder::kNappeByNappe, ScanOrder::kScanlineByScanline}) {
+    for (const int max_points : {2, 5, 64}) {
+      for_each_focal_block(
+          grid, order, full_scan_range(s, order), max_points,
+          [&](const FocalBlock& block) {
+            bool same = true;
+            for (int p = 0; p < block.size(); ++p) {
+              same = same && block[p].i_depth == block.front().i_depth;
+            }
+            EXPECT_EQ(block.uniform_depth, same) << to_string(order);
+            // Nappe-order blocks lie inside one nappe by construction.
+            if (order == ScanOrder::kNappeByNappe) {
+              EXPECT_TRUE(block.uniform_depth);
+            }
+          });
+    }
+  }
+}
+
+TEST(BlockCursor, ReusesTheCallerBuffer) {
+  const VolumeSpec s = spec(4, 3, 6);
+  const VolumeGrid grid(s);
+  std::vector<FocalPoint> buffer;
+  int blocks = 0;
+  const FocalPoint* stable_data = nullptr;
+  for_each_focal_block(grid, ScanOrder::kNappeByNappe,
+                       full_scan_range(s, ScanOrder::kNappeByNappe), 5, buffer,
+                       [&](const FocalBlock& block) {
+                         EXPECT_EQ(block.points.data(), buffer.data());
+                         if (blocks > 0) {
+                           // After the first full-size block the storage is
+                           // at its high-water mark and is never reallocated.
+                           EXPECT_EQ(buffer.data(), stable_data);
+                         }
+                         stable_data = buffer.data();
+                         ++blocks;
+                       });
+  EXPECT_GT(blocks, 1);
+}
+
 TEST(ScanRange, RejectsOutOfBoundsRanges) {
   const VolumeSpec s = spec(4, 3, 10);
   const VolumeGrid grid(s);
