@@ -47,6 +47,13 @@ VolumeImage::Peak VolumeImage::peak_abs() const {
   return p;
 }
 
+void VolumeImage::add(const VolumeImage& other) {
+  US3D_EXPECTS(spec_.n_theta == other.spec_.n_theta &&
+               spec_.n_phi == other.spec_.n_phi &&
+               spec_.n_depth == other.spec_.n_depth);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
 double VolumeImage::nrmse(const VolumeImage& reference,
                           const VolumeImage& test) {
   US3D_EXPECTS(reference.spec_.n_theta == test.spec_.n_theta &&

@@ -32,6 +32,12 @@ class VolumeImage {
   };
   Peak peak_abs() const;
 
+  /// Voxel-wise accumulate: this += other (specs must match). This is the
+  /// synthetic-aperture compounding primitive — coherently summing one
+  /// volume per insonification in shot order is the serial compounding
+  /// reference the async runtime reproduces bit-for-bit.
+  void add(const VolumeImage& other);
+
   /// Root-mean-square difference normalized by the reference's peak
   /// magnitude; 0 means identical volumes.
   static double nrmse(const VolumeImage& reference, const VolumeImage& test);

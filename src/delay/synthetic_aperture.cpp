@@ -1,5 +1,6 @@
 #include "delay/synthetic_aperture.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contracts.h"
@@ -89,15 +90,33 @@ std::unique_ptr<DelayEngine> SyntheticApertureSteerEngine::clone() const {
 }
 
 void SyntheticApertureSteerEngine::do_begin_frame(const Vec3& origin) {
-  US3D_EXPECTS(std::abs(origin.x) < 1e-12 && std::abs(origin.y) < 1e-12);
+  // Select the nearest plan origin. Origins that round-tripped through
+  // storage, arithmetic or serialization arrive perturbed by a few ulps,
+  // so an exact (absolute 1e-12) match would spuriously reject them; the
+  // tolerance is instead scaled to the plan's extent — nanometres against
+  // millimetre origin spacing — which accepts any round-off while still
+  // rejecting origins genuinely between two plan entries.
+  double span = std::abs(origin.z);
+  int nearest = 0;
+  double nearest_dist = std::abs(repo_.origin_z(0) - origin.z);
   for (int i = 0; i < repo_.origin_count(); ++i) {
-    if (std::abs(repo_.origin_z(i) - origin.z) < 1e-12) {
-      active_ = i;
-      return;
+    span = std::max(span, std::abs(repo_.origin_z(i)));
+    const double dist = std::abs(repo_.origin_z(i) - origin.z);
+    if (dist < nearest_dist) {
+      nearest = i;
+      nearest_dist = dist;
     }
   }
-  throw ContractViolation(
-      "synthetic-aperture origin not present in the table repository");
+  const double tolerance = std::max(1e-9, 1e-6 * span);
+  if (std::abs(origin.x) > tolerance || std::abs(origin.y) > tolerance) {
+    throw ContractViolation(
+        "synthetic-aperture origin must lie on the probe axis");
+  }
+  if (nearest_dist > tolerance) {
+    throw ContractViolation(
+        "synthetic-aperture origin not present in the table repository");
+  }
+  active_ = nearest;
 }
 
 void SyntheticApertureSteerEngine::do_compute(const imaging::FocalPoint& fp,

@@ -1,0 +1,300 @@
+#include "runtime/async_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.h"
+#include "common/latency.h"
+
+namespace us3d::runtime {
+
+namespace {
+
+int ring_slots_for(const AsyncOptions& options) {
+  int slots = std::max(1, options.depth);
+  // The compound accumulator occupies one slot for its whole K-group; a
+  // second slot keeps the next insonification beamforming meanwhile.
+  if (options.compound_origins > 1) slots = std::max(slots, 2);
+  return slots;
+}
+
+}  // namespace
+
+AsyncPipeline::AsyncPipeline(FramePipeline& pipeline,
+                             const AsyncOptions& options)
+    : pipeline_(pipeline),
+      options_(options),
+      ring_(pipeline.config_.volume, ring_slots_for(options)),
+      input_(static_cast<std::size_t>(std::max(1, options.depth))),
+      beamformed_(static_cast<std::size_t>(ring_slots_for(options))),
+      start_(Clock::now()) {
+  US3D_EXPECTS(options.depth >= 1);
+  US3D_EXPECTS(options.compound_origins >= 1);
+  stats_.worker_threads = pipeline.worker_threads();
+  beamform_thread_ = std::thread([this] { beamform_loop(); });
+  compound_thread_ = std::thread([this] { compound_loop(); });
+}
+
+AsyncPipeline::~AsyncPipeline() {
+  input_.close();
+  ring_.close();  // unblock a beamform stage waiting on a slot
+  if (beamform_thread_.joinable()) beamform_thread_.join();
+  if (compound_thread_.joinable()) compound_thread_.join();
+}
+
+bool AsyncPipeline::submit(EchoFrame frame) {
+  if (failed()) return false;
+  if (!input_.push(std::move(frame))) return false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++submitted_;
+  }
+  return true;
+}
+
+bool AsyncPipeline::try_submit(EchoFrame& frame) {
+  if (failed()) return false;
+  if (!input_.try_push(frame)) return false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++submitted_;
+  }
+  return true;
+}
+
+void AsyncPipeline::close() { input_.close(); }
+
+void AsyncPipeline::record_ingest(double seconds) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  stats_.ingest.record(seconds);
+}
+
+bool AsyncPipeline::take_output(Output& out) {
+  if (output_.empty()) return false;
+  out = output_.front();
+  output_.pop_front();
+  return true;
+}
+
+bool AsyncPipeline::poll(const VolumeSink& sink) {
+  Output out;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!take_output(out)) return false;
+  }
+  return deliver(sink, out);
+}
+
+bool AsyncPipeline::wait_one(const VolumeSink& sink) {
+  Output out;
+  {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    state_cv_.wait(lock, [&] {
+      return !output_.empty() || stages_done_ ||
+             failed_.load(std::memory_order_acquire);
+    });
+    if (!take_output(out)) return false;  // drained and done (or failed)
+  }
+  return deliver(sink, out);
+}
+
+void AsyncPipeline::flush(const VolumeSink& sink) {
+  while (true) {
+    Output out;
+    {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      // An emit for insonification i always precedes processed_ reaching
+      // i, so once processed_ catches up to submitted_ with the output
+      // queue empty there is nothing more this flush could ever deliver
+      // (a partial compound group intentionally stays buffered).
+      state_cv_.wait(lock, [&] {
+        return !output_.empty() || stages_done_ ||
+               failed_.load(std::memory_order_acquire) ||
+               processed_ >= submitted_;
+      });
+      if (!take_output(out)) return;
+    }
+    if (!deliver(sink, out)) return;
+  }
+}
+
+PipelineStats AsyncPipeline::finish(const VolumeSink& sink) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (finished_) return stats_;
+  }
+  close();
+  while (wait_one(sink)) {
+  }
+  if (beamform_thread_.joinable()) beamform_thread_.join();
+  if (compound_thread_.joinable()) compound_thread_.join();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!finished_) {
+    finished_ = true;
+    stats_.insonifications = submitted_;
+    stats_.dropped_frames = submitted_ - delivered_insonifications_;
+    stats_.wall_s = seconds_since(start_);
+  }
+  return stats_;
+}
+
+void AsyncPipeline::rethrow_if_failed() {
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    error = worker_error_ ? worker_error_ : sink_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void AsyncPipeline::beamform_loop() {
+  while (true) {
+    std::optional<EchoFrame> frame = input_.pop();
+    if (!frame) break;       // input closed and drained
+    if (failed()) continue;  // drain-and-drop; counted via dropped_frames
+    const int slot = ring_.acquire();
+    if (slot < 0) continue;  // ring closed mid-shutdown: drop
+    bool ok = false;
+    const auto t0 = Clock::now();
+    try {
+      StageStats blocks =
+          pipeline_.beamform_into(frame->echoes, frame->origin, ring_[slot]);
+      const double elapsed = seconds_since(t0);
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      stats_.beamform.record(elapsed);
+      stats_.block.merge(blocks);
+      ok = true;
+    } catch (...) {
+      fail(std::current_exception(), /*from_sink=*/false);
+    }
+    if (!ok) {
+      ring_.release(slot);
+      continue;
+    }
+    Beamformed item{slot, frame->sequence};
+    if (!beamformed_.push(std::move(item))) ring_.release(slot);
+  }
+  beamformed_.close();
+}
+
+void AsyncPipeline::compound_loop() {
+  const int k = std::max(1, options_.compound_origins);
+  int acc_slot = -1;
+  std::int64_t acc_count = 0;
+  std::int64_t acc_seq = 0;
+  const auto mark_processed = [&] {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      ++processed_;
+    }
+    state_cv_.notify_all();
+  };
+  while (true) {
+    std::optional<Beamformed> b = beamformed_.pop();
+    if (!b) break;
+    if (failed()) {
+      ring_.release(b->slot);
+      mark_processed();
+      continue;
+    }
+    if (k <= 1) {
+      emit(Output{b->slot, b->sequence, 1});
+      mark_processed();
+      continue;
+    }
+    const auto t0 = Clock::now();
+    if (acc_slot < 0) {
+      // First shot of the group: its volume *is* the accumulator (summing
+      // it into a zeroed volume would produce the same floats), so the
+      // group costs K-1 adds, and shot k+1 beamforms while shot k sums.
+      acc_slot = b->slot;
+      acc_count = 1;
+    } else {
+      ring_[acc_slot].add(ring_[b->slot]);
+      ring_.release(b->slot);
+      ++acc_count;
+    }
+    acc_seq = b->sequence;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      stats_.compound.record(seconds_since(t0));
+    }
+    if (acc_count >= k) {
+      emit(Output{acc_slot, acc_seq, acc_count});
+      acc_slot = -1;
+      acc_count = 0;
+    }
+    mark_processed();
+  }
+  if (acc_slot >= 0) {
+    if (failed()) {
+      ring_.release(acc_slot);
+    } else {
+      // Stream ended mid-group: deliver the partial compound with its
+      // actual shot count rather than dropping coherent work.
+      emit(Output{acc_slot, acc_seq, acc_count});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stages_done_ = true;
+  }
+  state_cv_.notify_all();
+}
+
+void AsyncPipeline::emit(Output out) {
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (failed_.load(std::memory_order_acquire)) {
+      dropped = true;
+    } else {
+      output_.push_back(out);
+    }
+  }
+  if (dropped) {
+    ring_.release(out.slot);
+  } else {
+    state_cv_.notify_all();
+  }
+}
+
+bool AsyncPipeline::deliver(const VolumeSink& sink, const Output& out) {
+  const std::int64_t voxels = ring_[out.slot].voxel_count();
+  const auto t0 = Clock::now();
+  try {
+    if (sink) sink(ring_[out.slot], out.sequence);
+  } catch (...) {
+    ring_.release(out.slot);
+    fail(std::current_exception(), /*from_sink=*/true);
+    return false;
+  }
+  const double elapsed = seconds_since(t0);
+  ring_.release(out.slot);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  stats_.consume.record(elapsed);
+  ++stats_.frames;
+  stats_.voxels += voxels;
+  delivered_insonifications_ += out.summed;
+  return true;
+}
+
+void AsyncPipeline::fail(std::exception_ptr error, bool from_sink) {
+  std::deque<Output> orphans;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (from_sink) {
+      if (!sink_error_) sink_error_ = error;
+    } else if (!worker_error_) {
+      worker_error_ = error;
+    }
+    failed_.store(true, std::memory_order_release);
+    orphans.swap(output_);
+  }
+  for (const Output& o : orphans) ring_.release(o.slot);
+  state_cv_.notify_all();
+  input_.close();  // refuse further submissions, unblock producers
+  ring_.close();   // unblock a beamform stage waiting on a slot
+}
+
+}  // namespace us3d::runtime

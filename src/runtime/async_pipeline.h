@@ -1,0 +1,181 @@
+// The async streaming core: a bounded-queue stage graph that overlaps
+// ingest, beamform, compounding and sink consumption, with real
+// backpressure for an acquisition front-end.
+//
+//   submit()/try_submit() ─► input queue ─► beamform stage ─► VolumeRing slot
+//                            (bounded:       (pool sweep via     │
+//                             backpressure)   FramePipeline)     ▼
+//   poll()/wait_one()/  ◄─ output queue ◄─ compound stage (sums K origins)
+//   flush()/finish()        (in order)
+//
+// - The caller is the ingest stage: submit() blocks while the bounded
+//   input queue is full (that *is* the backpressure an acquisition
+//   front-end needs), try_submit() refuses instead so a real-time producer
+//   can shed or buffer.
+// - The beamform stage runs on its own thread, sweeping each frame across
+//   the FramePipeline's worker pool into a VolumeRing slot (N in-flight
+//   volumes, not two hardcoded buffers).
+// - The compound stage (its own thread) coherently sums K successive
+//   insonifications into one output volume — origin k+1 beamforms while
+//   origin k accumulates. With K = 1 it forwards volumes untouched. The
+//   compounded volume is bit-identical to beamforming each insonification
+//   serially and summing in shot order (property-tested for all engines).
+// - Outputs leave in acquisition order. Consumption is either caller-driven
+//   (poll / wait_one / flush — one consuming thread at a time) or the
+//   synchronous FramePipeline::run wrapper, which is a thin loop over this
+//   class: there is one scheduling implementation, not two.
+//
+// Failure semantics: a sink exception or a beamform/worker exception stops
+// the pipeline — submit() starts returning false, in-flight work is
+// drained and dropped (never silently lost: PipelineStats::dropped_frames
+// counts it), and finish() reports the stored exception via
+// rethrow_if_failed(). Frame accounting is delivery-based throughout:
+// stats().frames only counts volumes the sink actually received.
+#ifndef US3D_RUNTIME_ASYNC_PIPELINE_H
+#define US3D_RUNTIME_ASYNC_PIPELINE_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "runtime/bounded_queue.h"
+#include "runtime/frame_pipeline.h"
+#include "runtime/frame_source.h"
+#include "runtime/pipeline_stats.h"
+#include "runtime/volume_ring.h"
+
+namespace us3d::runtime {
+
+struct AsyncOptions {
+  /// In-flight output volumes: the VolumeRing size and the bound on the
+  /// input queue. 1 = fully serial hand-off, 2 = classic double
+  /// buffering, larger absorbs burstier sinks. Clamped to >= 2 when
+  /// compounding (the accumulator occupies one slot across its group).
+  int depth = 2;
+  /// Compounding factor K: sum K successive insonifications into each
+  /// output volume. 1 disables compounding. A final partial group (stream
+  /// ended mid-group) is still delivered, with its actual count.
+  int compound_origins = 1;
+};
+
+class AsyncPipeline {
+ public:
+  /// Spawns the beamform and compound stage threads immediately. The
+  /// pipeline borrows `pipeline`'s worker pool and engine clones; at most
+  /// one AsyncPipeline (or run()) may be active per FramePipeline at a
+  /// time — the pool is not reentrant.
+  explicit AsyncPipeline(FramePipeline& pipeline,
+                         const AsyncOptions& options = {});
+
+  /// Joins the stage threads. If finish() was never called, in-flight
+  /// work is discarded (call finish() to drain and collect stats).
+  ~AsyncPipeline();
+
+  AsyncPipeline(const AsyncPipeline&) = delete;
+  AsyncPipeline& operator=(const AsyncPipeline&) = delete;
+
+  /// Blocking submit: parks the caller while the input queue is full
+  /// (backpressure). Returns false once the pipeline has failed or been
+  /// closed — the frame was not accepted.
+  bool submit(EchoFrame frame);
+
+  /// Non-blocking submit: false when the queue is full right now (the
+  /// frame is left intact for the caller to retry or shed) or the
+  /// pipeline is closed/failed.
+  bool try_submit(EchoFrame& frame);
+
+  /// Non-blocking: delivers at most one finished volume to `sink`.
+  /// Returns true if one was delivered. One consuming thread at a time.
+  bool poll(const VolumeSink& sink);
+
+  /// Blocking: waits for the next finished volume and delivers it.
+  /// Returns false when no more outputs will ever arrive (stream closed
+  /// and drained, or pipeline failed).
+  bool wait_one(const VolumeSink& sink);
+
+  /// Blocks until every insonification submitted so far has been
+  /// processed through the beamform and compound stages, delivering any
+  /// finished volumes to `sink` on the way (a partial compound group
+  /// stays buffered until close()). This is what makes the synchronous
+  /// non-overlapped mode strictly sequential.
+  void flush(const VolumeSink& sink);
+
+  /// No more submissions; in-flight frames still complete and can be
+  /// drained with wait_one()/finish(). Idempotent.
+  void close();
+
+  /// close() + deliver every remaining output to `sink` + join the stage
+  /// threads, then return the final stats (wall_s covers construction to
+  /// finish). Does NOT throw on pipeline failure so the caller always
+  /// gets truthful stats — call rethrow_if_failed() after. Idempotent.
+  PipelineStats finish(const VolumeSink& sink);
+
+  /// Rethrows the first stored failure, worker errors before sink errors.
+  /// No-op if the pipeline is healthy.
+  void rethrow_if_failed();
+
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Folds a caller-measured source latency into stats().ingest (the
+  /// caller is the ingest stage, so only it can time the source).
+  void record_ingest(double seconds);
+
+  int ring_slots() const { return ring_.slots(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Beamformed {
+    int slot = -1;
+    std::int64_t sequence = 0;
+  };
+  struct Output {
+    int slot = -1;
+    std::int64_t sequence = 0;   ///< last insonification summed in
+    std::int64_t summed = 0;     ///< insonifications in this volume
+  };
+
+  void beamform_loop();
+  void compound_loop();
+  /// Queues a finished volume for consumption (or drops it after failure).
+  void emit(Output out);
+  /// Runs the sink on one output and does delivery accounting. Returns
+  /// false if the sink threw (the pipeline is failed afterwards).
+  bool deliver(const VolumeSink& sink, const Output& out);
+  void fail(std::exception_ptr error, bool from_sink);
+  /// Pops the next queued output under the state lock; false if none.
+  bool take_output(Output& out);
+
+  FramePipeline& pipeline_;
+  AsyncOptions options_;
+  VolumeRing ring_;
+  BoundedQueue<EchoFrame> input_;
+  BoundedQueue<Beamformed> beamformed_;
+
+  std::atomic<bool> failed_{false};
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  std::deque<Output> output_;              // bounded by ring slots
+  bool stages_done_ = false;               // compound stage has exited
+  bool finished_ = false;
+  std::exception_ptr worker_error_;
+  std::exception_ptr sink_error_;
+  std::int64_t submitted_ = 0;             // insonifications accepted
+  std::int64_t processed_ = 0;             // through the compound stage
+  std::int64_t delivered_insonifications_ = 0;
+  PipelineStats stats_;
+
+  Clock::time_point start_;
+  std::thread beamform_thread_;
+  std::thread compound_thread_;
+};
+
+}  // namespace us3d::runtime
+
+#endif  // US3D_RUNTIME_ASYNC_PIPELINE_H

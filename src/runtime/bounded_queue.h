@@ -1,0 +1,123 @@
+// Bounded blocking FIFO — the backpressure primitive of the async runtime.
+// A fixed-capacity queue with blocking and non-blocking ends on both sides:
+// push() parks the producer while the queue is full (that *is* the
+// backpressure an acquisition front-end sees), try_push() refuses instead,
+// pop()/try_pop() mirror them for the consumer. close() ends the stream
+// gracefully: producers are refused from then on, consumers drain whatever
+// is left and then read end-of-stream (nullopt). All operations are safe
+// from any number of threads; FIFO order is preserved, which is what keeps
+// async pipeline outputs in acquisition order without sequence sorting.
+#ifndef US3D_RUNTIME_BOUNDED_QUEUE_H
+#define US3D_RUNTIME_BOUNDED_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace us3d::runtime {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    US3D_EXPECTS(capacity >= 1);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Blocks while the queue is full. Returns false (and drops `item`) if
+  /// the queue is closed — the stream is over, nobody will pop it.
+  bool push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      space_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. On refusal (full or closed) `item` is left intact
+  /// so the caller can retry, buffer, or shed load — real backpressure.
+  bool try_push(T& item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open. Returns nullopt only at
+  /// end-of-stream: closed *and* fully drained.
+  std::optional<T> pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      item_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    space_cv_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop: nullopt when nothing is ready right now (which is
+  /// not end-of-stream — check closed() to distinguish).
+  std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    space_cv_.notify_one();
+    return item;
+  }
+
+  /// Ends the stream: subsequent pushes are refused, pops drain the
+  /// remaining items and then return nullopt. Idempotent; wakes every
+  /// blocked producer and consumer.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable item_cv_;   // signalled on push
+  std::condition_variable space_cv_;  // signalled on pop
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace us3d::runtime
+
+#endif  // US3D_RUNTIME_BOUNDED_QUEUE_H

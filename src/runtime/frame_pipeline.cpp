@@ -1,12 +1,13 @@
 #include "runtime/frame_pipeline.h"
 
-#include <array>
 #include <chrono>
 #include <exception>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/contracts.h"
+#include "runtime/async_pipeline.h"
 
 namespace us3d::runtime {
 
@@ -27,6 +28,8 @@ FramePipeline::FramePipeline(const imaging::SystemConfig& config,
                                       pipeline_config.worker_threads)),
       pool_(static_cast<int>(ranges_.size())) {
   US3D_EXPECTS(pipeline_config.worker_threads >= 1);
+  US3D_EXPECTS(pipeline_config.queue_depth >= 1);
+  US3D_EXPECTS(pipeline_config.compound_origins >= 1);
   US3D_EXPECTS(prototype.element_count() ==
                probe::MatrixProbe(config.probe).element_count());
   engines_.reserve(ranges_.size());
@@ -76,138 +79,78 @@ StageStats FramePipeline::beamform_into(const beamform::EchoBuffer& echoes,
 
 beamform::VolumeImage FramePipeline::reconstruct_frame(
     const beamform::EchoBuffer& echoes, const Vec3& origin) {
+  // wall_s uses one definition for every entry point — the whole call
+  // counts, exactly as run() counts its whole stream duration — so
+  // lifetime sustained_fps/voxels_per_second stay meaningful when both
+  // entry points are mixed on one pipeline (see PipelineStats).
+  const auto t_call = Clock::now();
   beamform::VolumeImage image(config_.volume);
-  const auto t0 = Clock::now();
+  const auto t_beamform = Clock::now();
   stats_.block.merge(beamform_into(echoes, origin, image));
-  const double elapsed = seconds_since(t0);
-  stats_.beamform.record(elapsed);
-  stats_.wall_s += elapsed;
+  stats_.beamform.record(seconds_since(t_beamform));
   ++stats_.frames;
+  ++stats_.insonifications;
   stats_.voxels += image.voxel_count();
+  stats_.wall_s += seconds_since(t_call);
   return image;
 }
 
 PipelineStats FramePipeline::run(FrameSource& source, const VolumeSink& sink) {
-  PipelineStats run_stats;
-  run_stats.worker_threads = worker_threads();
-  const auto t_run = Clock::now();
-  const std::int64_t max_frames = pipeline_config_.max_frames;
+  AsyncOptions options;
+  options.depth =
+      pipeline_config_.double_buffered ? pipeline_config_.queue_depth : 1;
+  options.compound_origins = pipeline_config_.compound_origins;
+  AsyncPipeline async(*this, options);
 
-  if (!pipeline_config_.double_buffered) {
-    beamform::VolumeImage volume(config_.volume);
-    while (max_frames < 0 || run_stats.frames < max_frames) {
+  // With overlap on, a consumer thread drains outputs so the sink runs
+  // concurrently with later frames' beamform; otherwise the caller
+  // flushes after every submission, keeping frames strictly sequential.
+  std::thread consumer;
+  if (pipeline_config_.double_buffered) {
+    consumer = std::thread([&] {
+      while (async.wait_one(sink)) {
+      }
+    });
+  }
+
+  const std::int64_t max_frames = pipeline_config_.max_frames;
+  std::int64_t submitted = 0;
+  // A throwing source must still wind the stages down and join the
+  // consumer before the exception leaves run() — otherwise the joinable
+  // consumer thread's destructor would terminate the process.
+  std::exception_ptr source_error;
+  try {
+    while (max_frames < 0 || submitted < max_frames) {
       const auto t_ingest = Clock::now();
       std::optional<EchoFrame> frame = source.next_frame();
       if (!frame) break;
-      run_stats.ingest.record(seconds_since(t_ingest));
-
-      const auto t_beamform = Clock::now();
-      run_stats.block.merge(beamform_into(frame->echoes, frame->origin, volume));
-      run_stats.beamform.record(seconds_since(t_beamform));
-
-      const auto t_consume = Clock::now();
-      sink(volume, frame->sequence);
-      run_stats.consume.record(seconds_since(t_consume));
-
-      ++run_stats.frames;
-      run_stats.voxels += volume.voxel_count();
+      async.record_ingest(seconds_since(t_ingest));
+      if (!async.submit(std::move(*frame))) break;  // pipeline failed
+      ++submitted;
+      if (!pipeline_config_.double_buffered) async.flush(sink);
     }
-  } else {
-    // Double buffering: the producer (this thread + pool) alternates
-    // between two output volumes while a consumer thread runs the sink on
-    // the previously finished one. seq[i] >= 0 publishes buffer i.
-    std::array<beamform::VolumeImage, 2> buffers{
-        beamform::VolumeImage(config_.volume),
-        beamform::VolumeImage(config_.volume)};
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::array<std::int64_t, 2> seq{-1, -1};
-    bool done = false;
-    bool sink_failed = false;
-    std::exception_ptr sink_error;
-
-    std::thread consumer([&] {
-      int slot = 0;
-      while (true) {
-        std::int64_t sequence;
-        {
-          std::unique_lock<std::mutex> lock(mutex);
-          cv.wait(lock, [&] { return seq[slot] >= 0 || done; });
-          if (seq[slot] < 0) return;  // stream over, nothing published
-          sequence = seq[slot];
-        }
-        const auto t_consume = Clock::now();
-        try {
-          sink(buffers[static_cast<std::size_t>(slot)], sequence);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(mutex);
-          sink_error = std::current_exception();
-          sink_failed = true;
-          cv.notify_all();
-          return;
-        }
-        run_stats.consume.record(seconds_since(t_consume));
-        {
-          std::lock_guard<std::mutex> lock(mutex);
-          seq[slot] = -1;
-          cv.notify_all();
-        }
-        slot ^= 1;
-      }
-    });
-
-    std::exception_ptr producer_error;
-    try {
-      int slot = 0;
-      while (max_frames < 0 || run_stats.frames < max_frames) {
-        const auto t_ingest = Clock::now();
-        std::optional<EchoFrame> frame = source.next_frame();
-        if (!frame) break;
-        run_stats.ingest.record(seconds_since(t_ingest));
-
-        {
-          std::unique_lock<std::mutex> lock(mutex);
-          cv.wait(lock, [&] { return seq[slot] < 0 || sink_failed; });
-          if (sink_failed) break;
-        }
-        beamform::VolumeImage& volume =
-            buffers[static_cast<std::size_t>(slot)];
-        const auto t_beamform = Clock::now();
-        run_stats.block.merge(
-            beamform_into(frame->echoes, frame->origin, volume));
-        run_stats.beamform.record(seconds_since(t_beamform));
-        {
-          std::lock_guard<std::mutex> lock(mutex);
-          seq[slot] = frame->sequence;
-          cv.notify_all();
-        }
-        slot ^= 1;
-        ++run_stats.frames;
-        run_stats.voxels += volume.voxel_count();
-      }
-    } catch (...) {
-      producer_error = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      done = true;
-      cv.notify_all();
-    }
-    consumer.join();
-    if (producer_error) std::rethrow_exception(producer_error);
-    if (sink_error) std::rethrow_exception(sink_error);
+  } catch (...) {
+    source_error = std::current_exception();
   }
+  async.close();
+  if (consumer.joinable()) consumer.join();
+  const PipelineStats run_stats = async.finish(sink);
 
-  run_stats.wall_s = seconds_since(t_run);
-
-  // Fold the run into the pipeline-lifetime stats.
+  // Fold into the lifetime stats before any rethrow, so a failed run
+  // still leaves truthful delivery/drop accounting behind.
   stats_.frames += run_stats.frames;
+  stats_.insonifications += run_stats.insonifications;
+  stats_.dropped_frames += run_stats.dropped_frames;
   stats_.voxels += run_stats.voxels;
   stats_.wall_s += run_stats.wall_s;
   stats_.ingest.merge(run_stats.ingest);
   stats_.beamform.merge(run_stats.beamform);
+  stats_.compound.merge(run_stats.compound);
   stats_.consume.merge(run_stats.consume);
   stats_.block.merge(run_stats.block);
+
+  if (source_error) std::rethrow_exception(source_error);
+  async.rethrow_if_failed();
   return run_stats;
 }
 

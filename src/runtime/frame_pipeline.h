@@ -8,10 +8,13 @@
 // result is bit-identical to Beamformer::reconstruct on one thread; the
 // property tests in tests/runtime/ pin that invariant for every engine.
 //
-// run() adds double buffering on top: two output volumes alternate so the
-// sink callback (display, encoder, network) consumes frame N while the pool
-// beamforms frame N+1. PipelineStats records per-stage latency and the
-// sustained frame rate.
+// Streaming is built on the async core in runtime/async_pipeline.h: a
+// bounded VolumeRing of N in-flight volumes, an overlapped
+// ingest → beamform → compound → sink stage graph, and optional K-origin
+// synthetic-aperture compounding. run() is a thin synchronous wrapper over
+// that core — there is exactly one scheduling implementation.
+// PipelineStats records per-stage latency and the sustained frame rate;
+// frame accounting is delivery-based (see pipeline_stats.h).
 #ifndef US3D_RUNTIME_FRAME_PIPELINE_H
 #define US3D_RUNTIME_FRAME_PIPELINE_H
 
@@ -32,6 +35,8 @@
 
 namespace us3d::runtime {
 
+class AsyncPipeline;
+
 struct PipelineConfig {
   /// Parallelism of the per-frame sweep. 1 reproduces the serial
   /// beamformer exactly (and shares its code path).
@@ -45,11 +50,31 @@ struct PipelineConfig {
   /// Max focal points per block (0 = auto), forwarded to BeamformOptions.
   int block_points = 0;
   /// Overlap the sink callback with the next frame's beamform in run().
-  /// Off: frames are fully sequential (beamform, then sink, then next).
+  /// Off: frames are fully sequential (beamform, then sink, then next) —
+  /// implemented as the async core at depth 1, flushed after every frame.
   bool double_buffered = true;
-  /// Stop run() after this many frames; < 0 means drain the source.
+  /// In-flight output volumes of the async core when overlapping
+  /// (double_buffered): the VolumeRing size and ingest queue depth. 2
+  /// reproduces classic double buffering; 1 shares a single volume
+  /// between beamform and sink (ingest still overlaps); larger values
+  /// absorb burstier sinks. Internally the ring still holds >= 2 volumes
+  /// when compounding (the accumulator occupies one for its whole group).
+  int queue_depth = 2;
+  /// Synthetic-aperture compounding factor K: coherently sum K successive
+  /// insonifications (one per SyntheticAperturePlan origin) into each
+  /// output volume. 1 disables compounding. The compounded volume is
+  /// bit-identical to beamforming each insonification serially and
+  /// summing in shot order.
+  int compound_origins = 1;
+  /// Stop run() after this many input frames; < 0 means drain the source.
   std::int64_t max_frames = -1;
 };
+
+/// Called once per finished output volume, in acquisition order. The
+/// volume reference is only valid for the duration of the call (its ring
+/// slot is recycled).
+using VolumeSink = std::function<void(const beamform::VolumeImage& volume,
+                                      std::int64_t sequence)>;
 
 class FramePipeline {
  public:
@@ -76,19 +101,21 @@ class FramePipeline {
   beamform::VolumeImage reconstruct_frame(const beamform::EchoBuffer& echoes,
                                           const Vec3& origin);
 
-  /// Called once per finished frame, in frame order. The volume reference
-  /// is only valid for the duration of the call (its buffer is recycled).
-  using VolumeSink =
-      std::function<void(const beamform::VolumeImage& volume,
-                         std::int64_t sequence)>;
+  /// Historical alias; see runtime::VolumeSink.
+  using VolumeSink = runtime::VolumeSink;
 
   /// Streams frames from `source` until it runs dry (or max_frames),
-  /// beamforming each across the pool and handing finished volumes to
-  /// `sink` in order. Returns the stats for this run. Exceptions thrown by
-  /// the sink or by workers propagate after the pipeline has quiesced.
+  /// beamforming (and, with compound_origins > 1, compounding) each across
+  /// the async core and handing finished volumes to `sink` in order.
+  /// Returns the stats for this run. Exceptions thrown by the sink or by
+  /// workers propagate after the pipeline has quiesced — with the run's
+  /// stats already folded into stats(), including dropped_frames. A thin
+  /// wrapper over AsyncPipeline (runtime/async_pipeline.h), which is the
+  /// API for acquisition front-ends that need non-blocking submit/poll.
   PipelineStats run(FrameSource& source, const VolumeSink& sink);
 
  private:
+  friend class AsyncPipeline;
   /// Parallel sweep of one frame into `image` (all slabs, one per worker).
   /// Returns the per-block timing gathered from the workers' scratches.
   StageStats beamform_into(const beamform::EchoBuffer& echoes,

@@ -1,5 +1,6 @@
 #include "runtime/frame_source.h"
 
+#include <thread>
 #include <utility>
 
 #include "common/contracts.h"
@@ -28,8 +29,9 @@ std::optional<EchoFrame> ReplayFrameSource::next_frame() {
 void ReplayFrameSource::rewind() { emitted_ = 0; }
 
 StreamedFrameSource::StreamedFrameSource(FrameSource& inner,
-                                         const hw::StreamBufferConfig& config)
-    : inner_(&inner), config_(config) {
+                                         const hw::StreamBufferConfig& config,
+                                         IngestPacing pacing)
+    : inner_(&inner), config_(config), pacing_(pacing) {
   US3D_EXPECTS(config.capacity_words > 0);
   US3D_EXPECTS(config.clock_hz > 0.0);
   US3D_EXPECTS(config.dram_bandwidth_bytes_per_s > 0.0);
@@ -52,6 +54,27 @@ std::optional<EchoFrame> StreamedFrameSource::next_frame() {
     report_.min_margin_cycles = r.min_margin_cycles;
   }
   ++report_.frames;
+  report_.modeled_ingest_s +=
+      static_cast<double>(r.cycles_simulated) / config_.clock_hz;
+  if (pacing_ == IngestPacing::kWallClock) {
+    // Frame n becomes available at stream start + the modeled front-end
+    // time of frames 0..n. A consumer slower than the front-end never
+    // sleeps (the deadline is already past); a faster one is held to the
+    // acquisition rate — which is what lets a pipeline run double as a
+    // wall-clock acquisition simulation.
+    using ClockT = std::chrono::steady_clock;
+    if (!stream_start_) stream_start_ = ClockT::now();
+    const auto deadline =
+        *stream_start_ + std::chrono::duration_cast<ClockT::duration>(
+                             std::chrono::duration<double>(
+                                 report_.modeled_ingest_s));
+    const auto now = ClockT::now();
+    if (deadline > now) {
+      report_.paced_wait_s +=
+          std::chrono::duration<double>(deadline - now).count();
+      std::this_thread::sleep_until(deadline);
+    }
+  }
   return frame;
 }
 

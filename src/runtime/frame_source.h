@@ -8,6 +8,7 @@
 #ifndef US3D_RUNTIME_FRAME_SOURCE_H
 #define US3D_RUNTIME_FRAME_SOURCE_H
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -63,27 +64,55 @@ struct IngestModelReport {
   std::int64_t underrun_frames = 0;    ///< frames whose ingest fell behind
   std::int64_t stall_cycles = 0;       ///< total modeled consumer stalls
   double min_margin_cycles = 0.0;      ///< worst latency margin seen
+  /// Total modeled front-end time across delivered frames (simulated
+  /// cycles / fabric clock) — the acquisition-rate clock that paced mode
+  /// replays in wall-clock time.
+  double modeled_ingest_s = 0.0;
+  /// Wall-clock seconds next_frame() actually slept to hold frame
+  /// delivery to the modeled acquisition rate (0 when pacing is off or
+  /// the consumer is slower than the front-end).
+  double paced_wait_s = 0.0;
 
   bool feasible() const { return underrun_frames == 0; }
 };
 
+/// Frame-delivery pacing of a StreamedFrameSource.
+enum class IngestPacing {
+  /// Report-only (historical behavior): the ingest model runs and fills
+  /// IngestModelReport, but frames are handed out as fast as the inner
+  /// source produces them.
+  kReportOnly,
+  /// Wall-clock simulation: next_frame() additionally sleeps until the
+  /// modeled front-end would have finished acquiring the frame, so a
+  /// pipeline run sees real acquisition-rate arrival times (and its
+  /// ingest stage stats measure the true wait).
+  kWallClock,
+};
+
 /// Decorator: forwards frames from `inner` unchanged while running the
-/// stream-buffer ingest model over each frame's word count.
+/// stream-buffer ingest model over each frame's word count; in
+/// IngestPacing::kWallClock mode it also delays each delivery to the
+/// modeled acquisition instant.
 class StreamedFrameSource final : public FrameSource {
  public:
   /// `config.capacity_words`, bandwidth, clock etc. describe the modeled
   /// front-end buffer; the per-frame word count comes from the frame itself
   /// (elements x samples).
-  StreamedFrameSource(FrameSource& inner, const hw::StreamBufferConfig& config);
+  StreamedFrameSource(FrameSource& inner, const hw::StreamBufferConfig& config,
+                      IngestPacing pacing = IngestPacing::kReportOnly);
 
   std::optional<EchoFrame> next_frame() override;
 
   const IngestModelReport& report() const { return report_; }
+  IngestPacing pacing() const { return pacing_; }
 
  private:
   FrameSource* inner_;
   hw::StreamBufferConfig config_;
+  IngestPacing pacing_;
   IngestModelReport report_;
+  /// Wall-clock origin of the paced stream, set on the first frame.
+  std::optional<std::chrono::steady_clock::time_point> stream_start_;
 };
 
 }  // namespace us3d::runtime

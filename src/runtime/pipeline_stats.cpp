@@ -26,10 +26,14 @@ void stage_text(std::ostringstream& os, const char* name,
 
 std::string PipelineStats::to_string() const {
   std::ostringstream os;
-  os << "pipeline: " << frames << " frames, " << worker_threads
-     << " worker thread(s), " << format_double(wall_s * 1e3, 1) << " ms wall\n";
+  os << "pipeline: " << frames << " frames delivered ("
+     << insonifications << " insonifications";
+  if (dropped_frames > 0) os << ", " << dropped_frames << " DROPPED";
+  os << "), " << worker_threads << " worker thread(s), "
+     << format_double(wall_s * 1e3, 1) << " ms wall\n";
   stage_text(os, "ingest  ", ingest);
   stage_text(os, "beamform", beamform);
+  if (compound.count > 0) stage_text(os, "compound", compound);
   stage_text(os, "consume ", consume);
   if (block.count > 0) stage_text(os, "block   ", block);
   os << "  sustained " << format_double(sustained_fps(), 2) << " fps, "
@@ -39,12 +43,17 @@ std::string PipelineStats::to_string() const {
 
 std::string PipelineStats::to_json() const {
   std::ostringstream os;
-  os << "{\"frames\":" << frames << ",\"worker_threads\":" << worker_threads
+  os << "{\"frames\":" << frames
+     << ",\"insonifications\":" << insonifications
+     << ",\"dropped_frames\":" << dropped_frames
+     << ",\"worker_threads\":" << worker_threads
      << ",\"wall_s\":" << wall_s << ",\"sustained_fps\":" << sustained_fps()
      << ",\"voxels_per_second\":" << voxels_per_second() << ",";
   stage_json(os, "ingest", ingest);
   os << ',';
   stage_json(os, "beamform", beamform);
+  os << ',';
+  stage_json(os, "compound", compound);
   os << ',';
   stage_json(os, "consume", consume);
   os << ',';

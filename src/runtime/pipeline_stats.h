@@ -19,20 +19,38 @@ using StageStats = ::us3d::LatencyStats;
 
 /// One pipeline run's worth of measurements. Latencies are wall-clock and
 /// per frame: `ingest` covers pulling a frame from the FrameSource,
-/// `beamform` the parallel reconstruction, `consume` the sink callback
-/// (which overlaps the next frame's beamform when double buffering is on —
-/// that is why sustained fps can beat mean(beamform)+mean(consume)).
-/// `block` is finer-grained: one record per FocalBlock swept by any worker
-/// (engine compute_block + DAS kernel + image scatter), aggregated across
-/// workers after each frame.
+/// `beamform` the parallel reconstruction, `compound` the
+/// synthetic-aperture accumulate stage (one record per insonification
+/// folded into a compound volume), `consume` the sink callback (pipelined
+/// stages overlap, which is why sustained fps can beat the sum of stage
+/// means). `block` is finer-grained: one record per FocalBlock swept by
+/// any worker (engine compute_block + DAS kernel + image scatter),
+/// aggregated across workers after each frame.
+///
+/// Frame accounting is delivery-based: `frames` counts output volumes
+/// actually handed to the sink (or returned to the caller), never work
+/// that was beamformed and then lost. `insonifications` counts input
+/// frames the pipeline accepted; with K-origin compounding one delivered
+/// frame sums K insonifications. `dropped_frames` surfaces in-flight
+/// insonifications that never reached a delivered volume (e.g. the sink
+/// failed while they were queued or beamforming).
 struct PipelineStats {
   StageStats ingest;
   StageStats beamform;
+  StageStats compound;
   StageStats consume;
   StageStats block;
-  std::int64_t frames = 0;
-  std::int64_t voxels = 0;    ///< total voxels written across frames
-  double wall_s = 0.0;        ///< whole-run wall-clock time
+  std::int64_t frames = 0;    ///< volumes delivered to the sink/caller
+  std::int64_t insonifications = 0;  ///< input frames accepted
+  std::int64_t dropped_frames = 0;   ///< accepted but never delivered
+  std::int64_t voxels = 0;    ///< total voxels delivered across frames
+  /// Wall-clock seconds spent inside pipeline entry points, under one
+  /// definition for every entry point: a run() contributes its whole
+  /// stream duration (first ingest to last delivery), a
+  /// reconstruct_frame() its whole call. Lifetime sustained_fps /
+  /// voxels_per_second therefore stay meaningful when both entry points
+  /// are mixed on one pipeline.
+  double wall_s = 0.0;
   int worker_threads = 0;
 
   double sustained_fps() const {

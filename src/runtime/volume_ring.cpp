@@ -1,0 +1,71 @@
+#include "runtime/volume_ring.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace us3d::runtime {
+
+VolumeRing::VolumeRing(const imaging::VolumeSpec& spec, int slots) {
+  US3D_EXPECTS(slots >= 1);
+  volumes_.reserve(static_cast<std::size_t>(slots));
+  free_.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    volumes_.emplace_back(spec);
+    free_.push_back(i);
+  }
+  // Hand out low indices first so single-slot runs always reuse slot 0.
+  std::reverse(free_.begin(), free_.end());
+}
+
+int VolumeRing::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  free_cv_.wait(lock, [&] { return closed_ || !free_.empty(); });
+  if (closed_ || free_.empty()) return -1;
+  const int slot = free_.back();
+  free_.pop_back();
+  return slot;
+}
+
+int VolumeRing::try_acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ || free_.empty()) return -1;
+  const int slot = free_.back();
+  free_.pop_back();
+  return slot;
+}
+
+void VolumeRing::release(int slot) {
+  US3D_EXPECTS(slot >= 0 && slot < slots());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    US3D_EXPECTS(free_.size() < volumes_.size());  // double release
+    free_.push_back(slot);
+  }
+  free_cv_.notify_one();
+}
+
+void VolumeRing::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  free_cv_.notify_all();
+}
+
+beamform::VolumeImage& VolumeRing::operator[](int slot) {
+  US3D_EXPECTS(slot >= 0 && slot < slots());
+  return volumes_[static_cast<std::size_t>(slot)];
+}
+
+const beamform::VolumeImage& VolumeRing::operator[](int slot) const {
+  US3D_EXPECTS(slot >= 0 && slot < slots());
+  return volumes_[static_cast<std::size_t>(slot)];
+}
+
+int VolumeRing::free_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(free_.size());
+}
+
+}  // namespace us3d::runtime

@@ -1,0 +1,62 @@
+// Fixed pool of reusable output volumes for the async pipeline. The ring
+// owns N VolumeImages (the "N in-flight volumes" knob): the beamform stage
+// acquires a free slot per frame, downstream stages pass the slot index
+// along, and whoever finishes with the volume releases the slot back. When
+// every slot is in flight, acquire() blocks — that is how a slow sink
+// backpressures the beamformer without unbounded buffering. Slots are
+// plain indices so queues move ints, never volumes.
+#ifndef US3D_RUNTIME_VOLUME_RING_H
+#define US3D_RUNTIME_VOLUME_RING_H
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "beamform/volume_image.h"
+#include "imaging/volume.h"
+
+namespace us3d::runtime {
+
+class VolumeRing {
+ public:
+  /// Allocates `slots` volumes of `spec` up front; steady-state streaming
+  /// then recycles them with zero allocation.
+  VolumeRing(const imaging::VolumeSpec& spec, int slots);
+
+  VolumeRing(const VolumeRing&) = delete;
+  VolumeRing& operator=(const VolumeRing&) = delete;
+
+  int slots() const { return static_cast<int>(volumes_.size()); }
+
+  /// Blocks until a slot is free; returns its index, or -1 once the ring
+  /// is closed (shutdown — the caller should drop its work item).
+  int acquire();
+
+  /// Non-blocking acquire: -1 when no slot is free right now or closed.
+  int try_acquire();
+
+  /// Returns a slot to the free list. Always succeeds (release capacity
+  /// equals the number of slots by construction), even after close().
+  void release(int slot);
+
+  /// Unblocks every pending and future acquire() with -1. Used on failure
+  /// shutdown so the beamform stage can drain-and-drop instead of
+  /// deadlocking on a slot the dead consumer will never return.
+  void close();
+
+  beamform::VolumeImage& operator[](int slot);
+  const beamform::VolumeImage& operator[](int slot) const;
+
+  int free_count() const;
+
+ private:
+  std::vector<beamform::VolumeImage> volumes_;
+  mutable std::mutex mutex_;
+  std::condition_variable free_cv_;
+  std::vector<int> free_;
+  bool closed_ = false;
+};
+
+}  // namespace us3d::runtime
+
+#endif  // US3D_RUNTIME_VOLUME_RING_H

@@ -45,6 +45,58 @@ TEST(VolumeImage, PeakFindsLargestMagnitude) {
   EXPECT_EQ(p.value, -3.0f);
 }
 
+TEST(VolumeImage, AddAccumulatesVoxelWise) {
+  VolumeImage a(tiny_spec());
+  VolumeImage b(tiny_spec());
+  a.at(1, 2, 3) = 1.25f;
+  a.at(0, 0, 0) = -2.0f;
+  b.at(1, 2, 3) = 0.75f;
+  b.at(3, 4, 5) = 4.0f;
+  a.add(b);
+  EXPECT_EQ(a.at(1, 2, 3), 2.0f);
+  EXPECT_EQ(a.at(0, 0, 0), -2.0f);
+  EXPECT_EQ(a.at(3, 4, 5), 4.0f);
+  // The addend is untouched.
+  EXPECT_EQ(b.at(1, 2, 3), 0.75f);
+}
+
+TEST(VolumeImage, AddInShotOrderMatchesManualSum) {
+  // The compounding contract: summing volumes in shot order with add()
+  // reproduces the per-voxel float sum exactly (same op order).
+  VolumeImage v0(tiny_spec()), v1(tiny_spec()), v2(tiny_spec());
+  float x = 0.1f;
+  for (int it = 0; it < 4; ++it) {
+    for (int ip = 0; ip < 5; ++ip) {
+      for (int id = 0; id < 6; ++id) {
+        v0.at(it, ip, id) = x;
+        v1.at(it, ip, id) = 1.0f - x;
+        v2.at(it, ip, id) = 0.5f * x;
+        x += 0.013f;
+      }
+    }
+  }
+  VolumeImage acc = v0;
+  acc.add(v1);
+  acc.add(v2);
+  for (int it = 0; it < 4; ++it) {
+    for (int ip = 0; ip < 5; ++ip) {
+      for (int id = 0; id < 6; ++id) {
+        const float expected =
+            (v0.at(it, ip, id) + v1.at(it, ip, id)) + v2.at(it, ip, id);
+        ASSERT_EQ(acc.at(it, ip, id), expected);
+      }
+    }
+  }
+}
+
+TEST(VolumeImage, AddRejectsMismatchedShapes) {
+  auto other_spec = tiny_spec();
+  other_spec.n_depth += 1;
+  VolumeImage a(tiny_spec());
+  const VolumeImage b(other_spec);
+  EXPECT_THROW(a.add(b), ContractViolation);
+}
+
 TEST(VolumeImage, NrmseZeroForIdenticalVolumes) {
   VolumeImage a(tiny_spec());
   a.at(0, 0, 0) = 2.0f;

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/contracts.h"
@@ -10,6 +12,7 @@
 #include "delay/table_sizing.h"
 #include "delay/tablefree.h"
 #include "imaging/scan_order.h"
+#include "imaging/volume.h"
 
 namespace us3d::delay {
 namespace {
@@ -103,6 +106,60 @@ TEST(SyntheticApertureEngine, RejectsUnknownOrigin) {
   EXPECT_THROW(engine.begin_frame(Vec3{0.0, 0.0, -1.23e-3}),
                ContractViolation);
   EXPECT_THROW(engine.begin_frame(Vec3{1e-3, 0.0, 0.0}), ContractViolation);
+}
+
+TEST(SyntheticApertureEngine, SelectsNearestTableForRoundTrippedOrigins) {
+  // Bugfix regression: the old matcher demanded |z - plan z| < 1e-12
+  // absolutely, so an origin that round-tripped through storage or
+  // arithmetic (a few ulps, or a femtometre of drift) was rejected. The
+  // matcher now picks the nearest plan origin within a tolerance scaled
+  // to the plan extent.
+  const auto cfg = small_cfg();
+  const auto plan = diverging_wave_plan(4, 6e-3);
+  SyntheticApertureSteerEngine engine(cfg, plan);
+  for (int i = 0; i < plan.origin_count(); ++i) {
+    const double z = plan.origin_z[static_cast<std::size_t>(i)];
+    for (const double drifted :
+         {z * (1.0 + 4.0e-16), z - 1.0e-12, z + 1.0e-12, z - 5.0e-10}) {
+      engine.begin_frame(Vec3{1.0e-12, -1.0e-12, drifted});
+      EXPECT_EQ(engine.active_origin(), i)
+          << "origin " << i << " drifted to " << drifted;
+    }
+  }
+  // A genuinely off-plan origin (between two entries) still throws — the
+  // tolerance is nanometres against millimetre origin spacing.
+  const double midpoint = 0.5 * (plan.origin_z[0] + plan.origin_z[1]);
+  EXPECT_THROW(engine.begin_frame(Vec3{0.0, 0.0, midpoint}),
+               ContractViolation);
+}
+
+TEST(SyntheticApertureEngine, PerturbedOriginComputesIdenticalDelays) {
+  // Nearest-table selection means a drifted origin produces exactly the
+  // delays of its plan origin — replaying a stored acquisition is
+  // bit-stable.
+  const auto cfg = small_cfg();
+  const auto plan = diverging_wave_plan(3, 4e-3);
+  const imaging::VolumeGrid grid(cfg.volume);
+  SyntheticApertureSteerEngine exact_engine(cfg, plan);
+  SyntheticApertureSteerEngine drifted_engine(cfg, plan);
+  const int elements = exact_engine.element_count();
+  std::vector<std::int32_t> expected(static_cast<std::size_t>(elements));
+  std::vector<std::int32_t> actual(static_cast<std::size_t>(elements));
+  const double z = plan.origin_z[1];
+  exact_engine.begin_frame(Vec3{0.0, 0.0, z});
+  drifted_engine.begin_frame(Vec3{0.0, 0.0, z * (1.0 - 3.0e-16) + 1.0e-12});
+  ASSERT_EQ(drifted_engine.active_origin(), exact_engine.active_origin());
+  for (const auto [it, ip, id] :
+       {std::array{0, 0, 0}, std::array{3, 5, 20}, std::array{7, 11, 59}}) {
+    const imaging::FocalPoint fp = grid.focal_point(it, ip, id);
+    exact_engine.compute(fp, expected);
+    drifted_engine.compute(fp, actual);
+    for (int e = 0; e < elements; ++e) {
+      ASSERT_EQ(expected[static_cast<std::size_t>(e)],
+                actual[static_cast<std::size_t>(e)])
+          << "element " << e;
+    }
+  }
 }
 
 TEST(SyntheticApertureEngine, AccurateForDisplacedOriginAtDepth) {

@@ -1,0 +1,163 @@
+// BoundedQueue and VolumeRing — the backpressure primitives of the async
+// runtime. The properties that matter: FIFO order under concurrency,
+// capacity is a hard bound (try_push refuses, push parks), close() is a
+// graceful end-of-stream (producers refused, consumers drain then read
+// nullopt), and the ring recycles exactly its N slots with acquire()
+// blocking once all are in flight.
+#include "runtime/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.h"
+#include "imaging/system_config.h"
+#include "runtime/volume_ring.h"
+
+namespace us3d::runtime {
+namespace {
+
+TEST(BoundedQueue, FifoOrderSingleThread) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 4; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFullWithoutConsumingTheItem) {
+  BoundedQueue<int> q(2);
+  int item = 7;
+  EXPECT_TRUE(q.try_push(item));
+  item = 8;
+  EXPECT_TRUE(q.try_push(item));
+  item = 9;
+  EXPECT_FALSE(q.try_push(item));
+  EXPECT_EQ(item, 9);  // refused item stays with the caller
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_TRUE(q.try_push(item));  // space freed -> accepted again
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpaceFrees) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_TRUE(q.push(2)); });
+  // The producer is parked on the full queue until this pop.
+  const auto first = q.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 1);
+  const auto second = q.pop();  // blocks until the producer lands
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, 2);
+  producer.join();
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEndOfStream) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // refused after close
+  int item = 4;
+  EXPECT_FALSE(q.try_push(item));
+  EXPECT_EQ(q.pop(), std::make_optional(1));  // remaining items drain
+  EXPECT_EQ(q.pop(), std::make_optional(2));
+  EXPECT_FALSE(q.pop().has_value());  // end of stream
+}
+
+TEST(BoundedQueue, CloseWakesABlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, ConcurrentProducerConsumerPreservesOrder) {
+  BoundedQueue<int> q(3);
+  constexpr int kItems = 2000;
+  std::vector<int> received;
+  received.reserve(kItems);
+  std::thread consumer([&] {
+    while (auto v = q.pop()) received.push_back(*v);
+  });
+  for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), ContractViolation);
+}
+
+imaging::VolumeSpec tiny_spec() {
+  return imaging::scaled_system(4, 5, 6).volume;
+}
+
+TEST(VolumeRing, HandsOutExactlyItsSlots) {
+  VolumeRing ring(tiny_spec(), 3);
+  EXPECT_EQ(ring.slots(), 3);
+  EXPECT_EQ(ring.free_count(), 3);
+  const int a = ring.acquire();
+  const int b = ring.acquire();
+  const int c = ring.acquire();
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(ring.free_count(), 0);
+  EXPECT_EQ(ring.try_acquire(), -1);  // all in flight
+  ring.release(b);
+  EXPECT_EQ(ring.try_acquire(), b);  // recycled, no allocation
+  ring.release(a);
+  ring.release(b);
+  ring.release(c);
+}
+
+TEST(VolumeRing, AcquireBlocksUntilRelease) {
+  VolumeRing ring(tiny_spec(), 1);
+  const int slot = ring.acquire();
+  ASSERT_EQ(slot, 0);
+  int reacquired = -2;
+  std::thread waiter([&] { reacquired = ring.acquire(); });
+  ring.release(slot);
+  waiter.join();
+  EXPECT_EQ(reacquired, slot);
+  ring.release(slot);
+}
+
+TEST(VolumeRing, CloseUnblocksWaitersWithSentinel) {
+  VolumeRing ring(tiny_spec(), 1);
+  const int slot = ring.acquire();
+  std::thread waiter([&] { EXPECT_EQ(ring.acquire(), -1); });
+  ring.close();
+  waiter.join();
+  EXPECT_EQ(ring.try_acquire(), -1);  // closed ring refuses new work
+  ring.release(slot);                 // release still works after close
+}
+
+TEST(VolumeRing, VolumesMatchTheSpecAndPersistAcrossRecycling) {
+  const auto spec = tiny_spec();
+  VolumeRing ring(spec, 2);
+  const int slot = ring.acquire();
+  EXPECT_EQ(ring[slot].voxel_count(), spec.total_points());
+  ring[slot].at(0, 0, 0) = 42.0f;
+  ring.release(slot);
+  const int again = ring.try_acquire();
+  ASSERT_GE(again, 0);
+  // Slots are reused, not reallocated: the stale value is still there
+  // (the beamform stage overwrites every voxel it owns).
+  if (again == slot) {
+    EXPECT_EQ(ring[again].at(0, 0, 0), 42.0f);
+  }
+  ring.release(again);
+}
+
+}  // namespace
+}  // namespace us3d::runtime

@@ -66,12 +66,31 @@ TEST(PipelineStats, JsonCarriesTheBenchContractKeys) {
   p.wall_s = 1.0;
   p.beamform.record(0.25);
   const std::string json = p.to_json();
+  // The bench contract: keys only grow, never get renamed. The async
+  // runtime added insonifications / dropped_frames / compound.
   for (const char* key :
-       {"\"frames\"", "\"worker_threads\"", "\"wall_s\"", "\"sustained_fps\"",
-        "\"voxels_per_second\"", "\"ingest\"", "\"beamform\"", "\"consume\"",
-        "\"mean_ms\"", "\"min_ms\"", "\"max_ms\"", "\"count\""}) {
+       {"\"frames\"", "\"insonifications\"", "\"dropped_frames\"",
+        "\"worker_threads\"", "\"wall_s\"", "\"sustained_fps\"",
+        "\"voxels_per_second\"", "\"ingest\"", "\"beamform\"",
+        "\"compound\"", "\"consume\"", "\"mean_ms\"", "\"min_ms\"",
+        "\"max_ms\"", "\"count\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+}
+
+TEST(PipelineStats, DroppedFramesSurfaceInTheSummary) {
+  PipelineStats p;
+  p.frames = 2;
+  p.insonifications = 5;
+  p.dropped_frames = 3;
+  const std::string text = p.to_string();
+  EXPECT_NE(text.find("DROPPED"), std::string::npos) << text;
+  EXPECT_NE(p.to_json().find("\"dropped_frames\":3"), std::string::npos);
+  // Healthy runs do not shout about drops.
+  PipelineStats healthy;
+  healthy.frames = 2;
+  healthy.insonifications = 2;
+  EXPECT_EQ(healthy.to_string().find("DROPPED"), std::string::npos);
 }
 
 }  // namespace
