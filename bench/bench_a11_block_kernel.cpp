@@ -5,8 +5,11 @@
 // delay-and-sum per smooth-order run (block path). Reported per engine:
 // wall time, voxels/s, speedup, and the measured number of virtual
 // dispatches per voxel (counted with a forwarding engine wrapper, so the
-// numbers are observed, not assumed). Emits BENCH_block.json for the
-// cross-PR trajectory.
+// numbers are observed, not assumed). A second sweep forces each SIMD
+// backend the host can run (scalar reference, SSE2, AVX2, ...) through the
+// block path on the production TABLEFREE engine, so the explicit-SIMD
+// kernels have a voxels/s trajectory of their own. Emits BENCH_block.json
+// for the cross-PR trajectory.
 //
 // Usage: bench_a11_block_kernel [--tiny]
 //   --tiny shrinks the workload for CI smoke runs (seconds, not minutes).
@@ -27,6 +30,7 @@
 #include "delay/tablefree.h"
 #include "delay/tablesteer.h"
 #include "imaging/system_config.h"
+#include "simd/dispatch.h"
 
 namespace {
 
@@ -190,13 +194,60 @@ int main(int argc, char** argv) {
                "bit-identical on both paths\n(tests/beamform/"
                "test_das_kernel.cpp).\n";
 
+  // Per-backend sweep of the explicit-SIMD DAS row kernels: the block path
+  // on the production TABLEFREE engine, with BeamformOptions::simd forced
+  // to each backend the host can run. Every backend's volume is
+  // bit-identical (property-tested); only the wall time may differ.
+  const simd::DasBackend selected = simd::resolve_backend(
+      simd::DasBackend::kAuto);
+  std::cout << "\nSIMD backend sweep (block path, TABLEFREE; auto selects '"
+            << simd::backend_name(selected) << "'):\n\n";
+  delay::TableFreeEngine simd_engine(cfg);
+  // Scalar first (available_backends() lists it last) so the other rows
+  // can report their speedup against the reference inline.
+  std::vector<simd::DasBackend> sweep{simd::DasBackend::kScalar};
+  for (const simd::DasBackend backend : simd::available_backends()) {
+    if (backend != simd::DasBackend::kScalar) sweep.push_back(backend);
+  }
+  MarkdownTable simd_table({"backend", "block [ms]", "voxels/s", "vs scalar"});
+  std::ostringstream simd_json;
+  double scalar_seconds = 0.0;
+  for (const simd::DasBackend backend : sweep) {
+    beamform::BeamformOptions options{.path = beamform::ReconstructPath::kBlock,
+                                      .simd = backend};
+    bf.reconstruct(echoes, simd_engine, options);  // warm-up
+    const auto t0 = Clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      bf.reconstruct(echoes, simd_engine, options);
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count() / repeats;
+    const double vps =
+        seconds > 0.0 ? static_cast<double>(voxels) / seconds : 0.0;
+    if (backend == simd::DasBackend::kScalar) scalar_seconds = seconds;
+    const double speedup =
+        seconds > 0.0 && scalar_seconds > 0.0 ? scalar_seconds / seconds : 0.0;
+    simd_table.add_row({simd::backend_name(backend),
+                        format_double(seconds * 1e3, 2),
+                        format_si(vps, "voxels/s", 2),
+                        format_double(speedup, 2) + "x"});
+    if (simd_json.tellp() > 0) simd_json << ',';
+    simd_json << "{\"backend\":\"" << simd::backend_name(backend)
+              << "\",\"seconds\":" << seconds
+              << ",\"voxels_per_second\":" << vps << ",\"speedup\":" << speedup
+              << '}';
+  }
+  simd_table.print(std::cout);
+
   std::ofstream json("BENCH_block.json");
   json << "{\"bench\":\"a11_block_kernel\",\"tiny\":" << (tiny ? "true" : "false")
        << ",\"probe\":\"" << cfg.probe.elements_x << 'x'
        << cfg.probe.elements_y << "\",\"volume\":\"" << cfg.volume.n_theta
        << 'x' << cfg.volume.n_phi << 'x' << cfg.volume.n_depth << "\","
        << "\"voxels\":" << voxels << ",\"repeats\":" << repeats
-       << ",\"engines\":[" << engines_json.str() << "]}\n";
+       << ",\"engines\":[" << engines_json.str() << ']'
+       << ",\"simd_selected\":\"" << simd::backend_name(selected) << '"'
+       << ",\"simd_backends\":[" << simd_json.str() << "]}\n";
   std::cout << "\nwrote BENCH_block.json\n";
   return 0;
 }

@@ -83,6 +83,10 @@ void Beamformer::reconstruct_span(const EchoBuffer& echoes,
     return;
   }
 
+  // Resolve the SIMD backend once per span, not per block: kAuto resolution
+  // reads the environment and probes availability, which cannot change
+  // mid-sweep. Blocks then carry a concrete backend down to the kernel.
+  const simd::DasBackend backend = simd::resolve_backend(options.simd);
   const int block_points = options.block_points > 0
                                ? options.block_points
                                : auto_block_points(engine.element_count());
@@ -94,7 +98,7 @@ void Beamformer::reconstruct_span(const EchoBuffer& echoes,
       [&](const imaging::FocalBlock& block) {
         const auto t0 = scratch.profile ? Clock::now() : Clock::time_point{};
         engine.compute_block(block, scratch.plane);
-        kernel_.accumulate_block(echoes, scratch.plane, scratch.acc);
+        kernel_.accumulate_block(echoes, scratch.plane, scratch.acc, backend);
         for (int p = 0; p < block.size(); ++p) {
           // Cast to float before the normalization multiply, exactly as
           // the per-voxel path always has — keeps the two paths (and the

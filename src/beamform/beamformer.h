@@ -48,6 +48,11 @@ struct BeamformOptions {
   /// Max focal points per block; 0 picks a size that keeps the DelayPlane
   /// around 256 KiB (see Beamformer::auto_block_points).
   int block_points = 0;
+  /// SIMD backend for the DAS row kernel (block path only). kAuto resolves
+  /// via the US3D_SIMD env var, then the best backend the CPU supports;
+  /// forcing an unavailable backend throws (simd/dispatch.h). All backends
+  /// produce bit-identical volumes.
+  simd::DasBackend simd = simd::DasBackend::kAuto;
 };
 
 /// Reusable sweep state: the DelayPlane the engine fills, the partial-sum

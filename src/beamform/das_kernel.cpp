@@ -18,7 +18,8 @@ DasKernel::DasKernel(const probe::ApodizationMap& apodization)
 
 void DasKernel::accumulate_block(const EchoBuffer& echoes,
                                  const delay::DelayPlane& plane,
-                                 std::span<double> acc) const {
+                                 std::span<double> acc,
+                                 simd::DasBackend backend) const {
   const int n = plane.point_count();
   US3D_EXPECTS(acc.size() >= static_cast<std::size_t>(n));
   US3D_EXPECTS(echoes.element_count() == plane.element_count());
@@ -26,21 +27,13 @@ void DasKernel::accumulate_block(const EchoBuffer& echoes,
   // smaller plane/echo pair must fail loudly, not read out of bounds.
   US3D_EXPECTS(plane.element_count() == elements_);
   std::fill(acc.begin(), acc.begin() + n, 0.0);
+  const simd::DasRowFn row_fn =
+      simd::das_row_fn(simd::resolve_backend(backend));
   const std::int64_t samples = echoes.samples_per_element();
   for (std::size_t k = 0; k < active_.size(); ++k) {
     const int e = active_[k];
-    const double w = weights_[k];
-    const std::span<const float> echo = echoes.row(e);
-    const std::span<const std::int32_t> delays = plane.row(e);
-    for (int p = 0; p < n; ++p) {
-      const std::int32_t idx = delays[static_cast<std::size_t>(p)];
-      // Same clamp-to-zero semantics as EchoBuffer::sample, inlined so the
-      // loop body stays branch-light and vectorizable.
-      const float s = (idx >= 0 && idx < samples)
-                          ? echo[static_cast<std::size_t>(idx)]
-                          : 0.0f;
-      acc[static_cast<std::size_t>(p)] += w * s;
-    }
+    row_fn(echoes.row(e).data(), samples, plane.row(e).data(), weights_[k],
+           acc.data(), n);
   }
 }
 

@@ -8,14 +8,20 @@
 //  2. The loop order is element-outer / point-inner: one element's echo
 //     row and one DelayPlane row stream through the inner loop as plain
 //     contiguous arrays — gather on the echo index, but sequential
-//     everywhere else — which the compiler can auto-vectorize.
+//     everywhere else. The row sweep itself runs through an explicit-SIMD
+//     backend (src/simd/): AVX2 masked gather, SSE2, or the scalar
+//     reference, selected per call (option > US3D_SIMD env > best
+//     available, see simd/dispatch.h).
 //  3. Per-point partial sums accumulate in a flat double array owned by the
 //     caller (reused across blocks, no allocation in the sweep).
 //
 // Bit-compatibility: the element-outer order visits active elements in
 // ascending flat index, which is exactly the order the per-voxel
 // accumulate() added them in, and sums in double just like it did — so a
-// block sweep produces bit-identical voxels to the per-voxel path.
+// block sweep produces bit-identical voxels to the per-voxel path. The
+// SIMD backends keep one double accumulator per point (lanes map 1:1 to
+// points, elements fold in the same ascending order, mul + add, never
+// FMA), so every backend is additionally bit-identical to scalar.
 #ifndef US3D_BEAMFORM_DAS_KERNEL_H
 #define US3D_BEAMFORM_DAS_KERNEL_H
 
@@ -25,6 +31,7 @@
 #include "beamform/echo_buffer.h"
 #include "delay/delay_plane.h"
 #include "probe/apodization.h"
+#include "simd/dispatch.h"
 
 namespace us3d::beamform {
 
@@ -39,9 +46,14 @@ class DasKernel {
   /// Weighted delay-and-sum: acc[p] = sum over active elements e of
   /// w_e * echoes(e, plane(e, p)). Overwrites acc[0 .. plane.point_count()).
   /// Out-of-window delay indices read as zero, matching EchoBuffer::sample.
+  /// `backend` selects the row kernel (simd/dispatch.h); kAuto resolves
+  /// via US3D_SIMD / CPU detection, a concrete backend must be available
+  /// on this host (resolve_backend throws otherwise). Every backend
+  /// produces bit-identical sums.
   void accumulate_block(const EchoBuffer& echoes,
-                        const delay::DelayPlane& plane,
-                        std::span<double> acc) const;
+                        const delay::DelayPlane& plane, std::span<double> acc,
+                        simd::DasBackend backend = simd::DasBackend::kAuto)
+      const;
 
  private:
   int elements_;                  // element count the kernel was built for

@@ -31,6 +31,7 @@ AsyncPipeline::AsyncPipeline(FramePipeline& pipeline,
   US3D_EXPECTS(options.depth >= 1);
   US3D_EXPECTS(options.compound_origins >= 1);
   stats_.worker_threads = pipeline.worker_threads();
+  stats_.simd_backend = pipeline.stats().simd_backend;
   beamform_thread_ = std::thread([this] { beamform_loop(); });
   compound_thread_ = std::thread([this] { compound_loop(); });
 }

@@ -42,11 +42,19 @@ FramePipeline::FramePipeline(const imaging::SystemConfig& config,
   scratch_.resize(ranges_.size());
   for (beamform::BeamformScratch& s : scratch_) s.profile = true;
   stats_.worker_threads = worker_threads();
+  // Resolve the DAS backend once up front: a forced-but-unavailable
+  // backend fails here, loudly, instead of mid-stream in a worker, and a
+  // later environment change cannot make the stream diverge from what the
+  // stats report. Workers receive this concrete backend, never kAuto.
+  simd_backend_ = simd::resolve_backend(pipeline_config.simd);
+  stats_.simd_backend = simd::backend_name(simd_backend_);
 }
 
 void FramePipeline::reset_stats() {
+  const std::string backend = stats_.simd_backend;
   stats_ = PipelineStats{};
   stats_.worker_threads = worker_threads();
+  stats_.simd_backend = backend;
 }
 
 StageStats FramePipeline::beamform_into(const beamform::EchoBuffer& echoes,
@@ -58,6 +66,7 @@ StageStats FramePipeline::beamform_into(const beamform::EchoBuffer& echoes,
       .origin = origin,
       .path = pipeline_config_.path,
       .block_points = pipeline_config_.block_points,
+      .simd = simd_backend_,
   };
   pool_.run(static_cast<int>(ranges_.size()), [&](int worker) {
     delay::DelayEngine& engine = *engines_[static_cast<std::size_t>(worker)];

@@ -49,6 +49,10 @@ struct PipelineConfig {
   beamform::ReconstructPath path = beamform::ReconstructPath::kBlock;
   /// Max focal points per block (0 = auto), forwarded to BeamformOptions.
   int block_points = 0;
+  /// SIMD backend for the DAS row kernel, forwarded to BeamformOptions.
+  /// kAuto honours US3D_SIMD, then picks the best the CPU supports. The
+  /// resolved choice is reported in PipelineStats::simd_backend.
+  simd::DasBackend simd = simd::DasBackend::kAuto;
   /// Overlap the sink callback with the next frame's beamform in run().
   /// Off: frames are fully sequential (beamform, then sink, then next) —
   /// implemented as the async core at depth 1, flushed after every frame.
@@ -124,6 +128,10 @@ class FramePipeline {
   imaging::SystemConfig config_;
   beamform::Beamformer beamformer_;
   PipelineConfig pipeline_config_;
+  /// Concrete DAS backend, resolved once at construction (kAuto pinned to
+  /// the environment/CPU seen then) so workers never re-resolve mid-stream
+  /// and stats always name the backend that actually ran.
+  simd::DasBackend simd_backend_ = simd::DasBackend::kScalar;
   std::vector<imaging::ScanRange> ranges_;
   std::vector<std::unique_ptr<delay::DelayEngine>> engines_;  // per slab
   std::vector<beamform::BeamformScratch> scratch_;            // per slab

@@ -29,8 +29,9 @@ std::string PipelineStats::to_string() const {
   os << "pipeline: " << frames << " frames delivered ("
      << insonifications << " insonifications";
   if (dropped_frames > 0) os << ", " << dropped_frames << " DROPPED";
-  os << "), " << worker_threads << " worker thread(s), "
-     << format_double(wall_s * 1e3, 1) << " ms wall\n";
+  os << "), " << worker_threads << " worker thread(s)";
+  if (!simd_backend.empty()) os << ", simd " << simd_backend;
+  os << ", " << format_double(wall_s * 1e3, 1) << " ms wall\n";
   stage_text(os, "ingest  ", ingest);
   stage_text(os, "beamform", beamform);
   if (compound.count > 0) stage_text(os, "compound", compound);
@@ -47,6 +48,7 @@ std::string PipelineStats::to_json() const {
      << ",\"insonifications\":" << insonifications
      << ",\"dropped_frames\":" << dropped_frames
      << ",\"worker_threads\":" << worker_threads
+     << ",\"simd_backend\":\"" << simd_backend << '"'
      << ",\"wall_s\":" << wall_s << ",\"sustained_fps\":" << sustained_fps()
      << ",\"voxels_per_second\":" << voxels_per_second() << ",";
   stage_json(os, "ingest", ingest);

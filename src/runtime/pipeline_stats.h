@@ -52,6 +52,10 @@ struct PipelineStats {
   /// are mixed on one pipeline.
   double wall_s = 0.0;
   int worker_threads = 0;
+  /// Resolved SIMD backend of the DAS row kernel ("scalar", "sse2",
+  /// "avx2", "neon"; see simd/dispatch.h), recorded when the pipeline
+  /// resolves its configuration. Empty for hand-built stats.
+  std::string simd_backend;
 
   double sustained_fps() const {
     return wall_s > 0.0 ? static_cast<double>(frames) / wall_s : 0.0;

@@ -1,0 +1,77 @@
+#include "simd/das_avx2.h"
+
+#include "simd/das_scalar.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace us3d::simd {
+
+const bool kDasAvx2Compiled = true;
+
+void das_row_avx2(const float* echo, std::int64_t samples,
+                  const std::int32_t* delays, double weight, double* acc,
+                  int points) {
+  // Delays are int32, so when the acquisition window itself exceeds the
+  // int32 range every non-negative index is in-window and the upper-bound
+  // compare drops out.
+  const bool windowed =
+      samples <= std::numeric_limits<std::int32_t>::max();
+  const __m256i vbound =
+      _mm256_set1_epi32(windowed ? static_cast<std::int32_t>(samples) : 0);
+  const __m256i vminus1 = _mm256_set1_epi32(-1);
+  const __m256d vw = _mm256_set1_pd(weight);
+  int p = 0;
+  for (; p + 8 <= points; p += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(delays + p));
+    __m256i inwin = _mm256_cmpgt_epi32(idx, vminus1);
+    if (windowed) {
+      inwin = _mm256_and_si256(inwin, _mm256_cmpgt_epi32(vbound, idx));
+    }
+    // Masked gather: lanes with a zero mask are not loaded (no fault, no
+    // dereference) and take the zero source — the clamp-to-zero window
+    // semantics in one instruction.
+    const __m256 s = _mm256_mask_i32gather_ps(_mm256_setzero_ps(), echo, idx,
+                                              _mm256_castsi256_ps(inwin),
+                                              sizeof(float));
+    // Widen to double and fold acc += w * s as separate mul + add (never
+    // FMA) — the same IEEE operations per point as the scalar reference,
+    // so the output is bit-identical.
+    const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(s));
+    const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(s, 1));
+    _mm256_storeu_pd(
+        acc + p, _mm256_add_pd(_mm256_loadu_pd(acc + p), _mm256_mul_pd(vw, lo)));
+    _mm256_storeu_pd(acc + p + 4,
+                     _mm256_add_pd(_mm256_loadu_pd(acc + p + 4),
+                                   _mm256_mul_pd(vw, hi)));
+  }
+  if (p < points) {
+    das_row_scalar(echo, samples, delays + p, weight, acc + p, points - p);
+  }
+}
+
+}  // namespace us3d::simd
+
+#else  // !defined(__AVX2__)
+
+namespace us3d::simd {
+
+const bool kDasAvx2Compiled = false;
+
+// Keeps the symbol defined when the TU is built without -mavx2 (non-x86
+// targets, or a build system that skipped the per-file flag); dispatch
+// reports the backend unavailable, so this body is unreachable through
+// resolve.
+void das_row_avx2(const float* echo, std::int64_t samples,
+                  const std::int32_t* delays, double weight, double* acc,
+                  int points) {
+  das_row_scalar(echo, samples, delays, weight, acc, points);
+}
+
+}  // namespace us3d::simd
+
+#endif

@@ -1,0 +1,24 @@
+// AVX2 backend for the DAS row contract (simd/dispatch.h): 8 points per
+// iteration, masked 32-bit gather for the echo samples (out-of-window
+// lanes are masked out, so they are never dereferenced and read as zero),
+// packed-double mul + add for the accumulation (never FMA — contraction
+// would break bit-parity with the scalar reference). The TU is compiled
+// with -mavx2 on x86; elsewhere it degrades to the scalar body and
+// kDasAvx2Compiled is false.
+#ifndef US3D_SIMD_DAS_AVX2_H
+#define US3D_SIMD_DAS_AVX2_H
+
+#include <cstdint>
+
+namespace us3d::simd {
+
+/// True when this TU was built with real AVX2 intrinsics.
+extern const bool kDasAvx2Compiled;
+
+void das_row_avx2(const float* echo, std::int64_t samples,
+                  const std::int32_t* delays, double weight, double* acc,
+                  int points);
+
+}  // namespace us3d::simd
+
+#endif  // US3D_SIMD_DAS_AVX2_H

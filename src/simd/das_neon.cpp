@@ -1,0 +1,23 @@
+#include "simd/das_neon.h"
+
+#include "simd/das_scalar.h"
+
+namespace us3d::simd {
+
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+const bool kDasNeonCompiled = true;
+#else
+const bool kDasNeonCompiled = false;
+#endif
+
+// Stub: the dispatch interface, availability reporting and parity tests
+// all treat NEON as a first-class backend, but the row body is still the
+// scalar reference (bit-identical by construction). Replacing it with a
+// real float32x4/float64x2 implementation is tracked in ROADMAP.md.
+void das_row_neon(const float* echo, std::int64_t samples,
+                  const std::int32_t* delays, double weight, double* acc,
+                  int points) {
+  das_row_scalar(echo, samples, delays, weight, acc, points);
+}
+
+}  // namespace us3d::simd

@@ -1,0 +1,22 @@
+// NEON slot behind the DAS row contract (simd/dispatch.h). The dispatch
+// wiring, availability reporting and tests treat it exactly like the x86
+// backends, but the body is still the scalar reference even on aarch64 —
+// the vector implementation is an open ROADMAP item. On non-ARM builds
+// kDasNeonCompiled is false and the backend reports unavailable.
+#ifndef US3D_SIMD_DAS_NEON_H
+#define US3D_SIMD_DAS_NEON_H
+
+#include <cstdint>
+
+namespace us3d::simd {
+
+/// True when this TU was built on a NEON-capable target.
+extern const bool kDasNeonCompiled;
+
+void das_row_neon(const float* echo, std::int64_t samples,
+                  const std::int32_t* delays, double weight, double* acc,
+                  int points);
+
+}  // namespace us3d::simd
+
+#endif  // US3D_SIMD_DAS_NEON_H

@@ -1,0 +1,20 @@
+#include "simd/das_scalar.h"
+
+namespace us3d::simd {
+
+void das_row_scalar(const float* echo, std::int64_t samples,
+                    const std::int32_t* delays, double weight, double* acc,
+                    int points) {
+  for (int p = 0; p < points; ++p) {
+    const std::int32_t idx = delays[p];
+    // Clamp-to-zero outside the acquisition window, matching
+    // EchoBuffer::sample; branch-light so the compiler can still
+    // auto-vectorize this reference on its own.
+    const float s = (idx >= 0 && idx < samples)
+                        ? echo[static_cast<std::size_t>(idx)]
+                        : 0.0f;
+    acc[p] += weight * s;
+  }
+}
+
+}  // namespace us3d::simd

@@ -1,0 +1,17 @@
+// Portable scalar reference for the DAS row contract (simd/dispatch.h).
+// Every vector backend must match it bit-for-bit; it is also the tail
+// loop the vector backends share for the last points % lane_width points.
+#ifndef US3D_SIMD_DAS_SCALAR_H
+#define US3D_SIMD_DAS_SCALAR_H
+
+#include <cstdint>
+
+namespace us3d::simd {
+
+void das_row_scalar(const float* echo, std::int64_t samples,
+                    const std::int32_t* delays, double weight, double* acc,
+                    int points);
+
+}  // namespace us3d::simd
+
+#endif  // US3D_SIMD_DAS_SCALAR_H

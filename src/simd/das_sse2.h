@@ -1,0 +1,23 @@
+// SSE2 backend for the DAS row contract (simd/dispatch.h): 4 points per
+// iteration. SSE2 has no gather, so sample loads are per-lane scalar
+// moves behind a vector in-window mask; the weighted accumulation runs as
+// packed-double mul + add (never FMA), which keeps it bit-identical to
+// the scalar reference. The TU is compiled with -msse2 on x86; elsewhere
+// it degrades to the scalar body and kDasSse2Compiled is false.
+#ifndef US3D_SIMD_DAS_SSE2_H
+#define US3D_SIMD_DAS_SSE2_H
+
+#include <cstdint>
+
+namespace us3d::simd {
+
+/// True when this TU was built with real SSE2 intrinsics.
+extern const bool kDasSse2Compiled;
+
+void das_row_sse2(const float* echo, std::int64_t samples,
+                  const std::int32_t* delays, double weight, double* acc,
+                  int points);
+
+}  // namespace us3d::simd
+
+#endif  // US3D_SIMD_DAS_SSE2_H

@@ -1,0 +1,150 @@
+#include "simd/dispatch.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "simd/das_avx2.h"
+#include "simd/das_neon.h"
+#include "simd/das_scalar.h"
+#include "simd/das_sse2.h"
+
+namespace us3d::simd {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+bool cpu_supports(DasBackend backend) {
+  // __builtin_cpu_supports is constant-time after the first call; call
+  // __builtin_cpu_init() defensively so this is safe from static
+  // initializers too.
+  __builtin_cpu_init();
+  switch (backend) {
+    case DasBackend::kSSE2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case DasBackend::kAVX2:
+      return __builtin_cpu_supports("avx2") != 0;
+    default:
+      return false;
+  }
+}
+#else
+bool cpu_supports(DasBackend backend) {
+  // Non-x86: NEON capability is a compile-time property of the target.
+  return backend == DasBackend::kNEON && kDasNeonCompiled;
+}
+#endif
+
+[[noreturn]] void throw_unavailable(DasBackend backend, const char* via) {
+  throw std::runtime_error(
+      std::string("us3d::simd: backend '") + backend_name(backend) +
+      "' requested via " + via + " is not available on this host (" +
+      (backend_compiled(backend) ? "compiled in, but the CPU lacks it"
+                                 : "not compiled into this build") +
+      ")");
+}
+
+}  // namespace
+
+const char* backend_name(DasBackend backend) {
+  switch (backend) {
+    case DasBackend::kAuto:
+      return "auto";
+    case DasBackend::kScalar:
+      return "scalar";
+    case DasBackend::kSSE2:
+      return "sse2";
+    case DasBackend::kAVX2:
+      return "avx2";
+    case DasBackend::kNEON:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<DasBackend> parse_backend(std::string_view name) {
+  if (name == "auto") return DasBackend::kAuto;
+  if (name == "scalar") return DasBackend::kScalar;
+  if (name == "sse2") return DasBackend::kSSE2;
+  if (name == "avx2") return DasBackend::kAVX2;
+  if (name == "neon") return DasBackend::kNEON;
+  return std::nullopt;
+}
+
+bool backend_compiled(DasBackend backend) {
+  switch (backend) {
+    case DasBackend::kScalar:
+      return true;
+    case DasBackend::kSSE2:
+      return kDasSse2Compiled;
+    case DasBackend::kAVX2:
+      return kDasAvx2Compiled;
+    case DasBackend::kNEON:
+      return kDasNeonCompiled;
+    case DasBackend::kAuto:
+      return false;
+  }
+  return false;
+}
+
+bool backend_available(DasBackend backend) {
+  if (backend == DasBackend::kScalar) return true;
+  if (backend == DasBackend::kAuto) return false;
+  return backend_compiled(backend) && cpu_supports(backend);
+}
+
+std::vector<DasBackend> available_backends() {
+  std::vector<DasBackend> result;
+  for (DasBackend b :
+       {DasBackend::kAVX2, DasBackend::kNEON, DasBackend::kSSE2}) {
+    if (backend_available(b)) result.push_back(b);
+  }
+  result.push_back(DasBackend::kScalar);
+  return result;
+}
+
+DasBackend resolve_backend(DasBackend requested) {
+  if (requested != DasBackend::kAuto) {
+    if (!backend_available(requested)) {
+      throw_unavailable(requested, "BeamformOptions/PipelineConfig");
+    }
+    return requested;
+  }
+  // Re-read the environment on every resolve (it is one getenv per block
+  // sweep, not per point) so forced-backend test processes and long-lived
+  // services behave predictably.
+  if (const char* env = std::getenv("US3D_SIMD");
+      env != nullptr && *env != '\0') {
+    const std::optional<DasBackend> forced = parse_backend(env);
+    if (!forced) {
+      throw std::runtime_error(
+          std::string("us3d::simd: US3D_SIMD='") + env +
+          "' is not a backend (want auto|scalar|sse2|avx2|neon)");
+    }
+    if (*forced != DasBackend::kAuto) {
+      if (!backend_available(*forced)) throw_unavailable(*forced, "US3D_SIMD");
+      return *forced;
+    }
+  }
+  return available_backends().front();
+}
+
+DasRowFn das_row_fn(DasBackend backend) {
+  switch (backend) {
+    case DasBackend::kScalar:
+      return &das_row_scalar;
+    case DasBackend::kSSE2:
+      return &das_row_sse2;
+    case DasBackend::kAVX2:
+      return &das_row_avx2;
+    case DasBackend::kNEON:
+      return &das_row_neon;
+    case DasBackend::kAuto:
+      break;
+  }
+  throw std::logic_error(
+      "us3d::simd: das_row_fn wants a concrete backend; call "
+      "resolve_backend first");
+}
+
+}  // namespace us3d::simd

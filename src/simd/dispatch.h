@@ -1,0 +1,82 @@
+// Backend selection for the explicit-SIMD delay-and-sum row kernels.
+//
+// Every backend implements the same row contract (DasRowFn): sweep one
+// element's delay row against that element's echo stream and fold the
+// apodization-weighted samples into the per-point partial sums,
+//
+//   acc[p] += weight * (0 <= delays[p] < samples ? echo[delays[p]] : 0)
+//
+// for p in [0, points). The accumulators are *lane-wise*: each focal point
+// owns one double partial sum, the vector lanes map 1:1 onto consecutive
+// points, and elements are folded in ascending flat-index order by the
+// caller — there is no cross-lane reduction anywhere, so every backend
+// performs the exact same sequence of IEEE double multiply-adds per point
+// and produces bit-identical output to the scalar reference (the parity
+// property tests in tests/beamform/test_das_kernel.cpp pin this).
+//
+// Selection is two-stage:
+//  - compile time: each backend TU (das_sse2.cpp, das_avx2.cpp, ...) is
+//    built with its own -m<isa> flag on x86 and exports a "compiled with
+//    real intrinsics" flag; on other architectures the TU degrades to a
+//    scalar body and reports itself unavailable.
+//  - run time: resolve_backend() intersects the compiled set with what the
+//    host CPU actually supports, honouring an explicit request
+//    (BeamformOptions::simd / PipelineConfig::simd) first and the
+//    US3D_SIMD environment variable (scalar|sse2|avx2|neon|auto) second.
+//    Forcing a backend that is not available fails loudly instead of
+//    silently falling back — that is what lets CI pin every dispatch path.
+#ifndef US3D_SIMD_DISPATCH_H
+#define US3D_SIMD_DISPATCH_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace us3d::simd {
+
+enum class DasBackend {
+  kAuto,    ///< pick the best available (after the US3D_SIMD override)
+  kScalar,  ///< portable reference; always available
+  kSSE2,    ///< 4-wide x86 (baseline on x86-64)
+  kAVX2,    ///< 8-wide x86 with masked gather
+  kNEON,    ///< aarch64; interface + dispatch wired, vector body pending
+};
+
+/// Row-sweep kernel: fold one element's weighted samples into the
+/// per-point accumulators (see the contract at the top of this header).
+using DasRowFn = void (*)(const float* echo, std::int64_t samples,
+                          const std::int32_t* delays, double weight,
+                          double* acc, int points);
+
+/// Lower-case stable name ("auto", "scalar", "sse2", "avx2", "neon").
+const char* backend_name(DasBackend backend);
+
+/// Inverse of backend_name(); nullopt for anything unrecognised.
+std::optional<DasBackend> parse_backend(std::string_view name);
+
+/// True when the backend's TU was built with its real intrinsics (compile
+/// time only — says nothing about the host CPU). Scalar is always true.
+bool backend_compiled(DasBackend backend);
+
+/// True when the backend is compiled in AND the host CPU supports it.
+bool backend_available(DasBackend backend);
+
+/// The concrete backends usable on this host, best first. Always ends
+/// with kScalar; never contains kAuto.
+std::vector<DasBackend> available_backends();
+
+/// Resolves a request to a concrete backend. A non-auto request must be
+/// available (throws std::runtime_error naming the backend otherwise —
+/// forcing never falls back silently). kAuto honours US3D_SIMD when set
+/// (unknown values and unavailable backends also throw), else picks the
+/// best available. The environment is re-read on every call so tests and
+/// long-lived processes see changes.
+DasBackend resolve_backend(DasBackend requested);
+
+/// The row kernel for a concrete (resolved, non-auto) backend.
+DasRowFn das_row_fn(DasBackend backend);
+
+}  // namespace us3d::simd
+
+#endif  // US3D_SIMD_DISPATCH_H

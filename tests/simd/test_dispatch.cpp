@@ -1,0 +1,145 @@
+// The SIMD backend dispatcher: name/parse round-trips, the availability
+// lattice (compiled ∧ CPU), resolution precedence (explicit option over
+// US3D_SIMD over auto-detection), and the loud-failure contract for
+// forced-but-unavailable backends — the property CI leans on when it runs
+// the suites once per forced backend.
+#include "simd/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace us3d::simd {
+namespace {
+
+/// Scoped US3D_SIMD override; restores the previous value on destruction
+/// so tests compose with a CI harness that forces a backend globally.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* value) {
+    const char* old = std::getenv("US3D_SIMD");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    set(value);
+  }
+  ~ScopedEnv() { had_ ? set(saved_.c_str()) : set(nullptr); }
+
+ private:
+  static void set(const char* value) {
+    if (value != nullptr) {
+      ::setenv("US3D_SIMD", value, 1);
+    } else {
+      ::unsetenv("US3D_SIMD");
+    }
+  }
+  std::string saved_;
+  bool had_ = false;
+};
+
+constexpr DasBackend kAll[] = {DasBackend::kAuto, DasBackend::kScalar,
+                               DasBackend::kSSE2, DasBackend::kAVX2,
+                               DasBackend::kNEON};
+
+TEST(SimdDispatch, NamesAndParseRoundTrip) {
+  for (const DasBackend b : kAll) {
+    const auto parsed = parse_backend(backend_name(b));
+    ASSERT_TRUE(parsed.has_value()) << backend_name(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_EQ(parse_backend("avx512"), std::nullopt);
+  EXPECT_EQ(parse_backend(""), std::nullopt);
+  EXPECT_EQ(parse_backend("AVX2"), std::nullopt) << "names are lower-case";
+}
+
+TEST(SimdDispatch, ScalarIsAlwaysAvailableAndLast) {
+  EXPECT_TRUE(backend_compiled(DasBackend::kScalar));
+  EXPECT_TRUE(backend_available(DasBackend::kScalar));
+  const auto backends = available_backends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.back(), DasBackend::kScalar);
+  for (const DasBackend b : backends) {
+    EXPECT_NE(b, DasBackend::kAuto);
+    EXPECT_TRUE(backend_available(b)) << backend_name(b);
+  }
+}
+
+TEST(SimdDispatch, AvailableImpliesCompiled) {
+  for (const DasBackend b : kAll) {
+    if (backend_available(b)) {
+      EXPECT_TRUE(backend_compiled(b)) << backend_name(b);
+    }
+  }
+}
+
+TEST(SimdDispatch, AutoResolvesToTheBestAvailableBackend) {
+  ScopedEnv env(nullptr);  // neutralize any harness-level US3D_SIMD
+  const DasBackend resolved = resolve_backend(DasBackend::kAuto);
+  EXPECT_EQ(resolved, available_backends().front());
+  EXPECT_TRUE(backend_available(resolved));
+}
+
+TEST(SimdDispatch, ExplicitRequestResolvesToItself) {
+  for (const DasBackend b : available_backends()) {
+    EXPECT_EQ(resolve_backend(b), b) << backend_name(b);
+  }
+}
+
+TEST(SimdDispatch, ForcingAnUnavailableBackendThrows) {
+  bool saw_unavailable = false;
+  for (const DasBackend b :
+       {DasBackend::kSSE2, DasBackend::kAVX2, DasBackend::kNEON}) {
+    if (backend_available(b)) continue;
+    saw_unavailable = true;
+    EXPECT_THROW(resolve_backend(b), std::runtime_error) << backend_name(b);
+    ScopedEnv env(backend_name(b));
+    EXPECT_THROW(resolve_backend(DasBackend::kAuto), std::runtime_error)
+        << "US3D_SIMD=" << backend_name(b);
+  }
+  // On any one host at least one of sse2/avx2/neon is missing (no CPU
+  // implements both x86 and ARM vector ISAs), so the loop always bites.
+  EXPECT_TRUE(saw_unavailable);
+}
+
+TEST(SimdDispatch, EnvVarForcesAutoResolution) {
+  for (const DasBackend b : available_backends()) {
+    ScopedEnv env(backend_name(b));
+    EXPECT_EQ(resolve_backend(DasBackend::kAuto), b) << backend_name(b);
+  }
+}
+
+TEST(SimdDispatch, EnvVarAutoAndEmptyFallThroughToDetection) {
+  {
+    ScopedEnv env("auto");
+    EXPECT_EQ(resolve_backend(DasBackend::kAuto), available_backends().front());
+  }
+  {
+    ScopedEnv env("");
+    EXPECT_EQ(resolve_backend(DasBackend::kAuto), available_backends().front());
+  }
+}
+
+TEST(SimdDispatch, UnknownEnvVarValueThrows) {
+  ScopedEnv env("fastest-please");
+  EXPECT_THROW(resolve_backend(DasBackend::kAuto), std::runtime_error);
+}
+
+TEST(SimdDispatch, ExplicitRequestBeatsTheEnvVar) {
+  // Even with the env pinned to scalar, an explicit option wins.
+  ScopedEnv env("scalar");
+  for (const DasBackend b : available_backends()) {
+    EXPECT_EQ(resolve_backend(b), b) << backend_name(b);
+  }
+}
+
+TEST(SimdDispatch, RowFnExistsForEveryConcreteBackend) {
+  for (const DasBackend b : {DasBackend::kScalar, DasBackend::kSSE2,
+                             DasBackend::kAVX2, DasBackend::kNEON}) {
+    EXPECT_NE(das_row_fn(b), nullptr) << backend_name(b);
+  }
+  EXPECT_THROW(das_row_fn(DasBackend::kAuto), std::logic_error);
+}
+
+}  // namespace
+}  // namespace us3d::simd
