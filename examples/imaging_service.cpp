@@ -1,0 +1,121 @@
+// Multi-session imaging service walkthrough: the scenario catalog as a
+// wire format, admission control against a shared budget, priority-based
+// worker sharing, load shedding on an overloaded session, and the
+// operator's whole-box JSON view.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "acoustic/echo_synth.h"
+#include "common/prng.h"
+#include "service/imaging_service.h"
+
+using namespace us3d;
+using runtime::EchoFrame;
+using service::ImagingService;
+using service::Scenario;
+using service::ScenarioCatalog;
+
+namespace {
+
+std::vector<EchoFrame> frames_for(const Scenario& scenario, int count,
+                                  std::uint64_t seed) {
+  const imaging::SystemConfig cfg = scenario.system();
+  const imaging::VolumeGrid grid(cfg.volume);
+  SplitMix64 rng(seed);
+  const std::vector<Vec3> origins = scenario.origins(count);
+  std::vector<EchoFrame> frames;
+  for (int i = 0; i < count; ++i) {
+    const acoustic::Phantom phantom{acoustic::PointScatterer{
+        grid.focal_point(static_cast<int>(rng.next_below(
+                             static_cast<std::uint64_t>(cfg.volume.n_theta))),
+                         cfg.volume.n_phi / 2, cfg.volume.n_depth / 2)
+            .position,
+        1.0}};
+    acoustic::SynthesisOptions synth;
+    synth.origin = origins[static_cast<std::size_t>(i)];
+    frames.push_back(EchoFrame{acoustic::synthesize_echoes(cfg, phantom, synth),
+                               origins[static_cast<std::size_t>(i)], i});
+  }
+  return frames;
+}
+
+}  // namespace
+
+int main() {
+  // --- The catalog is the service's menu (and its wire format). --------
+  const ScenarioCatalog catalog = ScenarioCatalog::builtin();
+  std::cout << "built-in scenarios:\n";
+  for (const Scenario& s : catalog.scenarios()) {
+    std::cout << "  " << s.name << "  (engine "
+              << service::family_name(s.engine) << ", K="
+              << s.compound_origins << ")\n";
+  }
+  // A client-side descriptor round-trips through JSON — what a network
+  // front-end would POST.
+  Scenario live = *catalog.find("tablefree-interactive");
+  live.probe_elements = 6;
+  live.n_lines = 8;
+  live.n_depth = 24;
+  const Scenario parsed = Scenario::from_json(live.to_json());
+  std::cout << "\nwire round-trip: " << parsed.to_json() << "\n\n";
+
+  // --- Admission against a shared budget. ------------------------------
+  ImagingService service(service::ServiceBudget{.worker_threads = 4,
+                                                .inflight_volumes = 4});
+  Scenario batch = *catalog.find("tablesteer-cardiac-18b");
+  batch.probe_elements = 6;
+  batch.n_lines = 8;
+  batch.n_depth = 24;
+  batch.worker_threads = 4;  // wants everything; priority says otherwise
+
+  const auto live_adm = service.open_session(
+      parsed, {.priority = service::PriorityClass::kInteractive,
+               .policy = service::ShedPolicy::kAdaptiveDepth});
+  const auto batch_adm = service.open_session(
+      batch, {.priority = service::PriorityClass::kBulk,
+              .policy = service::ShedPolicy::kDropOldest});
+  std::cout << "admitted live session #" << live_adm.session << " ("
+            << live_adm.granted_workers << " workers), batch session #"
+            << batch_adm.session << " ("
+            << service.granted_workers(batch_adm.session) << " worker)\n";
+  // A third session bounces off the in-flight volume budget (both open
+  // sessions hold two ring slots each) — refused cleanly, with a reason.
+  Scenario greedy = parsed;
+  greedy.name = "one-too-many";
+  const auto refused = service.open_session(greedy);
+  std::cout << "third session admitted? " << (refused.admitted ? "yes" : "no")
+            << " — " << refused.reason << "\n\n";
+
+  // --- Stream: the live session floods, the batch session is polite. ---
+  auto live_frames = frames_for(parsed, 10, 1);
+  auto batch_frames = frames_for(batch, 4, 2);
+  int live_delivered = 0, batch_delivered = 0;
+  const runtime::VolumeSink live_sink =
+      [&](const beamform::VolumeImage&, std::int64_t) { ++live_delivered; };
+  const runtime::VolumeSink batch_sink =
+      [&](const beamform::VolumeImage&, std::int64_t) { ++batch_delivered; };
+  for (EchoFrame& f : live_frames) {
+    service.submit(live_adm.session, std::move(f));  // burst, no polling
+  }
+  for (EchoFrame& f : batch_frames) {
+    service.submit(batch_adm.session, std::move(f));
+    service.poll(batch_adm.session, batch_sink);
+  }
+
+  const auto live_stats = service.close_session(live_adm.session, live_sink);
+  const auto batch_stats =
+      service.close_session(batch_adm.session, batch_sink);
+  std::cout << "live session: " << live_stats.submitted << " submitted, "
+            << live_delivered << " delivered, " << live_stats.shed_adaptive
+            << " shed by adaptive depth (depth ended at "
+            << live_stats.effective_depth << "/" << live_stats.granted_depth
+            << ")\n";
+  std::cout << "batch session: " << batch_stats.submitted << " submitted, "
+            << batch_delivered << " delivered, " << batch_stats.shed_total()
+            << " shed\n\n";
+
+  // --- The operator's whole-box view. -----------------------------------
+  std::cout << "service stats JSON:\n" << service.stats().to_json() << "\n";
+  return 0;
+}

@@ -56,6 +56,29 @@ class AbsErrorStats {
   double threshold_;
 };
 
+/// Exact sample-set quantiles for modest streams (per-session latency
+/// distributions in the imaging service). Samples are stored and sorted
+/// lazily on the first quantile() after an add(), so repeated reads are
+/// cheap; use a histogram for unbounded streams.
+class SampleQuantiles {
+ public:
+  void add(double x);
+  /// Appends every sample of `other` (service-wide aggregation over
+  /// per-session accumulators).
+  void merge(const SampleQuantiles& other);
+
+  std::size_t count() const { return samples_.size(); }
+  /// Linear-interpolated quantile for q in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
 /// Fixed-bin histogram over a closed interval; out-of-range samples land in
 /// saturating edge bins so no sample is ever silently dropped.
 class Histogram {

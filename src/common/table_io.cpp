@@ -82,6 +82,37 @@ std::string CsvTable::to_string() const {
   return os.str();
 }
 
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c)) << std::dec;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
 std::string format_double(double v, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;

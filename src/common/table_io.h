@@ -42,6 +42,12 @@ class CsvTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Escapes a string for embedding inside a JSON string literal: quote,
+/// backslash and control characters (as \n, \r, \t or \u00XX). One shared
+/// implementation so every JSON emitter in the repo produces loadable
+/// output even for hostile names.
+std::string json_escape(const std::string& s);
+
 /// Number formatting helpers shared by benches.
 std::string format_double(double v, int precision = 3);
 std::string format_si(double v, const std::string& unit, int precision = 3);

@@ -34,16 +34,7 @@ MultiOriginTableRepository::MultiOriginTableRepository(
     ReferenceTableConfig tc;
     tc.entry_format = entry_format;
     tc.origin_z = z;
-    tables_.push_back(std::make_unique<ReferenceDelayTable>(config, tc));
-  }
-}
-
-MultiOriginTableRepository::MultiOriginTableRepository(
-    const MultiOriginTableRepository& other)
-    : config_(other.config_), origin_zs_(other.origin_zs_) {
-  tables_.reserve(other.tables_.size());
-  for (const auto& t : other.tables_) {
-    tables_.push_back(std::make_unique<ReferenceDelayTable>(*t));
+    tables_.push_back(std::make_shared<const ReferenceDelayTable>(config, tc));
   }
 }
 

@@ -46,8 +46,11 @@ class MultiOriginTableRepository {
   MultiOriginTableRepository(const imaging::SystemConfig& config,
                              const SyntheticAperturePlan& plan,
                              const fx::Format& entry_format = fx::kRefDelay18);
-  /// Deep copy (one table copy per origin, no recomputation).
-  MultiOriginTableRepository(const MultiOriginTableRepository& other);
+  /// Copies *share* the immutable per-origin tables (shared_ptr<const>):
+  /// N worker clones x K origins reference one table set instead of
+  /// deep-copying the repository whose size is the paper's headline
+  /// bottleneck. No table bytes are duplicated per copy.
+  MultiOriginTableRepository(const MultiOriginTableRepository& other) = default;
   MultiOriginTableRepository& operator=(const MultiOriginTableRepository&) =
       delete;
 
@@ -65,7 +68,8 @@ class MultiOriginTableRepository {
  private:
   imaging::SystemConfig config_;
   std::vector<double> origin_zs_;
-  std::vector<std::unique_ptr<ReferenceDelayTable>> tables_;
+  /// Immutable after construction; shared across repository copies.
+  std::vector<std::shared_ptr<const ReferenceDelayTable>> tables_;
 };
 
 /// TABLESTEER with per-insonification origin selection. begin_frame()
@@ -79,7 +83,9 @@ class SyntheticApertureSteerEngine final : public DelayEngine {
 
   std::string name() const override { return "TABLESTEER-SA"; }
   int element_count() const override;
-  /// Deep-copies the whole table repository.
+  /// Shares the whole immutable table repository with the clone (see
+  /// MultiOriginTableRepository's copy semantics) — cloning costs the
+  /// steering corrections and scratch only, never the tables.
   std::unique_ptr<DelayEngine> clone() const override;
 
   const MultiOriginTableRepository& repository() const { return repo_; }

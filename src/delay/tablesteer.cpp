@@ -115,8 +115,9 @@ TableSteerEngine::TableSteerEngine(const imaging::SystemConfig& config,
     : config_(config),
       probe_(config.probe),
       ts_config_(ts_config),
-      table_(config, ReferenceTableConfig{.entry_format =
-                                              ts_config.entry_format}),
+      table_(std::make_shared<const ReferenceDelayTable>(
+          config,
+          ReferenceTableConfig{.entry_format = ts_config.entry_format})),
       corrections_(config, ts_config.coeff_format) {}
 
 std::string TableSteerEngine::name() const {
@@ -139,12 +140,12 @@ void TableSteerEngine::do_begin_frame(const Vec3& origin) {
 void TableSteerEngine::do_compute(const imaging::FocalPoint& fp,
                                   std::span<std::int32_t> out) {
   US3D_EXPECTS(out.size() == static_cast<std::size_t>(element_count()));
-  steer_compute_point(probe_, table_, corrections_, ts_config_, fp, out);
+  steer_compute_point(probe_, *table_, corrections_, ts_config_, fp, out);
 }
 
 void TableSteerEngine::do_compute_block(const imaging::FocalBlock& block,
                                         DelayPlane& plane) {
-  steer_compute_block(probe_, table_, corrections_, ts_config_, block, plane,
+  steer_compute_block(probe_, *table_, corrections_, ts_config_, block, plane,
                       block_cy_);
 }
 

@@ -60,10 +60,13 @@ class TableSteerEngine final : public DelayEngine {
 
   std::string name() const override;
   int element_count() const override;
-  /// Copies the reference table and steering coefficients (no recompute).
+  /// Copies the steering coefficients and *shares* the immutable reference
+  /// table (shared_ptr<const>): the table is the paper's headline memory
+  /// cost, and N worker clones reading one copy is exactly the reuse the
+  /// hardware design streams for. No table bytes are duplicated per clone.
   std::unique_ptr<DelayEngine> clone() const override;
 
-  const ReferenceDelayTable& reference_table() const { return table_; }
+  const ReferenceDelayTable& reference_table() const { return *table_; }
   const SteeringCorrections& corrections() const { return corrections_; }
   const TableSteerConfig& config() const { return ts_config_; }
 
@@ -85,7 +88,8 @@ class TableSteerEngine final : public DelayEngine {
   imaging::SystemConfig config_;
   probe::MatrixProbe probe_;
   TableSteerConfig ts_config_;
-  ReferenceDelayTable table_;
+  /// Immutable after construction; shared by every clone of this engine.
+  std::shared_ptr<const ReferenceDelayTable> table_;
   SteeringCorrections corrections_;
   std::vector<fx::Value> block_cy_;  // per-block y-corrections, reused
 };

@@ -32,6 +32,8 @@ AsyncPipeline::AsyncPipeline(FramePipeline& pipeline,
   US3D_EXPECTS(options.compound_origins >= 1);
   stats_.worker_threads = pipeline.worker_threads();
   stats_.simd_backend = pipeline.stats().simd_backend;
+  stats_.queue_depth = std::max(1, options.depth);
+  stats_.ring_slots = ring_.slots();
   beamform_thread_ = std::thread([this] { beamform_loop(); });
   compound_thread_ = std::thread([this] { compound_loop(); });
 }
@@ -64,6 +66,24 @@ bool AsyncPipeline::try_submit(EchoFrame& frame) {
 }
 
 void AsyncPipeline::close() { input_.close(); }
+
+void AsyncPipeline::set_queue_depth(int depth) {
+  US3D_EXPECTS(depth >= 1);
+  input_.set_capacity(static_cast<std::size_t>(depth));
+  int ring_cap = depth;
+  // The compound accumulator pins one slot for its whole K-group; keep a
+  // second so the next insonification can still beamform (same clamp as
+  // construction).
+  if (options_.compound_origins > 1) ring_cap = std::max(ring_cap, 2);
+  ring_.set_active_slots(std::min(ring_cap, ring_.slots()));
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  stats_.queue_depth = depth;
+}
+
+int AsyncPipeline::queue_depth() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return stats_.queue_depth;
+}
 
 void AsyncPipeline::record_ingest(double seconds) {
   std::lock_guard<std::mutex> lock(state_mutex_);
@@ -135,6 +155,29 @@ PipelineStats AsyncPipeline::finish(const VolumeSink& sink) {
     stats_.insonifications = submitted_;
     stats_.dropped_frames = submitted_ - delivered_insonifications_;
     stats_.wall_s = seconds_since(start_);
+    // Fold this session into the owning pipeline's lifetime accumulator
+    // (exactly once — finished_ gates it). Doing it here rather than in
+    // run() means direct AsyncPipeline sessions account identically to
+    // the synchronous wrapper: before this lived in run(), a session
+    // driven through submit/poll/finish left pipeline.stats() untouched
+    // and lifetime counters silently drifted from delivered reality.
+    PipelineStats& life = pipeline_.stats_;
+    life.frames += stats_.frames;
+    life.insonifications += stats_.insonifications;
+    life.dropped_frames += stats_.dropped_frames;
+    life.voxels += stats_.voxels;
+    life.wall_s += stats_.wall_s;
+    life.ingest.merge(stats_.ingest);
+    life.beamform.merge(stats_.beamform);
+    life.compound.merge(stats_.compound);
+    life.consume.merge(stats_.consume);
+    life.block.merge(stats_.block);
+    // Depth is a live dial; the lifetime view reports the latest session's
+    // configured/adaptive values rather than a meaningless sum.
+    life.queue_depth = stats_.queue_depth;
+    life.ring_slots = stats_.ring_slots;
+    US3D_ENSURES(stats_.lifetime_coherent());
+    US3D_ENSURES(life.lifetime_coherent());
   }
   return stats_;
 }

@@ -111,8 +111,13 @@ class AsyncPipeline {
 
   /// close() + deliver every remaining output to `sink` + join the stage
   /// threads, then return the final stats (wall_s covers construction to
-  /// finish). Does NOT throw on pipeline failure so the caller always
-  /// gets truthful stats — call rethrow_if_failed() after. Idempotent.
+  /// finish). The session's stats are also folded into the owning
+  /// FramePipeline's lifetime stats() exactly once, so back-to-back
+  /// sessions (run() wrappers or direct AsyncPipeline use) accumulate
+  /// coherently on one pipeline. Does NOT throw on pipeline failure so
+  /// the caller always gets truthful stats — call rethrow_if_failed()
+  /// after. Idempotent. A pipeline destroyed without finish() leaves no
+  /// trace in the lifetime stats (its work was discarded, not delivered).
   PipelineStats finish(const VolumeSink& sink);
 
   /// Rethrows the first stored failure, worker errors before sink errors.
@@ -126,6 +131,16 @@ class AsyncPipeline {
   void record_ingest(double seconds);
 
   int ring_slots() const { return ring_.slots(); }
+
+  /// Adaptive queue-depth hook (the ROADMAP load-shedding item): bounds
+  /// in-flight frames to `depth` from now on — the input queue's capacity
+  /// and a soft cap on concurrently acquired ring slots (clamped to >= 2
+  /// while compounding, and to the allocated ring size). Shrinking never
+  /// drops queued work; it only refuses new submissions earlier, which is
+  /// what lets a service shed a lagging session's load without stalling
+  /// its neighbours. Thread-safe; reported via stats().queue_depth.
+  void set_queue_depth(int depth);
+  int queue_depth() const;
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -31,7 +31,24 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+  }
+
+  /// Adjusts the bound at runtime (the adaptive queue-depth hook). Growing
+  /// wakes blocked producers; shrinking below the current fill level never
+  /// drops queued items — pushes are simply refused until consumers drain
+  /// below the new bound. Dropping is a policy decision that belongs to
+  /// the caller (see service::ShedPolicy), not to the queue.
+  void set_capacity(std::size_t capacity) {
+    US3D_EXPECTS(capacity >= 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      capacity_ = capacity;
+    }
+    space_cv_.notify_all();
+  }
 
   /// Blocks while the queue is full. Returns false (and drops `item`) if
   /// the queue is closed — the stream is over, nobody will pop it.
@@ -110,7 +127,7 @@ class BoundedQueue {
   }
 
  private:
-  const std::size_t capacity_;
+  std::size_t capacity_;  // mutable via set_capacity; guarded by mutex_
   mutable std::mutex mutex_;
   std::condition_variable item_cv_;   // signalled on push
   std::condition_variable space_cv_;  // signalled on pop

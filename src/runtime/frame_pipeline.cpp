@@ -42,6 +42,7 @@ FramePipeline::FramePipeline(const imaging::SystemConfig& config,
   scratch_.resize(ranges_.size());
   for (beamform::BeamformScratch& s : scratch_) s.profile = true;
   stats_.worker_threads = worker_threads();
+  stats_.queue_depth = pipeline_config.queue_depth;
   // Resolve the DAS backend once up front: a forced-but-unavailable
   // backend fails here, loudly, instead of mid-stream in a worker, and a
   // later environment change cannot make the stream diverge from what the
@@ -54,8 +55,16 @@ void FramePipeline::reset_stats() {
   const std::string backend = stats_.simd_backend;
   stats_ = PipelineStats{};
   stats_.worker_threads = worker_threads();
+  stats_.queue_depth = pipeline_config_.queue_depth;
   stats_.simd_backend = backend;
 }
+
+void FramePipeline::set_worker_cap(int cap) {
+  US3D_EXPECTS(cap >= 1);
+  pool_.set_parallelism_cap(std::min(cap, worker_threads()));
+}
+
+int FramePipeline::worker_cap() const { return pool_.parallelism_cap(); }
 
 StageStats FramePipeline::beamform_into(const beamform::EchoBuffer& echoes,
                                         const Vec3& origin,
@@ -143,20 +152,11 @@ PipelineStats FramePipeline::run(FrameSource& source, const VolumeSink& sink) {
   }
   async.close();
   if (consumer.joinable()) consumer.join();
+  // finish() folds the session into the lifetime stats (exactly once,
+  // inside the AsyncPipeline) before any rethrow, so a failed run still
+  // leaves truthful delivery/drop accounting behind.
   const PipelineStats run_stats = async.finish(sink);
-
-  // Fold into the lifetime stats before any rethrow, so a failed run
-  // still leaves truthful delivery/drop accounting behind.
-  stats_.frames += run_stats.frames;
-  stats_.insonifications += run_stats.insonifications;
-  stats_.dropped_frames += run_stats.dropped_frames;
-  stats_.voxels += run_stats.voxels;
-  stats_.wall_s += run_stats.wall_s;
-  stats_.ingest.merge(run_stats.ingest);
-  stats_.beamform.merge(run_stats.beamform);
-  stats_.compound.merge(run_stats.compound);
-  stats_.consume.merge(run_stats.consume);
-  stats_.block.merge(run_stats.block);
+  US3D_ENSURES(stats_.lifetime_coherent());
 
   if (source_error) std::rethrow_exception(source_error);
   async.rethrow_if_failed();

@@ -92,6 +92,15 @@ class FramePipeline {
 
   /// Actual sweep parallelism: min(worker_threads, outer axis extent).
   int worker_threads() const { return static_cast<int>(ranges_.size()); }
+
+  /// Caps how many pool members sweep concurrently, in [1,
+  /// worker_threads()], without re-partitioning: slabs are claimed
+  /// dynamically, so the volume (and its bit pattern) is unchanged — only
+  /// the CPU concurrency drops. This is the hook the imaging service uses
+  /// to re-share one global worker budget across sessions as they come
+  /// and go. Thread-safe; takes effect from the next frame.
+  void set_worker_cap(int cap);
+  int worker_cap() const;
   const std::vector<imaging::ScanRange>& ranges() const { return ranges_; }
   std::string engine_name() const { return engines_.front()->name(); }
 

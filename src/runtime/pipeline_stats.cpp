@@ -30,6 +30,9 @@ std::string PipelineStats::to_string() const {
      << insonifications << " insonifications";
   if (dropped_frames > 0) os << ", " << dropped_frames << " DROPPED";
   os << "), " << worker_threads << " worker thread(s)";
+  if (ring_slots > 0) {
+    os << ", depth " << queue_depth << "/" << ring_slots << " slots";
+  }
   if (!simd_backend.empty()) os << ", simd " << simd_backend;
   os << ", " << format_double(wall_s * 1e3, 1) << " ms wall\n";
   stage_text(os, "ingest  ", ingest);
@@ -48,6 +51,8 @@ std::string PipelineStats::to_json() const {
      << ",\"insonifications\":" << insonifications
      << ",\"dropped_frames\":" << dropped_frames
      << ",\"worker_threads\":" << worker_threads
+     << ",\"queue_depth\":" << queue_depth
+     << ",\"ring_slots\":" << ring_slots
      << ",\"simd_backend\":\"" << simd_backend << '"'
      << ",\"wall_s\":" << wall_s << ",\"sustained_fps\":" << sustained_fps()
      << ",\"voxels_per_second\":" << voxels_per_second() << ",";

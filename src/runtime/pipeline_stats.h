@@ -52,6 +52,15 @@ struct PipelineStats {
   /// are mixed on one pipeline.
   double wall_s = 0.0;
   int worker_threads = 0;
+  /// Current queue depth (bound on in-flight frames). Configured at
+  /// construction; an adaptive load-shedding policy may shrink or regrow
+  /// it mid-stream via AsyncPipeline::set_queue_depth, so dashboards can
+  /// compare configured vs adaptive depth. 0 for hand-built stats.
+  int queue_depth = 0;
+  /// Allocated VolumeRing slots (fixed for the pipeline's lifetime; the
+  /// adaptive depth is a soft cap within this allocation). 0 until a
+  /// streaming run has attached a ring.
+  int ring_slots = 0;
   /// Resolved SIMD backend of the DAS row kernel ("scalar", "sse2",
   /// "avx2", "neon"; see simd/dispatch.h), recorded when the pipeline
   /// resolves its configuration. Empty for hand-built stats.
@@ -62,6 +71,16 @@ struct PipelineStats {
   }
   double voxels_per_second() const {
     return wall_s > 0.0 ? static_cast<double>(voxels) / wall_s : 0.0;
+  }
+
+  /// Lifetime-counter invariants that must survive any mix of run() /
+  /// reconstruct_frame() / direct AsyncPipeline sessions folded into one
+  /// accumulator: delivery never exceeds acceptance, drops are never
+  /// negative and never exceed acceptance. The pipeline asserts this after
+  /// every fold; the multi-run accounting tests pin it.
+  bool lifetime_coherent() const {
+    return frames >= 0 && insonifications >= frames && dropped_frames >= 0 &&
+           dropped_frames <= insonifications && voxels >= 0 && wall_s >= 0.0;
   }
 
   /// Human-readable multi-line summary.

@@ -16,11 +16,14 @@ VolumeRing::VolumeRing(const imaging::VolumeSpec& spec, int slots) {
   }
   // Hand out low indices first so single-slot runs always reuse slot 0.
   std::reverse(free_.begin(), free_.end());
+  active_ = slots;
 }
 
 int VolumeRing::acquire() {
   std::unique_lock<std::mutex> lock(mutex_);
-  free_cv_.wait(lock, [&] { return closed_ || !free_.empty(); });
+  free_cv_.wait(lock, [&] {
+    return closed_ || (!free_.empty() && in_flight_locked() < active_);
+  });
   if (closed_ || free_.empty()) return -1;
   const int slot = free_.back();
   free_.pop_back();
@@ -29,10 +32,24 @@ int VolumeRing::acquire() {
 
 int VolumeRing::try_acquire() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (closed_ || free_.empty()) return -1;
+  if (closed_ || free_.empty() || in_flight_locked() >= active_) return -1;
   const int slot = free_.back();
   free_.pop_back();
   return slot;
+}
+
+void VolumeRing::set_active_slots(int active) {
+  US3D_EXPECTS(active >= 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_ = std::min(active, slots());
+  }
+  free_cv_.notify_all();
+}
+
+int VolumeRing::active_slots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
 }
 
 void VolumeRing::release(int slot) {

@@ -28,6 +28,14 @@ class VolumeRing {
 
   int slots() const { return static_cast<int>(volumes_.size()); }
 
+  /// Soft cap on concurrently acquired slots, in [1, slots()]. Volumes are
+  /// allocated once at construction; shrinking the cap makes acquire()
+  /// hold back until in-flight count drops below it — the runtime hook an
+  /// adaptive queue-depth policy shrinks a lagging session with (no
+  /// reallocation, no dropped work). Growing wakes blocked acquirers.
+  void set_active_slots(int active);
+  int active_slots() const;
+
   /// Blocks until a slot is free; returns its index, or -1 once the ring
   /// is closed (shutdown — the caller should drop its work item).
   int acquire();
@@ -50,10 +58,16 @@ class VolumeRing {
   int free_count() const;
 
  private:
+  /// In-flight slots under the lock: allocated minus free.
+  int in_flight_locked() const {
+    return static_cast<int>(volumes_.size() - free_.size());
+  }
+
   std::vector<beamform::VolumeImage> volumes_;
   mutable std::mutex mutex_;
   std::condition_variable free_cv_;
   std::vector<int> free_;
+  int active_ = 0;  // soft cap on in-flight slots (set in the ctor)
   bool closed_ = false;
 };
 

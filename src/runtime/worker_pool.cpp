@@ -4,12 +4,17 @@
 
 namespace us3d::runtime {
 
-WorkerPool::WorkerPool(int threads) : threads_(threads) {
+WorkerPool::WorkerPool(int threads) : threads_(threads), cap_(threads) {
   US3D_EXPECTS(threads >= 1);
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int i = 0; i < threads - 1; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
+}
+
+void WorkerPool::set_parallelism_cap(int cap) {
+  US3D_EXPECTS(cap >= 1);
+  cap_.store(cap < threads_ ? cap : threads_, std::memory_order_relaxed);
 }
 
 WorkerPool::~WorkerPool() {
@@ -21,7 +26,7 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void WorkerPool::worker_loop() {
+void WorkerPool::worker_loop(int member) {
   std::uint64_t seen_generation = 0;
   while (true) {
     {
@@ -32,7 +37,10 @@ void WorkerPool::worker_loop() {
       if (stop_) return;
       seen_generation = generation_;
     }
-    drain_job();
+    // Capped members skip the job entirely; the dynamic task claim in
+    // drain_job() lets the active members absorb their share. The caller
+    // (member 0) always participates, so a cap of 1 is the serial sweep.
+    if (member < cap_.load(std::memory_order_relaxed)) drain_job();
   }
 }
 

@@ -8,6 +8,7 @@
 #ifndef US3D_RUNTIME_WORKER_POOL_H
 #define US3D_RUNTIME_WORKER_POOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -30,6 +31,18 @@ class WorkerPool {
 
   int thread_count() const { return threads_; }
 
+  /// Caps how many pool members participate in subsequent run() calls,
+  /// clamped to [1, thread_count()]. Tasks are claimed dynamically, so a
+  /// capped run still completes every task — just with fewer concurrent
+  /// claimants. This is the per-pipeline worker-cap hook the imaging
+  /// service uses to re-share one worker budget across sessions without
+  /// re-partitioning or respawning anything. Takes effect for jobs started
+  /// after the call; safe from any thread.
+  void set_parallelism_cap(int cap);
+  int parallelism_cap() const {
+    return cap_.load(std::memory_order_relaxed);
+  }
+
   /// Runs fn(task) for every task in [0, task_count), distributing tasks
   /// dynamically over the pool, and blocks until all complete. If any task
   /// throws, the first exception is rethrown here (remaining tasks still
@@ -37,12 +50,16 @@ class WorkerPool {
   void run(int task_count, const std::function<void(int)>& fn);
 
  private:
-  void worker_loop();
+  /// `member` is this thread's pool index (the caller of run() is member
+  /// 0; spawned workers are 1..threads-1). Members at or beyond the
+  /// parallelism cap sit jobs out.
+  void worker_loop(int member);
   /// Claims and runs queued tasks until none remain; returns when the
   /// current job is drained.
   void drain_job();
 
   int threads_;
+  std::atomic<int> cap_;  // active pool members for new jobs
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;

@@ -1,0 +1,443 @@
+#include "service/imaging_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/contracts.h"
+#include "probe/apodization.h"
+
+namespace us3d::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+// One admitted client workload: its own pipeline and async stage graph
+// (failure isolation), a bounded backlog the shed policy acts on, and the
+// frame ledger. All mutable state is guarded by `mutex`; the service never
+// holds its own lock while touching a session (except read-only snapshots
+// in stats(), which take service -> session in that fixed order).
+struct ImagingService::Session {
+  int id = -1;
+  Scenario scenario;
+  SessionOptions options;
+  std::unique_ptr<runtime::FramePipeline> pipeline;
+  std::unique_ptr<runtime::AsyncPipeline> async;
+  int granted_depth = 0;
+  int ring_slots = 0;          ///< in-flight budget this session holds
+  int requested_workers = 1;   ///< cap ceiling (pipeline partition count)
+  std::atomic<int> worker_cap{1};  ///< current grant; written by rebalance
+
+  mutable std::mutex mutex;
+  struct Pending {
+    runtime::EchoFrame frame;
+    Clock::time_point submitted_at;
+  };
+  std::deque<Pending> backlog;
+  /// Submit instant of every frame the async pipeline has accepted but
+  /// not yet delivered, keyed by (strictly increasing) sequence.
+  std::map<std::int64_t, Clock::time_point> in_flight;
+  int effective_depth = 0;
+  bool closing = false;
+  bool finished = false;
+
+  std::int64_t submitted = 0;
+  std::int64_t accepted = 0;
+  std::int64_t shed_refused = 0;
+  std::int64_t shed_dropped = 0;
+  std::int64_t shed_adaptive = 0;
+  std::int64_t refused_terminal = 0;
+  std::int64_t delivered_frames = 0;
+  std::int64_t delivered_insonifications = 0;
+  bool failed = false;
+  std::string error;
+  SampleQuantiles latency;
+  runtime::PipelineStats final_pipeline;  ///< set once at close
+
+  /// Moves backlog frames into the async pipeline while it accepts them,
+  /// and (adaptive policy) regrows a shrunken depth one step per fully
+  /// drained backlog — the additive half of AIMD.
+  void pump_locked() {
+    while (!backlog.empty()) {
+      Pending& p = backlog.front();
+      const std::int64_t seq = p.frame.sequence;
+      const Clock::time_point t = p.submitted_at;
+      if (!async->try_submit(p.frame)) break;  // frame left intact
+      in_flight.emplace(seq, t);
+      ++accepted;
+      backlog.pop_front();
+    }
+    if (options.policy == ShedPolicy::kAdaptiveDepth && backlog.empty() &&
+        effective_depth < granted_depth) {
+      ++effective_depth;
+      async->set_queue_depth(effective_depth);
+    }
+  }
+
+  /// Wraps the user sink with delivery accounting. Invoked with `mutex`
+  /// held (poll/finish run the sink on the calling thread). The user sink
+  /// runs first: if it throws, the async pipeline fails the session and
+  /// nothing here counts the volume as delivered.
+  runtime::VolumeSink delivery_sink(const runtime::VolumeSink& user) {
+    return [this, &user](const beamform::VolumeImage& volume,
+                         std::int64_t sequence) {
+      if (user) user(volume, sequence);
+      const Clock::time_point now = Clock::now();
+      ++delivered_frames;
+      // A delivered volume folds every accepted insonification up to its
+      // sequence (with compounding, K of them); shed frames were already
+      // erased when shed, so what remains <= sequence was delivered.
+      for (auto it = in_flight.begin();
+           it != in_flight.end() && it->first <= sequence;) {
+        latency.add(std::chrono::duration<double>(now - it->second).count());
+        ++delivered_insonifications;
+        it = in_flight.erase(it);
+      }
+    };
+  }
+
+  void capture_error_locked() {
+    if (failed || !async->failed()) return;
+    failed = true;
+    try {
+      async->rethrow_if_failed();
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown session error";
+    }
+  }
+
+  SessionStats snapshot_locked() const {
+    SessionStats out;
+    out.id = id;
+    out.scenario = scenario.name;
+    out.priority = options.priority;
+    out.policy = options.policy;
+    out.granted_workers = worker_cap.load(std::memory_order_relaxed);
+    out.granted_depth = granted_depth;
+    out.effective_depth = effective_depth;
+    out.submitted = submitted;
+    out.accepted = accepted;
+    out.shed_refused = shed_refused;
+    out.shed_dropped = shed_dropped;
+    out.shed_adaptive = shed_adaptive;
+    out.refused_terminal = refused_terminal;
+    out.delivered_frames = delivered_frames;
+    out.delivered_insonifications = delivered_insonifications;
+    out.failed = failed;
+    out.error = error;
+    out.latency = latency;
+    // Until close the streaming session has not folded into the pipeline
+    // lifetime stats; afterwards the final session stats are exact.
+    out.pipeline = finished ? final_pipeline : pipeline->stats();
+    return out;
+  }
+};
+
+ImagingService::ImagingService(const ServiceBudget& budget) : budget_(budget) {
+  US3D_EXPECTS(budget.worker_threads >= 1);
+  US3D_EXPECTS(budget.inflight_volumes >= 1);
+}
+
+ImagingService::~ImagingService() {
+  std::vector<int> open;
+  {
+    std::lock_guard<std::mutex> lock(service_mutex_);
+    for (const auto& [id, session] : sessions_) open.push_back(id);
+  }
+  for (const int id : open) close_session(id, {});
+}
+
+Admission ImagingService::open_session(const Scenario& scenario,
+                                       const SessionOptions& options) {
+  Admission result;
+  const auto refuse = [&](const std::string& reason) {
+    result.admitted = false;
+    result.session = -1;
+    result.reason = reason;
+    std::lock_guard<std::mutex> lock(service_mutex_);
+    ++sessions_refused_;
+    return result;
+  };
+  try {
+    scenario.validate();
+  } catch (const std::exception& e) {
+    return refuse(e.what());
+  }
+
+  std::unique_lock<std::mutex> lock(service_mutex_);
+  if (static_cast<int>(sessions_.size()) >= budget_.worker_threads) {
+    ++sessions_refused_;
+    result.reason = "worker budget exhausted";
+    return result;
+  }
+  const int min_slots = scenario.compound_origins > 1 ? 2 : 1;
+  const int remaining = budget_.inflight_volumes - inflight_in_use_;
+  if (remaining < min_slots) {
+    ++sessions_refused_;
+    result.reason = "in-flight volume budget exhausted";
+    return result;
+  }
+  const int depth = std::min(scenario.queue_depth, remaining);
+
+  auto session = std::make_shared<Session>();
+  session->id = next_id_;
+  session->scenario = scenario;
+  session->options = options;
+  session->granted_depth = depth;
+  session->effective_depth = depth;
+  try {
+    const imaging::SystemConfig system = scenario.system();
+    const probe::ApodizationMap apod(probe::MatrixProbe(system.probe),
+                                     probe::WindowKind::kRect);
+    runtime::PipelineConfig pc = scenario.pipeline_config();
+    // Partition for the most parallelism this session could ever be
+    // granted; rebalancing then moves the cap, never the partitioning.
+    pc.worker_threads = std::min(scenario.worker_threads,
+                                 budget_.worker_threads);
+    pc.queue_depth = depth;
+    const auto prototype = scenario.make_engine();
+    session->pipeline = std::make_unique<runtime::FramePipeline>(
+        system, apod, *prototype, pc);
+    session->requested_workers = session->pipeline->worker_threads();
+    session->async = std::make_unique<runtime::AsyncPipeline>(
+        *session->pipeline,
+        runtime::AsyncOptions{.depth = depth,
+                              .compound_origins = scenario.compound_origins});
+  } catch (const std::exception& e) {
+    // Construction failed (e.g. a forced SIMD backend this host cannot
+    // run): the session never existed, the budget is untouched.
+    ++sessions_refused_;
+    result.reason = e.what();
+    return result;
+  }
+  session->ring_slots = session->async->ring_slots();
+  US3D_ENSURES(session->ring_slots <= remaining);
+
+  ++next_id_;
+  ++sessions_admitted_;
+  inflight_in_use_ += session->ring_slots;
+  sessions_.emplace(session->id, session);
+  rebalance_locked();
+
+  result.admitted = true;
+  result.session = session->id;
+  result.granted_workers =
+      session->worker_cap.load(std::memory_order_relaxed);
+  result.granted_depth = depth;
+  return result;
+}
+
+void ImagingService::rebalance_locked() {
+  // Priority-ordered deal (FIFO within a class: the map iterates in id
+  // order and the sort is stable): every session is guaranteed one
+  // worker — admission control never admits more sessions than workers —
+  // and the surplus tops sessions up to their requested parallelism,
+  // interactive first.
+  std::vector<Session*> order;
+  order.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) order.push_back(session.get());
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Session* a, const Session* b) {
+                     return a->options.priority < b->options.priority;
+                   });
+  int remaining = budget_.worker_threads - static_cast<int>(order.size());
+  US3D_ENSURES(remaining >= 0);
+  for (Session* session : order) {
+    const int extra =
+        std::min(remaining, std::max(0, session->requested_workers - 1));
+    const int cap = 1 + extra;
+    remaining -= extra;
+    session->worker_cap.store(cap, std::memory_order_relaxed);
+    session->pipeline->set_worker_cap(cap);
+  }
+}
+
+std::shared_ptr<ImagingService::Session> ImagingService::find(
+    int session) const {
+  std::lock_guard<std::mutex> lock(service_mutex_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    throw ContractViolation("imaging service: unknown session " +
+                            std::to_string(session));
+  }
+  return it->second;
+}
+
+bool ImagingService::submit(int session, runtime::EchoFrame frame) {
+  const std::shared_ptr<Session> s = find(session);
+  std::lock_guard<std::mutex> lock(s->mutex);
+  ++s->submitted;
+  if (s->closing || s->async->failed()) {
+    s->capture_error_locked();
+    ++s->refused_terminal;
+    return false;
+  }
+  s->pump_locked();
+  if (static_cast<int>(s->backlog.size()) >= s->effective_depth) {
+    switch (s->options.policy) {
+      case ShedPolicy::kRefuseNewest:
+        ++s->shed_refused;
+        return false;
+      case ShedPolicy::kDropOldest:
+        s->backlog.pop_front();
+        ++s->shed_dropped;
+        break;
+      case ShedPolicy::kAdaptiveDepth:
+        // Multiplicative decrease: halve this session's depth (floor 1)
+        // so the laggard holds fewer shared slots, then shed the now-
+        // overflowing oldest frames. pump_locked() regrows it.
+        s->effective_depth = std::max(1, s->effective_depth / 2);
+        s->async->set_queue_depth(s->effective_depth);
+        while (static_cast<int>(s->backlog.size()) >= s->effective_depth) {
+          s->backlog.pop_front();
+          ++s->shed_adaptive;
+        }
+        break;
+    }
+  }
+  s->backlog.push_back(
+      Session::Pending{std::move(frame), Clock::now()});
+  s->pump_locked();
+  return true;
+}
+
+int ImagingService::poll(int session, const runtime::VolumeSink& sink) {
+  const std::shared_ptr<Session> s = find(session);
+  std::lock_guard<std::mutex> lock(s->mutex);
+  if (s->closing) return 0;
+  s->pump_locked();
+  const runtime::VolumeSink deliver = s->delivery_sink(sink);
+  int delivered = 0;
+  while (s->async->poll(deliver)) {
+    ++delivered;
+    s->pump_locked();  // a freed ring slot may admit backlog immediately
+  }
+  s->capture_error_locked();
+  return delivered;
+}
+
+SessionStats ImagingService::close_session(int session,
+                                           const runtime::VolumeSink& sink) {
+  std::shared_ptr<Session> s;
+  {
+    std::lock_guard<std::mutex> lock(service_mutex_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      throw ContractViolation("imaging service: unknown session " +
+                              std::to_string(session));
+    }
+    s = it->second;
+  }
+  SessionStats final_stats;
+  {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    if (!s->finished) {
+      s->closing = true;
+      const runtime::VolumeSink deliver = s->delivery_sink(sink);
+      // Drain the backlog *through* the pipeline: deliver one output at a
+      // time to free slots, then pump again — a healthy session sheds
+      // nothing at close.
+      while (!s->backlog.empty() && !s->async->failed()) {
+        s->pump_locked();
+        if (s->backlog.empty()) break;
+        if (!s->async->wait_one(deliver)) break;
+      }
+      s->async->close();
+      s->final_pipeline = s->async->finish(deliver);
+      s->capture_error_locked();
+      // Whatever is still backlogged never reached the pipeline (it
+      // failed or refused): shed it, visibly.
+      for (; !s->backlog.empty(); s->backlog.pop_front()) ++s->shed_dropped;
+      // Accepted-but-undelivered frames are the pipeline's dropped_frames;
+      // they get no latency sample.
+      s->in_flight.clear();
+      s->finished = true;
+    }
+    final_stats = s->snapshot_locked();
+  }
+  {
+    std::lock_guard<std::mutex> lock(service_mutex_);
+    const auto it = sessions_.find(session);
+    if (it != sessions_.end() && it->second == s) {
+      sessions_.erase(it);
+      inflight_in_use_ -= s->ring_slots;
+      closed_.push_back(final_stats);
+      rebalance_locked();
+    }
+  }
+  return final_stats;
+}
+
+SessionStats ImagingService::session_stats(int session) const {
+  const std::shared_ptr<Session> s = find(session);
+  std::lock_guard<std::mutex> lock(s->mutex);
+  return s->snapshot_locked();
+}
+
+bool ImagingService::session_failed(int session) const {
+  const std::shared_ptr<Session> s = find(session);
+  std::lock_guard<std::mutex> lock(s->mutex);
+  return s->failed || s->async->failed();
+}
+
+int ImagingService::granted_workers(int session) const {
+  return find(session)->worker_cap.load(std::memory_order_relaxed);
+}
+
+int ImagingService::open_sessions() const {
+  std::lock_guard<std::mutex> lock(service_mutex_);
+  return static_cast<int>(sessions_.size());
+}
+
+void ImagingService::fold(ServiceStats& out, const SessionStats& s) {
+  out.submitted += s.submitted;
+  out.delivered_frames += s.delivered_frames;
+  out.shed_refused += s.shed_refused;
+  out.shed_dropped += s.shed_dropped;
+  out.shed_adaptive += s.shed_adaptive;
+  out.dropped_frames += s.pipeline.dropped_frames;
+  out.latency_by_class[static_cast<std::size_t>(s.priority)].merge(s.latency);
+  out.sessions.push_back(s);
+}
+
+ServiceStats ImagingService::stats() const {
+  // Snapshot the roster under the service lock, then RELEASE it before
+  // touching any session mutex: a session mid-close holds its own mutex
+  // for the whole drain, and blocking on it while holding service_mutex_
+  // would stall every other session's submit path — exactly the coupling
+  // the per-session locking exists to prevent. No double counting either
+  // way: close_session erases from sessions_ and appends to closed_ in
+  // one service-lock critical section, and we copy both together.
+  ServiceStats out;
+  std::vector<std::shared_ptr<Session>> open;
+  {
+    std::lock_guard<std::mutex> lock(service_mutex_);
+    out.budget_workers = budget_.worker_threads;
+    out.budget_inflight = budget_.inflight_volumes;
+    out.inflight_in_use = inflight_in_use_;
+    out.open_sessions = static_cast<int>(sessions_.size());
+    out.sessions_admitted = sessions_admitted_;
+    out.sessions_refused = sessions_refused_;
+    out.sessions_closed = static_cast<std::int64_t>(closed_.size());
+    for (const SessionStats& closed : closed_) fold(out, closed);
+    open.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) open.push_back(session);
+  }
+  for (const std::shared_ptr<Session>& session : open) {
+    std::lock_guard<std::mutex> session_lock(session->mutex);
+    const SessionStats snapshot = session->snapshot_locked();
+    out.workers_in_use += snapshot.granted_workers;
+    fold(out, snapshot);
+  }
+  return out;
+}
+
+}  // namespace us3d::service

@@ -1,0 +1,114 @@
+#include "service/service_stats.h"
+
+#include <sstream>
+
+#include "common/table_io.h"
+
+namespace us3d::service {
+
+namespace {
+
+void quantiles_json(std::ostringstream& os, const SampleQuantiles& q) {
+  os << "{\"count\":" << q.count() << ",\"p50_ms\":" << q.p50() * 1e3
+     << ",\"p90_ms\":" << q.p90() * 1e3 << ",\"p99_ms\":" << q.p99() * 1e3
+     << '}';
+}
+
+}  // namespace
+
+const char* priority_name(PriorityClass priority) {
+  switch (priority) {
+    case PriorityClass::kInteractive:
+      return "interactive";
+    case PriorityClass::kRoutine:
+      return "routine";
+    case PriorityClass::kBulk:
+      return "bulk";
+  }
+  return "?";
+}
+
+std::optional<PriorityClass> parse_priority(std::string_view name) {
+  for (const PriorityClass p :
+       {PriorityClass::kInteractive, PriorityClass::kRoutine,
+        PriorityClass::kBulk}) {
+    if (name == priority_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+const char* policy_name(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kRefuseNewest:
+      return "refuse_newest";
+    case ShedPolicy::kDropOldest:
+      return "drop_oldest";
+    case ShedPolicy::kAdaptiveDepth:
+      return "adaptive_depth";
+  }
+  return "?";
+}
+
+std::optional<ShedPolicy> parse_policy(std::string_view name) {
+  for (const ShedPolicy p :
+       {ShedPolicy::kRefuseNewest, ShedPolicy::kDropOldest,
+        ShedPolicy::kAdaptiveDepth}) {
+    if (name == policy_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+std::string SessionStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"id\":" << id << ",\"scenario\":\"" << json_escape(scenario) << '"'
+     << ",\"priority\":\"" << priority_name(priority) << '"'
+     << ",\"policy\":\"" << policy_name(policy) << '"'
+     << ",\"granted_workers\":" << granted_workers
+     << ",\"granted_depth\":" << granted_depth
+     << ",\"effective_depth\":" << effective_depth
+     << ",\"submitted\":" << submitted << ",\"accepted\":" << accepted
+     << ",\"shed_refused\":" << shed_refused
+     << ",\"shed_dropped\":" << shed_dropped
+     << ",\"shed_adaptive\":" << shed_adaptive
+     << ",\"refused_terminal\":" << refused_terminal
+     << ",\"delivered_frames\":" << delivered_frames
+     << ",\"delivered_insonifications\":" << delivered_insonifications
+     << ",\"failed\":" << (failed ? "true" : "false") << ",\"error\":\""
+     << json_escape(error) << '"' << ",\"latency\":";
+  quantiles_json(os, latency);
+  os << ",\"pipeline\":" << pipeline.to_json() << '}';
+  return os.str();
+}
+
+std::string ServiceStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"budget\":{\"worker_threads\":" << budget_workers
+     << ",\"inflight_volumes\":" << budget_inflight << '}'
+     << ",\"workers_in_use\":" << workers_in_use
+     << ",\"inflight_in_use\":" << inflight_in_use
+     << ",\"open_sessions\":" << open_sessions
+     << ",\"sessions_admitted\":" << sessions_admitted
+     << ",\"sessions_refused\":" << sessions_refused
+     << ",\"sessions_closed\":" << sessions_closed
+     << ",\"submitted\":" << submitted
+     << ",\"delivered_frames\":" << delivered_frames
+     << ",\"shed_refused\":" << shed_refused
+     << ",\"shed_dropped\":" << shed_dropped
+     << ",\"shed_adaptive\":" << shed_adaptive
+     << ",\"shed_total\":" << shed_total()
+     << ",\"dropped_frames\":" << dropped_frames << ",\"latency_by_class\":{";
+  for (int p = 0; p < kPriorityClasses; ++p) {
+    if (p) os << ',';
+    os << '"' << priority_name(static_cast<PriorityClass>(p)) << "\":";
+    quantiles_json(os, latency_by_class[static_cast<std::size_t>(p)]);
+  }
+  os << "},\"sessions\":[";
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    if (i) os << ',';
+    os << sessions[i].to_json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace us3d::service

@@ -62,6 +62,59 @@ TEST(AbsErrorStats, RmsOfConstantIsConstant) {
   EXPECT_DOUBLE_EQ(e.rms(), 3.0);
 }
 
+TEST(SampleQuantiles, EmptyIsZero) {
+  const SampleQuantiles q;
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_EQ(q.quantile(0.5), 0.0);
+  EXPECT_EQ(q.p99(), 0.0);
+}
+
+TEST(SampleQuantiles, KnownPercentilesWithInterpolation) {
+  SampleQuantiles q;
+  // Insert shuffled so the lazy sort actually has work to do.
+  for (const double v : {5.0, 1.0, 4.0, 2.0, 3.0}) q.add(v);
+  EXPECT_EQ(q.count(), 5u);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(q.p50(), 3.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.125), 1.5);  // between samples: interpolated
+}
+
+TEST(SampleQuantiles, SingleSampleIsEveryQuantile) {
+  SampleQuantiles q;
+  q.add(7.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(q.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 7.0);
+}
+
+TEST(SampleQuantiles, MergeMatchesFlatInsertionAndReadsStayCoherent) {
+  SplitMix64 rng(7);
+  SampleQuantiles flat, a, b;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.next_in(0.0, 100.0);
+    flat.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  EXPECT_DOUBLE_EQ(a.p90(), a.p90());  // read before merge is fine
+  a.merge(b);
+  EXPECT_EQ(a.count(), flat.count());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), flat.quantile(q)) << q;
+  }
+  // Adding after a read re-sorts lazily.
+  a.add(-1.0);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), -1.0);
+}
+
+TEST(SampleQuantiles, RejectsOutOfRangeQuantile) {
+  SampleQuantiles q;
+  q.add(1.0);
+  EXPECT_THROW(q.quantile(-0.1), ContractViolation);
+  EXPECT_THROW(q.quantile(1.1), ContractViolation);
+}
+
 TEST(Histogram, BinsAndSaturatingEdges) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);   // bin 0

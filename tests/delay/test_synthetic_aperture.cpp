@@ -100,6 +100,26 @@ TEST(SyntheticApertureEngine, SelectsTableByOrigin) {
   EXPECT_EQ(engine.active_origin(), 0);
 }
 
+TEST(SyntheticApertureEngine, CloneSharesEveryOriginTable) {
+  // clone() copies the repository *handle*: every origin's immutable table
+  // is shared by address, so N workers x K origins cost one table set.
+  const auto cfg = small_cfg();
+  const auto plan = diverging_wave_plan(3, 4e-3);
+  SyntheticApertureSteerEngine engine(cfg, plan);
+  const auto clone = engine.clone();
+  auto* sa_clone = dynamic_cast<SyntheticApertureSteerEngine*>(clone.get());
+  ASSERT_NE(sa_clone, nullptr);
+  ASSERT_EQ(sa_clone->repository().origin_count(),
+            engine.repository().origin_count());
+  for (int i = 0; i < plan.origin_count(); ++i) {
+    EXPECT_EQ(&sa_clone->repository().table(i), &engine.repository().table(i))
+        << "origin " << i;
+  }
+  // Storage accounting still reports the full logical repository.
+  EXPECT_DOUBLE_EQ(sa_clone->repository().total_storage_bits(),
+                   engine.repository().total_storage_bits());
+}
+
 TEST(SyntheticApertureEngine, RejectsUnknownOrigin) {
   const auto cfg = small_cfg();
   SyntheticApertureSteerEngine engine(cfg, diverging_wave_plan(3, 4e-3));

@@ -136,6 +136,29 @@ TEST(TableSteerEngine, RejectsWrongSpan) {
                ContractViolation);
 }
 
+TEST(TableSteerEngine, CloneSharesTheImmutableReferenceTable) {
+  // The reference table is the paper's headline memory cost; N worker
+  // clones must read one shared copy, never duplicate it.
+  TableSteerEngine engine(small_cfg());
+  const auto clone = engine.clone();
+  auto* steer_clone = dynamic_cast<TableSteerEngine*>(clone.get());
+  ASSERT_NE(steer_clone, nullptr);
+  EXPECT_EQ(&steer_clone->reference_table(), &engine.reference_table());
+
+  // Sharing must not change values: same delays from engine and clone.
+  engine.begin_frame(Vec3{});
+  steer_clone->begin_frame(Vec3{});
+  const probe::MatrixProbe probe(small_cfg().probe);
+  const imaging::VolumeGrid grid(small_cfg().volume);
+  std::vector<std::int32_t> a(
+      static_cast<std::size_t>(probe.element_count()));
+  std::vector<std::int32_t> b(a.size());
+  const imaging::FocalPoint fp = grid.focal_point(1, 2, 3);
+  engine.compute(fp, a);
+  steer_clone->compute(fp, b);
+  EXPECT_EQ(a, b);
+}
+
 TEST(TableSteerEngine, SharesSizingWithComponents) {
   const auto cfg = small_cfg();
   TableSteerEngine engine(cfg);

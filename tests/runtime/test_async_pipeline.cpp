@@ -337,6 +337,47 @@ TEST(AsyncPipeline, SinkFailureStopsTheStreamAndCountsDrops) {
   EXPECT_THROW(async.rethrow_if_failed(), std::runtime_error);
 }
 
+TEST(AsyncPipeline, SetQueueDepthShrinksAndRegrowsTheBoundMidStream) {
+  const imaging::SystemConfig cfg = imaging::scaled_system(5, 6, 14);
+  const auto apod = rect_apod(cfg);
+  delay::TableFreeEngine prototype(cfg);
+  FramePipeline pipeline(cfg, apod, prototype,
+                         PipelineConfig{.worker_threads = 2});
+  AsyncPipeline async(pipeline, AsyncOptions{.depth = 4});
+  EXPECT_EQ(async.queue_depth(), 4);
+  EXPECT_EQ(async.ring_slots(), 4);
+
+  auto frames = origin_frames(cfg, std::vector<Vec3>(6, Vec3{}), 59);
+  // Shrink mid-stream: already-queued work is never dropped, the tighter
+  // bound only refuses new submissions earlier.
+  ASSERT_TRUE(async.submit(EchoFrame{frames[0]}));
+  async.set_queue_depth(1);
+  EXPECT_EQ(async.queue_depth(), 1);
+  int accepted = 1;
+  for (int i = 1; i < 6; ++i) {
+    EchoFrame f = frames[static_cast<std::size_t>(i)];
+    if (async.try_submit(f)) ++accepted;
+  }
+  EXPECT_LT(accepted, 6) << "a depth-1 bound must refuse an instant burst";
+
+  // Regrow and stream the rest through.
+  async.set_queue_depth(4);
+  for (int i = accepted; i < 6; ++i) {
+    EchoFrame f = frames[static_cast<std::size_t>(i)];
+    f.sequence = i;
+    ASSERT_TRUE(async.submit(std::move(f)));
+  }
+  int delivered = 0;
+  const PipelineStats stats =
+      async.finish([&](const VolumeImage&, std::int64_t) { ++delivered; });
+  async.rethrow_if_failed();
+  EXPECT_EQ(delivered, 6);
+  EXPECT_EQ(stats.frames, 6);
+  EXPECT_EQ(stats.dropped_frames, 0);
+  EXPECT_EQ(stats.queue_depth, 4);  // the latest configured depth
+  EXPECT_EQ(stats.ring_slots, 4);   // the allocation never changed
+}
+
 TEST(AsyncPipeline, DestructionWithoutFinishDoesNotHang) {
   const imaging::SystemConfig cfg = imaging::scaled_system(5, 6, 14);
   const auto apod = rect_apod(cfg);

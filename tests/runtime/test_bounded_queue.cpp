@@ -97,6 +97,45 @@ TEST(BoundedQueue, RejectsZeroCapacity) {
   EXPECT_THROW(BoundedQueue<int>(0), ContractViolation);
 }
 
+TEST(BoundedQueue, SetCapacityGrowsAndShrinksTheBoundWithoutDroppingItems) {
+  BoundedQueue<int> q(1);
+  int v = 1;
+  EXPECT_TRUE(q.try_push(v));
+  int w = 2;
+  EXPECT_FALSE(q.try_push(w));
+  q.set_capacity(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_TRUE(q.try_push(w));
+  int x = 3;
+  EXPECT_TRUE(q.try_push(x));
+  // Shrinking below the fill level refuses new pushes but keeps what is
+  // queued; draining below the new bound re-admits.
+  q.set_capacity(1);
+  int y = 4;
+  EXPECT_FALSE(q.try_push(y));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_TRUE(q.try_push(y));
+  EXPECT_EQ(q.pop(), 4);
+  EXPECT_THROW(q.set_capacity(0), ContractViolation);
+}
+
+TEST(BoundedQueue, SetCapacityWakesABlockedProducer) {
+  BoundedQueue<int> q(1);
+  int v = 1;
+  ASSERT_TRUE(q.try_push(v));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2);  // blocks: the queue is full at capacity 1
+    pushed.store(true);
+  });
+  q.set_capacity(2);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.size(), 2u);
+}
+
 imaging::VolumeSpec tiny_spec() {
   return imaging::scaled_system(4, 5, 6).volume;
 }
@@ -118,6 +157,39 @@ TEST(VolumeRing, HandsOutExactlyItsSlots) {
   ring.release(a);
   ring.release(b);
   ring.release(c);
+}
+
+TEST(VolumeRing, ActiveSlotCapLimitsInFlightWithoutReallocation) {
+  VolumeRing ring(tiny_spec(), 3);
+  EXPECT_EQ(ring.active_slots(), 3);
+  ring.set_active_slots(1);
+  EXPECT_EQ(ring.active_slots(), 1);
+  const int a = ring.try_acquire();
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(ring.try_acquire(), -1);  // capped: 2 slots still allocated
+  EXPECT_EQ(ring.free_count(), 2);
+  // Growing the cap re-admits waiters; the clamp keeps it within the
+  // allocation.
+  ring.set_active_slots(99);
+  EXPECT_EQ(ring.active_slots(), 3);
+  const int b = ring.try_acquire();
+  EXPECT_GE(b, 0);
+  ring.release(a);
+  ring.release(b);
+  EXPECT_THROW(ring.set_active_slots(0), ContractViolation);
+}
+
+TEST(VolumeRing, ShrinkingTheCapBelowInFlightDrainsGracefully) {
+  VolumeRing ring(tiny_spec(), 2);
+  const int a = ring.acquire();
+  const int b = ring.acquire();
+  ring.set_active_slots(1);
+  EXPECT_EQ(ring.try_acquire(), -1);
+  ring.release(a);
+  // Still over the cap: one in flight equals the cap of one.
+  EXPECT_EQ(ring.try_acquire(), -1);
+  ring.release(b);
+  EXPECT_GE(ring.try_acquire(), 0);  // back under the cap
 }
 
 TEST(VolumeRing, AcquireBlocksUntilRelease) {

@@ -18,7 +18,9 @@
 
 #include "acoustic/echo_synth.h"
 #include "acoustic/phantom.h"
+#include "common/contracts.h"
 #include "common/prng.h"
+#include "runtime/async_pipeline.h"
 #include "delay/exact.h"
 #include "delay/full_table.h"
 #include "delay/synthetic_aperture.h"
@@ -613,6 +615,92 @@ TEST(FramePipeline, StatsAccumulateAcrossRunsAndReset) {
   pipeline.reset_stats();
   EXPECT_EQ(pipeline.stats().frames, 0);
   EXPECT_EQ(pipeline.stats().worker_threads, 2);
+}
+
+TEST(FramePipeline, LifetimeCountersStaySumOfSessionsAcrossRestarts) {
+  // Satellite regression: back-to-back run()s, a direct AsyncPipeline
+  // session and a reconstruct_frame() on ONE pipeline must leave the
+  // lifetime accumulator exactly equal to the sum of the per-session
+  // snapshots. Direct async sessions used to bypass the fold entirely
+  // (only run() folded), so service-style usage drifted.
+  const imaging::SystemConfig cfg = imaging::scaled_system(5, 6, 16);
+  delay::ExactDelayEngine prototype(cfg);
+  FramePipeline pipeline(cfg, rect_apod(cfg), prototype,
+                         PipelineConfig{.worker_threads = 2, .queue_depth = 2});
+  const auto frames = synth_frames(cfg, 3, 71);
+  const VolumeSink devnull = [](const VolumeImage&, std::int64_t) {};
+
+  std::int64_t frames_sum = 0, insonifications_sum = 0, voxels_sum = 0;
+  double wall_sum = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    ReplayFrameSource source(frames);
+    const PipelineStats run_stats = pipeline.run(source, devnull);
+    frames_sum += run_stats.frames;
+    insonifications_sum += run_stats.insonifications;
+    voxels_sum += run_stats.voxels;
+    wall_sum += run_stats.wall_s;
+  }
+  {
+    AsyncPipeline async(pipeline, AsyncOptions{.depth = 2});
+    for (const EchoFrame& f : frames) {
+      EchoFrame copy = f;
+      ASSERT_TRUE(async.submit(std::move(copy)));
+    }
+    const PipelineStats session = async.finish(devnull);
+    async.rethrow_if_failed();
+    frames_sum += session.frames;
+    insonifications_sum += session.insonifications;
+    voxels_sum += session.voxels;
+    wall_sum += session.wall_s;
+    EXPECT_EQ(session.queue_depth, 2);
+    EXPECT_EQ(session.ring_slots, 2);
+  }
+  // After the streaming sessions, the lifetime wall clock is exactly the
+  // sum of the per-session snapshots.
+  EXPECT_NEAR(pipeline.stats().wall_s, wall_sum, 1e-9);
+
+  (void)pipeline.reconstruct_frame(frames[0].echoes, Vec3{});
+  frames_sum += 1;
+  insonifications_sum += 1;
+  voxels_sum += cfg.volume.total_points();
+
+  const PipelineStats& life = pipeline.stats();
+  EXPECT_EQ(life.frames, frames_sum);
+  EXPECT_EQ(life.insonifications, insonifications_sum);
+  EXPECT_EQ(life.voxels, voxels_sum);
+  EXPECT_EQ(life.dropped_frames, 0);
+  EXPECT_GT(life.wall_s, wall_sum);  // reconstruct_frame added its call
+  EXPECT_TRUE(life.lifetime_coherent());
+  // The streaming sessions reported their depth/ring configuration.
+  EXPECT_EQ(life.queue_depth, 2);
+  EXPECT_EQ(life.ring_slots, 2);
+}
+
+TEST(FramePipeline, WorkerCapThrottlesWithoutChangingTheVolume) {
+  const imaging::SystemConfig cfg = imaging::scaled_system(6, 7, 20);
+  SplitMix64 rng(97);
+  const auto echoes = acoustic::synthesize_echoes(
+      cfg, random_phantom(cfg, rng, 3));
+  delay::TableFreeEngine prototype(cfg);
+
+  FramePipeline serial(cfg, rect_apod(cfg), prototype,
+                       PipelineConfig{.worker_threads = 1});
+  const VolumeImage reference = serial.reconstruct_frame(echoes, Vec3{});
+
+  FramePipeline pipeline(cfg, rect_apod(cfg), prototype,
+                         PipelineConfig{.worker_threads = 4});
+  EXPECT_EQ(pipeline.worker_cap(), pipeline.worker_threads());
+  for (const int cap : {1, 2, 4}) {
+    pipeline.set_worker_cap(cap);
+    EXPECT_EQ(pipeline.worker_cap(), std::min(cap, pipeline.worker_threads()));
+    const VolumeImage capped = pipeline.reconstruct_frame(echoes, Vec3{});
+    expect_bit_identical(reference, capped,
+                         "worker cap " + std::to_string(cap));
+  }
+  // The cap clamps to the pool size rather than growing it.
+  pipeline.set_worker_cap(64);
+  EXPECT_EQ(pipeline.worker_cap(), pipeline.worker_threads());
+  EXPECT_THROW(pipeline.set_worker_cap(0), ContractViolation);
 }
 
 }  // namespace

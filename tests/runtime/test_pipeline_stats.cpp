@@ -70,12 +70,37 @@ TEST(PipelineStats, JsonCarriesTheBenchContractKeys) {
   // runtime added insonifications / dropped_frames / compound.
   for (const char* key :
        {"\"frames\"", "\"insonifications\"", "\"dropped_frames\"",
-        "\"worker_threads\"", "\"wall_s\"", "\"sustained_fps\"",
+        "\"worker_threads\"", "\"queue_depth\"", "\"ring_slots\"",
+        "\"wall_s\"", "\"sustained_fps\"",
         "\"voxels_per_second\"", "\"ingest\"", "\"beamform\"",
         "\"compound\"", "\"consume\"", "\"mean_ms\"", "\"min_ms\"",
         "\"max_ms\"", "\"count\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+}
+
+TEST(PipelineStats, DepthAndRingSlotsReportConfiguredVersusAdaptive) {
+  PipelineStats p;
+  p.queue_depth = 2;
+  p.ring_slots = 4;
+  const std::string json = p.to_json();
+  EXPECT_NE(json.find("\"queue_depth\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ring_slots\":4"), std::string::npos);
+  EXPECT_NE(p.to_string().find("depth 2/4"), std::string::npos);
+}
+
+TEST(PipelineStats, LifetimeCoherenceInvariant) {
+  PipelineStats p;
+  EXPECT_TRUE(p.lifetime_coherent());
+  p.frames = 2;
+  p.insonifications = 5;
+  p.dropped_frames = 3;
+  EXPECT_TRUE(p.lifetime_coherent());
+  p.dropped_frames = -1;
+  EXPECT_FALSE(p.lifetime_coherent());
+  p.dropped_frames = 0;
+  p.frames = 9;  // delivered more than accepted: incoherent
+  EXPECT_FALSE(p.lifetime_coherent());
 }
 
 TEST(PipelineStats, DroppedFramesSurfaceInTheSummary) {

@@ -22,6 +22,42 @@ TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
   }
 }
 
+TEST(WorkerPool, ParallelismCapStillRunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.parallelism_cap(), 4);
+  for (const int cap : {1, 2, 3, 4}) {
+    pool.set_parallelism_cap(cap);
+    EXPECT_EQ(pool.parallelism_cap(), cap);
+    std::vector<std::atomic<int>> hits(23);
+    pool.run(23, [&](int task) { hits[static_cast<std::size_t>(task)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(WorkerPool, ParallelismCapBoundsConcurrentClaimants) {
+  WorkerPool pool(4);
+  pool.set_parallelism_cap(1);
+  // With a cap of 1 only the caller drains, so the observed concurrency
+  // during the job can never exceed 1.
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  pool.run(16, [&](int) {
+    const int now = ++active;
+    int prev = peak.load();
+    while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+    }
+    --active;
+  });
+  EXPECT_EQ(peak.load(), 1);
+}
+
+TEST(WorkerPool, ParallelismCapClampsAndRejectsZero) {
+  WorkerPool pool(2);
+  pool.set_parallelism_cap(99);
+  EXPECT_EQ(pool.parallelism_cap(), 2);
+  EXPECT_THROW(pool.set_parallelism_cap(0), ContractViolation);
+}
+
 TEST(WorkerPool, ZeroTasksIsANoOp) {
   WorkerPool pool(3);
   pool.run(0, [](int) { FAIL() << "no task should run"; });
