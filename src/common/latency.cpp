@@ -1,0 +1,22 @@
+#include "common/latency.h"
+
+#include <sstream>
+
+#include "common/json_writer.h"
+
+namespace us3d {
+
+std::string LatencyStats::to_json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("count", count)
+      .kv("total_ms", total_s * 1e3)
+      .kv("mean_ms", mean_s() * 1e3)
+      .kv("min_ms", min_s * 1e3)
+      .kv("max_ms", max_s * 1e3)
+      .end_object();
+  return os.str();
+}
+
+}  // namespace us3d

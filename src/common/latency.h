@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 
 namespace us3d {
 
@@ -45,6 +46,13 @@ struct LatencyStats {
   double mean_s() const {
     return count ? total_s / static_cast<double>(count) : 0.0;
   }
+
+  /// The one JSON shape for an exported latency accumulator —
+  /// count/total/min/max/mean, milliseconds — used by every stage-latency
+  /// exporter (pipeline stats, trace/metrics snapshots) instead of each
+  /// caller picking its own key names. Keys only grow, never get renamed
+  /// (the historical count/mean_ms/min_ms/max_ms set is preserved).
+  std::string to_json() const;
 
   void reset() { *this = LatencyStats{}; }
 };

@@ -1,0 +1,466 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+
+#include "common/contracts.h"
+#include "common/json_writer.h"
+
+namespace us3d::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool env_enables_tracing() {
+  const char* v = std::getenv("US3D_TRACE");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "on" || s == "ON" || s == "true";
+}
+
+constexpr std::size_t kDefaultThreadCapacity = 8192;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpanRing
+// ---------------------------------------------------------------------------
+
+// Seqlock over atomic fields. The owner publishes record number w into slot
+// w % capacity: seq goes odd (2w+1) while the payload is being replaced,
+// then even (2(w+1)) once it is complete. A reader that sees seq == 2(i+1)
+// before AND after reading the payload got an untorn copy of record i; any
+// other observation means the slot was mid-overwrite and the record counts
+// as dropped. Payload fields are individually atomic (relaxed) so the
+// concurrent overwrite is well-defined for TSan, and the fences order them
+// against the seq edges.
+struct SpanRing::Slot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> t0_ns{0};
+  std::atomic<std::uint64_t> t1_ns{0};
+  std::atomic<const char*> arg1_name{nullptr};
+  std::atomic<std::int64_t> arg1{0};
+  std::atomic<const char*> arg2_name{nullptr};
+  std::atomic<std::int64_t> arg2{0};
+  std::atomic<const char*> sarg_name{nullptr};
+  std::atomic<const char*> sarg{nullptr};
+};
+
+SpanRing::SpanRing(std::size_t capacity)
+    : capacity_(capacity), slots_(new Slot[capacity]) {
+  US3D_EXPECTS(capacity > 0);
+}
+
+SpanRing::~SpanRing() = default;
+
+void SpanRing::push(const SpanRecord& r) {
+  const std::uint64_t w = writes_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[w % capacity_];
+  slot.seq.store(2 * w + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.name.store(r.name, std::memory_order_relaxed);
+  slot.t0_ns.store(r.t0_ns, std::memory_order_relaxed);
+  slot.t1_ns.store(r.t1_ns, std::memory_order_relaxed);
+  slot.arg1_name.store(r.arg1_name, std::memory_order_relaxed);
+  slot.arg1.store(r.arg1, std::memory_order_relaxed);
+  slot.arg2_name.store(r.arg2_name, std::memory_order_relaxed);
+  slot.arg2.store(r.arg2, std::memory_order_relaxed);
+  slot.sarg_name.store(r.sarg_name, std::memory_order_relaxed);
+  slot.sarg.store(r.sarg, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.seq.store(2 * (w + 1), std::memory_order_relaxed);
+  writes_.store(w + 1, std::memory_order_release);
+}
+
+std::uint64_t SpanRing::snapshot(std::vector<SpanRecord>& out) const {
+  const std::uint64_t writes = writes_.load(std::memory_order_acquire);
+  const std::uint64_t base = base_.load(std::memory_order_relaxed);
+  std::uint64_t first = writes > capacity_ ? writes - capacity_ : 0;
+  if (first < base) first = base;
+  std::uint64_t dropped = first - base;  // overwritten before we looked
+  for (std::uint64_t i = first; i < writes; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    const std::uint64_t want = 2 * (i + 1);
+    if (slot.seq.load(std::memory_order_acquire) != want) {
+      ++dropped;  // already claimed by a newer record
+      continue;
+    }
+    SpanRecord r;
+    r.name = slot.name.load(std::memory_order_relaxed);
+    r.t0_ns = slot.t0_ns.load(std::memory_order_relaxed);
+    r.t1_ns = slot.t1_ns.load(std::memory_order_relaxed);
+    r.arg1_name = slot.arg1_name.load(std::memory_order_relaxed);
+    r.arg1 = slot.arg1.load(std::memory_order_relaxed);
+    r.arg2_name = slot.arg2_name.load(std::memory_order_relaxed);
+    r.arg2 = slot.arg2.load(std::memory_order_relaxed);
+    r.sarg_name = slot.sarg_name.load(std::memory_order_relaxed);
+    r.sarg = slot.sarg.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) {
+      ++dropped;  // overwritten while we were reading
+      continue;
+    }
+    out.push_back(r);
+  }
+  return dropped;
+}
+
+void SpanRing::reset() {
+  base_.store(writes_.load(std::memory_order_acquire),
+              std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// TraceCollector
+// ---------------------------------------------------------------------------
+
+struct TraceCollector::ThreadBuffer {
+  ThreadBuffer(std::size_t capacity, std::uint64_t tid_in)
+      : ring(capacity), tid(tid_in), name("thread-" + std::to_string(tid_in)) {}
+
+  SpanRing ring;
+  std::uint64_t tid;
+  std::string name;  // guarded by State::mutex
+  std::atomic<bool> retired{false};
+};
+
+namespace {
+
+struct CollectorState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<TraceCollector::ThreadBuffer>> buffers;
+  std::uint64_t next_tid = 1;
+  std::size_t thread_capacity = kDefaultThreadCapacity;
+  std::atomic<bool> enabled{false};
+  std::uint64_t epoch_ns = 0;
+};
+
+// Leaked on purpose: worker threads may record during static destruction.
+CollectorState& state() {
+  static CollectorState* s = [] {
+    auto* st = new CollectorState();
+    st->enabled.store(env_enables_tracing(), std::memory_order_relaxed);
+    st->epoch_ns = steady_now_ns();
+    return st;
+  }();
+  return *s;
+}
+
+// Keeps this thread's buffer alive and flags it retired at thread exit so
+// reset() can release buffers nobody will write to again.
+struct ThreadHandle {
+  std::shared_ptr<TraceCollector::ThreadBuffer> buffer;
+  ~ThreadHandle() {
+    if (buffer) buffer->retired.store(true, std::memory_order_release);
+  }
+};
+
+thread_local ThreadHandle t_handle;
+
+}  // namespace
+
+TraceCollector::TraceCollector() = default;
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  (void)state();
+  return collector;
+}
+
+void TraceCollector::set_enabled(bool enabled) {
+  state().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceCollector::enabled() const {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void TraceCollector::set_thread_capacity(std::size_t spans) {
+  US3D_EXPECTS(spans > 0);
+  std::lock_guard<std::mutex> lock(state().mutex);
+  state().thread_capacity = spans;
+}
+
+std::size_t TraceCollector::thread_capacity() const {
+  std::lock_guard<std::mutex> lock(state().mutex);
+  return state().thread_capacity;
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::buffer_for_this_thread() {
+  if (!t_handle.buffer) {
+    CollectorState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto buffer =
+        std::make_shared<ThreadBuffer>(s.thread_capacity, s.next_tid++);
+    s.buffers.push_back(buffer);
+    t_handle.buffer = std::move(buffer);
+  }
+  return *t_handle.buffer;
+}
+
+void TraceCollector::record(const SpanRecord& record) {
+  if (!enabled()) return;
+  buffer_for_this_thread().ring.push(record);
+}
+
+std::uint64_t TraceCollector::now_ns() const {
+  return steady_now_ns() - state().epoch_ns;
+}
+
+void TraceCollector::name_this_thread(const std::string& name) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(state().mutex);
+  buffer.name = name;
+}
+
+TraceSnapshot TraceCollector::collect() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state().mutex);
+    buffers = state().buffers;
+  }
+  TraceSnapshot snap;
+  snap.threads.reserve(buffers.size());
+  for (const auto& buffer : buffers) {
+    ThreadTrace t;
+    t.tid = buffer->tid;
+    {
+      std::lock_guard<std::mutex> lock(state().mutex);
+      t.name = buffer->name;
+    }
+    t.dropped_spans = buffer->ring.snapshot(t.spans);
+    snap.threads.push_back(std::move(t));
+  }
+  return snap;
+}
+
+void TraceCollector::reset() {
+  std::lock_guard<std::mutex> lock(state().mutex);
+  auto& buffers = state().buffers;
+  for (const auto& buffer : buffers) buffer->ring.reset();
+  // Retired buffers can never be written again — release them so a
+  // long-lived process that traces in rounds stays bounded by its live
+  // thread count, not its historical one.
+  buffers.erase(std::remove_if(buffers.begin(), buffers.end(),
+                               [](const auto& b) {
+                                 return b->retired.load(
+                                     std::memory_order_acquire);
+                               }),
+                buffers.end());
+}
+
+void set_thread_name(const std::string& name) {
+  TraceCollector::instance().name_this_thread(name);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot helpers
+// ---------------------------------------------------------------------------
+
+std::uint64_t TraceSnapshot::total_spans() const {
+  std::uint64_t n = 0;
+  for (const ThreadTrace& t : threads) n += t.spans.size();
+  return n;
+}
+
+std::uint64_t TraceSnapshot::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const ThreadTrace& t : threads) n += t.dropped_spans;
+  return n;
+}
+
+const SpanRecord* TraceSnapshot::find(const char* name) const {
+  const std::string_view want(name);
+  for (const ThreadTrace& t : threads) {
+    for (const SpanRecord& r : t.spans) {
+      if (r.name != nullptr && std::string_view(r.name) == want) return &r;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_span_args(JsonWriter& w, const SpanRecord& r) {
+  if (r.arg1_name == nullptr && r.arg2_name == nullptr &&
+      r.sarg_name == nullptr) {
+    return;
+  }
+  w.key("args").begin_object();
+  if (r.arg1_name != nullptr) w.kv(r.arg1_name, r.arg1);
+  if (r.arg2_name != nullptr) w.kv(r.arg2_name, r.arg2);
+  if (r.sarg_name != nullptr && r.sarg != nullptr) w.kv(r.sarg_name, r.sarg);
+  w.end_object();
+}
+
+void write_duration_event(JsonWriter& w, char phase, std::uint64_t tid,
+                          double ts_us, const SpanRecord& r) {
+  w.begin_object()
+      .kv("ph", std::string_view(&phase, 1))
+      .kv("pid", 1)
+      .kv("tid", static_cast<std::int64_t>(tid))
+      .kv("ts", ts_us)
+      .kv("name", r.name != nullptr ? r.name : "span")
+      .kv("cat", "us3d");
+  if (phase == 'B') write_span_args(w, r);
+  w.end_object();
+}
+
+}  // namespace
+
+void TraceCollector::write_chrome_trace(std::ostream& os) const {
+  const TraceSnapshot snap = collect();
+  // Default stream precision (6 significant digits) would collapse
+  // microsecond timestamps minutes into a run; 15 digits keeps ns apart.
+  const std::streamsize saved_precision = os.precision(15);
+  JsonWriter w(os);
+  w.begin_object().key("traceEvents").begin_array();
+  for (const ThreadTrace& t : snap.threads) {
+    w.begin_object()
+        .kv("ph", "M")
+        .kv("pid", 1)
+        .kv("tid", static_cast<std::int64_t>(t.tid))
+        .kv("name", "thread_name")
+        .key("args")
+        .begin_object()
+        .kv("name", t.name)
+        .end_object()
+        .end_object();
+  }
+  for (const ThreadTrace& t : snap.threads) {
+    // RAII spans on one thread are properly nested or disjoint, so the
+    // interval set replays as a balanced B/E sequence: visit spans outer-
+    // first (t0 asc, t1 desc), closing every open span that ends at or
+    // before the next span starts. Emitted ts is monotone per thread.
+    std::vector<const SpanRecord*> order;
+    order.reserve(t.spans.size());
+    for (const SpanRecord& r : t.spans) order.push_back(&r);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const SpanRecord* a, const SpanRecord* b) {
+                       if (a->t0_ns != b->t0_ns) return a->t0_ns < b->t0_ns;
+                       return a->t1_ns > b->t1_ns;
+                     });
+    std::vector<const SpanRecord*> open;
+    for (const SpanRecord* r : order) {
+      while (!open.empty() && open.back()->t1_ns <= r->t0_ns) {
+        write_duration_event(w, 'E', t.tid, open.back()->t1_ns / 1e3,
+                             *open.back());
+        open.pop_back();
+      }
+      write_duration_event(w, 'B', t.tid, r->t0_ns / 1e3, *r);
+      open.push_back(r);
+    }
+    while (!open.empty()) {
+      write_duration_event(w, 'E', t.tid, open.back()->t1_ns / 1e3,
+                           *open.back());
+      open.pop_back();
+    }
+  }
+  w.end_array()
+      .key("otherData")
+      .begin_object()
+      .kv("dropped_spans", static_cast<std::int64_t>(snap.total_dropped()))
+      .kv("tracing_compiled", compiled_in())
+      .end_object()
+      .kv("displayTimeUnit", "ms")
+      .end_object();
+  os.precision(saved_precision);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan / trace_instant
+// ---------------------------------------------------------------------------
+
+TraceSpan::TraceSpan(const char* name) {
+  TraceCollector& c = TraceCollector::instance();
+  if (!c.enabled()) return;
+  active_ = true;
+  record_.name = name;
+  record_.t0_ns = c.now_ns();
+}
+
+TraceSpan::TraceSpan(const char* name, const char* arg1_name,
+                     std::int64_t arg1)
+    : TraceSpan(name) {
+  record_.arg1_name = arg1_name;
+  record_.arg1 = arg1;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* arg1_name,
+                     std::int64_t arg1, const char* arg2_name,
+                     std::int64_t arg2)
+    : TraceSpan(name, arg1_name, arg1) {
+  record_.arg2_name = arg2_name;
+  record_.arg2 = arg2;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* arg1_name,
+                     std::int64_t arg1, const char* arg2_name,
+                     std::int64_t arg2, const char* sarg_name,
+                     const char* sarg)
+    : TraceSpan(name, arg1_name, arg1, arg2_name, arg2) {
+  record_.sarg_name = sarg_name;
+  record_.sarg = sarg;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceCollector& c = TraceCollector::instance();
+  record_.t1_ns = c.now_ns();
+  if (record_.t1_ns < record_.t0_ns) record_.t1_ns = record_.t0_ns;
+  c.record(record_);
+}
+
+void trace_instant(const char* name) {
+  TraceCollector& c = TraceCollector::instance();
+  if (!c.enabled()) return;
+  SpanRecord r;
+  r.name = name;
+  r.t0_ns = r.t1_ns = c.now_ns();
+  c.record(r);
+}
+
+void trace_instant(const char* name, const char* arg1_name,
+                   std::int64_t arg1) {
+  TraceCollector& c = TraceCollector::instance();
+  if (!c.enabled()) return;
+  SpanRecord r;
+  r.name = name;
+  r.t0_ns = r.t1_ns = c.now_ns();
+  r.arg1_name = arg1_name;
+  r.arg1 = arg1;
+  c.record(r);
+}
+
+void trace_instant(const char* name, const char* arg1_name, std::int64_t arg1,
+                   const char* arg2_name, std::int64_t arg2) {
+  TraceCollector& c = TraceCollector::instance();
+  if (!c.enabled()) return;
+  SpanRecord r;
+  r.name = name;
+  r.t0_ns = r.t1_ns = c.now_ns();
+  r.arg1_name = arg1_name;
+  r.arg1 = arg1;
+  r.arg2_name = arg2_name;
+  r.arg2 = arg2;
+  c.record(r);
+}
+
+}  // namespace us3d::obs

@@ -5,6 +5,9 @@
 
 #include "common/contracts.h"
 #include "common/latency.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "simd/dispatch.h"
 
 namespace us3d::runtime {
 
@@ -34,8 +37,26 @@ AsyncPipeline::AsyncPipeline(FramePipeline& pipeline,
   stats_.simd_backend = pipeline.stats().simd_backend;
   stats_.queue_depth = std::max(1, options.depth);
   stats_.ring_slots = ring_.slots();
-  beamform_thread_ = std::thread([this] { beamform_loop(); });
-  compound_thread_ = std::thread([this] { compound_loop(); });
+  backend_name_ = simd::backend_name(pipeline.simd_backend_);
+  if (!options_.metrics_scope.empty()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    input_.set_depth_gauge(
+        reg.gauge(options_.metrics_scope + ".input_queue_depth"));
+    ring_.set_occupancy_gauge(
+        reg.gauge(options_.metrics_scope + ".ring_in_flight"));
+  }
+  beamform_thread_ = std::thread([this] {
+    obs::set_thread_name(options_.metrics_scope.empty()
+                             ? "beamform"
+                             : options_.metrics_scope + ".beamform");
+    beamform_loop();
+  });
+  compound_thread_ = std::thread([this] {
+    obs::set_thread_name(options_.metrics_scope.empty()
+                             ? "compound"
+                             : options_.metrics_scope + ".compound");
+    compound_loop();
+  });
 }
 
 AsyncPipeline::~AsyncPipeline() {
@@ -47,7 +68,14 @@ AsyncPipeline::~AsyncPipeline() {
 
 bool AsyncPipeline::submit(EchoFrame frame) {
   if (failed()) return false;
-  if (!input_.push(std::move(frame))) return false;
+  const std::int64_t sequence = frame.sequence;
+  {
+    // The span covers the queue wait: with the input queue full this is
+    // the backpressure stall the acquisition front-end experiences.
+    US3D_TRACE_SPAN("stage.ingest", "sequence", sequence, "session",
+                    options_.session);
+    if (!input_.push(std::move(frame))) return false;
+  }
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     ++submitted_;
@@ -57,7 +85,10 @@ bool AsyncPipeline::submit(EchoFrame frame) {
 
 bool AsyncPipeline::try_submit(EchoFrame& frame) {
   if (failed()) return false;
+  const std::int64_t sequence = frame.sequence;
   if (!input_.try_push(frame)) return false;
+  US3D_TRACE_INSTANT("stage.ingest", "sequence", sequence, "session",
+                     options_.session);
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     ++submitted_;
@@ -88,6 +119,22 @@ int AsyncPipeline::queue_depth() const {
 void AsyncPipeline::record_ingest(double seconds) {
   std::lock_guard<std::mutex> lock(state_mutex_);
   stats_.ingest.record(seconds);
+}
+
+PipelineStats AsyncPipeline::stats_snapshot() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  PipelineStats out = stats_;
+  if (!finished_) {
+    // Live view: acceptance is the running submit count, and nothing is
+    // "dropped" yet — accepted-but-undelivered work is in flight, and
+    // finish() settles the difference. This is what keeps a mid-run
+    // scrape's ledger bounded instead of mixing a stale insonification
+    // count with a fresh delivery count.
+    out.insonifications = submitted_;
+    out.dropped_frames = 0;
+    out.wall_s = seconds_since(start_);
+  }
+  return out;
 }
 
 bool AsyncPipeline::take_output(Output& out) {
@@ -199,6 +246,8 @@ void AsyncPipeline::beamform_loop() {
     const int slot = ring_.acquire();
     if (slot < 0) continue;  // ring closed mid-shutdown: drop
     bool ok = false;
+    US3D_TRACE_SPAN("stage.beamform", "sequence", frame->sequence, "session",
+                    options_.session, "backend", backend_name_);
     const auto t0 = Clock::now();
     try {
       StageStats blocks =
@@ -241,6 +290,8 @@ void AsyncPipeline::compound_loop() {
       mark_processed();
       continue;
     }
+    US3D_TRACE_SPAN("stage.compound", "sequence", b->sequence, "session",
+                    options_.session);
     if (k <= 1) {
       emit(Output{b->slot, b->sequence, 1});
       mark_processed();
@@ -305,6 +356,8 @@ void AsyncPipeline::emit(Output out) {
 
 bool AsyncPipeline::deliver(const VolumeSink& sink, const Output& out) {
   const std::int64_t voxels = ring_[out.slot].voxel_count();
+  US3D_TRACE_SPAN("stage.sink", "sequence", out.sequence, "session",
+                  options_.session);
   const auto t0 = Clock::now();
   try {
     if (sink) sink(ring_[out.slot], out.sequence);

@@ -41,6 +41,7 @@
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "runtime/bounded_queue.h"
@@ -61,6 +62,17 @@ struct AsyncOptions {
   /// output volume. 1 disables compounding. A final partial group (stream
   /// ended mid-group) is still delivered, with its actual count.
   int compound_origins = 1;
+  /// Session id stamped on every stage span this pipeline records (the
+  /// "session" span arg in the exported trace). -1 = standalone pipeline.
+  std::int64_t session = -1;
+  /// When non-empty, the pipeline registers live occupancy gauges under
+  /// this prefix in obs::MetricsRegistry::global() —
+  /// "<scope>.input_queue_depth" and "<scope>.ring_in_flight", sampled
+  /// under the queue/ring locks on every enqueue/dequeue — and names its
+  /// stage threads "<scope>.beamform"/"<scope>.compound" in the trace.
+  /// Empty (the default) registers nothing: standalone pipelines leave no
+  /// residue in the global registry.
+  std::string metrics_scope{};
 };
 
 class AsyncPipeline {
@@ -130,6 +142,14 @@ class AsyncPipeline {
   /// caller is the ingest stage, so only it can time the source).
   void record_ingest(double seconds);
 
+  /// One consistent mid-run stats view, taken under the pipeline's state
+  /// lock. While the stream is live, `insonifications` reflects accepted
+  /// submissions so far (and dropped_frames stays 0 — in-flight work is
+  /// not yet dropped), so a scraper's ledger is always bounded:
+  /// delivered <= insonifications at every instant. After finish() this
+  /// is exactly the final stats.
+  PipelineStats stats_snapshot() const;
+
   int ring_slots() const { return ring_.slots(); }
 
   /// Adaptive queue-depth hook (the ROADMAP load-shedding item): bounds
@@ -171,6 +191,8 @@ class AsyncPipeline {
   VolumeRing ring_;
   BoundedQueue<EchoFrame> input_;
   BoundedQueue<Beamformed> beamformed_;
+  /// Static backend name for span args (points at dispatch.h's literal).
+  const char* backend_name_ = "";
 
   std::atomic<bool> failed_{false};
 

@@ -13,11 +13,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/contracts.h"
+#include "obs/metrics.h"
 
 namespace us3d::runtime {
 
@@ -34,6 +36,17 @@ class BoundedQueue {
   std::size_t capacity() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return capacity_;
+  }
+
+  /// Attaches a live occupancy gauge, updated under the queue lock on
+  /// every enqueue/dequeue — a scrape always sees a depth the queue
+  /// actually had, never a mid-transition value. Null detaches.
+  void set_depth_gauge(std::shared_ptr<obs::Gauge> gauge) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    depth_gauge_ = std::move(gauge);
+    if (depth_gauge_) {
+      depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
+    }
   }
 
   /// Adjusts the bound at runtime (the adaptive queue-depth hook). Growing
@@ -58,6 +71,7 @@ class BoundedQueue {
       space_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
       if (closed_) return false;
       items_.push_back(std::move(item));
+      sample_depth_locked();
     }
     item_cv_.notify_one();
     return true;
@@ -70,6 +84,7 @@ class BoundedQueue {
       std::unique_lock<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      sample_depth_locked();
     }
     item_cv_.notify_one();
     return true;
@@ -85,6 +100,7 @@ class BoundedQueue {
       if (items_.empty()) return std::nullopt;
       item.emplace(std::move(items_.front()));
       items_.pop_front();
+      sample_depth_locked();
     }
     space_cv_.notify_one();
     return item;
@@ -99,6 +115,7 @@ class BoundedQueue {
       if (items_.empty()) return std::nullopt;
       item.emplace(std::move(items_.front()));
       items_.pop_front();
+      sample_depth_locked();
     }
     space_cv_.notify_one();
     return item;
@@ -127,11 +144,18 @@ class BoundedQueue {
   }
 
  private:
+  void sample_depth_locked() {
+    if (depth_gauge_) {
+      depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
+    }
+  }
+
   std::size_t capacity_;  // mutable via set_capacity; guarded by mutex_
   mutable std::mutex mutex_;
   std::condition_variable item_cv_;   // signalled on push
   std::condition_variable space_cv_;  // signalled on pop
   std::deque<T> items_;
+  std::shared_ptr<obs::Gauge> depth_gauge_;
   bool closed_ = false;
 };
 

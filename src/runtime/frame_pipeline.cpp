@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/contracts.h"
+#include "obs/trace.h"
 #include "runtime/async_pipeline.h"
 
 namespace us3d::runtime {
@@ -103,6 +104,7 @@ beamform::VolumeImage FramePipeline::reconstruct_frame(
   // entry points are mixed on one pipeline (see PipelineStats).
   const auto t_call = Clock::now();
   beamform::VolumeImage image(config_.volume);
+  US3D_TRACE_SPAN("stage.beamform", "sequence", stats_.insonifications);
   const auto t_beamform = Clock::now();
   stats_.block.merge(beamform_into(echoes, origin, image));
   stats_.beamform.record(seconds_since(t_beamform));
@@ -140,7 +142,13 @@ PipelineStats FramePipeline::run(FrameSource& source, const VolumeSink& sink) {
   try {
     while (max_frames < 0 || submitted < max_frames) {
       const auto t_ingest = Clock::now();
-      std::optional<EchoFrame> frame = source.next_frame();
+      std::optional<EchoFrame> frame;
+      {
+        // Source fetch only; the submit() below records its own
+        // "stage.ingest" span covering any backpressure stall.
+        US3D_TRACE_SPAN("ingest.source", "sequence", submitted);
+        frame = source.next_frame();
+      }
       if (!frame) break;
       async.record_ingest(seconds_since(t_ingest));
       if (!async.submit(std::move(*frame))) break;  // pipeline failed

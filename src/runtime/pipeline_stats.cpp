@@ -2,18 +2,12 @@
 
 #include <sstream>
 
+#include "common/json_writer.h"
 #include "common/table_io.h"
 
 namespace us3d::runtime {
 
 namespace {
-
-void stage_json(std::ostringstream& os, const char* name,
-                const StageStats& s) {
-  os << '"' << name << "\":{\"count\":" << s.count
-     << ",\"mean_ms\":" << s.mean_s() * 1e3 << ",\"min_ms\":" << s.min_s * 1e3
-     << ",\"max_ms\":" << s.max_s * 1e3 << '}';
-}
 
 void stage_text(std::ostringstream& os, const char* name,
                 const StageStats& s) {
@@ -47,25 +41,24 @@ std::string PipelineStats::to_string() const {
 
 std::string PipelineStats::to_json() const {
   std::ostringstream os;
-  os << "{\"frames\":" << frames
-     << ",\"insonifications\":" << insonifications
-     << ",\"dropped_frames\":" << dropped_frames
-     << ",\"worker_threads\":" << worker_threads
-     << ",\"queue_depth\":" << queue_depth
-     << ",\"ring_slots\":" << ring_slots
-     << ",\"simd_backend\":\"" << simd_backend << '"'
-     << ",\"wall_s\":" << wall_s << ",\"sustained_fps\":" << sustained_fps()
-     << ",\"voxels_per_second\":" << voxels_per_second() << ",";
-  stage_json(os, "ingest", ingest);
-  os << ',';
-  stage_json(os, "beamform", beamform);
-  os << ',';
-  stage_json(os, "compound", compound);
-  os << ',';
-  stage_json(os, "consume", consume);
-  os << ',';
-  stage_json(os, "block", block);
-  os << '}';
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("frames", frames)
+      .kv("insonifications", insonifications)
+      .kv("dropped_frames", dropped_frames)
+      .kv("worker_threads", worker_threads)
+      .kv("queue_depth", queue_depth)
+      .kv("ring_slots", ring_slots)
+      .kv("simd_backend", simd_backend)
+      .kv("wall_s", wall_s)
+      .kv("sustained_fps", sustained_fps())
+      .kv("voxels_per_second", voxels_per_second())
+      .kv_raw("ingest", ingest.to_json())
+      .kv_raw("beamform", beamform.to_json())
+      .kv_raw("compound", compound.to_json())
+      .kv_raw("consume", consume.to_json())
+      .kv_raw("block", block.to_json())
+      .end_object();
   return os.str();
 }
 

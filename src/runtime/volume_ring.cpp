@@ -27,6 +27,7 @@ int VolumeRing::acquire() {
   if (closed_ || free_.empty()) return -1;
   const int slot = free_.back();
   free_.pop_back();
+  sample_occupancy_locked();
   return slot;
 }
 
@@ -35,6 +36,7 @@ int VolumeRing::try_acquire() {
   if (closed_ || free_.empty() || in_flight_locked() >= active_) return -1;
   const int slot = free_.back();
   free_.pop_back();
+  sample_occupancy_locked();
   return slot;
 }
 
@@ -58,8 +60,15 @@ void VolumeRing::release(int slot) {
     std::lock_guard<std::mutex> lock(mutex_);
     US3D_EXPECTS(free_.size() < volumes_.size());  // double release
     free_.push_back(slot);
+    sample_occupancy_locked();
   }
   free_cv_.notify_one();
+}
+
+void VolumeRing::set_occupancy_gauge(std::shared_ptr<obs::Gauge> gauge) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  occupancy_gauge_ = std::move(gauge);
+  sample_occupancy_locked();
 }
 
 void VolumeRing::close() {

@@ -9,11 +9,13 @@
 #define US3D_RUNTIME_VOLUME_RING_H
 
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "beamform/volume_image.h"
 #include "imaging/volume.h"
+#include "obs/metrics.h"
 
 namespace us3d::runtime {
 
@@ -57,7 +59,16 @@ class VolumeRing {
 
   int free_count() const;
 
+  /// Attaches a live in-flight-slot gauge, updated under the ring lock on
+  /// every acquire/release so a scrape never sees a transient count.
+  /// Null detaches.
+  void set_occupancy_gauge(std::shared_ptr<obs::Gauge> gauge);
+
  private:
+  void sample_occupancy_locked() {
+    if (occupancy_gauge_) occupancy_gauge_->set(in_flight_locked());
+  }
+
   /// In-flight slots under the lock: allocated minus free.
   int in_flight_locked() const {
     return static_cast<int>(volumes_.size() - free_.size());
@@ -67,6 +78,7 @@ class VolumeRing {
   mutable std::mutex mutex_;
   std::condition_variable free_cv_;
   std::vector<int> free_;
+  std::shared_ptr<obs::Gauge> occupancy_gauge_;
   int active_ = 0;  // soft cap on in-flight slots (set in the ctor)
   bool closed_ = false;
 };

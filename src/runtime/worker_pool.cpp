@@ -1,6 +1,7 @@
 #include "runtime/worker_pool.h"
 
 #include "common/contracts.h"
+#include "obs/trace.h"
 
 namespace us3d::runtime {
 
@@ -53,10 +54,13 @@ void WorkerPool::drain_job() {
       task = next_task_++;
     }
     std::exception_ptr error;
-    try {
-      (*job_)(task);
-    } catch (...) {
-      error = std::current_exception();
+    {
+      US3D_TRACE_SPAN("worker.task", "task", task);
+      try {
+        (*job_)(task);
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/contracts.h"
+#include "obs/trace.h"
 #include "probe/apodization.h"
 
 namespace us3d::service {
@@ -15,6 +16,13 @@ namespace us3d::service {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Metric name prefix for one session's gauges ("service.s<id>."). The
+/// trailing dot keeps remove_prefix("service.s1.") from unlisting
+/// "service.s10.*".
+std::string session_scope(int id) {
+  return "service.s" + std::to_string(id);
+}
 
 }  // namespace
 
@@ -59,6 +67,9 @@ struct ImagingService::Session {
   std::string error;
   SampleQuantiles latency;
   runtime::PipelineStats final_pipeline;  ///< set once at close
+  /// Service-wide per-class latency histogram (shared with siblings of
+  /// the same priority); observed alongside `latency` on every delivery.
+  std::shared_ptr<obs::FixedHistogram> latency_hist;
 
   /// Moves backlog frames into the async pipeline while it accepts them,
   /// and (adaptive policy) regrows a shrunken depth one step per fully
@@ -95,7 +106,10 @@ struct ImagingService::Session {
       // erased when shed, so what remains <= sequence was delivered.
       for (auto it = in_flight.begin();
            it != in_flight.end() && it->first <= sequence;) {
-        latency.add(std::chrono::duration<double>(now - it->second).count());
+        const double seconds =
+            std::chrono::duration<double>(now - it->second).count();
+        latency.add(seconds);
+        if (latency_hist) latency_hist->observe(seconds);
         ++delivered_insonifications;
         it = in_flight.erase(it);
       }
@@ -134,9 +148,16 @@ struct ImagingService::Session {
     out.failed = failed;
     out.error = error;
     out.latency = latency;
-    // Until close the streaming session has not folded into the pipeline
-    // lifetime stats; afterwards the final session stats are exact.
-    out.pipeline = finished ? final_pipeline : pipeline->stats();
+    // One consistent pipeline view taken under the async state lock
+    // *while we hold the session mutex* (every ledger mutation — submit,
+    // pump, deliver — happens under that same session mutex, so nothing
+    // moves between reading the ledger above and the pipeline counters
+    // here). Mid-run the snapshot reports live acceptance; after close
+    // the final session stats are exact. Before this, a mid-run scrape
+    // read FramePipeline lifetime stats — zero until finish() folds the
+    // session in — so delivered counts could exceed reported acceptance.
+    out.pipeline = finished ? final_pipeline : async->stats_snapshot();
+    US3D_ENSURES(out.ledger_bounded());
     return out;
   }
 };
@@ -144,6 +165,24 @@ struct ImagingService::Session {
 ImagingService::ImagingService(const ServiceBudget& budget) : budget_(budget) {
   US3D_EXPECTS(budget.worker_threads >= 1);
   US3D_EXPECTS(budget.inflight_volumes >= 1);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  admitted_counter_ = reg.counter("service.sessions_admitted");
+  refused_counter_ = reg.counter("service.sessions_refused");
+  closed_counter_ = reg.counter("service.sessions_closed");
+  rebalance_counter_ = reg.counter("service.rebalances");
+  for (const ShedPolicy policy :
+       {ShedPolicy::kRefuseNewest, ShedPolicy::kDropOldest,
+        ShedPolicy::kAdaptiveDepth}) {
+    shed_counters_[static_cast<std::size_t>(policy)] = reg.counter(
+        std::string("service.shed.") + policy_name(policy));
+  }
+  for (int p = 0; p < kPriorityClasses; ++p) {
+    latency_hist_[static_cast<std::size_t>(p)] = reg.histogram(
+        std::string("service.latency_s.") +
+        priority_name(static_cast<PriorityClass>(p)));
+  }
+  open_sessions_gauge_ = reg.gauge("service.open_sessions");
+  inflight_gauge_ = reg.gauge("service.inflight_in_use");
 }
 
 ImagingService::~ImagingService() {
@@ -162,6 +201,8 @@ Admission ImagingService::open_session(const Scenario& scenario,
     result.admitted = false;
     result.session = -1;
     result.reason = reason;
+    refused_counter_->increment();
+    US3D_TRACE_INSTANT("service.refuse");
     std::lock_guard<std::mutex> lock(service_mutex_);
     ++sessions_refused_;
     return result;
@@ -175,6 +216,8 @@ Admission ImagingService::open_session(const Scenario& scenario,
   std::unique_lock<std::mutex> lock(service_mutex_);
   if (static_cast<int>(sessions_.size()) >= budget_.worker_threads) {
     ++sessions_refused_;
+    refused_counter_->increment();
+    US3D_TRACE_INSTANT("service.refuse");
     result.reason = "worker budget exhausted";
     return result;
   }
@@ -182,6 +225,8 @@ Admission ImagingService::open_session(const Scenario& scenario,
   const int remaining = budget_.inflight_volumes - inflight_in_use_;
   if (remaining < min_slots) {
     ++sessions_refused_;
+    refused_counter_->increment();
+    US3D_TRACE_INSTANT("service.refuse");
     result.reason = "in-flight volume budget exhausted";
     return result;
   }
@@ -210,14 +255,20 @@ Admission ImagingService::open_session(const Scenario& scenario,
     session->async = std::make_unique<runtime::AsyncPipeline>(
         *session->pipeline,
         runtime::AsyncOptions{.depth = depth,
-                              .compound_origins = scenario.compound_origins});
+                              .compound_origins = scenario.compound_origins,
+                              .session = session->id,
+                              .metrics_scope = session_scope(session->id)});
   } catch (const std::exception& e) {
     // Construction failed (e.g. a forced SIMD backend this host cannot
     // run): the session never existed, the budget is untouched.
     ++sessions_refused_;
+    refused_counter_->increment();
+    US3D_TRACE_INSTANT("service.refuse");
     result.reason = e.what();
     return result;
   }
+  session->latency_hist =
+      latency_hist_[static_cast<std::size_t>(options.priority)];
   session->ring_slots = session->async->ring_slots();
   US3D_ENSURES(session->ring_slots <= remaining);
 
@@ -226,12 +277,17 @@ Admission ImagingService::open_session(const Scenario& scenario,
   inflight_in_use_ += session->ring_slots;
   sessions_.emplace(session->id, session);
   rebalance_locked();
+  admitted_counter_->increment();
+  open_sessions_gauge_->set(static_cast<std::int64_t>(sessions_.size()));
+  inflight_gauge_->set(inflight_in_use_);
 
   result.admitted = true;
   result.session = session->id;
   result.granted_workers =
       session->worker_cap.load(std::memory_order_relaxed);
   result.granted_depth = depth;
+  US3D_TRACE_INSTANT("service.admit", "session", session->id, "workers",
+                     result.granted_workers);
   return result;
 }
 
@@ -258,6 +314,9 @@ void ImagingService::rebalance_locked() {
     session->worker_cap.store(cap, std::memory_order_relaxed);
     session->pipeline->set_worker_cap(cap);
   }
+  rebalance_counter_->increment();
+  US3D_TRACE_INSTANT("service.rebalance", "sessions",
+                     static_cast<std::int64_t>(order.size()));
 }
 
 std::shared_ptr<ImagingService::Session> ImagingService::find(
@@ -282,13 +341,21 @@ bool ImagingService::submit(int session, runtime::EchoFrame frame) {
   }
   s->pump_locked();
   if (static_cast<int>(s->backlog.size()) >= s->effective_depth) {
+    const std::shared_ptr<obs::Counter>& shed =
+        shed_counters_[static_cast<std::size_t>(s->options.policy)];
     switch (s->options.policy) {
       case ShedPolicy::kRefuseNewest:
         ++s->shed_refused;
+        shed->increment();
+        US3D_TRACE_INSTANT("service.shed", "session", session, "sequence",
+                           frame.sequence);
         return false;
       case ShedPolicy::kDropOldest:
+        US3D_TRACE_INSTANT("service.shed", "session", session, "sequence",
+                           s->backlog.front().frame.sequence);
         s->backlog.pop_front();
         ++s->shed_dropped;
+        shed->increment();
         break;
       case ShedPolicy::kAdaptiveDepth:
         // Multiplicative decrease: halve this session's depth (floor 1)
@@ -297,8 +364,11 @@ bool ImagingService::submit(int session, runtime::EchoFrame frame) {
         s->effective_depth = std::max(1, s->effective_depth / 2);
         s->async->set_queue_depth(s->effective_depth);
         while (static_cast<int>(s->backlog.size()) >= s->effective_depth) {
+          US3D_TRACE_INSTANT("service.shed", "session", session, "sequence",
+                             s->backlog.front().frame.sequence);
           s->backlog.pop_front();
           ++s->shed_adaptive;
+          shed->increment();
         }
         break;
     }
@@ -371,6 +441,13 @@ SessionStats ImagingService::close_session(int session,
       inflight_in_use_ -= s->ring_slots;
       closed_.push_back(final_stats);
       rebalance_locked();
+      closed_counter_->increment();
+      open_sessions_gauge_->set(static_cast<std::int64_t>(sessions_.size()));
+      inflight_gauge_->set(inflight_in_use_);
+      // Unlist this session's scoped gauges; the counters above are
+      // service-lifetime and stay.
+      obs::MetricsRegistry::global().remove_prefix(session_scope(session) +
+                                                   ".");
     }
   }
   return final_stats;

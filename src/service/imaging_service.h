@@ -57,12 +57,14 @@
 #ifndef US3D_SERVICE_IMAGING_SERVICE_H
 #define US3D_SERVICE_IMAGING_SERVICE_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/async_pipeline.h"
 #include "runtime/frame_pipeline.h"
 #include "runtime/frame_source.h"
@@ -157,6 +159,20 @@ class ImagingService {
   int inflight_in_use_ = 0;
   std::int64_t sessions_admitted_ = 0;
   std::int64_t sessions_refused_ = 0;
+
+  // Live telemetry nodes in obs::MetricsRegistry::global(), resolved once
+  // at construction (the hot paths only bump atomics). Session-scoped
+  // gauges ("service.s<id>.*") are registered by each session's pipeline
+  // and unlisted at close.
+  std::shared_ptr<obs::Counter> admitted_counter_;
+  std::shared_ptr<obs::Counter> refused_counter_;
+  std::shared_ptr<obs::Counter> closed_counter_;
+  std::shared_ptr<obs::Counter> rebalance_counter_;
+  std::array<std::shared_ptr<obs::Counter>, 3> shed_counters_;  // by policy
+  std::array<std::shared_ptr<obs::FixedHistogram>, kPriorityClasses>
+      latency_hist_;
+  std::shared_ptr<obs::Gauge> open_sessions_gauge_;
+  std::shared_ptr<obs::Gauge> inflight_gauge_;
 };
 
 }  // namespace us3d::service

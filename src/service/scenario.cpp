@@ -1,13 +1,11 @@
 #include "service/scenario.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdlib>
-#include <map>
 #include <sstream>
 
 #include "common/contracts.h"
-#include "common/table_io.h"
+#include "common/json_reader.h"
+#include "common/json_writer.h"
 #include "delay/exact.h"
 #include "delay/full_table.h"
 #include "delay/tablefree.h"
@@ -42,158 +40,14 @@ std::optional<runtime::IngestPacing> parse_pacing(std::string_view name) {
   return std::nullopt;
 }
 
-// ------------------------------------------------------------------ JSON ---
-// A deliberately small parser for the flat objects this module emits:
-// string / number / bool values only, no nesting. Tolerant of whitespace
-// and key order, strict about structure — anything else throws, because a
-// half-understood scenario must never be admitted.
-
-struct JsonValue {
-  std::string text;  ///< unescaped string body, or the raw literal
-  bool quoted = false;
-};
-
-class FlatJsonParser {
- public:
-  explicit FlatJsonParser(std::string_view text) : text_(text) {}
-
-  std::map<std::string, JsonValue> parse_object() {
-    std::map<std::string, JsonValue> fields;
-    skip_ws();
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return fields;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      skip_ws();
-      JsonValue value;
-      if (peek() == '"') {
-        value.text = parse_string();
-        value.quoted = true;
-      } else {
-        value.text = parse_literal();
-      }
-      if (!fields.emplace(std::move(key), std::move(value)).second) {
-        bad("duplicate JSON key");
-      }
-      skip_ws();
-      const char c = next();
-      if (c == '}') break;
-      if (c != ',') bad("expected ',' or '}' in JSON object");
-    }
-    skip_ws();
-    if (pos_ != text_.size()) bad("trailing characters after JSON object");
-    return fields;
-  }
-
- private:
-  char peek() const {
-    if (pos_ >= text_.size()) bad("unexpected end of JSON");
-    return text_[pos_];
-  }
-  char next() {
-    const char c = peek();
-    ++pos_;
-    return c;
-  }
-  void expect(char c) {
-    if (next() != c) bad(std::string("expected '") + c + "' in JSON");
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      char c = next();
-      if (c == '"') return out;
-      if (c == '\\') {
-        // Inverse of us3d::json_escape: the short escapes plus \u00XX.
-        c = next();
-        switch (c) {
-          case 'n':
-            c = '\n';
-            break;
-          case 'r':
-            c = '\r';
-            break;
-          case 't':
-            c = '\t';
-            break;
-          case 'u': {
-            int code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = next();
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code += h - '0';
-              } else if (h >= 'a' && h <= 'f') {
-                code += 10 + h - 'a';
-              } else if (h >= 'A' && h <= 'F') {
-                code += 10 + h - 'A';
-              } else {
-                bad("malformed \\u escape in JSON string");
-              }
-            }
-            if (code > 0xff) bad("non-latin \\u escape unsupported");
-            c = static_cast<char>(code);
-            break;
-          }
-          default:
-            break;  // \" \\ \/ and friends: the character itself
-        }
-      }
-      out.push_back(c);
-    }
-  }
-  std::string parse_literal() {
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == ',' || c == '}' ||
-          std::isspace(static_cast<unsigned char>(c))) {
-        break;
-      }
-      out.push_back(c);
-      ++pos_;
-    }
-    if (out.empty()) bad("empty JSON value");
-    return out;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+// JSON I/O rides the shared common/ layer: JsonWriter out, parse_json in
+// (both grown from this module's original flat emitter/parser, so the
+// wire format and the house strictness — reject duplicates, unknowns and
+// trailing text — are unchanged). The field-level type errors keep their
+// names via the accessor `what` argument.
 
 int to_int(const std::string& field, const JsonValue& v) {
-  if (v.quoted) bad(field + " must be a number");
-  char* end = nullptr;
-  const long n = std::strtol(v.text.c_str(), &end, 10);
-  if (end != v.text.c_str() + v.text.size()) bad(field + " is not an integer");
-  return static_cast<int>(n);
-}
-
-double to_double(const std::string& field, const JsonValue& v) {
-  if (v.quoted) bad(field + " must be a number");
-  char* end = nullptr;
-  const double x = std::strtod(v.text.c_str(), &end);
-  if (end != v.text.c_str() + v.text.size()) bad(field + " is not a number");
-  return x;
-}
-
-std::string to_string_field(const std::string& field, const JsonValue& v) {
-  if (!v.quoted) bad(field + " must be a string");
-  return v.text;
+  return static_cast<int>(v.as_int(field));
 }
 
 }  // namespace
@@ -319,29 +173,34 @@ runtime::PipelineConfig Scenario::pipeline_config() const {
 
 std::string Scenario::to_json() const {
   std::ostringstream os;
-  os << "{\"name\":\"" << json_escape(name) << '"'
-     << ",\"probe_elements\":" << probe_elements
-     << ",\"n_lines\":" << n_lines << ",\"n_depth\":" << n_depth
-     << ",\"order\":\"" << order_name(order) << '"'
-     << ",\"engine\":\"" << family_name(engine) << '"'
-     << ",\"table_bits\":" << table_bits << ",\"sa_origins\":" << sa_origins
-     << ",\"sa_backoff_m\":" << sa_backoff_m
-     << ",\"compound_origins\":" << compound_origins
-     << ",\"simd\":\"" << simd::backend_name(simd) << '"'
-     << ",\"pacing\":\"" << pacing_name(pacing) << '"'
-     << ",\"worker_threads\":" << worker_threads
-     << ",\"queue_depth\":" << queue_depth << '}';
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("name", name)
+      .kv("probe_elements", probe_elements)
+      .kv("n_lines", n_lines)
+      .kv("n_depth", n_depth)
+      .kv("order", order_name(order))
+      .kv("engine", family_name(engine))
+      .kv("table_bits", table_bits)
+      .kv("sa_origins", sa_origins)
+      .kv("sa_backoff_m", sa_backoff_m)
+      .kv("compound_origins", compound_origins)
+      .kv("simd", simd::backend_name(simd))
+      .kv("pacing", pacing_name(pacing))
+      .kv("worker_threads", worker_threads)
+      .kv("queue_depth", queue_depth)
+      .end_object();
   return os.str();
 }
 
 Scenario Scenario::from_json(std::string_view json) {
-  FlatJsonParser parser(json);
-  const std::map<std::string, JsonValue> fields = parser.parse_object();
+  const JsonValue doc = parse_json(json);
+  if (!doc.is_object()) bad("descriptor must be a JSON object");
   Scenario s;
   bool named = false;
-  for (const auto& [key, value] : fields) {
+  for (const auto& [key, value] : doc.members()) {
     if (key == "name") {
-      s.name = to_string_field(key, value);
+      s.name = value.as_string(key);
       named = true;
     } else if (key == "probe_elements") {
       s.probe_elements = to_int(key, value);
@@ -350,28 +209,28 @@ Scenario Scenario::from_json(std::string_view json) {
     } else if (key == "n_depth") {
       s.n_depth = to_int(key, value);
     } else if (key == "order") {
-      const auto order = parse_order(to_string_field(key, value));
-      if (!order) bad("unknown scan order '" + value.text + "'");
+      const auto order = parse_order(value.as_string(key));
+      if (!order) bad("unknown scan order '" + value.text() + "'");
       s.order = *order;
     } else if (key == "engine") {
-      const auto family = parse_family(to_string_field(key, value));
-      if (!family) bad("unknown engine family '" + value.text + "'");
+      const auto family = parse_family(value.as_string(key));
+      if (!family) bad("unknown engine family '" + value.text() + "'");
       s.engine = *family;
     } else if (key == "table_bits") {
       s.table_bits = to_int(key, value);
     } else if (key == "sa_origins") {
       s.sa_origins = to_int(key, value);
     } else if (key == "sa_backoff_m") {
-      s.sa_backoff_m = to_double(key, value);
+      s.sa_backoff_m = value.as_double(key);
     } else if (key == "compound_origins") {
       s.compound_origins = to_int(key, value);
     } else if (key == "simd") {
-      const auto backend = simd::parse_backend(to_string_field(key, value));
-      if (!backend) bad("unknown simd backend '" + value.text + "'");
+      const auto backend = simd::parse_backend(value.as_string(key));
+      if (!backend) bad("unknown simd backend '" + value.text() + "'");
       s.simd = *backend;
     } else if (key == "pacing") {
-      const auto pacing = parse_pacing(to_string_field(key, value));
-      if (!pacing) bad("unknown ingest pacing '" + value.text + "'");
+      const auto pacing = parse_pacing(value.as_string(key));
+      if (!pacing) bad("unknown ingest pacing '" + value.text() + "'");
       s.pacing = *pacing;
     } else if (key == "worker_threads") {
       s.worker_threads = to_int(key, value);

@@ -2,16 +2,19 @@
 
 #include <sstream>
 
-#include "common/table_io.h"
+#include "common/json_writer.h"
 
 namespace us3d::service {
 
 namespace {
 
-void quantiles_json(std::ostringstream& os, const SampleQuantiles& q) {
-  os << "{\"count\":" << q.count() << ",\"p50_ms\":" << q.p50() * 1e3
-     << ",\"p90_ms\":" << q.p90() * 1e3 << ",\"p99_ms\":" << q.p99() * 1e3
-     << '}';
+void quantiles_json(JsonWriter& w, const SampleQuantiles& q) {
+  w.begin_object()
+      .kv("count", q.count())
+      .kv("p50_ms", q.p50() * 1e3)
+      .kv("p90_ms", q.p90() * 1e3)
+      .kv("p99_ms", q.p99() * 1e3)
+      .end_object();
 }
 
 }  // namespace
@@ -60,54 +63,64 @@ std::optional<ShedPolicy> parse_policy(std::string_view name) {
 
 std::string SessionStats::to_json() const {
   std::ostringstream os;
-  os << "{\"id\":" << id << ",\"scenario\":\"" << json_escape(scenario) << '"'
-     << ",\"priority\":\"" << priority_name(priority) << '"'
-     << ",\"policy\":\"" << policy_name(policy) << '"'
-     << ",\"granted_workers\":" << granted_workers
-     << ",\"granted_depth\":" << granted_depth
-     << ",\"effective_depth\":" << effective_depth
-     << ",\"submitted\":" << submitted << ",\"accepted\":" << accepted
-     << ",\"shed_refused\":" << shed_refused
-     << ",\"shed_dropped\":" << shed_dropped
-     << ",\"shed_adaptive\":" << shed_adaptive
-     << ",\"refused_terminal\":" << refused_terminal
-     << ",\"delivered_frames\":" << delivered_frames
-     << ",\"delivered_insonifications\":" << delivered_insonifications
-     << ",\"failed\":" << (failed ? "true" : "false") << ",\"error\":\""
-     << json_escape(error) << '"' << ",\"latency\":";
-  quantiles_json(os, latency);
-  os << ",\"pipeline\":" << pipeline.to_json() << '}';
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("id", id)
+      .kv("scenario", scenario)
+      .kv("priority", priority_name(priority))
+      .kv("policy", policy_name(policy))
+      .kv("granted_workers", granted_workers)
+      .kv("granted_depth", granted_depth)
+      .kv("effective_depth", effective_depth)
+      .kv("submitted", submitted)
+      .kv("accepted", accepted)
+      .kv("shed_refused", shed_refused)
+      .kv("shed_dropped", shed_dropped)
+      .kv("shed_adaptive", shed_adaptive)
+      .kv("refused_terminal", refused_terminal)
+      .kv("delivered_frames", delivered_frames)
+      .kv("delivered_insonifications", delivered_insonifications)
+      .kv("failed", failed)
+      .kv("error", error)
+      .key("latency");
+  quantiles_json(w, latency);
+  w.kv_raw("pipeline", pipeline.to_json()).end_object();
   return os.str();
 }
 
 std::string ServiceStats::to_json() const {
   std::ostringstream os;
-  os << "{\"budget\":{\"worker_threads\":" << budget_workers
-     << ",\"inflight_volumes\":" << budget_inflight << '}'
-     << ",\"workers_in_use\":" << workers_in_use
-     << ",\"inflight_in_use\":" << inflight_in_use
-     << ",\"open_sessions\":" << open_sessions
-     << ",\"sessions_admitted\":" << sessions_admitted
-     << ",\"sessions_refused\":" << sessions_refused
-     << ",\"sessions_closed\":" << sessions_closed
-     << ",\"submitted\":" << submitted
-     << ",\"delivered_frames\":" << delivered_frames
-     << ",\"shed_refused\":" << shed_refused
-     << ",\"shed_dropped\":" << shed_dropped
-     << ",\"shed_adaptive\":" << shed_adaptive
-     << ",\"shed_total\":" << shed_total()
-     << ",\"dropped_frames\":" << dropped_frames << ",\"latency_by_class\":{";
+  JsonWriter w(os);
+  w.begin_object()
+      .key("budget")
+      .begin_object()
+      .kv("worker_threads", budget_workers)
+      .kv("inflight_volumes", budget_inflight)
+      .end_object()
+      .kv("workers_in_use", workers_in_use)
+      .kv("inflight_in_use", inflight_in_use)
+      .kv("open_sessions", open_sessions)
+      .kv("sessions_admitted", sessions_admitted)
+      .kv("sessions_refused", sessions_refused)
+      .kv("sessions_closed", sessions_closed)
+      .kv("submitted", submitted)
+      .kv("delivered_frames", delivered_frames)
+      .kv("shed_refused", shed_refused)
+      .kv("shed_dropped", shed_dropped)
+      .kv("shed_adaptive", shed_adaptive)
+      .kv("shed_total", shed_total())
+      .kv("dropped_frames", dropped_frames)
+      .key("latency_by_class")
+      .begin_object();
   for (int p = 0; p < kPriorityClasses; ++p) {
-    if (p) os << ',';
-    os << '"' << priority_name(static_cast<PriorityClass>(p)) << "\":";
-    quantiles_json(os, latency_by_class[static_cast<std::size_t>(p)]);
+    w.key(priority_name(static_cast<PriorityClass>(p)));
+    quantiles_json(w, latency_by_class[static_cast<std::size_t>(p)]);
   }
-  os << "},\"sessions\":[";
-  for (std::size_t i = 0; i < sessions.size(); ++i) {
-    if (i) os << ',';
-    os << sessions[i].to_json();
+  w.end_object().key("sessions").begin_array();
+  for (const SessionStats& session : sessions) {
+    w.value_raw(session.to_json());
   }
-  os << "]}";
+  w.end_array().end_object();
   return os.str();
 }
 

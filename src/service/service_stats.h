@@ -105,6 +105,24 @@ struct SessionStats {
                delivered_insonifications + pipeline.dropped_frames;
   }
 
+  /// The mid-flight form of the invariant, which every snapshot —
+  /// including one scraped in the middle of a delivery burst — must
+  /// satisfy: nothing is counted twice, so the ledger outcomes can never
+  /// exceed what was submitted, and delivery never exceeds what the
+  /// pipeline accepted. Closed sessions satisfy the exact reconciles().
+  /// The service takes each session's snapshot under one lock (pipeline
+  /// counters via AsyncPipeline::stats_snapshot inside it), which is what
+  /// makes this hold at every instant rather than merely at quiescence.
+  bool ledger_bounded() const {
+    return accepted + shed_total() + refused_terminal <= submitted &&
+           delivered_insonifications + pipeline.dropped_frames +
+                   shed_total() + refused_terminal <=
+               submitted &&
+           delivered_insonifications + pipeline.dropped_frames <=
+               pipeline.insonifications &&
+           pipeline.insonifications <= accepted;
+  }
+
   std::string to_json() const;
 };
 
@@ -141,6 +159,20 @@ struct ServiceStats {
 
   std::int64_t shed_total() const {
     return shed_refused + shed_dropped + shed_adaptive;
+  }
+
+  /// Scrape-safety invariant over the whole box: the totals are bounded
+  /// by submission and every per-session ledger is bounded too (see
+  /// SessionStats::ledger_bounded). Holds for any stats() call at any
+  /// instant, not just after quiescence.
+  bool ledger_bounded() const {
+    if (delivered_frames + shed_total() + dropped_frames > submitted) {
+      return false;
+    }
+    for (const SessionStats& s : sessions) {
+      if (!s.ledger_bounded()) return false;
+    }
+    return true;
   }
 
   std::string to_json() const;

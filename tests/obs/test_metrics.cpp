@@ -1,0 +1,157 @@
+// MetricsRegistry contracts: create-or-get node identity, kind-mismatch
+// rejection, prefix removal for per-session families, histogram bucket /
+// quantile arithmetic, and a snapshot JSON that round-trips through the
+// shared strict reader (the scrape contract the service bench validates).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/json_reader.h"
+
+namespace us3d::obs {
+namespace {
+
+TEST(MetricsRegistry, CreateOrGetReturnsTheSameNode) {
+  MetricsRegistry reg;
+  const auto a = reg.counter("svc.events");
+  const auto b = reg.counter("svc.events");
+  EXPECT_EQ(a.get(), b.get());
+  a->increment(3);
+  EXPECT_EQ(b->value(), 3);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), ContractViolation);
+  EXPECT_THROW(reg.histogram("x"), ContractViolation);
+  reg.gauge("y");
+  EXPECT_THROW(reg.counter("y"), ContractViolation);
+}
+
+TEST(MetricsRegistry, RemovePrefixUnlistsExactlyTheFamily) {
+  MetricsRegistry reg;
+  const auto held = reg.gauge("service.s1.depth");
+  reg.gauge("service.s1.ring");
+  reg.gauge("service.s10.depth");  // shares the digits, not the family
+  reg.counter("service.total");
+  EXPECT_EQ(reg.remove_prefix("service.s1."), 2u);
+  EXPECT_EQ(reg.size(), 2u);
+  // Unlisting never invalidates in-flight holders.
+  held->set(7);
+  EXPECT_EQ(held->value(), 7);
+  // Re-creating the name yields a fresh node, not the held one.
+  EXPECT_NE(reg.gauge("service.s1.depth").get(), held.get());
+}
+
+TEST(Gauge, SetAndAddAreLastWriteWins) {
+  Gauge g;
+  g.set(5);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(FixedHistogram, BucketsCountAndQuantilesInterpolate) {
+  FixedHistogram h(std::vector<double>{1.0, 2.0, 4.0});
+  for (const double v : {0.5, 0.7, 1.5, 3.0, 3.5, 8.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+  EXPECT_NEAR(h.mean(), (0.5 + 0.7 + 1.5 + 3.0 + 3.5 + 8.0) / 6.0, 1e-12);
+  EXPECT_EQ(h.bucket_count(0), 2u);  // <= 1.0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // (1, 2]
+  EXPECT_EQ(h.bucket_count(2), 2u);  // (2, 4]
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow
+  // Quantiles are bucket-resolution estimates: monotone in q, clamped to
+  // the observed range, and each lands inside its winning bucket.
+  const double p0 = h.quantile(0.0);
+  const double p50 = h.quantile(0.5);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p0, p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(p0, h.min());
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, 1.0);  // rank 2.5 of 6 lands past the first bucket
+  EXPECT_LE(p50, 4.0);
+}
+
+TEST(FixedHistogram, EmptyHistogramReportsZeros) {
+  FixedHistogram h(FixedHistogram::default_latency_bounds());
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(FixedHistogram, DefaultLatencyBoundsAreStrictlyAscending) {
+  const std::vector<double> bounds = FixedHistogram::default_latency_bounds();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_LE(bounds.front(), 1e-4);
+  EXPECT_GE(bounds.back(), 1e2);
+}
+
+TEST(FixedHistogram, ConcurrentObserversLoseNothing) {
+  FixedHistogram h(std::vector<double>{0.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(h.bucket_count(1), static_cast<std::uint64_t>(kThreads) *
+                                   static_cast<std::uint64_t>(kPerThread));
+}
+
+TEST(MetricsRegistry, SnapshotJsonRoundTripsThroughTheStrictReader) {
+  MetricsRegistry reg;
+  reg.counter("svc.admitted")->increment(4);
+  reg.gauge("svc.depth")->set(-2);
+  const auto h = reg.histogram("svc.latency", {1.0, 2.0});
+  h->observe(0.5);
+  h->observe(1.5);
+  h->observe(9.0);
+
+  const std::string json = reg.snapshot_json();
+  const JsonValue doc = parse_json(json);  // strict: throws on any damage
+
+  EXPECT_EQ(doc.at("counters").at("svc.admitted").as_int(), 4);
+  EXPECT_EQ(doc.at("gauges").at("svc.depth").as_int(), -2);
+  const JsonValue& hist = doc.at("histograms").at("svc.latency");
+  EXPECT_EQ(hist.at("count").as_int(), 3);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 11.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.at("max").as_double(), 9.0);
+  // Buckets list (le, count) pairs with the overflow bucket last.
+  const std::vector<JsonValue>& buckets = hist.at("buckets").elements();
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_EQ(buckets.back().at("le").as_string(), "+inf");
+  std::int64_t total = 0;
+  for (const JsonValue& b : buckets) total += b.at("count").as_int();
+  EXPECT_EQ(total, 3);
+}
+
+TEST(MetricsRegistry, GlobalIsOneSharedInstance) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+  const std::string name = "test.metrics.global_probe";
+  MetricsRegistry::global().counter(name)->increment();
+  EXPECT_GE(MetricsRegistry::global().counter(name)->value(), 1);
+  MetricsRegistry::global().remove(name);
+}
+
+}  // namespace
+}  // namespace us3d::obs

@@ -1,0 +1,239 @@
+// Trace contracts the exporter and every consumer rely on: the ring is
+// drop-oldest and counts what it dropped, the Chrome export is balanced
+// (every B closed by an E) with per-thread monotonic timestamps, a
+// disabled or compiled-out build records nothing, and a snapshot taken
+// while the owner thread is recording never reads a torn span (the
+// seqlock test below is the thread-sanitizer target for this module).
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_reader.h"
+
+namespace us3d::obs {
+namespace {
+
+/// Every trace test starts from a clean, enabled collector (tests in this
+/// binary share the process-wide instance).
+void fresh_collector() {
+  TraceCollector::instance().set_enabled(true);
+  TraceCollector::instance().reset();
+}
+
+TEST(SpanRing, KeepsTheNewestWindowAndCountsDrops) {
+  SpanRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    SpanRecord r;
+    r.name = "s";
+    r.t0_ns = static_cast<std::uint64_t>(i);
+    r.t1_ns = static_cast<std::uint64_t>(i);
+    ring.push(r);
+  }
+  std::vector<SpanRecord> out;
+  EXPECT_EQ(ring.snapshot(out), 6u);  // 10 pushed, 4 kept
+  ASSERT_EQ(out.size(), 4u);
+  // Oldest-first window over the newest records.
+  EXPECT_EQ(out.front().t0_ns, 6u);
+  EXPECT_EQ(out.back().t0_ns, 9u);
+
+  ring.reset();
+  out.clear();
+  EXPECT_EQ(ring.snapshot(out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpanRing, SnapshotNeverReadsATornRecordWhileTheOwnerWrites) {
+  // The seqlock contract under real concurrency: one owner pushing as
+  // fast as it can, one reader snapshotting. Any record the reader does
+  // return must be internally consistent (t1 encodes t0, name is the one
+  // the writer uses); overwritten-mid-read records may only be *dropped*.
+  SpanRing ring(64);
+  std::atomic<bool> stop{false};
+  std::thread owner([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      SpanRecord r;
+      r.name = "owner";
+      r.t0_ns = i;
+      r.t1_ns = i * 2 + 1;  // reader-checkable function of t0
+      r.arg1_name = "i";
+      r.arg1 = static_cast<std::int64_t>(i);
+      ring.push(r);
+      ++i;
+    }
+  });
+  std::vector<SpanRecord> out;
+  for (int round = 0; round < 200; ++round) {
+    out.clear();
+    ring.snapshot(out);
+    for (const SpanRecord& r : out) {
+      ASSERT_STREQ(r.name, "owner");
+      ASSERT_EQ(r.t1_ns, r.t0_ns * 2 + 1);
+      ASSERT_EQ(r.arg1, static_cast<std::int64_t>(r.t0_ns));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  owner.join();
+}
+
+TEST(Trace, DisabledCollectorRecordsNothingAndAllocatesNoBuffers) {
+  TraceCollector::instance().reset();
+  TraceCollector::instance().set_enabled(false);
+  {
+    US3D_TRACE_SPAN("never");
+    US3D_TRACE_INSTANT("never.either", "x", 1);
+  }
+  EXPECT_EQ(TraceCollector::instance().collect().total_spans(), 0u);
+  TraceCollector::instance().set_enabled(true);
+}
+
+TEST(Trace, CompiledOutBuildEmitsAnEmptyTrace) {
+  if (TraceCollector::compiled_in()) {
+    GTEST_SKIP() << "span sites compiled in (US3D_TRACING=ON)";
+  }
+  fresh_collector();
+  {
+    US3D_TRACE_SPAN("gone", "sequence", std::int64_t{1});
+    US3D_TRACE_INSTANT("gone.too");
+  }
+  const TraceSnapshot snap = TraceCollector::instance().collect();
+  EXPECT_EQ(snap.total_spans(), 0u);
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  const JsonValue doc = parse_json(os.str());
+  EXPECT_TRUE(doc.at("traceEvents").elements().empty());
+}
+
+TEST(Trace, MacroRecordsANamedSpanWithArguments) {
+  if (!TraceCollector::compiled_in()) GTEST_SKIP();
+  fresh_collector();
+  {
+    US3D_TRACE_SPAN("test.outer", "sequence", std::int64_t{7}, "session",
+                    std::int64_t{3}, "backend", "scalar");
+    US3D_TRACE_SPAN("test.inner");
+  }
+  US3D_TRACE_INSTANT("test.event", "sequence", std::int64_t{8});
+  const TraceSnapshot snap = TraceCollector::instance().collect();
+  EXPECT_EQ(snap.total_spans(), 3u);
+  const SpanRecord* outer = snap.find("test.outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->arg1, 7);
+  EXPECT_EQ(outer->arg2, 3);
+  ASSERT_NE(outer->sarg, nullptr);
+  EXPECT_STREQ(outer->sarg, "scalar");
+  EXPECT_GE(outer->t1_ns, outer->t0_ns);
+  const SpanRecord* inner = snap.find("test.inner");
+  ASSERT_NE(inner, nullptr);
+  // RAII nesting: the inner scope closed before the outer one.
+  EXPECT_LE(outer->t0_ns, inner->t0_ns);
+  EXPECT_GE(outer->t1_ns, inner->t1_ns);
+  const SpanRecord* event = snap.find("test.event");
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->t0_ns, event->t1_ns);
+}
+
+TEST(Trace, OverflowDropsOldestAndReportsDroppedSpans) {
+  if (!TraceCollector::compiled_in()) GTEST_SKIP();
+  fresh_collector();
+  const std::size_t restore = TraceCollector::instance().thread_capacity();
+  TraceCollector::instance().set_thread_capacity(8);
+  // A fresh thread picks up the small capacity (the capacity applies to
+  // threads that register after the call).
+  std::thread t([] {
+    set_thread_name("overflower");
+    for (std::int64_t i = 0; i < 20; ++i) {
+      US3D_TRACE_INSTANT("spam", "i", i);
+    }
+  });
+  t.join();
+  TraceCollector::instance().set_thread_capacity(restore);
+
+  const TraceSnapshot snap = TraceCollector::instance().collect();
+  const ThreadTrace* overflower = nullptr;
+  for (const ThreadTrace& thread : snap.threads) {
+    if (thread.name == "overflower") overflower = &thread;
+  }
+  ASSERT_NE(overflower, nullptr);
+  EXPECT_EQ(overflower->spans.size(), 8u);
+  EXPECT_EQ(overflower->dropped_spans, 12u);
+  // The survivors are the newest records.
+  EXPECT_EQ(overflower->spans.front().arg1, 12);
+  EXPECT_EQ(overflower->spans.back().arg1, 19);
+}
+
+TEST(Trace, ChromeExportIsBalancedAndMonotonicPerThread) {
+  if (!TraceCollector::compiled_in()) GTEST_SKIP();
+  fresh_collector();
+  set_thread_name("main-test");
+  for (int i = 0; i < 3; ++i) {
+    US3D_TRACE_SPAN("outer", "sequence", static_cast<std::int64_t>(i));
+    US3D_TRACE_SPAN("inner");
+    US3D_TRACE_INSTANT("tick");
+  }
+  std::thread worker([] {
+    set_thread_name("worker-test");
+    for (int i = 0; i < 5; ++i) {
+      US3D_TRACE_SPAN("task", "i", static_cast<std::int64_t>(i));
+    }
+  });
+  worker.join();
+
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  const JsonValue doc = parse_json(os.str());
+  const std::vector<JsonValue>& events = doc.at("traceEvents").elements();
+  ASSERT_FALSE(events.empty());
+
+  // Per-thread sweep: B/E balanced as a stack (never negative, ends at
+  // zero) and ts non-decreasing — the Perfetto import contract.
+  std::map<std::int64_t, int> open;
+  std::map<std::int64_t, double> last_ts;
+  bool saw_thread_name_meta = false;
+  for (const JsonValue& e : events) {
+    const std::string& ph = e.at("ph").as_string("ph");
+    const std::int64_t tid = e.at("tid").as_int("tid");
+    if (ph == "M") {
+      saw_thread_name_meta |=
+          e.at("name").as_string("name") == "thread_name";
+      continue;
+    }
+    const double ts = e.at("ts").as_double("ts");
+    if (last_ts.count(tid)) {
+      EXPECT_GE(ts, last_ts[tid]);
+    }
+    last_ts[tid] = ts;
+    if (ph == "B") {
+      ++open[tid];
+    } else if (ph == "E") {
+      --open[tid];
+      ASSERT_GE(open[tid], 0) << "E without a matching B on tid " << tid;
+    } else {
+      ADD_FAILURE() << "unexpected phase '" << ph << "'";
+    }
+  }
+  EXPECT_TRUE(saw_thread_name_meta);
+  for (const auto& [tid, depth] : open) {
+    EXPECT_EQ(depth, 0) << "unbalanced events on tid " << tid;
+  }
+}
+
+TEST(Trace, ResetDiscardsEverything) {
+  if (!TraceCollector::compiled_in()) GTEST_SKIP();
+  fresh_collector();
+  { US3D_TRACE_SPAN("ephemeral"); }
+  EXPECT_GE(TraceCollector::instance().collect().total_spans(), 1u);
+  TraceCollector::instance().reset();
+  EXPECT_EQ(TraceCollector::instance().collect().total_spans(), 0u);
+  EXPECT_EQ(TraceCollector::instance().collect().total_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace us3d::obs

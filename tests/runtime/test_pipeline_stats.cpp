@@ -74,7 +74,7 @@ TEST(PipelineStats, JsonCarriesTheBenchContractKeys) {
         "\"wall_s\"", "\"sustained_fps\"",
         "\"voxels_per_second\"", "\"ingest\"", "\"beamform\"",
         "\"compound\"", "\"consume\"", "\"mean_ms\"", "\"min_ms\"",
-        "\"max_ms\"", "\"count\""}) {
+        "\"max_ms\"", "\"total_ms\"", "\"count\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
 }

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "acoustic/echo_synth.h"
@@ -370,6 +372,45 @@ TEST(ImagingService, CompoundingSessionsAccountGroupsCorrectly) {
   EXPECT_EQ(stats.delivered_frames, 2);  // two K=3 groups
   EXPECT_EQ(stats.delivered_insonifications, 6);
   EXPECT_TRUE(stats.reconciles()) << stats.to_json();
+}
+
+TEST(ImagingService, MidRunScrapesNeverObserveATornLedger) {
+  // The stats-drain race regression test: scrape stats() continuously
+  // while a session is submitting, delivering and finally closing. Every
+  // snapshot must satisfy the ledger bound (delivered + shed + dropped +
+  // refused <= submitted) — before the one-lock pipeline snapshot, a
+  // scrape during a delivery burst could see delivered counts ahead of
+  // the (stale, lifetime-folded) acceptance counters. snapshot_locked
+  // additionally self-checks with US3D_ENSURES(ledger_bounded()).
+  ImagingService service(ServiceBudget{.worker_threads = 2,
+                                       .inflight_volumes = 4});
+  const Scenario s = tiny_scenario("scraped");
+  const Admission a = service.open_session(
+      s, SessionOptions{.policy = ShedPolicy::kDropOldest});
+  ASSERT_TRUE(a.admitted);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scrapes{0};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ServiceStats snap = service.stats();
+      EXPECT_TRUE(snap.ledger_bounded());
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  auto frames = make_frames(s, 12, 41);
+  for (EchoFrame& f : frames) {
+    service.submit(a.session, std::move(f));  // sheds under pressure: fine
+    service.poll(a.session, kDevNull);
+  }
+  const SessionStats closed = service.close_session(a.session, kDevNull);
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_TRUE(closed.reconciles()) << closed.to_json();
+  EXPECT_TRUE(closed.ledger_bounded());
+  EXPECT_GT(scrapes.load(), 0);
+  EXPECT_TRUE(service.stats().ledger_bounded());
 }
 
 TEST(ImagingService, DestructorClosesEverythingWithoutHanging) {

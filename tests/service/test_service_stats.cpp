@@ -70,6 +70,49 @@ TEST(SessionStats, ReconciliationCatchesLostFrames) {
   EXPECT_FALSE(s.reconciles());
 }
 
+TEST(SessionStats, LedgerBoundedHoldsMidFlightAndCatchesDoubleCounting) {
+  // A healthy mid-flight snapshot: one frame accepted but still in the
+  // pipeline — reconciles() is not yet exact, but the bound holds.
+  SessionStats s;
+  s.submitted = 5;
+  s.accepted = 4;
+  s.shed_refused = 1;
+  s.pipeline.insonifications = 4;
+  s.delivered_insonifications = 3;
+  EXPECT_FALSE(s.reconciles());
+  EXPECT_TRUE(s.ledger_bounded());
+  // Every closed, reconciled ledger is also bounded.
+  s.delivered_insonifications = 4;
+  EXPECT_TRUE(s.reconciles());
+  EXPECT_TRUE(s.ledger_bounded());
+  // Double counting (a frame both delivered and shed) breaks the bound.
+  s.shed_dropped = 2;
+  EXPECT_FALSE(s.ledger_bounded());
+  // Delivery exceeding pipeline acceptance breaks it too — that is
+  // exactly the torn mid-run scrape the one-lock snapshot prevents.
+  SessionStats torn;
+  torn.submitted = 4;
+  torn.accepted = 4;
+  torn.pipeline.insonifications = 0;  // stale pipeline view
+  torn.delivered_insonifications = 3;
+  EXPECT_FALSE(torn.ledger_bounded());
+}
+
+TEST(ServiceStats, LedgerBoundedAggregatesOverSessions) {
+  ServiceStats s;
+  s.submitted = 10;
+  s.delivered_frames = 6;
+  s.shed_dropped = 4;
+  EXPECT_TRUE(s.ledger_bounded());
+  s.shed_dropped = 5;  // 6 + 5 > 10: something was counted twice
+  EXPECT_FALSE(s.ledger_bounded());
+  s.shed_dropped = 4;
+  SessionStats bad;
+  bad.delivered_insonifications = 1;  // delivered more than accepted
+  s.sessions.push_back(bad);
+  EXPECT_FALSE(s.ledger_bounded());
+}
+
 TEST(ServiceStats, JsonCarriesTheServiceContractKeys) {
   ServiceStats s;
   s.budget_workers = 4;
