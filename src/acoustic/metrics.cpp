@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/contracts.h"
 
@@ -86,6 +87,34 @@ double peak_offset_steps(const PsfMetrics& psf, int i_theta, int i_phi,
   const double dp = psf.peak.i_phi - i_phi;
   const double dd = psf.peak.i_depth - i_depth;
   return std::sqrt(dt * dt + dp * dp + dd * dd);
+}
+
+VolumeDiff compare_volumes(const beamform::VolumeImage& reference,
+                           const beamform::VolumeImage& test) {
+  const auto& spec = reference.spec();
+  US3D_EXPECTS(test.spec().n_theta == spec.n_theta &&
+               test.spec().n_phi == spec.n_phi &&
+               test.spec().n_depth == spec.n_depth);
+  VolumeDiff diff;
+  double sum_sq = 0.0;
+  double peak = 0.0;
+  for (int it = 0; it < spec.n_theta; ++it) {
+    for (int ip = 0; ip < spec.n_phi; ++ip) {
+      for (int id = 0; id < spec.n_depth; ++id) {
+        const double r = reference.at(it, ip, id);
+        const double d = r - test.at(it, ip, id);
+        diff.max_abs_diff = std::max(diff.max_abs_diff, std::abs(d));
+        sum_sq += d * d;
+        peak = std::max(peak, std::abs(r));
+      }
+    }
+  }
+  diff.rms_diff =
+      std::sqrt(sum_sq / static_cast<double>(spec.total_points()));
+  diff.psnr_db = diff.rms_diff > 0.0
+                     ? 20.0 * std::log10(peak / diff.rms_diff)
+                     : std::numeric_limits<double>::infinity();
+  return diff;
 }
 
 }  // namespace us3d::acoustic

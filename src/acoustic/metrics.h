@@ -31,6 +31,20 @@ PsfMetrics measure_psf(const beamform::VolumeImage& image,
 double peak_offset_steps(const PsfMetrics& psf, int i_theta, int i_phi,
                          int i_depth);
 
+/// Voxel-wise deviation of a test volume from a reference (specs must
+/// match). This is the acceptance gauge of the quantized int16 pipeline:
+/// its volumes must stay within beamform::kQuantMinPsnrDb of the exact
+/// double reconstruction.
+struct VolumeDiff {
+  double max_abs_diff = 0.0;  ///< largest |ref - test| (linear units)
+  double rms_diff = 0.0;      ///< root-mean-square of (ref - test)
+  /// 20·log10(peak|ref| / rms_diff); +infinity for identical volumes.
+  double psnr_db = 0.0;
+};
+
+VolumeDiff compare_volumes(const beamform::VolumeImage& reference,
+                           const beamform::VolumeImage& test);
+
 }  // namespace us3d::acoustic
 
 #endif  // US3D_ACOUSTIC_METRICS_H

@@ -21,6 +21,11 @@ Beamformer::Beamformer(const imaging::SystemConfig& config,
   const double total = apodization_.total_weight();
   US3D_EXPECTS(total > 0.0);
   weight_norm_ = 1.0 / total;
+  // Every weight could quantize to zero if the whole map sits below one
+  // uQ1.14 LSB; that only trips a contract when a *quantized* normalized
+  // sweep actually runs.
+  const double qtotal = kernel_.quantized_total_weight();
+  quantized_weight_norm_ = qtotal > 0.0 ? 1.0 / qtotal : 0.0;
 }
 
 int Beamformer::auto_block_points(int elements) {
@@ -68,6 +73,19 @@ void Beamformer::reconstruct_span(const EchoBuffer& echoes,
   US3D_EXPECTS(engine.frame_begun());
   US3D_EXPECTS(image.spec().total_points() == config_.volume.total_points());
   const imaging::VolumeGrid grid(config_.volume);
+
+  const simd::Precision precision = simd::resolve_precision(options.precision);
+  if (precision == simd::Precision::kQuantized) {
+    // Quantize this caller's echoes into the scratch and run the integer
+    // sweep. Quantization is deterministic, so repeating it per span (the
+    // runtime avoids this via the QuantizedEchoBuffer overload) changes
+    // nothing but time.
+    US3D_EXPECTS(options.path == ReconstructPath::kBlock);
+    scratch.qechoes.quantize_from(echoes);
+    reconstruct_span_quantized(scratch.qechoes, engine, range, image, scratch,
+                               options);
+    return;
+  }
 
   if (options.path == ReconstructPath::kPerVoxel) {
     // Legacy loop: one virtual compute() and one weighted sum per voxel.
@@ -118,6 +136,73 @@ void Beamformer::reconstruct_span(const EchoBuffer& echoes,
                                   VolumeImage& image,
                                   const BeamformOptions& options) const {
   reconstruct_span(echoes, engine, range, image, thread_scratch(), options);
+}
+
+void Beamformer::reconstruct_span(const QuantizedEchoBuffer& echoes,
+                                  delay::DelayEngine& engine,
+                                  const imaging::ScanRange& range,
+                                  VolumeImage& image,
+                                  BeamformScratch& scratch,
+                                  const BeamformOptions& options) const {
+  reconstruct_span_quantized(echoes, engine, range, image, scratch, options);
+}
+
+void Beamformer::reconstruct_span_quantized(const QuantizedEchoBuffer& echoes,
+                                            delay::DelayEngine& engine,
+                                            const imaging::ScanRange& range,
+                                            VolumeImage& image,
+                                            BeamformScratch& scratch,
+                                            const BeamformOptions& options)
+    const {
+  US3D_EXPECTS(echoes.element_count() == engine.element_count());
+  US3D_EXPECTS(engine.frame_begun());
+  US3D_EXPECTS(image.spec().total_points() == config_.volume.total_points());
+  US3D_EXPECTS(options.path == ReconstructPath::kBlock);
+  // Normalizing by a quantized total weight of zero would wipe the volume;
+  // it means the apodization map sits entirely below one uQ1.14 LSB and
+  // the quantized path cannot represent it.
+  US3D_EXPECTS(!options.normalize || kernel_.quantized_total_weight() > 0.0);
+  const imaging::VolumeGrid grid(config_.volume);
+
+  const simd::DasBackend backend = simd::resolve_backend(options.simd);
+  const int block_points = options.block_points > 0
+                               ? options.block_points
+                               : auto_block_points(engine.element_count());
+  // Rounded up to a whole vector: the kernel sweeps rows through the
+  // quantized plane's sentinel padding (see accumulate_block_quantized).
+  const std::size_t qacc_points =
+      static_cast<std::size_t>((block_points + 15) / 16 * 16);
+  if (scratch.qacc.size() < qacc_points) {
+    scratch.qacc.resize(qacc_points);
+  }
+  const std::int64_t samples = echoes.samples_per_element();
+  const double lsb = echoes.lsb();
+  imaging::for_each_focal_block(
+      grid, options.order, range, block_points, scratch.block_points,
+      [&](const imaging::FocalBlock& block) {
+        const auto t0 = scratch.profile ? Clock::now() : Clock::time_point{};
+        // The engine fills the same int32 plane as the double path; only
+        // the per-block int16 requantization and the integer kernel
+        // differ. Delay selection is therefore identical by construction.
+        engine.compute_block(block, scratch.plane);
+        scratch.qplane.quantize_from(scratch.plane, samples);
+        kernel_.accumulate_block_quantized(echoes, scratch.qplane,
+                                           scratch.qacc, backend);
+        for (int p = 0; p < block.size(); ++p) {
+          // Reconstruct in double (exact for any int32 accumulator), cast
+          // to float before the normalization multiply like the double
+          // path does.
+          float v = static_cast<float>(
+              static_cast<double>(scratch.qacc[static_cast<std::size_t>(p)]) *
+              lsb);
+          if (options.normalize) {
+            v *= static_cast<float>(quantized_weight_norm_);
+          }
+          const imaging::FocalPoint& fp = block[p];
+          image.at(fp.i_theta, fp.i_phi, fp.i_depth) = v;
+        }
+        if (scratch.profile) scratch.profile_data.record(seconds_since(t0));
+      });
 }
 
 float Beamformer::beamform_point(const EchoBuffer& echoes,

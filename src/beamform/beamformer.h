@@ -53,6 +53,12 @@ struct BeamformOptions {
   /// forcing an unavailable backend throws (simd/dispatch.h). All backends
   /// produce bit-identical volumes.
   simd::DasBackend simd = simd::DasBackend::kAuto;
+  /// Arithmetic precision of the sweep. kAuto resolves via US3D_PRECISION
+  /// then defaults to kDouble (the exact reference). kQuantized runs the
+  /// int16 end-to-end fixed-point path (beamform/quantized.h) — block path
+  /// only; combining it with ReconstructPath::kPerVoxel is a precondition
+  /// violation.
+  simd::Precision precision = simd::Precision::kAuto;
 };
 
 /// Reusable sweep state: the DelayPlane the engine fills, the partial-sum
@@ -65,6 +71,12 @@ struct BeamformScratch {
   std::vector<double> acc;
   std::vector<imaging::FocalPoint> block_points;
   std::vector<std::int32_t> point_delays;
+  /// Quantized-path mirrors (int16 delay plane, int32 partial sums, and
+  /// the echo quantization target for callers that pass a float
+  /// EchoBuffer). Untouched by double-precision sweeps.
+  delay::QuantizedDelayPlane qplane;
+  std::vector<std::int32_t> qacc;
+  QuantizedEchoBuffer qechoes;
   /// When true, reconstruct_span times each block into `profile_data`
   /// (one record per FocalBlock swept).
   bool profile = false;
@@ -102,6 +114,19 @@ class Beamformer {
                         const imaging::ScanRange& range, VolumeImage& image,
                         const BeamformOptions& options = {}) const;
 
+  /// Quantized-path overload taking echoes already quantized by the
+  /// caller: the runtime quantizes each frame's EchoBuffer once and hands
+  /// the same QuantizedEchoBuffer to every worker span, instead of paying
+  /// the quantization per span. Passing this buffer *is* the precision
+  /// choice — options.precision is not consulted — and the sweep is
+  /// bit-identical to the float-EchoBuffer entry point resolving to
+  /// kQuantized (quantization is deterministic). Block path only.
+  void reconstruct_span(const QuantizedEchoBuffer& echoes,
+                        delay::DelayEngine& engine,
+                        const imaging::ScanRange& range, VolumeImage& image,
+                        BeamformScratch& scratch,
+                        const BeamformOptions& options = {}) const;
+
   /// Beamforms a single focal point (used by tests). Uses the thread-local
   /// scratch — no per-call heap allocation.
   float beamform_point(const EchoBuffer& echoes, delay::DelayEngine& engine,
@@ -117,12 +142,19 @@ class Beamformer {
  private:
   float accumulate(const EchoBuffer& echoes,
                    std::span<const std::int32_t> delays) const;
+  void reconstruct_span_quantized(const QuantizedEchoBuffer& echoes,
+                                  delay::DelayEngine& engine,
+                                  const imaging::ScanRange& range,
+                                  VolumeImage& image,
+                                  BeamformScratch& scratch,
+                                  const BeamformOptions& options) const;
   static BeamformScratch& thread_scratch();
 
   imaging::SystemConfig config_;
   probe::ApodizationMap apodization_;
   DasKernel kernel_;
   double weight_norm_;
+  double quantized_weight_norm_;
 };
 
 }  // namespace us3d::beamform

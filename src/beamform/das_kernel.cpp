@@ -13,7 +13,15 @@ DasKernel::DasKernel(const probe::ApodizationMap& apodization)
     if (w == 0.0) continue;
     active_.push_back(e);
     weights_.push_back(w);
+    quantized_weights_.push_back(quantize_weight(w));
   }
+  for (const std::int32_t qw : quantized_weights_) {
+    quantized_total_weight_ +=
+        static_cast<double>(qw) * kQuantWeightFormat.lsb();
+  }
+  // The int32 quantized accumulators tolerate < 2^15 shifted terms
+  // (each has magnitude <= 2^16); real probes are far below this.
+  US3D_ENSURES(active_.size() < (1u << 15));
 }
 
 void DasKernel::accumulate_block(const EchoBuffer& echoes,
@@ -34,6 +42,28 @@ void DasKernel::accumulate_block(const EchoBuffer& echoes,
     const int e = active_[k];
     row_fn(echoes.row(e).data(), samples, plane.row(e).data(), weights_[k],
            acc.data(), n);
+  }
+}
+
+void DasKernel::accumulate_block_quantized(
+    const QuantizedEchoBuffer& echoes, const delay::QuantizedDelayPlane& plane,
+    std::span<std::int32_t> acc, simd::DasBackend backend) const {
+  // Sweep whole rows rounded up to the plane's sentinel-filled padding:
+  // the extra lanes read guaranteed-zero echo entries and accumulate 0,
+  // so no backend ever runs a scalar row tail. acc[n .. padded) is
+  // zeroed scratch the caller must provide and should ignore.
+  const int n = plane.padded_point_count();
+  US3D_EXPECTS(acc.size() >= static_cast<std::size_t>(n));
+  US3D_EXPECTS(echoes.element_count() == plane.element_count());
+  US3D_EXPECTS(plane.element_count() == elements_);
+  std::fill(acc.begin(), acc.begin() + n, std::int32_t{0});
+  const simd::DasRowQFn row_fn =
+      simd::das_row_q_fn(simd::resolve_backend(backend));
+  const std::int64_t samples = echoes.samples_per_element();
+  for (std::size_t k = 0; k < active_.size(); ++k) {
+    const int e = active_[k];
+    row_fn(echoes.row(e).data(), samples, plane.row(e).data(),
+           quantized_weights_[k], acc.data(), n);
   }
 }
 

@@ -28,8 +28,12 @@
 #include <span>
 #include <vector>
 
+#include <cstdint>
+
 #include "beamform/echo_buffer.h"
+#include "beamform/quantized.h"
 #include "delay/delay_plane.h"
+#include "delay/quantized_plane.h"
 #include "probe/apodization.h"
 #include "simd/dispatch.h"
 
@@ -55,10 +59,32 @@ class DasKernel {
                         simd::DasBackend backend = simd::DasBackend::kAuto)
       const;
 
+  /// Fixed-point mirror of accumulate_block for the quantized pipeline:
+  /// acc[p] = sum over active elements of the uQ1.14-weighted int16
+  /// samples, each product arithmetic-shifted by kQuantWeightFracBits
+  /// before accumulating (the DasRowQFn contract). Exact integer
+  /// arithmetic, so every backend is bit-identical — the parity suite in
+  /// tests/beamform/test_das_kernel_quantized.cpp pins it. A real voxel is
+  /// double(acc[p]) * echoes.lsb(). `acc` must hold at least
+  /// plane.padded_point_count() entries: the rows are swept through their
+  /// sentinel-filled padding (which accumulates exactly 0) so no backend
+  /// runs a scalar row tail; entries past point_count() are scratch.
+  void accumulate_block_quantized(
+      const QuantizedEchoBuffer& echoes,
+      const delay::QuantizedDelayPlane& plane, std::span<std::int32_t> acc,
+      simd::DasBackend backend = simd::DasBackend::kAuto) const;
+
+  /// Sum of the *quantized* weights in real units (raw / 2^14): the
+  /// normalization constant of the quantized path, kept self-consistent
+  /// with the words the kernels actually multiplied by.
+  double quantized_total_weight() const { return quantized_total_weight_; }
+
  private:
   int elements_;                  // element count the kernel was built for
   std::vector<int> active_;       // flat indices of nonzero-weight elements
   std::vector<double> weights_;   // weight per active_ entry (same order)
+  std::vector<std::int32_t> quantized_weights_;  // uQ1.14 words, same order
+  double quantized_total_weight_ = 0.0;
 };
 
 }  // namespace us3d::beamform

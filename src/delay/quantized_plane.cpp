@@ -1,0 +1,44 @@
+#include "delay/quantized_plane.h"
+
+#include "common/contracts.h"
+#include "simd/dispatch.h"
+
+namespace us3d::delay {
+
+void QuantizedDelayPlane::quantize_from(const DelayPlane& plane,
+                                        std::int64_t samples) {
+  US3D_EXPECTS(samples > 0);
+  US3D_EXPECTS(samples <= simd::kQuantMaxSamples);
+  elements_ = plane.element_count();
+  points_ = plane.point_count();
+  // 32 int16 entries = one 64-byte cache line per pitch step.
+  constexpr std::size_t kLine = 32;
+  stride_ = (static_cast<std::size_t>(points_) + kLine - 1) / kLine * kLine;
+  const std::size_t needed = static_cast<std::size_t>(elements_) * stride_;
+  if (needed > data_.size()) data_.resize(needed);
+
+  const std::int16_t sentinel = static_cast<std::int16_t>(samples);
+  for (int e = 0; e < elements_; ++e) {
+    const std::int32_t* src = plane.row(e).data();
+    std::int16_t* dst = data_.data() + static_cast<std::size_t>(e) * stride_;
+    for (int p = 0; p < points_; ++p) {
+      const std::int32_t d = src[p];
+      // samples <= 32767 makes the window bound also fit int16, so every
+      // in-window index round-trips exactly and the sentinel `samples` —
+      // which addresses the echo rows' guaranteed-zero padding — is
+      // representable too. Sanitizing here is what lets the integer row
+      // kernels run compare-free unmasked sweeps.
+      dst[p] = (d >= 0 && d < samples) ? static_cast<std::int16_t>(d)
+                                       : sentinel;
+    }
+    // Sentinel-fill the pitch padding so kernels may sweep whole rows
+    // rounded up to padded_point_count() — the padding reads the echo
+    // rows' zeroed tail and contributes exactly nothing, and no row ever
+    // needs a sub-vector tail loop.
+    for (std::size_t p = static_cast<std::size_t>(points_); p < stride_; ++p) {
+      dst[p] = sentinel;
+    }
+  }
+}
+
+}  // namespace us3d::delay

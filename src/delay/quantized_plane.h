@@ -1,0 +1,68 @@
+// Int16 mirror of DelayPlane for the quantized DAS path (simd/dispatch.h,
+// DasRowQFn): same [element][point] SoA layout, rows padded to a 64-byte
+// pitch (32 int16 entries), quantized once per focal block from the plane
+// the delay engine just filled. In-window indices are preserved *exactly*;
+// everything else becomes the sentinel `samples`, which addresses the
+// guaranteed-zero padding of beamform::QuantizedEchoBuffer rows — the same
+// clamp-to-zero the double contract applies, but resolved here once so the
+// integer row kernels run compare-free unmasked sweeps. Index quantization
+// therefore adds zero delay error on top of the engine's own rounding.
+//
+// Like DelayPlane this is per-worker scratch: capacity grows monotonically
+// and is never released, so steady-state frames quantize with zero
+// allocation.
+#ifndef US3D_DELAY_QUANTIZED_PLANE_H
+#define US3D_DELAY_QUANTIZED_PLANE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.h"
+#include "delay/delay_plane.h"
+
+namespace us3d::delay {
+
+class QuantizedDelayPlane {
+ public:
+  QuantizedDelayPlane() = default;
+
+  /// Reshapes to mirror `plane` and quantizes every entry against an
+  /// acquisition window of `samples`. Requires samples in
+  /// (0, simd::kQuantMaxSamples] — longer windows cannot be addressed by
+  /// int16 indices and are rejected rather than silently truncated.
+  void quantize_from(const DelayPlane& plane, std::int64_t samples);
+
+  int element_count() const { return elements_; }
+  int point_count() const { return points_; }
+  /// Padded row pitch in entries (a multiple of 32 int16 = 64 bytes).
+  std::size_t row_stride() const { return stride_; }
+
+  /// Point count rounded up to a whole 16-lane vector (<= row_stride()).
+  /// Entries in [point_count(), padded_point_count()) are sentinel-filled
+  /// by quantize_from, so a kernel sweeping this many points per row does
+  /// the identical accumulation with no scalar tail — the padding lanes
+  /// read guaranteed-zero echo entries and add 0.
+  int padded_point_count() const { return (points_ + 15) / 16 * 16; }
+
+  /// One element's quantized delays, densely packed (size = points).
+  std::span<const std::int16_t> row(int element) const {
+    return {data_.data() + static_cast<std::size_t>(element) * stride_,
+            static_cast<std::size_t>(points_)};
+  }
+
+  std::int16_t at(int element, int point) const {
+    return data_[static_cast<std::size_t>(element) * stride_ +
+                 static_cast<std::size_t>(point)];
+  }
+
+ private:
+  int elements_ = 0;
+  int points_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<std::int16_t, AlignedAllocator<std::int16_t, 64>> data_;
+};
+
+}  // namespace us3d::delay
+
+#endif  // US3D_DELAY_QUANTIZED_PLANE_H

@@ -56,6 +56,8 @@ struct SpanRing::Slot {
   std::atomic<std::int64_t> arg2{0};
   std::atomic<const char*> sarg_name{nullptr};
   std::atomic<const char*> sarg{nullptr};
+  std::atomic<const char*> sarg2_name{nullptr};
+  std::atomic<const char*> sarg2{nullptr};
 };
 
 SpanRing::SpanRing(std::size_t capacity)
@@ -79,6 +81,8 @@ void SpanRing::push(const SpanRecord& r) {
   slot.arg2.store(r.arg2, std::memory_order_relaxed);
   slot.sarg_name.store(r.sarg_name, std::memory_order_relaxed);
   slot.sarg.store(r.sarg, std::memory_order_relaxed);
+  slot.sarg2_name.store(r.sarg2_name, std::memory_order_relaxed);
+  slot.sarg2.store(r.sarg2, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
   slot.seq.store(2 * (w + 1), std::memory_order_relaxed);
   writes_.store(w + 1, std::memory_order_release);
@@ -107,6 +111,8 @@ std::uint64_t SpanRing::snapshot(std::vector<SpanRecord>& out) const {
     r.arg2 = slot.arg2.load(std::memory_order_relaxed);
     r.sarg_name = slot.sarg_name.load(std::memory_order_relaxed);
     r.sarg = slot.sarg.load(std::memory_order_relaxed);
+    r.sarg2_name = slot.sarg2_name.load(std::memory_order_relaxed);
+    r.sarg2 = slot.sarg2.load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
     if (slot.seq.load(std::memory_order_relaxed) != want) {
       ++dropped;  // overwritten while we were reading
@@ -300,13 +306,16 @@ namespace {
 
 void write_span_args(JsonWriter& w, const SpanRecord& r) {
   if (r.arg1_name == nullptr && r.arg2_name == nullptr &&
-      r.sarg_name == nullptr) {
+      r.sarg_name == nullptr && r.sarg2_name == nullptr) {
     return;
   }
   w.key("args").begin_object();
   if (r.arg1_name != nullptr) w.kv(r.arg1_name, r.arg1);
   if (r.arg2_name != nullptr) w.kv(r.arg2_name, r.arg2);
   if (r.sarg_name != nullptr && r.sarg != nullptr) w.kv(r.sarg_name, r.sarg);
+  if (r.sarg2_name != nullptr && r.sarg2 != nullptr) {
+    w.kv(r.sarg2_name, r.sarg2);
+  }
   w.end_object();
 }
 
@@ -418,6 +427,16 @@ TraceSpan::TraceSpan(const char* name, const char* arg1_name,
     : TraceSpan(name, arg1_name, arg1, arg2_name, arg2) {
   record_.sarg_name = sarg_name;
   record_.sarg = sarg;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* arg1_name,
+                     std::int64_t arg1, const char* arg2_name,
+                     std::int64_t arg2, const char* sarg_name,
+                     const char* sarg, const char* sarg2_name,
+                     const char* sarg2)
+    : TraceSpan(name, arg1_name, arg1, arg2_name, arg2, sarg_name, sarg) {
+  record_.sarg2_name = sarg2_name;
+  record_.sarg2 = sarg2;
 }
 
 TraceSpan::~TraceSpan() {

@@ -37,7 +37,7 @@ namespace us3d::obs {
 
 /// One completed span as recorded by the owning thread. Args are optional
 /// (null name = absent): two named integers (frame sequence, session id)
-/// plus one named static string (SIMD backend).
+/// plus two named static strings (SIMD backend, arithmetic precision).
 struct SpanRecord {
   const char* name = nullptr;
   std::uint64_t t0_ns = 0;  ///< begin, ns since the process trace epoch
@@ -48,6 +48,8 @@ struct SpanRecord {
   std::int64_t arg2 = 0;
   const char* sarg_name = nullptr;
   const char* sarg = nullptr;
+  const char* sarg2_name = nullptr;
+  const char* sarg2 = nullptr;
 };
 
 /// Fixed-capacity drop-oldest ring of SpanRecords: single recording
@@ -165,6 +167,9 @@ class TraceSpan {
   TraceSpan(const char* name, const char* arg1_name, std::int64_t arg1,
             const char* arg2_name, std::int64_t arg2, const char* sarg_name,
             const char* sarg);
+  TraceSpan(const char* name, const char* arg1_name, std::int64_t arg1,
+            const char* arg2_name, std::int64_t arg2, const char* sarg_name,
+            const char* sarg, const char* sarg2_name, const char* sarg2);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;

@@ -35,9 +35,11 @@ AsyncPipeline::AsyncPipeline(FramePipeline& pipeline,
   US3D_EXPECTS(options.compound_origins >= 1);
   stats_.worker_threads = pipeline.worker_threads();
   stats_.simd_backend = pipeline.stats().simd_backend;
+  stats_.precision = pipeline.stats().precision;
   stats_.queue_depth = std::max(1, options.depth);
   stats_.ring_slots = ring_.slots();
   backend_name_ = simd::backend_name(pipeline.simd_backend_);
+  precision_name_ = simd::precision_name(pipeline.precision_);
   if (!options_.metrics_scope.empty()) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
     input_.set_depth_gauge(
@@ -247,7 +249,8 @@ void AsyncPipeline::beamform_loop() {
     if (slot < 0) continue;  // ring closed mid-shutdown: drop
     bool ok = false;
     US3D_TRACE_SPAN("stage.beamform", "sequence", frame->sequence, "session",
-                    options_.session, "backend", backend_name_);
+                    options_.session, "backend", backend_name_, "precision",
+                    precision_name_);
     const auto t0 = Clock::now();
     try {
       StageStats blocks =

@@ -191,8 +191,10 @@ class AsyncPipeline {
   VolumeRing ring_;
   BoundedQueue<EchoFrame> input_;
   BoundedQueue<Beamformed> beamformed_;
-  /// Static backend name for span args (points at dispatch.h's literal).
+  /// Static backend / precision names for span args (point at
+  /// dispatch.h's literals).
   const char* backend_name_ = "";
+  const char* precision_name_ = "";
 
   std::atomic<bool> failed_{false};
 

@@ -50,14 +50,23 @@ FramePipeline::FramePipeline(const imaging::SystemConfig& config,
   // stats report. Workers receive this concrete backend, never kAuto.
   simd_backend_ = simd::resolve_backend(pipeline_config.simd);
   stats_.simd_backend = simd::backend_name(simd_backend_);
+  // Precision follows the same resolve-once rule. The quantized sweep only
+  // exists on the block path, so a mis-paired config fails at construction
+  // rather than on the first frame.
+  precision_ = simd::resolve_precision(pipeline_config.precision);
+  US3D_EXPECTS(precision_ == simd::Precision::kDouble ||
+               pipeline_config.path == beamform::ReconstructPath::kBlock);
+  stats_.precision = simd::precision_name(precision_);
 }
 
 void FramePipeline::reset_stats() {
   const std::string backend = stats_.simd_backend;
+  const std::string precision = stats_.precision;
   stats_ = PipelineStats{};
   stats_.worker_threads = worker_threads();
   stats_.queue_depth = pipeline_config_.queue_depth;
   stats_.simd_backend = backend;
+  stats_.precision = precision;
 }
 
 void FramePipeline::set_worker_cap(int cap) {
@@ -77,14 +86,26 @@ StageStats FramePipeline::beamform_into(const beamform::EchoBuffer& echoes,
       .path = pipeline_config_.path,
       .block_points = pipeline_config_.block_points,
       .simd = simd_backend_,
+      .precision = precision_,
   };
+  // For the quantized path the frame's echoes are quantized exactly once,
+  // here, before the workers fan out — every worker then reads the same
+  // int16 buffer instead of each re-quantizing its slab's view.
+  const bool quantized = precision_ == simd::Precision::kQuantized;
+  if (quantized) qechoes_.quantize_from(echoes);
   pool_.run(static_cast<int>(ranges_.size()), [&](int worker) {
     delay::DelayEngine& engine = *engines_[static_cast<std::size_t>(worker)];
     engine.begin_frame(origin);
-    beamformer_.reconstruct_span(echoes, engine,
-                                 ranges_[static_cast<std::size_t>(worker)],
-                                 image, scratch_[static_cast<std::size_t>(worker)],
-                                 options);
+    const imaging::ScanRange& range = ranges_[static_cast<std::size_t>(worker)];
+    beamform::BeamformScratch& scratch =
+        scratch_[static_cast<std::size_t>(worker)];
+    if (quantized) {
+      beamformer_.reconstruct_span(qechoes_, engine, range, image, scratch,
+                                   options);
+    } else {
+      beamformer_.reconstruct_span(echoes, engine, range, image, scratch,
+                                   options);
+    }
   });
   // Fold the workers' per-block profiles into one frame-level accumulator
   // (after the pool has quiesced, so no synchronization is needed).

@@ -53,6 +53,12 @@ struct PipelineConfig {
   /// kAuto honours US3D_SIMD, then picks the best the CPU supports. The
   /// resolved choice is reported in PipelineStats::simd_backend.
   simd::DasBackend simd = simd::DasBackend::kAuto;
+  /// Arithmetic precision of the beamform hot path, forwarded to
+  /// BeamformOptions. kAuto honours US3D_PRECISION, then defaults to
+  /// kDouble. kQuantized quantizes each frame's echoes once (int16) and
+  /// runs the integer sweep — block path only. The resolved choice is
+  /// reported in PipelineStats::precision.
+  simd::Precision precision = simd::Precision::kAuto;
   /// Overlap the sink callback with the next frame's beamform in run().
   /// Off: frames are fully sequential (beamform, then sink, then next) —
   /// implemented as the async core at depth 1, flushed after every frame.
@@ -141,6 +147,13 @@ class FramePipeline {
   /// the environment/CPU seen then) so workers never re-resolve mid-stream
   /// and stats always name the backend that actually ran.
   simd::DasBackend simd_backend_ = simd::DasBackend::kScalar;
+  /// Concrete arithmetic precision, resolved once at construction for the
+  /// same reasons as simd_backend_.
+  simd::Precision precision_ = simd::Precision::kDouble;
+  /// Frame-level echo quantization target for the kQuantized path: filled
+  /// once per frame by beamform_into (frames are beamformed one at a time;
+  /// only the sweep inside a frame is parallel), read by every worker.
+  beamform::QuantizedEchoBuffer qechoes_;
   std::vector<imaging::ScanRange> ranges_;
   std::vector<std::unique_ptr<delay::DelayEngine>> engines_;  // per slab
   std::vector<beamform::BeamformScratch> scratch_;            // per slab

@@ -28,6 +28,7 @@ std::string PipelineStats::to_string() const {
     os << ", depth " << queue_depth << "/" << ring_slots << " slots";
   }
   if (!simd_backend.empty()) os << ", simd " << simd_backend;
+  if (!precision.empty()) os << ", " << precision;
   os << ", " << format_double(wall_s * 1e3, 1) << " ms wall\n";
   stage_text(os, "ingest  ", ingest);
   stage_text(os, "beamform", beamform);
@@ -50,6 +51,7 @@ std::string PipelineStats::to_json() const {
       .kv("queue_depth", queue_depth)
       .kv("ring_slots", ring_slots)
       .kv("simd_backend", simd_backend)
+      .kv("precision", precision)
       .kv("wall_s", wall_s)
       .kv("sustained_fps", sustained_fps())
       .kv("voxels_per_second", voxels_per_second())

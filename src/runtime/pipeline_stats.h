@@ -65,6 +65,10 @@ struct PipelineStats {
   /// "avx2", "neon"; see simd/dispatch.h), recorded when the pipeline
   /// resolves its configuration. Empty for hand-built stats.
   std::string simd_backend;
+  /// Resolved arithmetic precision of the beamform hot path ("double" or
+  /// "quantized"; see simd/dispatch.h), recorded alongside the backend.
+  /// Empty for hand-built stats.
+  std::string precision;
 
   double sustained_fps() const {
     return wall_s > 0.0 ? static_cast<double>(frames) / wall_s : 0.0;

@@ -157,6 +157,7 @@ struct ImagingService::Session {
     // read FramePipeline lifetime stats — zero until finish() folds the
     // session in — so delivered counts could exceed reported acceptance.
     out.pipeline = finished ? final_pipeline : async->stats_snapshot();
+    out.precision = out.pipeline.precision;
     US3D_ENSURES(out.ledger_bounded());
     return out;
   }

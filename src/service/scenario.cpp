@@ -166,6 +166,7 @@ runtime::PipelineConfig Scenario::pipeline_config() const {
   pc.worker_threads = worker_threads;
   pc.order = order;
   pc.simd = simd;
+  pc.precision = precision;
   pc.queue_depth = queue_depth;
   pc.compound_origins = compound_origins;
   return pc;
@@ -186,6 +187,7 @@ std::string Scenario::to_json() const {
       .kv("sa_backoff_m", sa_backoff_m)
       .kv("compound_origins", compound_origins)
       .kv("simd", simd::backend_name(simd))
+      .kv("precision", simd::precision_name(precision))
       .kv("pacing", pacing_name(pacing))
       .kv("worker_threads", worker_threads)
       .kv("queue_depth", queue_depth)
@@ -228,6 +230,10 @@ Scenario Scenario::from_json(std::string_view json) {
       const auto backend = simd::parse_backend(value.as_string(key));
       if (!backend) bad("unknown simd backend '" + value.text() + "'");
       s.simd = *backend;
+    } else if (key == "precision") {
+      const auto precision = simd::parse_precision(value.as_string(key));
+      if (!precision) bad("unknown precision '" + value.text() + "'");
+      s.precision = *precision;
     } else if (key == "pacing") {
       const auto pacing = parse_pacing(value.as_string(key));
       if (!pacing) bad("unknown ingest pacing '" + value.text() + "'");
@@ -326,6 +332,31 @@ ScenarioCatalog ScenarioCatalog::builtin() {
                        .pacing = runtime::IngestPacing::kWallClock,
                        .worker_threads = 2,
                        .queue_depth = 3});
+  // Fixed-point variants: one per table-backed engine family, running the
+  // int16 end-to-end quantized sweep (the paper's integer-hardware
+  // operating point). Error bounds for these are pinned by the quantized
+  // pipeline property tests.
+  catalog.add(Scenario{.name = "tablesteer-quantized-18b",
+                       .engine = EngineFamily::kTableSteer,
+                       .table_bits = 18,
+                       .precision = simd::Precision::kQuantized,
+                       .worker_threads = 2,
+                       .queue_depth = 2});
+  catalog.add(Scenario{.name = "fulltable-quantized-smallfield",
+                       .probe_elements = 6,
+                       .n_lines = 10,
+                       .n_depth = 32,
+                       .engine = EngineFamily::kFullTable,
+                       .precision = simd::Precision::kQuantized,
+                       .worker_threads = 1,
+                       .queue_depth = 2});
+  catalog.add(Scenario{.name = "sa-compound-quantized",
+                       .engine = EngineFamily::kTableSteerSA,
+                       .sa_origins = 4,
+                       .compound_origins = 4,
+                       .precision = simd::Precision::kQuantized,
+                       .worker_threads = 2,
+                       .queue_depth = 2});
   return catalog;
 }
 

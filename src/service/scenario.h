@@ -71,6 +71,11 @@ struct Scenario {
   /// per delivered volume (1 disables).
   int compound_origins = 1;
   simd::DasBackend simd = simd::DasBackend::kAuto;
+  /// Arithmetic precision of the beamform hot path: "double" runs the
+  /// exact IEEE reference, "quantized" the int16 end-to-end fixed-point
+  /// sweep, "auto" defers to US3D_PRECISION (then double). Reported per
+  /// session in SessionStats::precision.
+  simd::Precision precision = simd::Precision::kAuto;
   /// How a front-end feeding this scenario paces frame delivery
   /// (runtime::StreamedFrameSource); the service itself never sleeps.
   runtime::IngestPacing pacing = runtime::IngestPacing::kReportOnly;

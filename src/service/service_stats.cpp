@@ -67,6 +67,7 @@ std::string SessionStats::to_json() const {
   w.begin_object()
       .kv("id", id)
       .kv("scenario", scenario)
+      .kv("precision", precision)
       .kv("priority", priority_name(priority))
       .kv("policy", policy_name(policy))
       .kv("granted_workers", granted_workers)

@@ -65,6 +65,9 @@ std::optional<ShedPolicy> parse_policy(std::string_view name);
 struct SessionStats {
   int id = -1;
   std::string scenario;
+  /// Resolved arithmetic precision of this session's pipeline ("double" /
+  /// "quantized" — mirrors pipeline.precision for direct dashboard use).
+  std::string precision;
   PriorityClass priority = PriorityClass::kRoutine;
   ShedPolicy policy = ShedPolicy::kRefuseNewest;
 

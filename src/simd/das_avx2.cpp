@@ -1,6 +1,7 @@
 #include "simd/das_avx2.h"
 
 #include "simd/das_scalar.h"
+#include "simd/dispatch.h"
 
 #if defined(__AVX2__)
 
@@ -54,6 +55,104 @@ void das_row_avx2(const float* echo, std::int64_t samples,
   }
 }
 
+void das_row_q_avx2(const std::int16_t* echo, std::int64_t samples,
+                    const std::int16_t* delays, std::int32_t weight,
+                    std::int32_t* acc, int points) {
+  // The quantized contract pre-sanitizes delays into [0, samples] (the
+  // sentinel reads zeroed padding), so the whole loop is compare-free with
+  // unmasked gathers, and the per-point arithmetic collapses into one
+  // vpmaddwd: a gathered 32-bit lane holds [echo[i+1] | echo[i]] as two
+  // int16 halves, and madd against a pattern word with `weight` in one
+  // half and 0 in the other computes the exact int32 product
+  // weight * echo[i +/- 0/1] in a single uop — no sign-extension, no
+  // 2-uop vpmulld. weight < 2^15, so set1_epi32(weight) is the low-half
+  // pattern; shifting it left by 16 selects the high half instead.
+  //
+  // On top of that, the kernel exploits the smoothness of sanitized delay
+  // rows (the field is a sampled distance function, so adjacent points
+  // usually differ by <= 1 sample): for each group of 16 points it splits
+  // the 8 loaded lanes into even/odd halves and, when every pair fits a
+  // single 32-bit lane at its min index, ONE 8-lane gather serves all 16
+  // points — per-lane madd patterns then pick each point's half. Gather
+  // lanes are the load-port bottleneck both here and in the double body
+  // (one lane per point there), so halving them is what pushes the
+  // quantized kernel past the double one instead of tying with it. Groups
+  // with any wider pair (including most sentinel boundaries) fall back to
+  // two plain gathers; both paths do the identical exact per-point
+  // arithmetic, so the bit-exact backend contract is untouched.
+  static_cast<void>(samples);
+  const __m256i vw_lo = _mm256_set1_epi32(weight);
+  const __m256i vone = _mm256_set1_epi32(1);
+  const __m256i vlow16 = _mm256_set1_epi32(0xFFFF);
+  int p = 0;
+  for (; p + 16 <= points; p += 16) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(delays + p));
+    // Even/odd point split of the 16 int16 delays; sanitized values are in
+    // [0, 32767], so the 16-bit halves zero-extend exactly.
+    const __m256i de = _mm256_and_si256(d, vlow16);  // points p, p+2, ...
+    const __m256i do_ = _mm256_srli_epi32(d, 16);    // points p+1, p+3, ...
+    __m256i te;  // even points' (weight * sample) >> frac, natural order
+    __m256i to;  // odd points'
+    const __m256i wide = _mm256_cmpgt_epi32(
+        _mm256_abs_epi32(_mm256_sub_epi32(de, do_)), vone);
+    if (_mm256_testz_si256(wide, wide)) {
+      const __m256i mn = _mm256_min_epi32(de, do_);
+      // All 8 pairs within one step: one gather of [echo[mn+1] | echo[mn]]
+      // covers both points of every pair. Each point's pattern word is the
+      // weight shifted into the half its sample occupies: offset (d - mn)
+      // is 0 or 1, so a variable shift by 16 * offset builds [0 | w] or
+      // [w | 0] per lane.
+      const __m256i raw =
+          _mm256_i32gather_epi32(reinterpret_cast<const int*>(echo), mn, 2);
+      const __m256i pat_e = _mm256_sllv_epi32(
+          vw_lo, _mm256_slli_epi32(_mm256_sub_epi32(de, mn), 4));
+      const __m256i pat_o = _mm256_sllv_epi32(
+          vw_lo, _mm256_slli_epi32(_mm256_sub_epi32(do_, mn), 4));
+      te = _mm256_srai_epi32(_mm256_madd_epi16(raw, pat_e),
+                             kQuantWeightFracBits);
+      to = _mm256_srai_epi32(_mm256_madd_epi16(raw, pat_o),
+                             kQuantWeightFracBits);
+    } else {
+      // Wide pair(s) in the group: gather the halves separately. Each lane
+      // still overreads one int16 past its target — covered by the two
+      // guaranteed readable entries past the last sample.
+      const __m256i raw_e =
+          _mm256_i32gather_epi32(reinterpret_cast<const int*>(echo), de, 2);
+      const __m256i raw_o =
+          _mm256_i32gather_epi32(reinterpret_cast<const int*>(echo), do_, 2);
+      te = _mm256_srai_epi32(_mm256_madd_epi16(raw_e, vw_lo),
+                             kQuantWeightFracBits);
+      to = _mm256_srai_epi32(_mm256_madd_epi16(raw_o, vw_lo),
+                             kQuantWeightFracBits);
+    }
+    // Interleave even/odd terms back to point order and accumulate.
+    const __m256i lo = _mm256_unpacklo_epi32(te, to);  // 0..3  | 8..11
+    const __m256i hi = _mm256_unpackhi_epi32(te, to);  // 4..7  | 12..15
+    __m256i* acc0 = reinterpret_cast<__m256i*>(acc + p);
+    __m256i* acc1 = reinterpret_cast<__m256i*>(acc + p + 8);
+    _mm256_storeu_si256(
+        acc0, _mm256_add_epi32(_mm256_loadu_si256(acc0),
+                               _mm256_permute2x128_si256(lo, hi, 0x20)));
+    _mm256_storeu_si256(
+        acc1, _mm256_add_epi32(_mm256_loadu_si256(acc1),
+                               _mm256_permute2x128_si256(lo, hi, 0x31)));
+  }
+  for (; p + 8 <= points; p += 8) {
+    const __m256i idx = _mm256_cvtepi16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(delays + p)));
+    const __m256i raw =
+        _mm256_i32gather_epi32(reinterpret_cast<const int*>(echo), idx, 2);
+    const __m256i t =
+        _mm256_srai_epi32(_mm256_madd_epi16(raw, vw_lo), kQuantWeightFracBits);
+    __m256i* accv = reinterpret_cast<__m256i*>(acc + p);
+    _mm256_storeu_si256(accv, _mm256_add_epi32(_mm256_loadu_si256(accv), t));
+  }
+  if (p < points) {
+    das_row_q_scalar(echo, samples, delays + p, weight, acc + p, points - p);
+  }
+}
+
 }  // namespace us3d::simd
 
 #else  // !defined(__AVX2__)
@@ -62,14 +161,20 @@ namespace us3d::simd {
 
 const bool kDasAvx2Compiled = false;
 
-// Keeps the symbol defined when the TU is built without -mavx2 (non-x86
+// Keeps the symbols defined when the TU is built without -mavx2 (non-x86
 // targets, or a build system that skipped the per-file flag); dispatch
-// reports the backend unavailable, so this body is unreachable through
+// reports the backend unavailable, so these bodies are unreachable through
 // resolve.
 void das_row_avx2(const float* echo, std::int64_t samples,
                   const std::int32_t* delays, double weight, double* acc,
                   int points) {
   das_row_scalar(echo, samples, delays, weight, acc, points);
+}
+
+void das_row_q_avx2(const std::int16_t* echo, std::int64_t samples,
+                    const std::int16_t* delays, std::int32_t weight,
+                    std::int32_t* acc, int points) {
+  das_row_q_scalar(echo, samples, delays, weight, acc, points);
 }
 
 }  // namespace us3d::simd

@@ -1,10 +1,16 @@
-// AVX2 backend for the DAS row contract (simd/dispatch.h): 8 points per
-// iteration, masked 32-bit gather for the echo samples (out-of-window
-// lanes are masked out, so they are never dereferenced and read as zero),
-// packed-double mul + add for the accumulation (never FMA — contraction
-// would break bit-parity with the scalar reference). The TU is compiled
-// with -mavx2 on x86; elsewhere it degrades to the scalar body and
-// kDasAvx2Compiled is false.
+// AVX2 backend for the DAS row contracts (simd/dispatch.h). The double
+// kernel runs 8 points per iteration: masked 32-bit gather for the echo
+// samples (out-of-window lanes are masked out, so they are never
+// dereferenced and read as zero), packed-double mul + add for the
+// accumulation (never FMA — contraction would break bit-parity with the
+// scalar reference). The quantized kernel runs 16 points per iteration —
+// twice the lanes, int16 end to end and compare-free (delays arrive
+// pre-sanitized, see the DasRowQFn contract): two unmasked 32-bit gathers
+// at int16 granularity (echo rows guarantee two readable entries past the
+// last sample — beamform::QuantizedEchoBuffer's layout), then exact int32
+// products/accumulates. The TU is compiled with -mavx2 on
+// x86; elsewhere it degrades to the scalar bodies and kDasAvx2Compiled is
+// false.
 #ifndef US3D_SIMD_DAS_AVX2_H
 #define US3D_SIMD_DAS_AVX2_H
 
@@ -18,6 +24,10 @@ extern const bool kDasAvx2Compiled;
 void das_row_avx2(const float* echo, std::int64_t samples,
                   const std::int32_t* delays, double weight, double* acc,
                   int points);
+
+void das_row_q_avx2(const std::int16_t* echo, std::int64_t samples,
+                    const std::int16_t* delays, std::int32_t weight,
+                    std::int32_t* acc, int points);
 
 }  // namespace us3d::simd
 

@@ -1,0 +1,195 @@
+#include "simd/das_avx512.h"
+
+#include "simd/das_scalar.h"
+#include "simd/dispatch.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace us3d::simd {
+
+const bool kDasAvx512Compiled = true;
+
+void das_row_avx512(const float* echo, std::int64_t samples,
+                    const std::int32_t* delays, double weight, double* acc,
+                    int points) {
+  // Delays are int32, so when the acquisition window itself exceeds the
+  // int32 range every non-negative index is in-window and the upper-bound
+  // compare drops out.
+  const bool windowed =
+      samples <= std::numeric_limits<std::int32_t>::max();
+  const __m512i vbound =
+      _mm512_set1_epi32(windowed ? static_cast<std::int32_t>(samples) : 0);
+  const __m512i vminus1 = _mm512_set1_epi32(-1);
+  const __m512d vw = _mm512_set1_pd(weight);
+  int p = 0;
+  for (; p + 16 <= points; p += 16) {
+    const __m512i idx =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(delays + p));
+    __mmask16 inwin = _mm512_cmpgt_epi32_mask(idx, vminus1);
+    if (windowed) {
+      inwin = _kand_mask16(inwin, _mm512_cmpgt_epi32_mask(vbound, idx));
+    }
+    // k-masked gather: masked-out lanes are never dereferenced and take
+    // the zero source — the clamp-to-zero window semantics in one
+    // instruction, at 16 lanes.
+    const __m512 s = _mm512_mask_i32gather_ps(_mm512_setzero_ps(), inwin, idx,
+                                              echo, sizeof(float));
+    // Widen to double and fold acc += w * s as separate mul + add (never
+    // FMA) — the same IEEE operations per point as the scalar reference,
+    // so the output is bit-identical. The upper 8 floats come out via the
+    // pd-cast extract, which is plain AVX-512F.
+    const __m256 s_lo = _mm512_castps512_ps256(s);
+    const __m256 s_hi = _mm256_castpd_ps(
+        _mm512_extractf64x4_pd(_mm512_castps_pd(s), 1));
+    const __m512d lo = _mm512_cvtps_pd(s_lo);
+    const __m512d hi = _mm512_cvtps_pd(s_hi);
+    _mm512_storeu_pd(acc + p, _mm512_add_pd(_mm512_loadu_pd(acc + p),
+                                            _mm512_mul_pd(vw, lo)));
+    _mm512_storeu_pd(acc + p + 8, _mm512_add_pd(_mm512_loadu_pd(acc + p + 8),
+                                                _mm512_mul_pd(vw, hi)));
+  }
+  if (p < points) {
+    das_row_scalar(echo, samples, delays + p, weight, acc + p, points - p);
+  }
+}
+
+void das_row_q_avx512(const std::int16_t* echo, std::int64_t samples,
+                      const std::int16_t* delays, std::int32_t weight,
+                      std::int32_t* acc, int points) {
+  // The quantized contract pre-sanitizes delays into [0, samples] (the
+  // sentinel reads zeroed padding), so the loop is compare-free and the
+  // gather runs unmasked. As in the AVX2 body, one vpmaddwd against the
+  // pattern word [0 | weight] turns each gathered lane [echo[d+1] |
+  // echo[d]] into the exact int32 product weight * echo[d] — no
+  // sign-extension, no vpmulld. vpmaddwd on zmm is AVX-512BW, which this
+  // TU requires alongside F.
+  // On top of that, the same pair-compression as the AVX2 body: sanitized
+  // delay rows are smooth (adjacent points usually differ by <= 1 sample),
+  // so for each group of 32 points the 16 loaded lanes split into even/odd
+  // halves and, when every pair fits one 32-bit lane at its min index, a
+  // single 16-lane gather serves all 32 points — per-lane patterns (the
+  // weight shifted into the half each point's sample occupies) then pick
+  // the right int16. Gather lanes are the load-port bottleneck, so halving
+  // them is what pushes the quantized kernel past the double one. Wide
+  // groups fall back to two plain gathers; both paths run the identical
+  // exact per-point arithmetic, preserving the bit-exact backend contract.
+  static_cast<void>(samples);
+  const __m512i vw = _mm512_set1_epi32(weight);
+  const __m512i vone = _mm512_set1_epi32(1);
+  const __m512i vlow16 = _mm512_set1_epi32(0xFFFF);
+  // Natural-order restore for the unpacklo/hi halves: 64-bit element picks
+  // across (lo, hi) that interleave their 128-bit chunks back to points
+  // 0..15 and 16..31.
+  const __m512i restore0 =
+      _mm512_setr_epi64(0, 1, 8, 9, 2, 3, 10, 11);
+  const __m512i restore1 =
+      _mm512_setr_epi64(4, 5, 12, 13, 6, 7, 14, 15);
+  int p = 0;
+  for (; p + 32 <= points; p += 32) {
+    const __m512i d =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(delays + p));
+    // Even/odd point split of the 32 int16 delays; sanitized values are in
+    // [0, 32767], so the 16-bit halves zero-extend exactly.
+    const __m512i de = _mm512_and_si512(d, vlow16);   // points p, p+2, ...
+    const __m512i do_ = _mm512_srli_epi32(d, 16);     // points p+1, p+3, ...
+    __m512i te;  // even points' (weight * sample) >> frac
+    __m512i to;  // odd points'
+    const __mmask16 wide = _mm512_cmpgt_epi32_mask(
+        _mm512_abs_epi32(_mm512_sub_epi32(de, do_)), vone);
+    if (static_cast<unsigned>(_cvtmask16_u32(wide)) == 0u) {
+      // All 16 pairs within one step: one gather of [echo[mn+1] | echo[mn]]
+      // covers both points of every pair; the pattern word is the weight
+      // shifted by 16 * (d - mn), selecting the lane half per point.
+      const __m512i mn = _mm512_min_epi32(de, do_);
+      const __m512i raw = _mm512_i32gather_epi32(
+          mn, reinterpret_cast<const void*>(echo), 2);
+      const __m512i pat_e = _mm512_sllv_epi32(
+          vw, _mm512_slli_epi32(_mm512_sub_epi32(de, mn), 4));
+      const __m512i pat_o = _mm512_sllv_epi32(
+          vw, _mm512_slli_epi32(_mm512_sub_epi32(do_, mn), 4));
+      te = _mm512_srai_epi32(_mm512_madd_epi16(raw, pat_e),
+                             kQuantWeightFracBits);
+      to = _mm512_srai_epi32(_mm512_madd_epi16(raw, pat_o),
+                             kQuantWeightFracBits);
+    } else {
+      // Wide pair(s): gather the halves separately. Each lane still
+      // overreads one int16 past its target — covered by the two
+      // guaranteed readable entries past the last sample.
+      const __m512i raw_e = _mm512_i32gather_epi32(
+          de, reinterpret_cast<const void*>(echo), 2);
+      const __m512i raw_o = _mm512_i32gather_epi32(
+          do_, reinterpret_cast<const void*>(echo), 2);
+      te = _mm512_srai_epi32(_mm512_madd_epi16(raw_e, vw),
+                             kQuantWeightFracBits);
+      to = _mm512_srai_epi32(_mm512_madd_epi16(raw_o, vw),
+                             kQuantWeightFracBits);
+    }
+    // Interleave even/odd terms back to point order and accumulate.
+    const __m512i lo = _mm512_unpacklo_epi32(te, to);
+    const __m512i hi = _mm512_unpackhi_epi32(te, to);
+    void* acc0 = reinterpret_cast<void*>(acc + p);
+    void* acc1 = reinterpret_cast<void*>(acc + p + 16);
+    _mm512_storeu_si512(
+        acc0, _mm512_add_epi32(
+                  _mm512_loadu_si512(acc0),
+                  _mm512_permutex2var_epi64(lo, restore0, hi)));
+    _mm512_storeu_si512(
+        acc1, _mm512_add_epi32(
+                  _mm512_loadu_si512(acc1),
+                  _mm512_permutex2var_epi64(lo, restore1, hi)));
+  }
+  for (; p + 16 <= points; p += 16) {
+    // Sign-extend 16 int16 indices to one 16-lane int32 vector (AVX-512F
+    // keeps the whole iteration in a single register, where AVX2 needs
+    // two 8-lane halves).
+    const __m512i idx = _mm512_cvtepi16_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(delays + p)));
+    // Unmasked 32-bit gather at int16 granularity (scale 2): each lane
+    // loads the target sample in its low half plus the following int16 —
+    // the two readable entries past the last sample QuantizedEchoBuffer
+    // guarantees.
+    const __m512i raw = _mm512_i32gather_epi32(
+        idx, reinterpret_cast<const void*>(echo), 2);
+    const __m512i t =
+        _mm512_srai_epi32(_mm512_madd_epi16(raw, vw), kQuantWeightFracBits);
+    _mm512_storeu_si512(
+        reinterpret_cast<void*>(acc + p),
+        _mm512_add_epi32(
+            _mm512_loadu_si512(reinterpret_cast<const void*>(acc + p)), t));
+  }
+  if (p < points) {
+    das_row_q_scalar(echo, samples, delays + p, weight, acc + p, points - p);
+  }
+}
+
+}  // namespace us3d::simd
+
+#else  // !(__AVX512F__ && __AVX512BW__)
+
+namespace us3d::simd {
+
+const bool kDasAvx512Compiled = false;
+
+// Keeps the symbols defined when the TU is built without -mavx512f
+// -mavx512bw (non-x86 targets, or a build system that skipped the flags);
+// dispatch reports the backend unavailable, so these bodies are
+// unreachable through resolve.
+void das_row_avx512(const float* echo, std::int64_t samples,
+                    const std::int32_t* delays, double weight, double* acc,
+                    int points) {
+  das_row_scalar(echo, samples, delays, weight, acc, points);
+}
+
+void das_row_q_avx512(const std::int16_t* echo, std::int64_t samples,
+                      const std::int16_t* delays, std::int32_t weight,
+                      std::int32_t* acc, int points) {
+  das_row_q_scalar(echo, samples, delays, weight, acc, points);
+}
+
+}  // namespace us3d::simd
+
+#endif

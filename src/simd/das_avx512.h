@@ -1,0 +1,34 @@
+// AVX-512 backend for the DAS row contracts (simd/dispatch.h): the double
+// kernel runs 16 points per iteration — the AVX2 masked-gather body at
+// twice the lanes, with native k-mask compares instead of vector masks —
+// and the quantized kernel 16 int16 points per iteration through one
+// unmasked 32-bit gather at int16 granularity, compare-free (delays
+// arrive pre-sanitized and echo rows guarantee two readable entries past
+// the last sample; see the DasRowQFn contract).
+// Both keep the exact per-point arithmetic of their scalar references:
+// packed-double mul + add (never FMA) for the double contract, exact
+// int32 products/shifts (one vpmaddwd per 16 points) for the integer one.
+// The double body needs AVX-512F, the quantized body AVX-512BW for zmm
+// vpmaddwd; the TU is compiled with -mavx512f -mavx512bw on x86 and
+// elsewhere degrades to the scalar bodies with kDasAvx512Compiled false.
+#ifndef US3D_SIMD_DAS_AVX512_H
+#define US3D_SIMD_DAS_AVX512_H
+
+#include <cstdint>
+
+namespace us3d::simd {
+
+/// True when this TU was built with real AVX-512F intrinsics.
+extern const bool kDasAvx512Compiled;
+
+void das_row_avx512(const float* echo, std::int64_t samples,
+                    const std::int32_t* delays, double weight, double* acc,
+                    int points);
+
+void das_row_q_avx512(const std::int16_t* echo, std::int64_t samples,
+                      const std::int16_t* delays, std::int32_t weight,
+                      std::int32_t* acc, int points);
+
+}  // namespace us3d::simd
+
+#endif  // US3D_SIMD_DAS_AVX512_H

@@ -20,4 +20,13 @@ void das_row_neon(const float* echo, std::int64_t samples,
   das_row_scalar(echo, samples, delays, weight, acc, points);
 }
 
+// Stub like the double body. The integer contract is exact arithmetic, so
+// this is bit-identical to every other integer backend by definition; a
+// native int16x8 vmull/vshr body (ROADMAP follow-on) only changes speed.
+void das_row_q_neon(const std::int16_t* echo, std::int64_t samples,
+                    const std::int16_t* delays, std::int32_t weight,
+                    std::int32_t* acc, int points) {
+  das_row_q_scalar(echo, samples, delays, weight, acc, points);
+}
+
 }  // namespace us3d::simd

@@ -1,7 +1,9 @@
-// NEON slot behind the DAS row contract (simd/dispatch.h). The dispatch
+// NEON slot behind the DAS row contracts (simd/dispatch.h). The dispatch
 // wiring, availability reporting and tests treat it exactly like the x86
-// backends, but the body is still the scalar reference even on aarch64 —
-// the vector implementation is an open ROADMAP item. On non-ARM builds
+// backends, but both bodies are still the scalar references even on
+// aarch64 — the double vector implementation is an open ROADMAP item, and
+// the int16 quantized body (a natural fit for NEON's native 16-bit
+// vmull/vshr lanes) is noted there as its follow-on. On non-ARM builds
 // kDasNeonCompiled is false and the backend reports unavailable.
 #ifndef US3D_SIMD_DAS_NEON_H
 #define US3D_SIMD_DAS_NEON_H
@@ -16,6 +18,10 @@ extern const bool kDasNeonCompiled;
 void das_row_neon(const float* echo, std::int64_t samples,
                   const std::int32_t* delays, double weight, double* acc,
                   int points);
+
+void das_row_q_neon(const std::int16_t* echo, std::int64_t samples,
+                    const std::int16_t* delays, std::int32_t weight,
+                    std::int32_t* acc, int points);
 
 }  // namespace us3d::simd
 

@@ -1,5 +1,7 @@
 #include "simd/das_scalar.h"
 
+#include "simd/dispatch.h"
+
 namespace us3d::simd {
 
 void das_row_scalar(const float* echo, std::int64_t samples,
@@ -14,6 +16,24 @@ void das_row_scalar(const float* echo, std::int64_t samples,
                         ? echo[static_cast<std::size_t>(idx)]
                         : 0.0f;
     acc[p] += weight * s;
+  }
+}
+
+void das_row_q_scalar(const std::int16_t* echo, std::int64_t samples,
+                      const std::int16_t* delays, std::int32_t weight,
+                      std::int32_t* acc, int points) {
+  // No window test anywhere: the quantized contract pre-sanitizes delays
+  // into [0, samples] with the sentinel `samples` reading guaranteed-zero
+  // padding, so even the reference body is a straight compare-free sweep.
+  static_cast<void>(samples);
+  for (int p = 0; p < points; ++p) {
+    const std::int32_t s = echo[static_cast<std::size_t>(
+        static_cast<std::uint16_t>(delays[p]))];
+    // Exact two's-complement arithmetic: the product fits int32 (|s| <=
+    // 2^15, weight < 2^15) and >> is an arithmetic shift (floor, the
+    // hardware datapath's free rounding mode). Integer backends match
+    // this bit-for-bit by construction.
+    acc[p] += (weight * s) >> kQuantWeightFracBits;
   }
 }
 

@@ -1,6 +1,8 @@
-// Portable scalar reference for the DAS row contract (simd/dispatch.h).
-// Every vector backend must match it bit-for-bit; it is also the tail
-// loop the vector backends share for the last points % lane_width points.
+// Portable scalar references for the DAS row contracts (simd/dispatch.h).
+// Every vector backend must match its reference bit-for-bit; these are
+// also the tail loops the vector backends share for the last
+// points % lane_width points. das_row_scalar is the IEEE double contract,
+// das_row_q_scalar the exact-integer quantized contract.
 #ifndef US3D_SIMD_DAS_SCALAR_H
 #define US3D_SIMD_DAS_SCALAR_H
 
@@ -11,6 +13,10 @@ namespace us3d::simd {
 void das_row_scalar(const float* echo, std::int64_t samples,
                     const std::int32_t* delays, double weight, double* acc,
                     int points);
+
+void das_row_q_scalar(const std::int16_t* echo, std::int64_t samples,
+                      const std::int16_t* delays, std::int32_t weight,
+                      std::int32_t* acc, int points);
 
 }  // namespace us3d::simd
 

@@ -1,9 +1,14 @@
-// SSE2 backend for the DAS row contract (simd/dispatch.h): 4 points per
-// iteration. SSE2 has no gather, so sample loads are per-lane scalar
-// moves behind a vector in-window mask; the weighted accumulation runs as
-// packed-double mul + add (never FMA), which keeps it bit-identical to
-// the scalar reference. The TU is compiled with -msse2 on x86; elsewhere
-// it degrades to the scalar body and kDasSse2Compiled is false.
+// SSE2 backend for the DAS row contracts (simd/dispatch.h). The double
+// kernel runs 4 points per iteration; SSE2 has no gather, so sample loads
+// are per-lane scalar moves behind a vector in-window mask, and the
+// weighted accumulation runs as packed-double mul + add (never FMA),
+// which keeps it bit-identical to the scalar reference. The quantized
+// kernel runs 8 points per iteration — twice the lanes, int16 end to end
+// and compare-free (delays arrive pre-sanitized, see the DasRowQFn
+// contract): per-lane int16 loads, then the classic mullo/mulhi_epi16
+// unpack to form the exact 32-bit products. The TU is
+// compiled with -msse2 on x86; elsewhere it degrades to the scalar bodies
+// and kDasSse2Compiled is false.
 #ifndef US3D_SIMD_DAS_SSE2_H
 #define US3D_SIMD_DAS_SSE2_H
 
@@ -17,6 +22,10 @@ extern const bool kDasSse2Compiled;
 void das_row_sse2(const float* echo, std::int64_t samples,
                   const std::int32_t* delays, double weight, double* acc,
                   int points);
+
+void das_row_q_sse2(const std::int16_t* echo, std::int64_t samples,
+                    const std::int16_t* delays, std::int32_t weight,
+                    std::int32_t* acc, int points);
 
 }  // namespace us3d::simd
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "simd/das_avx2.h"
+#include "simd/das_avx512.h"
 #include "simd/das_neon.h"
 #include "simd/das_scalar.h"
 #include "simd/das_sse2.h"
@@ -24,6 +25,14 @@ bool cpu_supports(DasBackend backend) {
       return __builtin_cpu_supports("sse2") != 0;
     case DasBackend::kAVX2:
       return __builtin_cpu_supports("avx2") != 0;
+    case DasBackend::kAVX512:
+      // The double kernel is AVX-512F; the quantized kernel's vpmaddwd on
+      // zmm is AVX-512BW. Any F+BW part also has avx2 — require all three
+      // so the row functions (which may share the AVX2 bodies on a
+      // degraded build) are always safe too.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx2") != 0;
     default:
       return false;
   }
@@ -56,6 +65,8 @@ const char* backend_name(DasBackend backend) {
       return "sse2";
     case DasBackend::kAVX2:
       return "avx2";
+    case DasBackend::kAVX512:
+      return "avx512";
     case DasBackend::kNEON:
       return "neon";
   }
@@ -67,6 +78,7 @@ std::optional<DasBackend> parse_backend(std::string_view name) {
   if (name == "scalar") return DasBackend::kScalar;
   if (name == "sse2") return DasBackend::kSSE2;
   if (name == "avx2") return DasBackend::kAVX2;
+  if (name == "avx512") return DasBackend::kAVX512;
   if (name == "neon") return DasBackend::kNEON;
   return std::nullopt;
 }
@@ -79,6 +91,8 @@ bool backend_compiled(DasBackend backend) {
       return kDasSse2Compiled;
     case DasBackend::kAVX2:
       return kDasAvx2Compiled;
+    case DasBackend::kAVX512:
+      return kDasAvx512Compiled;
     case DasBackend::kNEON:
       return kDasNeonCompiled;
     case DasBackend::kAuto:
@@ -95,8 +109,8 @@ bool backend_available(DasBackend backend) {
 
 std::vector<DasBackend> available_backends() {
   std::vector<DasBackend> result;
-  for (DasBackend b :
-       {DasBackend::kAVX2, DasBackend::kNEON, DasBackend::kSSE2}) {
+  for (DasBackend b : {DasBackend::kAVX512, DasBackend::kAVX2,
+                       DasBackend::kNEON, DasBackend::kSSE2}) {
     if (backend_available(b)) result.push_back(b);
   }
   result.push_back(DasBackend::kScalar);
@@ -119,7 +133,7 @@ DasBackend resolve_backend(DasBackend requested) {
     if (!forced) {
       throw std::runtime_error(
           std::string("us3d::simd: US3D_SIMD='") + env +
-          "' is not a backend (want auto|scalar|sse2|avx2|neon)");
+          "' is not a backend (want auto|scalar|sse2|avx2|avx512|neon)");
     }
     if (*forced != DasBackend::kAuto) {
       if (!backend_available(*forced)) throw_unavailable(*forced, "US3D_SIMD");
@@ -137,6 +151,8 @@ DasRowFn das_row_fn(DasBackend backend) {
       return &das_row_sse2;
     case DasBackend::kAVX2:
       return &das_row_avx2;
+    case DasBackend::kAVX512:
+      return &das_row_avx512;
     case DasBackend::kNEON:
       return &das_row_neon;
     case DasBackend::kAuto:
@@ -145,6 +161,60 @@ DasRowFn das_row_fn(DasBackend backend) {
   throw std::logic_error(
       "us3d::simd: das_row_fn wants a concrete backend; call "
       "resolve_backend first");
+}
+
+DasRowQFn das_row_q_fn(DasBackend backend) {
+  switch (backend) {
+    case DasBackend::kScalar:
+      return &das_row_q_scalar;
+    case DasBackend::kSSE2:
+      return &das_row_q_sse2;
+    case DasBackend::kAVX2:
+      return &das_row_q_avx2;
+    case DasBackend::kAVX512:
+      return &das_row_q_avx512;
+    case DasBackend::kNEON:
+      return &das_row_q_neon;
+    case DasBackend::kAuto:
+      break;
+  }
+  throw std::logic_error(
+      "us3d::simd: das_row_q_fn wants a concrete backend; call "
+      "resolve_backend first");
+}
+
+const char* precision_name(Precision precision) {
+  switch (precision) {
+    case Precision::kAuto:
+      return "auto";
+    case Precision::kDouble:
+      return "double";
+    case Precision::kQuantized:
+      return "quantized";
+  }
+  return "unknown";
+}
+
+std::optional<Precision> parse_precision(std::string_view name) {
+  if (name == "auto") return Precision::kAuto;
+  if (name == "double") return Precision::kDouble;
+  if (name == "quantized") return Precision::kQuantized;
+  return std::nullopt;
+}
+
+Precision resolve_precision(Precision requested) {
+  if (requested != Precision::kAuto) return requested;
+  if (const char* env = std::getenv("US3D_PRECISION");
+      env != nullptr && *env != '\0') {
+    const std::optional<Precision> forced = parse_precision(env);
+    if (!forced) {
+      throw std::runtime_error(
+          std::string("us3d::simd: US3D_PRECISION='") + env +
+          "' is not a precision (want auto|double|quantized)");
+    }
+    if (*forced != Precision::kAuto) return *forced;
+  }
+  return Precision::kDouble;
 }
 
 }  // namespace us3d::simd

@@ -14,6 +14,31 @@
 // and produces bit-identical output to the scalar reference (the parity
 // property tests in tests/beamform/test_das_kernel.cpp pin this).
 //
+// The *quantized* row contract (DasRowQFn) is the fixed-point mirror of
+// the same sweep, for the int16 end-to-end pipeline (beamform/quantized.h):
+//
+//   acc[p] += (weight * echo[delays[p]]) >> kQuantWeightFracBits
+//
+// with int16 echo samples, int16 delay indices, a uQ1.14 weight word
+// (weight in [0, 2^15)) and int32 accumulators. Unlike the double
+// contract, the window clamp is *not* the kernel's job: delay rows are
+// pre-sanitized by delay::QuantizedDelayPlane, which maps every
+// out-of-window index to the sentinel `samples`, and echo rows carry at
+// least two zeroed padding entries at [samples, samples+1] (the
+// beamform::QuantizedEchoBuffer layout), so the sentinel reads an exact
+// zero. That is what lets every integer body run compare-free unmasked
+// sweeps — on AVX2 the whole inner loop is cvt + gather + widen + mullo +
+// shift + add, roughly half the double kernel's per-point instruction
+// count, which is where the quantized path's throughput advantage comes
+// from. Every operation is exact two's-complement integer arithmetic (the
+// >> is an arithmetic shift, well-defined in C++20), so all integer
+// backends are bit-identical to the integer scalar reference *by
+// construction* — there is no floating-point ordering to preserve, only
+// the same integer result per point. The product fits int32 (|s| <= 2^15,
+// w < 2^15 → |w*s| < 2^30) and each shifted term has magnitude <= 2^16,
+// so the int32 accumulator is safe for any active-element count the
+// kernel layer admits (< 2^15 rows).
+//
 // Selection is two-stage:
 //  - compile time: each backend TU (das_sse2.cpp, das_avx2.cpp, ...) is
 //    built with its own -m<isa> flag on x86 and exports a "compiled with
@@ -22,9 +47,17 @@
 //  - run time: resolve_backend() intersects the compiled set with what the
 //    host CPU actually supports, honouring an explicit request
 //    (BeamformOptions::simd / PipelineConfig::simd) first and the
-//    US3D_SIMD environment variable (scalar|sse2|avx2|neon|auto) second.
-//    Forcing a backend that is not available fails loudly instead of
-//    silently falling back — that is what lets CI pin every dispatch path.
+//    US3D_SIMD environment variable (scalar|sse2|avx2|avx512|neon|auto)
+//    second. Forcing a backend that is not available fails loudly instead
+//    of silently falling back — that is what lets CI pin every dispatch
+//    path.
+//
+// Precision is the second, orthogonal knob: kDouble runs the IEEE double
+// contract, kQuantized the integer contract. resolve_precision() mirrors
+// resolve_backend(): explicit request first, then the US3D_PRECISION
+// environment variable (double|quantized|auto), then the double default —
+// which is what lets CI re-run the whole suite with
+// US3D_PRECISION=quantized exactly like a forced-backend cell.
 #ifndef US3D_SIMD_DISPATCH_H
 #define US3D_SIMD_DISPATCH_H
 
@@ -40,6 +73,7 @@ enum class DasBackend {
   kScalar,  ///< portable reference; always available
   kSSE2,    ///< 4-wide x86 (baseline on x86-64)
   kAVX2,    ///< 8-wide x86 with masked gather
+  kAVX512,  ///< 16-wide x86 (AVX-512F k-masked gather)
   kNEON,    ///< aarch64; interface + dispatch wired, vector body pending
 };
 
@@ -49,7 +83,41 @@ using DasRowFn = void (*)(const float* echo, std::int64_t samples,
                           const std::int32_t* delays, double weight,
                           double* acc, int points);
 
-/// Lower-case stable name ("auto", "scalar", "sse2", "avx2", "neon").
+/// Fraction bits of the quantized apodization-weight word (uQ1.14): the
+/// arithmetic right-shift every integer backend applies to each
+/// weight*sample product before accumulating. Part of the DasRowQFn
+/// contract — the kernel layer quantizes weights into exactly this format.
+inline constexpr int kQuantWeightFracBits = 14;
+
+/// Largest acquisition window the quantized path can address: delay
+/// indices are int16 and the out-of-window sentinel is `samples` itself,
+/// so both in-window indices (0..samples-1) and the sentinel must fit —
+/// samples <= 32767. The quantized containers (delay::QuantizedDelayPlane,
+/// beamform::QuantizedEchoBuffer) reject longer windows as a precondition
+/// instead of silently dropping samples.
+inline constexpr std::int64_t kQuantMaxSamples = 32767;
+
+/// Integer row-sweep kernel for the quantized pipeline: int16 echo
+/// samples, *sanitized* int16 delay indices in [0, samples] (the value
+/// `samples` is the out-of-window sentinel), uQ1.14 weight word, int32
+/// lane-wise accumulators (see the contract above). Rows of `echo` must
+/// carry at least two zeroed entries at [samples, samples+1]: the
+/// sentinel reads the first, and the AVX2/AVX-512 bodies gather 32-bit
+/// words at 16-bit indices so the entry after the one addressed is also
+/// touched (beamform::QuantizedEchoBuffer guarantees both).
+using DasRowQFn = void (*)(const std::int16_t* echo, std::int64_t samples,
+                           const std::int16_t* delays, std::int32_t weight,
+                           std::int32_t* acc, int points);
+
+/// Arithmetic precision of the beamform hot path.
+enum class Precision {
+  kAuto,       ///< resolve via US3D_PRECISION, default double
+  kDouble,     ///< exact IEEE double delay-and-sum (the reference)
+  kQuantized,  ///< int16 end-to-end fixed-point path (beamform/quantized.h)
+};
+
+/// Lower-case stable name ("auto", "scalar", "sse2", "avx2", "avx512",
+/// "neon").
 const char* backend_name(DasBackend backend);
 
 /// Inverse of backend_name(); nullopt for anything unrecognised.
@@ -76,6 +144,26 @@ DasBackend resolve_backend(DasBackend requested);
 
 /// The row kernel for a concrete (resolved, non-auto) backend.
 DasRowFn das_row_fn(DasBackend backend);
+
+/// The integer row kernel for a concrete (resolved, non-auto) backend.
+/// Every backend has one (integer arithmetic needs no ISA to be exact;
+/// backends without a vector int body run the scalar reference).
+DasRowQFn das_row_q_fn(DasBackend backend);
+
+/// Lower-case stable name ("auto", "double", "quantized").
+const char* precision_name(Precision precision);
+
+/// Inverse of precision_name(); nullopt for anything unrecognised.
+std::optional<Precision> parse_precision(std::string_view name);
+
+/// Resolves a precision request to a concrete precision. An explicit
+/// request wins; kAuto honours US3D_PRECISION when set (unknown values
+/// throw std::runtime_error), else picks kDouble. Both concrete
+/// precisions run on every host — there is no availability lattice — but
+/// the same explicit-beats-environment precedence as resolve_backend()
+/// keeps the two knobs predictable side by side. Re-reads the environment
+/// on every call.
+Precision resolve_precision(Precision requested);
 
 }  // namespace us3d::simd
 

@@ -143,10 +143,15 @@ TEST(DasKernel, NormalizationScalesByTotalWeight) {
   const Beamformer bf(cfg, apod);
   const EchoBuffer echoes = random_echoes(cfg, 0x4011ull);
   delay::ExactDelayEngine engine(cfg);
-  const VolumeImage raw =
-      bf.reconstruct(echoes, engine, {.normalize = false});
-  const VolumeImage normalized =
-      bf.reconstruct(echoes, engine, {.normalize = true});
+  // This pins the DOUBLE path's normalization constant (the quantized
+  // path normalizes by its own quantized total weight), so the precision
+  // is explicit rather than inherited from US3D_PRECISION.
+  const VolumeImage raw = bf.reconstruct(
+      echoes, engine,
+      {.normalize = false, .precision = simd::Precision::kDouble});
+  const VolumeImage normalized = bf.reconstruct(
+      echoes, engine,
+      {.normalize = true, .precision = simd::Precision::kDouble});
   const float norm = static_cast<float>(1.0 / apod.total_weight());
   const auto& spec = cfg.volume;
   for (int it = 0; it < spec.n_theta; ++it) {
@@ -333,11 +338,15 @@ TEST(DasKernel, BlockPathIsBitIdenticalToPerVoxelPathForEveryEngine) {
          {imaging::ScanOrder::kNappeByNappe,
           imaging::ScanOrder::kScanlineByScanline}) {
       for (const int block_points : {0, 1, 13}) {
+        // The per-voxel path only exists in double; pin the block side to
+        // double too so the comparison holds under US3D_PRECISION cells.
         BeamformOptions block_opt{.order = order,
                                   .path = ReconstructPath::kBlock,
-                                  .block_points = block_points};
+                                  .block_points = block_points,
+                                  .precision = simd::Precision::kDouble};
         BeamformOptions voxel_opt{.order = order,
-                                  .path = ReconstructPath::kPerVoxel};
+                                  .path = ReconstructPath::kPerVoxel,
+                                  .precision = simd::Precision::kDouble};
         const VolumeImage a = bf.reconstruct(echoes, *engine, block_opt);
         const VolumeImage b = bf.reconstruct(echoes, *engine, voxel_opt);
         const auto& spec = cfg.volume;

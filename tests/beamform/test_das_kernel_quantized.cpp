@@ -1,0 +1,398 @@
+// The integer (int16) DAS row kernels and their exact-arithmetic contract:
+// every available backend must be bit-identical to the integer scalar
+// reference — same sanitized-delay semantics, same
+// (weight * sample) >> kQuantWeightFracBits per point, same int32
+// accumulation — on random blocks, on adversarial delay-delta patterns
+// (both the pair-compressed gather hit path and its wide-pair fallback in
+// the AVX2 kernel), on sentinel-heavy planes, and on every tail size.
+// Also pins the format invariants of QuantizedDelayPlane and
+// QuantizedEchoBuffer the compare-free kernel contract rests on.
+#include "beamform/das_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "beamform/beamformer.h"
+#include "beamform/quantized.h"
+#include "common/contracts.h"
+#include "common/prng.h"
+#include "delay/quantized_plane.h"
+#include "delay/tablefree.h"
+#include "imaging/volume.h"
+#include "simd/dispatch.h"
+
+namespace us3d::beamform {
+namespace {
+
+imaging::SystemConfig small_cfg() { return imaging::scaled_system(6, 7, 24); }
+
+EchoBuffer random_echoes(const imaging::SystemConfig& cfg,
+                         std::uint64_t seed) {
+  EchoBuffer echoes(cfg.probe.element_count(), cfg.echo_buffer_samples());
+  SplitMix64 prng(seed);
+  for (int e = 0; e < echoes.element_count(); ++e) {
+    for (float& v : echoes.row(e)) {
+      v = static_cast<float>(prng.next_in(-1.0, 1.0));
+    }
+  }
+  return echoes;
+}
+
+std::vector<simd::DasBackend> vector_backends() {
+  std::vector<simd::DasBackend> result;
+  for (simd::DasBackend b : simd::available_backends()) {
+    if (b != simd::DasBackend::kScalar) result.push_back(b);
+  }
+  return result;
+}
+
+std::size_t padded16(int points) {
+  return static_cast<std::size_t>((points + 15) / 16 * 16);
+}
+
+// The integer row contract, written out longhand: the value every backend
+// must reproduce bit for bit.
+std::int32_t reference_term(const QuantizedEchoBuffer& echoes, int element,
+                            std::int16_t delay, std::int32_t weight) {
+  // Sanitized delays address the echo row directly; the sentinel `samples`
+  // lands in the guaranteed-zero padding, so no bounds logic exists here
+  // either — exactly like the kernels.
+  const std::int16_t* row = echoes.row(element).data();
+  return (weight * static_cast<std::int32_t>(row[delay])) >>
+         simd::kQuantWeightFracBits;
+}
+
+TEST(DasKernelQuantized, EveryAvailableBackendMatchesScalarBitForBit) {
+  const auto cfg = small_cfg();
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kHann);
+  const DasKernel kernel(apod);
+  const EchoBuffer echoes = random_echoes(cfg, 0x0a51d3ull);
+  QuantizedEchoBuffer qechoes;
+  qechoes.quantize_from(echoes);
+  const std::int64_t samples = echoes.samples_per_element();
+
+  SplitMix64 prng(0x9bacc3ull);
+  // Sizes straddle the 16-point pair loop, the 8-point epilogue and the
+  // scalar tail of the integer kernels.
+  for (const int points : {1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 24, 31, 33, 48,
+                           63, 64}) {
+    delay::DelayPlane plane;
+    plane.reshape(probe.element_count(), points);
+    for (int e = 0; e < probe.element_count(); ++e) {
+      for (int p = 0; p < points; ++p) {
+        // ~1/4 of the delays land outside the acquisition window so the
+        // sentinel mapping is exercised everywhere.
+        const std::int64_t idx =
+            static_cast<std::int64_t>(prng.next_below(
+                static_cast<std::uint64_t>(2 * samples))) -
+            samples / 2;
+        plane.at(e, p) = static_cast<std::int32_t>(idx);
+      }
+    }
+    delay::QuantizedDelayPlane qplane;
+    qplane.quantize_from(plane, samples);
+
+    std::vector<std::int32_t> reference(padded16(points));
+    kernel.accumulate_block_quantized(qechoes, qplane, reference,
+                                      simd::DasBackend::kScalar);
+    for (const simd::DasBackend backend : vector_backends()) {
+      std::vector<std::int32_t> acc(padded16(points), -1);
+      kernel.accumulate_block_quantized(qechoes, qplane, acc, backend);
+      for (int p = 0; p < points; ++p) {
+        ASSERT_EQ(acc[static_cast<std::size_t>(p)],
+                  reference[static_cast<std::size_t>(p)])
+            << simd::backend_name(backend) << " points=" << points
+            << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(DasKernelQuantized, ScalarReferenceMatchesTheWrittenOutContract) {
+  const auto cfg = small_cfg();
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kHann);
+  const DasKernel kernel(apod);
+  const EchoBuffer echoes = random_echoes(cfg, 0xc0417ac7ull);
+  QuantizedEchoBuffer qechoes;
+  qechoes.quantize_from(echoes);
+  const std::int64_t samples = echoes.samples_per_element();
+
+  const int points = 21;
+  delay::DelayPlane plane;
+  plane.reshape(probe.element_count(), points);
+  SplitMix64 prng(0x5eedull);
+  for (int e = 0; e < probe.element_count(); ++e) {
+    for (int p = 0; p < points; ++p) {
+      plane.at(e, p) = static_cast<std::int32_t>(prng.next_below(
+          static_cast<std::uint64_t>(samples + 8)));  // some out-of-window
+    }
+  }
+  delay::QuantizedDelayPlane qplane;
+  qplane.quantize_from(plane, samples);
+
+  std::vector<std::int32_t> acc(padded16(points));
+  kernel.accumulate_block_quantized(qechoes, qplane, acc,
+                                    simd::DasBackend::kScalar);
+  const std::vector<int>& active = kernel.active_elements();
+  for (int p = 0; p < points; ++p) {
+    std::int32_t expected = 0;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      const int e = active[k];
+      expected += reference_term(qechoes, e, qplane.at(e, p),
+                                 quantize_weight(apod.weight_flat(e)));
+    }
+    ASSERT_EQ(acc[static_cast<std::size_t>(p)], expected) << "p=" << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direct row-kernel probes: adversarial delay-delta patterns chosen to pin
+// both code paths of the pair-compressed AVX2 kernel — groups where every
+// even/odd pair fits one 32-bit gather lane (the hit path) and groups with
+// at least one wide pair (the two-gather fallback) — plus the transitions
+// between them inside one row.
+
+struct RowCase {
+  const char* label;
+  std::vector<std::int16_t> delays;  // pre-sanitized: values in [0, samples]
+};
+
+std::vector<RowCase> adversarial_rows(std::int64_t samples) {
+  const std::int16_t last = static_cast<std::int16_t>(samples - 1);
+  const std::int16_t sentinel = static_cast<std::int16_t>(samples);
+  std::vector<RowCase> cases;
+
+  auto fill = [](int n, auto&& gen) {
+    std::vector<std::int16_t> d(static_cast<std::size_t>(n));
+    for (int p = 0; p < n; ++p) d[static_cast<std::size_t>(p)] = gen(p);
+    return d;
+  };
+
+  // Every pair equal: the hit path with offset 0 everywhere.
+  cases.push_back({"all-equal", fill(64, [&](int) { return 7; })});
+  // Monotone +1 ramp: pairs differ by exactly 1, hit path both offsets.
+  cases.push_back({"ramp-up", fill(64, [&](int p) {
+    return static_cast<std::int16_t>(p % (last + 1));
+  })});
+  // Monotone -1 ramp: the odd lane is the pair minimum.
+  cases.push_back({"ramp-down", fill(64, [&](int p) {
+    return static_cast<std::int16_t>(last - p % (last + 1));
+  })});
+  // Alternating far apart: every pair is wide — pure fallback.
+  cases.push_back({"alternating-wide", fill(64, [&](int p) {
+    return static_cast<std::int16_t>(p % 2 == 0 ? 0 : last);
+  })});
+  // One wide pair per 16-point group: the whole group must fall back and
+  // still match exactly.
+  cases.push_back({"one-wide-per-group", fill(64, [&](int p) {
+    if (p % 16 == 9) return last;
+    return static_cast<std::int16_t>(3 + (p % 2));
+  })});
+  // Hit group, fallback group, hit group... transitions inside one row.
+  cases.push_back({"group-transitions", fill(96, [&](int p) {
+    const bool wide_group = (p / 16) % 2 == 1;
+    if (wide_group) return static_cast<std::int16_t>(p % 2 == 0 ? 1 : last);
+    return static_cast<std::int16_t>(11 + (p % 2));
+  })});
+  // Sentinel-saturated row (all out-of-window): must accumulate zero.
+  cases.push_back({"all-sentinel", fill(64, [&](int) { return sentinel; })});
+  // Sentinel boundary: in-window pairs adjacent to sentinel pairs; the
+  // (last, sentinel) pair differs by 1 and stays on the hit path, reading
+  // the guaranteed-zero entry at `samples`.
+  cases.push_back({"sentinel-boundary", fill(64, [&](int p) {
+    return p % 4 < 2 ? last : sentinel;
+  })});
+  // Tails: every length hits a different mix of 16-pt / 8-pt / scalar
+  // loops.
+  for (int tail = 1; tail <= 64; ++tail) {
+    cases.push_back({"random-walk-tail",
+                     fill(tail, [&, state = std::int16_t{16}](int p) mutable {
+                       state = static_cast<std::int16_t>(
+                           std::min<int>(last, std::max(0, state + (p % 3) - 1)));
+                       return state;
+                     })});
+  }
+  return cases;
+}
+
+TEST(DasKernelQuantized, AdversarialRowsMatchScalarOnEveryBackend) {
+  const auto cfg = small_cfg();
+  const EchoBuffer echoes = random_echoes(cfg, 0xadd3ull);
+  QuantizedEchoBuffer qechoes;
+  qechoes.quantize_from(echoes);
+  const std::int64_t samples = qechoes.samples_per_element();
+  const std::int32_t weight = quantize_weight(0.731);
+  const simd::DasRowQFn scalar_fn =
+      simd::das_row_q_fn(simd::DasBackend::kScalar);
+
+  for (const RowCase& c : adversarial_rows(samples)) {
+    const int points = static_cast<int>(c.delays.size());
+    std::vector<std::int32_t> reference(static_cast<std::size_t>(points), 5);
+    scalar_fn(qechoes.row(0).data(), samples, c.delays.data(), weight,
+              reference.data(), points);
+    for (const simd::DasBackend backend : vector_backends()) {
+      std::vector<std::int32_t> acc(static_cast<std::size_t>(points), 5);
+      simd::das_row_q_fn(backend)(qechoes.row(0).data(), samples,
+                                  c.delays.data(), weight, acc.data(), points);
+      for (int p = 0; p < points; ++p) {
+        ASSERT_EQ(acc[static_cast<std::size_t>(p)],
+                  reference[static_cast<std::size_t>(p)])
+            << c.label << " " << simd::backend_name(backend)
+            << " points=" << points << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(DasKernelQuantized, SentinelRowsAccumulateExactlyZero) {
+  const auto cfg = small_cfg();
+  const EchoBuffer echoes = random_echoes(cfg, 0x5e47ull);
+  QuantizedEchoBuffer qechoes;
+  qechoes.quantize_from(echoes);
+  const std::int64_t samples = qechoes.samples_per_element();
+  const std::vector<std::int16_t> sentinels(
+      64, static_cast<std::int16_t>(samples));
+  for (const simd::DasBackend backend : simd::available_backends()) {
+    std::vector<std::int32_t> acc(64, 0);
+    simd::das_row_q_fn(backend)(qechoes.row(1).data(), samples,
+                                sentinels.data(), quantize_weight(1.0),
+                                acc.data(), 64);
+    for (int p = 0; p < 64; ++p) {
+      ASSERT_EQ(acc[static_cast<std::size_t>(p)], 0)
+          << simd::backend_name(backend) << " p=" << p;
+    }
+  }
+}
+
+TEST(DasKernelQuantized, AllZeroApodizationWritesPureZeros) {
+  // A 2x2 Hann aperture has only edge elements: every quantized weight is
+  // zero, the active list is empty, and the kernel must neither read the
+  // echoes nor the (sentinel) delays.
+  auto cfg = small_cfg();
+  cfg.probe.elements_x = 2;
+  cfg.probe.elements_y = 2;
+  const probe::MatrixProbe probe(cfg.probe);
+  const probe::ApodizationMap apod(probe, probe::WindowKind::kHann);
+  const DasKernel kernel(apod);
+  ASSERT_EQ(kernel.active_count(), 0);
+
+  EchoBuffer echoes(probe.element_count(), 32);
+  QuantizedEchoBuffer qechoes;
+  qechoes.quantize_from(echoes);
+  const int points = 13;
+  delay::DelayPlane plane;
+  plane.reshape(probe.element_count(), points);
+  for (int e = 0; e < probe.element_count(); ++e) {
+    for (int p = 0; p < points; ++p) {
+      plane.at(e, p) = std::numeric_limits<std::int32_t>::max() - p;
+    }
+  }
+  delay::QuantizedDelayPlane qplane;
+  qplane.quantize_from(plane, qechoes.samples_per_element());
+  for (const simd::DasBackend backend : simd::available_backends()) {
+    std::vector<std::int32_t> acc(padded16(points), -1);
+    kernel.accumulate_block_quantized(qechoes, qplane, acc, backend);
+    for (int p = 0; p < points; ++p) {
+      ASSERT_EQ(acc[static_cast<std::size_t>(p)], 0)
+          << simd::backend_name(backend) << " p=" << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Format invariants the compare-free kernel contract rests on.
+
+TEST(QuantizedDelayPlane, PreservesInWindowIndicesExactlyAndSentinelsTheRest) {
+  delay::DelayPlane plane;
+  plane.reshape(2, 7);
+  const std::int64_t samples = 100;
+  const std::int32_t probe_values[7] = {
+      0, 99, 50, -1, 100, std::numeric_limits<std::int32_t>::max(),
+      std::numeric_limits<std::int32_t>::min()};
+  for (int e = 0; e < 2; ++e) {
+    for (int p = 0; p < 7; ++p) plane.at(e, p) = probe_values[p];
+  }
+  delay::QuantizedDelayPlane qplane;
+  qplane.quantize_from(plane, samples);
+  const std::int16_t sentinel = static_cast<std::int16_t>(samples);
+  const std::int16_t expected[7] = {0, 99, 50, sentinel, sentinel, sentinel,
+                                    sentinel};
+  for (int e = 0; e < 2; ++e) {
+    for (int p = 0; p < 7; ++p) {
+      EXPECT_EQ(qplane.at(e, p), expected[p]) << "e=" << e << " p=" << p;
+    }
+  }
+}
+
+TEST(QuantizedDelayPlane, PitchPaddingIsSentinelFilled) {
+  delay::DelayPlane plane;
+  plane.reshape(3, 21);
+  for (int e = 0; e < 3; ++e) {
+    for (int p = 0; p < 21; ++p) plane.at(e, p) = p;
+  }
+  delay::QuantizedDelayPlane qplane;
+  const std::int64_t samples = 64;
+  qplane.quantize_from(plane, samples);
+  EXPECT_EQ(qplane.row_stride() % 32u, 0u);
+  EXPECT_EQ(qplane.padded_point_count(), 32);
+  ASSERT_LE(static_cast<std::size_t>(qplane.padded_point_count()),
+            qplane.row_stride());
+  const std::int16_t sentinel = static_cast<std::int16_t>(samples);
+  for (int e = 0; e < 3; ++e) {
+    const std::int16_t* row = qplane.row(e).data();
+    for (std::size_t p = 21; p < qplane.row_stride(); ++p) {
+      ASSERT_EQ(row[p], sentinel) << "e=" << e << " pad entry " << p;
+    }
+  }
+}
+
+TEST(QuantizedDelayPlane, RejectsWindowsInt16CannotAddress) {
+  delay::DelayPlane plane;
+  plane.reshape(1, 4);
+  for (int p = 0; p < 4; ++p) plane.at(0, p) = p;
+  delay::QuantizedDelayPlane qplane;
+  EXPECT_NO_THROW(qplane.quantize_from(plane, simd::kQuantMaxSamples));
+  EXPECT_THROW(qplane.quantize_from(plane, simd::kQuantMaxSamples + 1),
+               ContractViolation);
+  EXPECT_THROW(qplane.quantize_from(plane, 0), ContractViolation);
+}
+
+TEST(QuantizedEchoBuffer, PeakScalesAndZeroPadsTheSentinelEntries) {
+  EchoBuffer echoes(2, 10);
+  echoes.row(0)[3] = 0.5f;
+  echoes.row(1)[7] = -2.0f;  // the buffer peak
+  QuantizedEchoBuffer q;
+  q.quantize_from(echoes);
+  EXPECT_EQ(q.samples_per_element(), 10);
+  EXPECT_DOUBLE_EQ(q.lsb(), 2.0 / 32767.0);
+  // Peak maps to the full-scale raw word; the 0.5 sample to half of it
+  // (8192 after half-up rounding of 8191.75).
+  EXPECT_EQ(q.row(1).data()[7], -32767);
+  EXPECT_EQ(q.row(0).data()[3], 8192);
+  // The sentinel entry [samples] and the gather-overread entry
+  // [samples + 1] must read zero on every row.
+  for (int e = 0; e < 2; ++e) {
+    EXPECT_EQ(q.row(e).data()[10], 0) << "e=" << e;
+    EXPECT_EQ(q.row(e).data()[11], 0) << "e=" << e;
+  }
+}
+
+TEST(QuantizedEchoBuffer, AllZeroBufferHasZeroLsbAndZeroWords) {
+  EchoBuffer echoes(3, 16);
+  QuantizedEchoBuffer q;
+  q.quantize_from(echoes);
+  EXPECT_EQ(q.lsb(), 0.0);
+  for (int e = 0; e < 3; ++e) {
+    for (std::int64_t s = 0; s < 16; ++s) {
+      ASSERT_EQ(q.row(e).data()[s], 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace us3d::beamform

@@ -70,7 +70,9 @@ TEST(Scenario, FromJsonRejectsMalformedInput) {
                ContractViolation);
   EXPECT_THROW(Scenario::from_json("{\"name\":\"x\",\"engine\":\"gpu\"}"),
                ContractViolation);
-  EXPECT_THROW(Scenario::from_json("{\"name\":\"x\",\"simd\":\"avx512\"}"),
+  EXPECT_THROW(Scenario::from_json("{\"name\":\"x\",\"simd\":\"avx\"}"),
+               ContractViolation);
+  EXPECT_THROW(Scenario::from_json("{\"name\":\"x\",\"precision\":\"int16\"}"),
                ContractViolation);
   EXPECT_THROW(Scenario::from_json("{\"name\":\"x\",\"pacing\":\"turbo\"}"),
                ContractViolation);

@@ -86,7 +86,9 @@ VolumeImage serial_reference(const Scenario& scenario, const EchoFrame& frame) {
   const beamform::Beamformer serial(cfg, apod);
   const auto engine = scenario.make_engine();
   return serial.reconstruct(frame.echoes, *engine,
-                            {.order = scenario.order, .origin = frame.origin});
+                            {.order = scenario.order,
+                             .origin = frame.origin,
+                             .precision = scenario.precision});
 }
 
 void check_delivered_against_serial(
@@ -241,6 +243,41 @@ TEST(ServiceBitExactness, FourConcurrentSessionsOnOneSharedWorkerBudget) {
     check_delivered_against_serial(scenarios[i], frames[i], delivered[i],
                                    scenarios[i].name);
   }
+}
+
+TEST(ServiceBitExactness, QuantizedScenarioMatchesSerialQuantized) {
+  // A quantized-precision session must deliver volumes bit-identical to
+  // the serial quantized beamformer (serial_reference forwards the
+  // scenario's precision), and report the resolved precision in its
+  // stats.
+  ImagingService service(ServiceBudget{.worker_threads = 2,
+                                       .inflight_volumes = 4});
+  Scenario scenario = tiny_scenario("quantized", EngineFamily::kTableSteer);
+  scenario.precision = simd::Precision::kQuantized;
+  const Admission adm = service.open_session(scenario);
+  ASSERT_TRUE(adm.admitted) << adm.reason;
+  EXPECT_EQ(service.session_stats(adm.session).precision, "quantized");
+
+  const auto frames = make_frames(scenario, 4, 909);
+  std::map<std::int64_t, VolumeImage> delivered;
+  const auto sink = [&](const VolumeImage& v, std::int64_t seq) {
+    delivered.emplace(seq, v);
+  };
+  std::int64_t sent = 0;
+  for (const EchoFrame& f : frames) {
+    EchoFrame copy = f;
+    ASSERT_TRUE(service.submit(adm.session, std::move(copy)));
+    ++sent;
+    while (service.session_stats(adm.session).accepted < sent) {
+      service.poll(adm.session, sink);
+    }
+  }
+  const SessionStats stats = service.close_session(adm.session, sink);
+  EXPECT_FALSE(stats.failed) << stats.error;
+  EXPECT_EQ(stats.delivered_frames, 4);
+  EXPECT_NE(stats.to_json().find("\"precision\":\"quantized\""),
+            std::string::npos);
+  check_delivered_against_serial(scenario, frames, delivered, scenario.name);
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 // lattice (compiled ∧ CPU), resolution precedence (explicit option over
 // US3D_SIMD over auto-detection), and the loud-failure contract for
 // forced-but-unavailable backends — the property CI leans on when it runs
-// the suites once per forced backend.
+// the suites once per forced backend. The precision knob (US3D_PRECISION)
+// mirrors the same precedence and is pinned here alongside.
 #include "simd/dispatch.h"
 
 #include <gtest/gtest.h>
@@ -14,12 +15,13 @@
 namespace us3d::simd {
 namespace {
 
-/// Scoped US3D_SIMD override; restores the previous value on destruction
-/// so tests compose with a CI harness that forces a backend globally.
+/// Scoped environment-variable override; restores the previous value on
+/// destruction so tests compose with a CI harness that forces a backend
+/// (or a precision) globally.
 class ScopedEnv {
  public:
-  explicit ScopedEnv(const char* value) {
-    const char* old = std::getenv("US3D_SIMD");
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
     if (old != nullptr) saved_ = old;
     had_ = old != nullptr;
     set(value);
@@ -27,20 +29,25 @@ class ScopedEnv {
   ~ScopedEnv() { had_ ? set(saved_.c_str()) : set(nullptr); }
 
  private:
-  static void set(const char* value) {
+  void set(const char* value) {
     if (value != nullptr) {
-      ::setenv("US3D_SIMD", value, 1);
+      ::setenv(name_, value, 1);
     } else {
-      ::unsetenv("US3D_SIMD");
+      ::unsetenv(name_);
     }
   }
+  const char* name_;
   std::string saved_;
   bool had_ = false;
 };
 
 constexpr DasBackend kAll[] = {DasBackend::kAuto, DasBackend::kScalar,
                                DasBackend::kSSE2, DasBackend::kAVX2,
-                               DasBackend::kNEON};
+                               DasBackend::kAVX512, DasBackend::kNEON};
+
+constexpr DasBackend kConcrete[] = {DasBackend::kScalar, DasBackend::kSSE2,
+                                    DasBackend::kAVX2, DasBackend::kAVX512,
+                                    DasBackend::kNEON};
 
 TEST(SimdDispatch, NamesAndParseRoundTrip) {
   for (const DasBackend b : kAll) {
@@ -48,7 +55,7 @@ TEST(SimdDispatch, NamesAndParseRoundTrip) {
     ASSERT_TRUE(parsed.has_value()) << backend_name(b);
     EXPECT_EQ(*parsed, b);
   }
-  EXPECT_EQ(parse_backend("avx512"), std::nullopt);
+  EXPECT_EQ(parse_backend("avx"), std::nullopt);
   EXPECT_EQ(parse_backend(""), std::nullopt);
   EXPECT_EQ(parse_backend("AVX2"), std::nullopt) << "names are lower-case";
 }
@@ -74,7 +81,7 @@ TEST(SimdDispatch, AvailableImpliesCompiled) {
 }
 
 TEST(SimdDispatch, AutoResolvesToTheBestAvailableBackend) {
-  ScopedEnv env(nullptr);  // neutralize any harness-level US3D_SIMD
+  ScopedEnv env("US3D_SIMD", nullptr);  // neutralize any harness-level force
   const DasBackend resolved = resolve_backend(DasBackend::kAuto);
   EXPECT_EQ(resolved, available_backends().front());
   EXPECT_TRUE(backend_available(resolved));
@@ -88,12 +95,12 @@ TEST(SimdDispatch, ExplicitRequestResolvesToItself) {
 
 TEST(SimdDispatch, ForcingAnUnavailableBackendThrows) {
   bool saw_unavailable = false;
-  for (const DasBackend b :
-       {DasBackend::kSSE2, DasBackend::kAVX2, DasBackend::kNEON}) {
+  for (const DasBackend b : {DasBackend::kSSE2, DasBackend::kAVX2,
+                             DasBackend::kAVX512, DasBackend::kNEON}) {
     if (backend_available(b)) continue;
     saw_unavailable = true;
     EXPECT_THROW(resolve_backend(b), std::runtime_error) << backend_name(b);
-    ScopedEnv env(backend_name(b));
+    ScopedEnv env("US3D_SIMD", backend_name(b));
     EXPECT_THROW(resolve_backend(DasBackend::kAuto), std::runtime_error)
         << "US3D_SIMD=" << backend_name(b);
   }
@@ -104,41 +111,97 @@ TEST(SimdDispatch, ForcingAnUnavailableBackendThrows) {
 
 TEST(SimdDispatch, EnvVarForcesAutoResolution) {
   for (const DasBackend b : available_backends()) {
-    ScopedEnv env(backend_name(b));
+    ScopedEnv env("US3D_SIMD", backend_name(b));
     EXPECT_EQ(resolve_backend(DasBackend::kAuto), b) << backend_name(b);
   }
 }
 
 TEST(SimdDispatch, EnvVarAutoAndEmptyFallThroughToDetection) {
   {
-    ScopedEnv env("auto");
+    ScopedEnv env("US3D_SIMD", "auto");
     EXPECT_EQ(resolve_backend(DasBackend::kAuto), available_backends().front());
   }
   {
-    ScopedEnv env("");
+    ScopedEnv env("US3D_SIMD", "");
     EXPECT_EQ(resolve_backend(DasBackend::kAuto), available_backends().front());
   }
 }
 
 TEST(SimdDispatch, UnknownEnvVarValueThrows) {
-  ScopedEnv env("fastest-please");
+  ScopedEnv env("US3D_SIMD", "fastest-please");
   EXPECT_THROW(resolve_backend(DasBackend::kAuto), std::runtime_error);
 }
 
 TEST(SimdDispatch, ExplicitRequestBeatsTheEnvVar) {
   // Even with the env pinned to scalar, an explicit option wins.
-  ScopedEnv env("scalar");
+  ScopedEnv env("US3D_SIMD", "scalar");
   for (const DasBackend b : available_backends()) {
     EXPECT_EQ(resolve_backend(b), b) << backend_name(b);
   }
 }
 
+TEST(SimdDispatch, Avx512AvailabilityIsConsistentWithAvx2) {
+  // The avx512 availability predicate requires avx2 too (the quantized
+  // pipeline leans on both being orderable best-first).
+  if (backend_available(DasBackend::kAVX512)) {
+    EXPECT_TRUE(backend_available(DasBackend::kAVX2));
+  }
+}
+
 TEST(SimdDispatch, RowFnExistsForEveryConcreteBackend) {
-  for (const DasBackend b : {DasBackend::kScalar, DasBackend::kSSE2,
-                             DasBackend::kAVX2, DasBackend::kNEON}) {
+  for (const DasBackend b : kConcrete) {
     EXPECT_NE(das_row_fn(b), nullptr) << backend_name(b);
+    EXPECT_NE(das_row_q_fn(b), nullptr) << backend_name(b);
   }
   EXPECT_THROW(das_row_fn(DasBackend::kAuto), std::logic_error);
+  EXPECT_THROW(das_row_q_fn(DasBackend::kAuto), std::logic_error);
+}
+
+TEST(SimdDispatch, PrecisionNamesAndParseRoundTrip) {
+  for (const Precision p :
+       {Precision::kAuto, Precision::kDouble, Precision::kQuantized}) {
+    const auto parsed = parse_precision(precision_name(p));
+    ASSERT_TRUE(parsed.has_value()) << precision_name(p);
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_EQ(parse_precision("int16"), std::nullopt);
+  EXPECT_EQ(parse_precision(""), std::nullopt);
+  EXPECT_EQ(parse_precision("Double"), std::nullopt) << "names are lower-case";
+}
+
+TEST(SimdDispatch, PrecisionDefaultsToDouble) {
+  ScopedEnv env("US3D_PRECISION", nullptr);
+  EXPECT_EQ(resolve_precision(Precision::kAuto), Precision::kDouble);
+}
+
+TEST(SimdDispatch, PrecisionEnvVarForcesAutoResolution) {
+  {
+    ScopedEnv env("US3D_PRECISION", "quantized");
+    EXPECT_EQ(resolve_precision(Precision::kAuto), Precision::kQuantized);
+  }
+  {
+    ScopedEnv env("US3D_PRECISION", "double");
+    EXPECT_EQ(resolve_precision(Precision::kAuto), Precision::kDouble);
+  }
+  {
+    ScopedEnv env("US3D_PRECISION", "auto");
+    EXPECT_EQ(resolve_precision(Precision::kAuto), Precision::kDouble);
+  }
+  {
+    ScopedEnv env("US3D_PRECISION", "");
+    EXPECT_EQ(resolve_precision(Precision::kAuto), Precision::kDouble);
+  }
+}
+
+TEST(SimdDispatch, PrecisionExplicitRequestBeatsTheEnvVar) {
+  ScopedEnv env("US3D_PRECISION", "quantized");
+  EXPECT_EQ(resolve_precision(Precision::kDouble), Precision::kDouble);
+  EXPECT_EQ(resolve_precision(Precision::kQuantized), Precision::kQuantized);
+}
+
+TEST(SimdDispatch, PrecisionUnknownEnvVarValueThrows) {
+  ScopedEnv env("US3D_PRECISION", "float128");
+  EXPECT_THROW(resolve_precision(Precision::kAuto), std::runtime_error);
 }
 
 }  // namespace
