@@ -130,7 +130,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 std::shared_ptr<Counter> MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& e = entries_[name];
   if (e.gauge || e.histogram) {
     throw ContractViolation("metric '" + name + "' is not a counter");
@@ -140,7 +140,7 @@ std::shared_ptr<Counter> MetricsRegistry::counter(const std::string& name) {
 }
 
 std::shared_ptr<Gauge> MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& e = entries_[name];
   if (e.counter || e.histogram) {
     throw ContractViolation("metric '" + name + "' is not a gauge");
@@ -151,7 +151,7 @@ std::shared_ptr<Gauge> MetricsRegistry::gauge(const std::string& name) {
 
 std::shared_ptr<FixedHistogram> MetricsRegistry::histogram(
     const std::string& name, std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& e = entries_[name];
   if (e.counter || e.gauge) {
     throw ContractViolation("metric '" + name + "' is not a histogram");
@@ -166,12 +166,12 @@ std::shared_ptr<FixedHistogram> MetricsRegistry::histogram(
 }
 
 std::size_t MetricsRegistry::remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.erase(name);
 }
 
 std::size_t MetricsRegistry::remove_prefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t removed = 0;
   for (auto it = entries_.lower_bound(prefix);
        it != entries_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
@@ -182,19 +182,19 @@ std::size_t MetricsRegistry::remove_prefix(const std::string& prefix) {
 }
 
 void MetricsRegistry::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::string MetricsRegistry::snapshot_json() const {
   std::map<std::string, Entry> entries;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     entries = entries_;
   }
   std::ostringstream os;

@@ -23,9 +23,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 namespace us3d::obs {
 
@@ -107,21 +108,22 @@ class MetricsRegistry {
   /// metric of a different kind. histogram() with empty bounds uses
   /// FixedHistogram::default_latency_bounds(); bounds are fixed by the
   /// first creation and later calls just return the existing node.
-  std::shared_ptr<Counter> counter(const std::string& name);
-  std::shared_ptr<Gauge> gauge(const std::string& name);
+  std::shared_ptr<Counter> counter(const std::string& name)
+      US3D_EXCLUDES(mutex_);
+  std::shared_ptr<Gauge> gauge(const std::string& name) US3D_EXCLUDES(mutex_);
   std::shared_ptr<FixedHistogram> histogram(const std::string& name,
                                             std::vector<double> upper_bounds =
-                                                {});
+                                                {}) US3D_EXCLUDES(mutex_);
 
   /// Unlists a metric (holders keep their node). Returns entries removed.
-  std::size_t remove(const std::string& name);
-  std::size_t remove_prefix(const std::string& prefix);
-  void clear();
-  std::size_t size() const;
+  std::size_t remove(const std::string& name) US3D_EXCLUDES(mutex_);
+  std::size_t remove_prefix(const std::string& prefix) US3D_EXCLUDES(mutex_);
+  void clear() US3D_EXCLUDES(mutex_);
+  std::size_t size() const US3D_EXCLUDES(mutex_);
 
   /// One JSON object {"counters":{...},"gauges":{...},"histograms":{...}}
   /// with names sorted; readable back through us3d::parse_json.
-  std::string snapshot_json() const;
+  std::string snapshot_json() const US3D_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -130,8 +132,8 @@ class MetricsRegistry {
     std::shared_ptr<FixedHistogram> histogram;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ US3D_GUARDED_BY(mutex_);
 };
 
 }  // namespace us3d::obs

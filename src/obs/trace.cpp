@@ -4,10 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <ostream>
 #include <string_view>
 
+#include "common/annotated_mutex.h"
 #include "common/contracts.h"
 #include "common/json_writer.h"
 
@@ -136,19 +136,27 @@ struct TraceCollector::ThreadBuffer {
   ThreadBuffer(std::size_t capacity, std::uint64_t tid_in)
       : ring(capacity), tid(tid_in), name("thread-" + std::to_string(tid_in)) {}
 
-  SpanRing ring;
+  SpanRing ring;  // seqlock: atomics + fences, no mutex (see trace.h)
   std::uint64_t tid;
-  std::string name;  // guarded by State::mutex
+  /// Each buffer guards its own name rather than borrowing the registry
+  /// lock: naming a thread and a collect() of other buffers never contend.
+  mutable Mutex name_mutex;
+  std::string name US3D_GUARDED_BY(name_mutex);
   std::atomic<bool> retired{false};
 };
 
 namespace {
 
+/// The collector registry. `mutex` guards the buffer roster and its
+/// admission parameters; `enabled` is a plain atomic read on the record
+/// hot path, and `epoch_ns` is frozen inside the state() initializer
+/// before any other thread can observe the object.
 struct CollectorState {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<TraceCollector::ThreadBuffer>> buffers;
-  std::uint64_t next_tid = 1;
-  std::size_t thread_capacity = kDefaultThreadCapacity;
+  Mutex mutex;
+  std::vector<std::shared_ptr<TraceCollector::ThreadBuffer>> buffers
+      US3D_GUARDED_BY(mutex);
+  std::uint64_t next_tid US3D_GUARDED_BY(mutex) = 1;
+  std::size_t thread_capacity US3D_GUARDED_BY(mutex) = kDefaultThreadCapacity;
   std::atomic<bool> enabled{false};
   std::uint64_t epoch_ns = 0;
 };
@@ -195,19 +203,21 @@ bool TraceCollector::enabled() const {
 
 void TraceCollector::set_thread_capacity(std::size_t spans) {
   US3D_EXPECTS(spans > 0);
-  std::lock_guard<std::mutex> lock(state().mutex);
-  state().thread_capacity = spans;
+  CollectorState& s = state();
+  MutexLock lock(s.mutex);
+  s.thread_capacity = spans;
 }
 
 std::size_t TraceCollector::thread_capacity() const {
-  std::lock_guard<std::mutex> lock(state().mutex);
-  return state().thread_capacity;
+  CollectorState& s = state();
+  MutexLock lock(s.mutex);
+  return s.thread_capacity;
 }
 
 TraceCollector::ThreadBuffer& TraceCollector::buffer_for_this_thread() {
   if (!t_handle.buffer) {
     CollectorState& s = state();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     auto buffer =
         std::make_shared<ThreadBuffer>(s.thread_capacity, s.next_tid++);
     s.buffers.push_back(buffer);
@@ -228,15 +238,16 @@ std::uint64_t TraceCollector::now_ns() const {
 void TraceCollector::name_this_thread(const std::string& name) {
   if (!enabled()) return;
   ThreadBuffer& buffer = buffer_for_this_thread();
-  std::lock_guard<std::mutex> lock(state().mutex);
+  MutexLock lock(buffer.name_mutex);
   buffer.name = name;
 }
 
 TraceSnapshot TraceCollector::collect() const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(state().mutex);
-    buffers = state().buffers;
+    CollectorState& s = state();
+    MutexLock lock(s.mutex);
+    buffers = s.buffers;
   }
   TraceSnapshot snap;
   snap.threads.reserve(buffers.size());
@@ -244,7 +255,7 @@ TraceSnapshot TraceCollector::collect() const {
     ThreadTrace t;
     t.tid = buffer->tid;
     {
-      std::lock_guard<std::mutex> lock(state().mutex);
+      MutexLock lock(buffer->name_mutex);
       t.name = buffer->name;
     }
     t.dropped_spans = buffer->ring.snapshot(t.spans);
@@ -254,8 +265,9 @@ TraceSnapshot TraceCollector::collect() const {
 }
 
 void TraceCollector::reset() {
-  std::lock_guard<std::mutex> lock(state().mutex);
-  auto& buffers = state().buffers;
+  CollectorState& s = state();
+  MutexLock lock(s.mutex);
+  auto& buffers = s.buffers;
   for (const auto& buffer : buffers) buffer->ring.reset();
   // Retired buffers can never be written again — release them so a
   // long-lived process that traces in rounds stays bounded by its live
@@ -369,15 +381,18 @@ void TraceCollector::write_chrome_trace(std::ostream& os) const {
     std::vector<const SpanRecord*> open;
     for (const SpanRecord* r : order) {
       while (!open.empty() && open.back()->t1_ns <= r->t0_ns) {
-        write_duration_event(w, 'E', t.tid, open.back()->t1_ns / 1e3,
+        write_duration_event(w, 'E', t.tid,
+                             static_cast<double>(open.back()->t1_ns) / 1e3,
                              *open.back());
         open.pop_back();
       }
-      write_duration_event(w, 'B', t.tid, r->t0_ns / 1e3, *r);
+      write_duration_event(w, 'B', t.tid,
+                           static_cast<double>(r->t0_ns) / 1e3, *r);
       open.push_back(r);
     }
     while (!open.empty()) {
-      write_duration_event(w, 'E', t.tid, open.back()->t1_ns / 1e3,
+      write_duration_event(w, 'E', t.tid,
+                             static_cast<double>(open.back()->t1_ns) / 1e3,
                            *open.back());
       open.pop_back();
     }

@@ -33,11 +33,16 @@ AsyncPipeline::AsyncPipeline(FramePipeline& pipeline,
       start_(Clock::now()) {
   US3D_EXPECTS(options.depth >= 1);
   US3D_EXPECTS(options.compound_origins >= 1);
-  stats_.worker_threads = pipeline.worker_threads();
-  stats_.simd_backend = pipeline.stats().simd_backend;
-  stats_.precision = pipeline.stats().precision;
-  stats_.queue_depth = std::max(1, options.depth);
-  stats_.ring_slots = ring_.slots();
+  {
+    // Uncontended (the stage threads don't exist yet); keeps the guarded
+    // stats_ writes uniform for the thread-safety analysis.
+    MutexLock lock(state_mutex_);
+    stats_.worker_threads = pipeline.worker_threads();
+    stats_.simd_backend = pipeline.stats().simd_backend;
+    stats_.precision = pipeline.stats().precision;
+    stats_.queue_depth = std::max(1, options.depth);
+    stats_.ring_slots = ring_.slots();
+  }
   backend_name_ = simd::backend_name(pipeline.simd_backend_);
   precision_name_ = simd::precision_name(pipeline.precision_);
   if (!options_.metrics_scope.empty()) {
@@ -68,19 +73,41 @@ AsyncPipeline::~AsyncPipeline() {
   if (compound_thread_.joinable()) compound_thread_.join();
 }
 
+// Acceptance is counted *before* the push and rolled back on refusal.
+// Counting after the push (as this used to) left a window where a frame
+// was already in the pipeline — possibly beamformed, compounded and
+// delivered — while submitted_ still excluded it, so a concurrent
+// stats_snapshot() could observe frames > insonifications: exactly the
+// torn ledger the snapshot contract rules out. The state lock cannot
+// simply be held across the push, because push() blocks on backpressure
+// and that would stall every scrape (and the delivery accounting) for the
+// whole stall. Optimistically over-counting is safe: the ledger bound is
+// delivered <= insonifications, and an accepted-but-still-queued frame
+// only widens that gap until it is rolled back or delivered.
 bool AsyncPipeline::submit(EchoFrame frame) {
   if (failed()) return false;
   const std::int64_t sequence = frame.sequence;
+  {
+    MutexLock lock(state_mutex_);
+    ++submitted_;
+  }
+  bool pushed;
   {
     // The span covers the queue wait: with the input queue full this is
     // the backpressure stall the acquisition front-end experiences.
     US3D_TRACE_SPAN("stage.ingest", "sequence", sequence, "session",
                     options_.session);
-    if (!input_.push(std::move(frame))) return false;
+    pushed = input_.push(std::move(frame));
   }
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    ++submitted_;
+  if (!pushed) {
+    {
+      MutexLock lock(state_mutex_);
+      --submitted_;
+    }
+    // A flush() parked on processed_ >= submitted_ may be waiting for the
+    // rolled-back acceptance.
+    state_cv_.notify_all();
+    return false;
   }
   return true;
 }
@@ -88,13 +115,20 @@ bool AsyncPipeline::submit(EchoFrame frame) {
 bool AsyncPipeline::try_submit(EchoFrame& frame) {
   if (failed()) return false;
   const std::int64_t sequence = frame.sequence;
-  if (!input_.try_push(frame)) return false;
-  US3D_TRACE_INSTANT("stage.ingest", "sequence", sequence, "session",
-                     options_.session);
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     ++submitted_;
   }
+  if (!input_.try_push(frame)) {
+    {
+      MutexLock lock(state_mutex_);
+      --submitted_;
+    }
+    state_cv_.notify_all();
+    return false;
+  }
+  US3D_TRACE_INSTANT("stage.ingest", "sequence", sequence, "session",
+                     options_.session);
   return true;
 }
 
@@ -109,22 +143,22 @@ void AsyncPipeline::set_queue_depth(int depth) {
   // construction).
   if (options_.compound_origins > 1) ring_cap = std::max(ring_cap, 2);
   ring_.set_active_slots(std::min(ring_cap, ring_.slots()));
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   stats_.queue_depth = depth;
 }
 
 int AsyncPipeline::queue_depth() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   return stats_.queue_depth;
 }
 
 void AsyncPipeline::record_ingest(double seconds) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   stats_.ingest.record(seconds);
 }
 
 PipelineStats AsyncPipeline::stats_snapshot() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   PipelineStats out = stats_;
   if (!finished_) {
     // Live view: acceptance is the running submit count, and nothing is
@@ -149,7 +183,7 @@ bool AsyncPipeline::take_output(Output& out) {
 bool AsyncPipeline::poll(const VolumeSink& sink) {
   Output out;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     if (!take_output(out)) return false;
   }
   return deliver(sink, out);
@@ -158,11 +192,11 @@ bool AsyncPipeline::poll(const VolumeSink& sink) {
 bool AsyncPipeline::wait_one(const VolumeSink& sink) {
   Output out;
   {
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    state_cv_.wait(lock, [&] {
-      return !output_.empty() || stages_done_ ||
-             failed_.load(std::memory_order_acquire);
-    });
+    MutexLock lock(state_mutex_);
+    while (output_.empty() && !stages_done_ &&
+           !failed_.load(std::memory_order_acquire)) {
+      state_cv_.wait(state_mutex_);
+    }
     if (!take_output(out)) return false;  // drained and done (or failed)
   }
   return deliver(sink, out);
@@ -172,16 +206,16 @@ void AsyncPipeline::flush(const VolumeSink& sink) {
   while (true) {
     Output out;
     {
-      std::unique_lock<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       // An emit for insonification i always precedes processed_ reaching
       // i, so once processed_ catches up to submitted_ with the output
       // queue empty there is nothing more this flush could ever deliver
       // (a partial compound group intentionally stays buffered).
-      state_cv_.wait(lock, [&] {
-        return !output_.empty() || stages_done_ ||
-               failed_.load(std::memory_order_acquire) ||
-               processed_ >= submitted_;
-      });
+      while (output_.empty() && !stages_done_ &&
+             !failed_.load(std::memory_order_acquire) &&
+             processed_ < submitted_) {
+        state_cv_.wait(state_mutex_);
+      }
       if (!take_output(out)) return;
     }
     if (!deliver(sink, out)) return;
@@ -190,7 +224,7 @@ void AsyncPipeline::flush(const VolumeSink& sink) {
 
 PipelineStats AsyncPipeline::finish(const VolumeSink& sink) {
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     if (finished_) return stats_;
   }
   close();
@@ -198,7 +232,7 @@ PipelineStats AsyncPipeline::finish(const VolumeSink& sink) {
   }
   if (beamform_thread_.joinable()) beamform_thread_.join();
   if (compound_thread_.joinable()) compound_thread_.join();
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   if (!finished_) {
     finished_ = true;
     stats_.insonifications = submitted_;
@@ -234,7 +268,7 @@ PipelineStats AsyncPipeline::finish(const VolumeSink& sink) {
 void AsyncPipeline::rethrow_if_failed() {
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     error = worker_error_ ? worker_error_ : sink_error_;
   }
   if (error) std::rethrow_exception(error);
@@ -256,7 +290,7 @@ void AsyncPipeline::beamform_loop() {
       StageStats blocks =
           pipeline_.beamform_into(frame->echoes, frame->origin, ring_[slot]);
       const double elapsed = seconds_since(t0);
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       stats_.beamform.record(elapsed);
       stats_.block.merge(blocks);
       ok = true;
@@ -280,7 +314,7 @@ void AsyncPipeline::compound_loop() {
   std::int64_t acc_seq = 0;
   const auto mark_processed = [&] {
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       ++processed_;
     }
     state_cv_.notify_all();
@@ -314,7 +348,7 @@ void AsyncPipeline::compound_loop() {
     }
     acc_seq = b->sequence;
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       stats_.compound.record(seconds_since(t0));
     }
     if (acc_count >= k) {
@@ -334,7 +368,7 @@ void AsyncPipeline::compound_loop() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     stages_done_ = true;
   }
   state_cv_.notify_all();
@@ -343,7 +377,7 @@ void AsyncPipeline::compound_loop() {
 void AsyncPipeline::emit(Output out) {
   bool dropped = false;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     if (failed_.load(std::memory_order_acquire)) {
       dropped = true;
     } else {
@@ -371,7 +405,7 @@ bool AsyncPipeline::deliver(const VolumeSink& sink, const Output& out) {
   }
   const double elapsed = seconds_since(t0);
   ring_.release(out.slot);
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   stats_.consume.record(elapsed);
   ++stats_.frames;
   stats_.voxels += voxels;
@@ -382,7 +416,7 @@ bool AsyncPipeline::deliver(const VolumeSink& sink, const Output& out) {
 void AsyncPipeline::fail(std::exception_ptr error, bool from_sink) {
   std::deque<Output> orphans;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     if (from_sink) {
       if (!sink_error_) sink_error_ = error;
     } else if (!worker_error_) {

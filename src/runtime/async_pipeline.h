@@ -36,14 +36,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/annotated_mutex.h"
 #include "runtime/bounded_queue.h"
 #include "runtime/frame_pipeline.h"
 #include "runtime/frame_source.h"
@@ -94,28 +93,28 @@ class AsyncPipeline {
   /// Blocking submit: parks the caller while the input queue is full
   /// (backpressure). Returns false once the pipeline has failed or been
   /// closed — the frame was not accepted.
-  bool submit(EchoFrame frame);
+  bool submit(EchoFrame frame) US3D_EXCLUDES(state_mutex_);
 
   /// Non-blocking submit: false when the queue is full right now (the
   /// frame is left intact for the caller to retry or shed) or the
   /// pipeline is closed/failed.
-  bool try_submit(EchoFrame& frame);
+  bool try_submit(EchoFrame& frame) US3D_EXCLUDES(state_mutex_);
 
   /// Non-blocking: delivers at most one finished volume to `sink`.
   /// Returns true if one was delivered. One consuming thread at a time.
-  bool poll(const VolumeSink& sink);
+  bool poll(const VolumeSink& sink) US3D_EXCLUDES(state_mutex_);
 
   /// Blocking: waits for the next finished volume and delivers it.
   /// Returns false when no more outputs will ever arrive (stream closed
   /// and drained, or pipeline failed).
-  bool wait_one(const VolumeSink& sink);
+  bool wait_one(const VolumeSink& sink) US3D_EXCLUDES(state_mutex_);
 
   /// Blocks until every insonification submitted so far has been
   /// processed through the beamform and compound stages, delivering any
   /// finished volumes to `sink` on the way (a partial compound group
   /// stays buffered until close()). This is what makes the synchronous
   /// non-overlapped mode strictly sequential.
-  void flush(const VolumeSink& sink);
+  void flush(const VolumeSink& sink) US3D_EXCLUDES(state_mutex_);
 
   /// No more submissions; in-flight frames still complete and can be
   /// drained with wait_one()/finish(). Idempotent.
@@ -130,17 +129,17 @@ class AsyncPipeline {
   /// the caller always gets truthful stats — call rethrow_if_failed()
   /// after. Idempotent. A pipeline destroyed without finish() leaves no
   /// trace in the lifetime stats (its work was discarded, not delivered).
-  PipelineStats finish(const VolumeSink& sink);
+  PipelineStats finish(const VolumeSink& sink) US3D_EXCLUDES(state_mutex_);
 
   /// Rethrows the first stored failure, worker errors before sink errors.
   /// No-op if the pipeline is healthy.
-  void rethrow_if_failed();
+  void rethrow_if_failed() US3D_EXCLUDES(state_mutex_);
 
   bool failed() const { return failed_.load(std::memory_order_acquire); }
 
   /// Folds a caller-measured source latency into stats().ingest (the
   /// caller is the ingest stage, so only it can time the source).
-  void record_ingest(double seconds);
+  void record_ingest(double seconds) US3D_EXCLUDES(state_mutex_);
 
   /// One consistent mid-run stats view, taken under the pipeline's state
   /// lock. While the stream is live, `insonifications` reflects accepted
@@ -148,7 +147,7 @@ class AsyncPipeline {
   /// not yet dropped), so a scraper's ledger is always bounded:
   /// delivered <= insonifications at every instant. After finish() this
   /// is exactly the final stats.
-  PipelineStats stats_snapshot() const;
+  PipelineStats stats_snapshot() const US3D_EXCLUDES(state_mutex_);
 
   int ring_slots() const { return ring_.slots(); }
 
@@ -159,8 +158,8 @@ class AsyncPipeline {
   /// drops queued work; it only refuses new submissions earlier, which is
   /// what lets a service shed a lagging session's load without stalling
   /// its neighbours. Thread-safe; reported via stats().queue_depth.
-  void set_queue_depth(int depth);
-  int queue_depth() const;
+  void set_queue_depth(int depth) US3D_EXCLUDES(state_mutex_);
+  int queue_depth() const US3D_EXCLUDES(state_mutex_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -175,16 +174,18 @@ class AsyncPipeline {
     std::int64_t summed = 0;     ///< insonifications in this volume
   };
 
-  void beamform_loop();
-  void compound_loop();
+  void beamform_loop() US3D_EXCLUDES(state_mutex_);
+  void compound_loop() US3D_EXCLUDES(state_mutex_);
   /// Queues a finished volume for consumption (or drops it after failure).
-  void emit(Output out);
+  void emit(Output out) US3D_EXCLUDES(state_mutex_);
   /// Runs the sink on one output and does delivery accounting. Returns
   /// false if the sink threw (the pipeline is failed afterwards).
-  bool deliver(const VolumeSink& sink, const Output& out);
-  void fail(std::exception_ptr error, bool from_sink);
+  bool deliver(const VolumeSink& sink, const Output& out)
+      US3D_EXCLUDES(state_mutex_);
+  void fail(std::exception_ptr error, bool from_sink)
+      US3D_EXCLUDES(state_mutex_);
   /// Pops the next queued output under the state lock; false if none.
-  bool take_output(Output& out);
+  bool take_output(Output& out) US3D_REQUIRES(state_mutex_);
 
   FramePipeline& pipeline_;
   AsyncOptions options_;
@@ -198,17 +199,21 @@ class AsyncPipeline {
 
   std::atomic<bool> failed_{false};
 
-  mutable std::mutex state_mutex_;
-  std::condition_variable state_cv_;
-  std::deque<Output> output_;              // bounded by ring slots
-  bool stages_done_ = false;               // compound stage has exited
-  bool finished_ = false;
-  std::exception_ptr worker_error_;
-  std::exception_ptr sink_error_;
-  std::int64_t submitted_ = 0;             // insonifications accepted
-  std::int64_t processed_ = 0;             // through the compound stage
-  std::int64_t delivered_insonifications_ = 0;
-  PipelineStats stats_;
+  mutable Mutex state_mutex_;
+  CondVar state_cv_;
+  // Bounded by ring slots.
+  std::deque<Output> output_ US3D_GUARDED_BY(state_mutex_);
+  // Compound stage has exited.
+  bool stages_done_ US3D_GUARDED_BY(state_mutex_) = false;
+  bool finished_ US3D_GUARDED_BY(state_mutex_) = false;
+  std::exception_ptr worker_error_ US3D_GUARDED_BY(state_mutex_);
+  std::exception_ptr sink_error_ US3D_GUARDED_BY(state_mutex_);
+  // Insonifications accepted.
+  std::int64_t submitted_ US3D_GUARDED_BY(state_mutex_) = 0;
+  // Through the compound stage.
+  std::int64_t processed_ US3D_GUARDED_BY(state_mutex_) = 0;
+  std::int64_t delivered_insonifications_ US3D_GUARDED_BY(state_mutex_) = 0;
+  PipelineStats stats_ US3D_GUARDED_BY(state_mutex_);
 
   Clock::time_point start_;
   std::thread beamform_thread_;

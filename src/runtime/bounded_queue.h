@@ -10,14 +10,13 @@
 #ifndef US3D_RUNTIME_BOUNDED_QUEUE_H
 #define US3D_RUNTIME_BOUNDED_QUEUE_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "common/annotated_mutex.h"
 #include "common/contracts.h"
 #include "obs/metrics.h"
 
@@ -33,16 +32,16 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  std::size_t capacity() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t capacity() const US3D_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return capacity_;
   }
 
   /// Attaches a live occupancy gauge, updated under the queue lock on
   /// every enqueue/dequeue — a scrape always sees a depth the queue
   /// actually had, never a mid-transition value. Null detaches.
-  void set_depth_gauge(std::shared_ptr<obs::Gauge> gauge) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void set_depth_gauge(std::shared_ptr<obs::Gauge> gauge) US3D_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     depth_gauge_ = std::move(gauge);
     if (depth_gauge_) {
       depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
@@ -54,10 +53,10 @@ class BoundedQueue {
   /// drops queued items — pushes are simply refused until consumers drain
   /// below the new bound. Dropping is a policy decision that belongs to
   /// the caller (see service::ShedPolicy), not to the queue.
-  void set_capacity(std::size_t capacity) {
+  void set_capacity(std::size_t capacity) US3D_EXCLUDES(mutex_) {
     US3D_EXPECTS(capacity >= 1);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       capacity_ = capacity;
     }
     space_cv_.notify_all();
@@ -65,10 +64,10 @@ class BoundedQueue {
 
   /// Blocks while the queue is full. Returns false (and drops `item`) if
   /// the queue is closed — the stream is over, nobody will pop it.
-  bool push(T item) {
+  bool push(T item) US3D_EXCLUDES(mutex_) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      space_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.size() >= capacity_) space_cv_.wait(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
       sample_depth_locked();
@@ -79,9 +78,9 @@ class BoundedQueue {
 
   /// Non-blocking push. On refusal (full or closed) `item` is left intact
   /// so the caller can retry, buffer, or shed load — real backpressure.
-  bool try_push(T& item) {
+  bool try_push(T& item) US3D_EXCLUDES(mutex_) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       sample_depth_locked();
@@ -92,11 +91,11 @@ class BoundedQueue {
 
   /// Blocks while the queue is empty and open. Returns nullopt only at
   /// end-of-stream: closed *and* fully drained.
-  std::optional<T> pop() {
+  std::optional<T> pop() US3D_EXCLUDES(mutex_) {
     std::optional<T> item;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      item_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) item_cv_.wait(mutex_);
       if (items_.empty()) return std::nullopt;
       item.emplace(std::move(items_.front()));
       items_.pop_front();
@@ -108,10 +107,10 @@ class BoundedQueue {
 
   /// Non-blocking pop: nullopt when nothing is ready right now (which is
   /// not end-of-stream — check closed() to distinguish).
-  std::optional<T> try_pop() {
+  std::optional<T> try_pop() US3D_EXCLUDES(mutex_) {
     std::optional<T> item;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (items_.empty()) return std::nullopt;
       item.emplace(std::move(items_.front()));
       items_.pop_front();
@@ -124,39 +123,39 @@ class BoundedQueue {
   /// Ends the stream: subsequent pushes are refused, pops drain the
   /// remaining items and then return nullopt. Idempotent; wakes every
   /// blocked producer and consumer.
-  void close() {
+  void close() US3D_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     item_cv_.notify_all();
     space_cv_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const US3D_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const US3D_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
-  void sample_depth_locked() {
+  void sample_depth_locked() US3D_REQUIRES(mutex_) {
     if (depth_gauge_) {
       depth_gauge_->set(static_cast<std::int64_t>(items_.size()));
     }
   }
 
-  std::size_t capacity_;  // mutable via set_capacity; guarded by mutex_
-  mutable std::mutex mutex_;
-  std::condition_variable item_cv_;   // signalled on push
-  std::condition_variable space_cv_;  // signalled on pop
-  std::deque<T> items_;
-  std::shared_ptr<obs::Gauge> depth_gauge_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar item_cv_;   // signalled on push
+  CondVar space_cv_;  // signalled on pop
+  std::size_t capacity_ US3D_GUARDED_BY(mutex_);
+  std::deque<T> items_ US3D_GUARDED_BY(mutex_);
+  std::shared_ptr<obs::Gauge> depth_gauge_ US3D_GUARDED_BY(mutex_);
+  bool closed_ US3D_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace us3d::runtime

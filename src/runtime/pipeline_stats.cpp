@@ -47,6 +47,7 @@ std::string PipelineStats::to_json() const {
       .kv("frames", frames)
       .kv("insonifications", insonifications)
       .kv("dropped_frames", dropped_frames)
+      .kv("voxels", voxels)
       .kv("worker_threads", worker_threads)
       .kv("queue_depth", queue_depth)
       .kv("ring_slots", ring_slots)

@@ -9,21 +9,21 @@ namespace us3d::runtime {
 VolumeRing::VolumeRing(const imaging::VolumeSpec& spec, int slots) {
   US3D_EXPECTS(slots >= 1);
   volumes_.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) volumes_.emplace_back(spec);
+  // The object is not shared yet, but holding the (uncontended) lock keeps
+  // the guarded-member discipline uniform for the analysis.
+  MutexLock lock(mutex_);
   free_.reserve(static_cast<std::size_t>(slots));
-  for (int i = 0; i < slots; ++i) {
-    volumes_.emplace_back(spec);
-    free_.push_back(i);
-  }
   // Hand out low indices first so single-slot runs always reuse slot 0.
-  std::reverse(free_.begin(), free_.end());
+  for (int i = slots - 1; i >= 0; --i) free_.push_back(i);
   active_ = slots;
 }
 
 int VolumeRing::acquire() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  free_cv_.wait(lock, [&] {
-    return closed_ || (!free_.empty() && in_flight_locked() < active_);
-  });
+  MutexLock lock(mutex_);
+  while (!closed_ && (free_.empty() || in_flight_locked() >= active_)) {
+    free_cv_.wait(mutex_);
+  }
   if (closed_ || free_.empty()) return -1;
   const int slot = free_.back();
   free_.pop_back();
@@ -32,7 +32,7 @@ int VolumeRing::acquire() {
 }
 
 int VolumeRing::try_acquire() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (closed_ || free_.empty() || in_flight_locked() >= active_) return -1;
   const int slot = free_.back();
   free_.pop_back();
@@ -43,21 +43,21 @@ int VolumeRing::try_acquire() {
 void VolumeRing::set_active_slots(int active) {
   US3D_EXPECTS(active >= 1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     active_ = std::min(active, slots());
   }
   free_cv_.notify_all();
 }
 
 int VolumeRing::active_slots() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return active_;
 }
 
 void VolumeRing::release(int slot) {
   US3D_EXPECTS(slot >= 0 && slot < slots());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     US3D_EXPECTS(free_.size() < volumes_.size());  // double release
     free_.push_back(slot);
     sample_occupancy_locked();
@@ -66,14 +66,14 @@ void VolumeRing::release(int slot) {
 }
 
 void VolumeRing::set_occupancy_gauge(std::shared_ptr<obs::Gauge> gauge) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   occupancy_gauge_ = std::move(gauge);
   sample_occupancy_locked();
 }
 
 void VolumeRing::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
   free_cv_.notify_all();
@@ -90,7 +90,7 @@ const beamform::VolumeImage& VolumeRing::operator[](int slot) const {
 }
 
 int VolumeRing::free_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int>(free_.size());
 }
 

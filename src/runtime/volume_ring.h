@@ -8,12 +8,11 @@
 #ifndef US3D_RUNTIME_VOLUME_RING_H
 #define US3D_RUNTIME_VOLUME_RING_H
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "beamform/volume_image.h"
+#include "common/annotated_mutex.h"
 #include "imaging/volume.h"
 #include "obs/metrics.h"
 
@@ -28,6 +27,8 @@ class VolumeRing {
   VolumeRing(const VolumeRing&) = delete;
   VolumeRing& operator=(const VolumeRing&) = delete;
 
+  /// Lock-free by design: volumes_ is sized once in the ctor and never
+  /// resized, so its size is safe to read from any thread.
   int slots() const { return static_cast<int>(volumes_.size()); }
 
   /// Soft cap on concurrently acquired slots, in [1, slots()]. Volumes are
@@ -35,52 +36,53 @@ class VolumeRing {
   /// hold back until in-flight count drops below it — the runtime hook an
   /// adaptive queue-depth policy shrinks a lagging session with (no
   /// reallocation, no dropped work). Growing wakes blocked acquirers.
-  void set_active_slots(int active);
-  int active_slots() const;
+  void set_active_slots(int active) US3D_EXCLUDES(mutex_);
+  int active_slots() const US3D_EXCLUDES(mutex_);
 
   /// Blocks until a slot is free; returns its index, or -1 once the ring
   /// is closed (shutdown — the caller should drop its work item).
-  int acquire();
+  int acquire() US3D_EXCLUDES(mutex_);
 
   /// Non-blocking acquire: -1 when no slot is free right now or closed.
-  int try_acquire();
+  int try_acquire() US3D_EXCLUDES(mutex_);
 
   /// Returns a slot to the free list. Always succeeds (release capacity
   /// equals the number of slots by construction), even after close().
-  void release(int slot);
+  void release(int slot) US3D_EXCLUDES(mutex_);
 
   /// Unblocks every pending and future acquire() with -1. Used on failure
   /// shutdown so the beamform stage can drain-and-drop instead of
   /// deadlocking on a slot the dead consumer will never return.
-  void close();
+  void close() US3D_EXCLUDES(mutex_);
 
   beamform::VolumeImage& operator[](int slot);
   const beamform::VolumeImage& operator[](int slot) const;
 
-  int free_count() const;
+  int free_count() const US3D_EXCLUDES(mutex_);
 
   /// Attaches a live in-flight-slot gauge, updated under the ring lock on
   /// every acquire/release so a scrape never sees a transient count.
   /// Null detaches.
-  void set_occupancy_gauge(std::shared_ptr<obs::Gauge> gauge);
+  void set_occupancy_gauge(std::shared_ptr<obs::Gauge> gauge) US3D_EXCLUDES(mutex_);
 
  private:
-  void sample_occupancy_locked() {
+  void sample_occupancy_locked() US3D_REQUIRES(mutex_) {
     if (occupancy_gauge_) occupancy_gauge_->set(in_flight_locked());
   }
 
   /// In-flight slots under the lock: allocated minus free.
-  int in_flight_locked() const {
+  int in_flight_locked() const US3D_REQUIRES(mutex_) {
     return static_cast<int>(volumes_.size() - free_.size());
   }
 
-  std::vector<beamform::VolumeImage> volumes_;
-  mutable std::mutex mutex_;
-  std::condition_variable free_cv_;
-  std::vector<int> free_;
-  std::shared_ptr<obs::Gauge> occupancy_gauge_;
-  int active_ = 0;  // soft cap on in-flight slots (set in the ctor)
-  bool closed_ = false;
+  std::vector<beamform::VolumeImage> volumes_;  // sized once in the ctor
+  mutable Mutex mutex_;
+  CondVar free_cv_;
+  std::vector<int> free_ US3D_GUARDED_BY(mutex_);
+  std::shared_ptr<obs::Gauge> occupancy_gauge_ US3D_GUARDED_BY(mutex_);
+  // Soft cap on in-flight slots (set in the ctor).
+  int active_ US3D_GUARDED_BY(mutex_) = 0;
+  bool closed_ US3D_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace us3d::runtime

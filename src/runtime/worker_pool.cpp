@@ -20,7 +20,7 @@ void WorkerPool::set_parallelism_cap(int cap) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -31,10 +31,8 @@ void WorkerPool::worker_loop(int member) {
   std::uint64_t seen_generation = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen_generation) start_cv_.wait(mutex_);
       if (stop_) return;
       seen_generation = generation_;
     }
@@ -48,22 +46,29 @@ void WorkerPool::worker_loop(int member) {
 void WorkerPool::drain_job() {
   while (true) {
     int task;
+    const std::function<void(int)>* job;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (next_task_ >= job_tasks_) return;
       task = next_task_++;
+      // Snapshot the job pointer together with the claim: run() only
+      // clears job_ once pending_tasks_ hits zero, so a pointer claimed
+      // under the lock stays valid until this task completes below.
+      // (Reading job_ after dropping the lock relied on that same
+      // argument implicitly; the snapshot makes it lock-provable.)
+      job = job_;
     }
     std::exception_ptr error;
     {
       US3D_TRACE_SPAN("worker.task", "task", task);
       try {
-        (*job_)(task);
+        (*job)(task);
       } catch (...) {
         error = std::current_exception();
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = error;
       if (--pending_tasks_ == 0) done_cv_.notify_all();
     }
@@ -74,7 +79,7 @@ void WorkerPool::run(int task_count, const std::function<void(int)>& fn) {
   US3D_EXPECTS(task_count >= 0);
   if (task_count == 0) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     US3D_EXPECTS(job_ == nullptr);  // run() is not reentrant
     job_ = &fn;
     job_tasks_ = task_count;
@@ -87,8 +92,8 @@ void WorkerPool::run(int task_count, const std::function<void(int)>& fn) {
   drain_job();  // the caller is a pool member too
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return pending_tasks_ == 0; });
+    MutexLock lock(mutex_);
+    while (pending_tasks_ != 0) done_cv_.wait(mutex_);
     job_ = nullptr;
     job_tasks_ = 0;
     error = first_error_;

@@ -9,13 +9,13 @@
 #define US3D_RUNTIME_WORKER_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 namespace us3d::runtime {
 
@@ -47,31 +47,35 @@ class WorkerPool {
   /// dynamically over the pool, and blocks until all complete. If any task
   /// throws, the first exception is rethrown here (remaining tasks still
   /// run to completion so the pool stays consistent). Not reentrant.
-  void run(int task_count, const std::function<void(int)>& fn);
+  void run(int task_count, const std::function<void(int)>& fn)
+      US3D_EXCLUDES(mutex_);
 
  private:
   /// `member` is this thread's pool index (the caller of run() is member
   /// 0; spawned workers are 1..threads-1). Members at or beyond the
   /// parallelism cap sit jobs out.
-  void worker_loop(int member);
+  void worker_loop(int member) US3D_EXCLUDES(mutex_);
   /// Claims and runs queued tasks until none remain; returns when the
   /// current job is drained.
-  void drain_job();
+  void drain_job() US3D_EXCLUDES(mutex_);
 
   int threads_;
   std::atomic<int> cap_;  // active pool members for new jobs
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  bool stop_ = false;
-  std::uint64_t generation_ = 0;  // bumped per run() to wake workers
-  const std::function<void(int)>* job_ = nullptr;
-  int job_tasks_ = 0;
-  int next_task_ = 0;     // next unclaimed task (guarded by mutex_)
-  int pending_tasks_ = 0; // claimed-or-unclaimed tasks not yet finished
-  std::exception_ptr first_error_;
+  Mutex mutex_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  bool stop_ US3D_GUARDED_BY(mutex_) = false;
+  // Bumped per run() to wake workers.
+  std::uint64_t generation_ US3D_GUARDED_BY(mutex_) = 0;
+  const std::function<void(int)>* job_ US3D_GUARDED_BY(mutex_) = nullptr;
+  int job_tasks_ US3D_GUARDED_BY(mutex_) = 0;
+  // Next unclaimed task of the current job.
+  int next_task_ US3D_GUARDED_BY(mutex_) = 0;
+  // Claimed-or-unclaimed tasks not yet finished.
+  int pending_tasks_ US3D_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ US3D_GUARDED_BY(mutex_);
 };
 
 }  // namespace us3d::runtime

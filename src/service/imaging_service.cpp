@@ -4,9 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
-#include <mutex>
 #include <utility>
 
+#include "common/annotated_mutex.h"
 #include "common/contracts.h"
 #include "obs/trace.h"
 #include "probe/apodization.h"
@@ -28,53 +28,58 @@ std::string session_scope(int id) {
 
 // One admitted client workload: its own pipeline and async stage graph
 // (failure isolation), a bounded backlog the shed policy acts on, and the
-// frame ledger. All mutable state is guarded by `mutex`; the service never
-// holds its own lock while touching a session (except read-only snapshots
-// in stats(), which take service -> session in that fixed order).
+// frame ledger. All mutable state is guarded by `mutex`; the fields above
+// it are admission-time constants, frozen before the session is published
+// in the service map. The service only nests its own lock around a
+// session's in open_session (on the still-unpublished session, to
+// initialize guarded fields); everywhere else — including the read-only
+// snapshots in stats() — the service lock is released before a session
+// mutex is taken, so one slow client can never stall the service.
 struct ImagingService::Session {
   int id = -1;
   Scenario scenario;
   SessionOptions options;
   std::unique_ptr<runtime::FramePipeline> pipeline;
   std::unique_ptr<runtime::AsyncPipeline> async;
-  int granted_depth = 0;
   int ring_slots = 0;          ///< in-flight budget this session holds
   int requested_workers = 1;   ///< cap ceiling (pipeline partition count)
   std::atomic<int> worker_cap{1};  ///< current grant; written by rebalance
 
-  mutable std::mutex mutex;
+  mutable Mutex mutex;
   struct Pending {
     runtime::EchoFrame frame;
     Clock::time_point submitted_at;
   };
-  std::deque<Pending> backlog;
+  std::deque<Pending> backlog US3D_GUARDED_BY(mutex);
   /// Submit instant of every frame the async pipeline has accepted but
   /// not yet delivered, keyed by (strictly increasing) sequence.
-  std::map<std::int64_t, Clock::time_point> in_flight;
-  int effective_depth = 0;
-  bool closing = false;
-  bool finished = false;
+  std::map<std::int64_t, Clock::time_point> in_flight US3D_GUARDED_BY(mutex);
+  int granted_depth US3D_GUARDED_BY(mutex) = 0;
+  int effective_depth US3D_GUARDED_BY(mutex) = 0;
+  bool closing US3D_GUARDED_BY(mutex) = false;
+  bool finished US3D_GUARDED_BY(mutex) = false;
 
-  std::int64_t submitted = 0;
-  std::int64_t accepted = 0;
-  std::int64_t shed_refused = 0;
-  std::int64_t shed_dropped = 0;
-  std::int64_t shed_adaptive = 0;
-  std::int64_t refused_terminal = 0;
-  std::int64_t delivered_frames = 0;
-  std::int64_t delivered_insonifications = 0;
-  bool failed = false;
-  std::string error;
-  SampleQuantiles latency;
-  runtime::PipelineStats final_pipeline;  ///< set once at close
+  std::int64_t submitted US3D_GUARDED_BY(mutex) = 0;
+  std::int64_t accepted US3D_GUARDED_BY(mutex) = 0;
+  std::int64_t shed_refused US3D_GUARDED_BY(mutex) = 0;
+  std::int64_t shed_dropped US3D_GUARDED_BY(mutex) = 0;
+  std::int64_t shed_adaptive US3D_GUARDED_BY(mutex) = 0;
+  std::int64_t refused_terminal US3D_GUARDED_BY(mutex) = 0;
+  std::int64_t delivered_frames US3D_GUARDED_BY(mutex) = 0;
+  std::int64_t delivered_insonifications US3D_GUARDED_BY(mutex) = 0;
+  bool failed US3D_GUARDED_BY(mutex) = false;
+  std::string error US3D_GUARDED_BY(mutex);
+  SampleQuantiles latency US3D_GUARDED_BY(mutex);
+  /// Set once at close.
+  runtime::PipelineStats final_pipeline US3D_GUARDED_BY(mutex);
   /// Service-wide per-class latency histogram (shared with siblings of
   /// the same priority); observed alongside `latency` on every delivery.
-  std::shared_ptr<obs::FixedHistogram> latency_hist;
+  std::shared_ptr<obs::FixedHistogram> latency_hist US3D_GUARDED_BY(mutex);
 
   /// Moves backlog frames into the async pipeline while it accepts them,
   /// and (adaptive policy) regrows a shrunken depth one step per fully
   /// drained backlog — the additive half of AIMD.
-  void pump_locked() {
+  void pump_locked() US3D_REQUIRES(mutex) {
     while (!backlog.empty()) {
       Pending& p = backlog.front();
       const std::int64_t seq = p.frame.sequence;
@@ -95,9 +100,15 @@ struct ImagingService::Session {
   /// held (poll/finish run the sink on the calling thread). The user sink
   /// runs first: if it throws, the async pipeline fails the session and
   /// nothing here counts the volume as delivered.
-  runtime::VolumeSink delivery_sink(const runtime::VolumeSink& user) {
+  runtime::VolumeSink delivery_sink(const runtime::VolumeSink& user)
+      US3D_REQUIRES(mutex) {
     return [this, &user](const beamform::VolumeImage& volume,
                          std::int64_t sequence) {
+      // The sink only ever runs on the poll/close caller's thread, which
+      // holds the session mutex for the whole drain; assert that to the
+      // thread-safety analysis (a lambda body is analyzed standalone and
+      // cannot see its caller's lock).
+      mutex.assert_held();
       if (user) user(volume, sequence);
       const Clock::time_point now = Clock::now();
       ++delivered_frames;
@@ -116,7 +127,7 @@ struct ImagingService::Session {
     };
   }
 
-  void capture_error_locked() {
+  void capture_error_locked() US3D_REQUIRES(mutex) {
     if (failed || !async->failed()) return;
     failed = true;
     try {
@@ -128,7 +139,7 @@ struct ImagingService::Session {
     }
   }
 
-  SessionStats snapshot_locked() const {
+  SessionStats snapshot_locked() const US3D_REQUIRES(mutex) {
     SessionStats out;
     out.id = id;
     out.scenario = scenario.name;
@@ -189,7 +200,7 @@ ImagingService::ImagingService(const ServiceBudget& budget) : budget_(budget) {
 ImagingService::~ImagingService() {
   std::vector<int> open;
   {
-    std::lock_guard<std::mutex> lock(service_mutex_);
+    MutexLock lock(service_mutex_);
     for (const auto& [id, session] : sessions_) open.push_back(id);
   }
   for (const int id : open) close_session(id, {});
@@ -204,7 +215,7 @@ Admission ImagingService::open_session(const Scenario& scenario,
     result.reason = reason;
     refused_counter_->increment();
     US3D_TRACE_INSTANT("service.refuse");
-    std::lock_guard<std::mutex> lock(service_mutex_);
+    MutexLock lock(service_mutex_);
     ++sessions_refused_;
     return result;
   };
@@ -214,7 +225,7 @@ Admission ImagingService::open_session(const Scenario& scenario,
     return refuse(e.what());
   }
 
-  std::unique_lock<std::mutex> lock(service_mutex_);
+  MutexLock lock(service_mutex_);
   if (static_cast<int>(sessions_.size()) >= budget_.worker_threads) {
     ++sessions_refused_;
     refused_counter_->increment();
@@ -237,8 +248,15 @@ Admission ImagingService::open_session(const Scenario& scenario,
   session->id = next_id_;
   session->scenario = scenario;
   session->options = options;
-  session->granted_depth = depth;
-  session->effective_depth = depth;
+  {
+    // The session is not published yet, so its mutex is uncontended; the
+    // lock keeps the guarded-field initialization visible to the
+    // thread-safety analysis (service -> session nesting is safe here for
+    // the same reason: nobody else can hold this session's mutex).
+    MutexLock session_lock(session->mutex);
+    session->granted_depth = depth;
+    session->effective_depth = depth;
+  }
   try {
     const imaging::SystemConfig system = scenario.system();
     const probe::ApodizationMap apod(probe::MatrixProbe(system.probe),
@@ -268,8 +286,11 @@ Admission ImagingService::open_session(const Scenario& scenario,
     result.reason = e.what();
     return result;
   }
-  session->latency_hist =
-      latency_hist_[static_cast<std::size_t>(options.priority)];
+  {
+    MutexLock session_lock(session->mutex);
+    session->latency_hist =
+        latency_hist_[static_cast<std::size_t>(options.priority)];
+  }
   session->ring_slots = session->async->ring_slots();
   US3D_ENSURES(session->ring_slots <= remaining);
 
@@ -322,7 +343,7 @@ void ImagingService::rebalance_locked() {
 
 std::shared_ptr<ImagingService::Session> ImagingService::find(
     int session) const {
-  std::lock_guard<std::mutex> lock(service_mutex_);
+  MutexLock lock(service_mutex_);
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) {
     throw ContractViolation("imaging service: unknown session " +
@@ -333,7 +354,7 @@ std::shared_ptr<ImagingService::Session> ImagingService::find(
 
 bool ImagingService::submit(int session, runtime::EchoFrame frame) {
   const std::shared_ptr<Session> s = find(session);
-  std::lock_guard<std::mutex> lock(s->mutex);
+  MutexLock lock(s->mutex);
   ++s->submitted;
   if (s->closing || s->async->failed()) {
     s->capture_error_locked();
@@ -382,7 +403,7 @@ bool ImagingService::submit(int session, runtime::EchoFrame frame) {
 
 int ImagingService::poll(int session, const runtime::VolumeSink& sink) {
   const std::shared_ptr<Session> s = find(session);
-  std::lock_guard<std::mutex> lock(s->mutex);
+  MutexLock lock(s->mutex);
   if (s->closing) return 0;
   s->pump_locked();
   const runtime::VolumeSink deliver = s->delivery_sink(sink);
@@ -399,7 +420,7 @@ SessionStats ImagingService::close_session(int session,
                                            const runtime::VolumeSink& sink) {
   std::shared_ptr<Session> s;
   {
-    std::lock_guard<std::mutex> lock(service_mutex_);
+    MutexLock lock(service_mutex_);
     const auto it = sessions_.find(session);
     if (it == sessions_.end()) {
       throw ContractViolation("imaging service: unknown session " +
@@ -409,7 +430,7 @@ SessionStats ImagingService::close_session(int session,
   }
   SessionStats final_stats;
   {
-    std::lock_guard<std::mutex> lock(s->mutex);
+    MutexLock lock(s->mutex);
     if (!s->finished) {
       s->closing = true;
       const runtime::VolumeSink deliver = s->delivery_sink(sink);
@@ -435,7 +456,7 @@ SessionStats ImagingService::close_session(int session,
     final_stats = s->snapshot_locked();
   }
   {
-    std::lock_guard<std::mutex> lock(service_mutex_);
+    MutexLock lock(service_mutex_);
     const auto it = sessions_.find(session);
     if (it != sessions_.end() && it->second == s) {
       sessions_.erase(it);
@@ -456,13 +477,13 @@ SessionStats ImagingService::close_session(int session,
 
 SessionStats ImagingService::session_stats(int session) const {
   const std::shared_ptr<Session> s = find(session);
-  std::lock_guard<std::mutex> lock(s->mutex);
+  MutexLock lock(s->mutex);
   return s->snapshot_locked();
 }
 
 bool ImagingService::session_failed(int session) const {
   const std::shared_ptr<Session> s = find(session);
-  std::lock_guard<std::mutex> lock(s->mutex);
+  MutexLock lock(s->mutex);
   return s->failed || s->async->failed();
 }
 
@@ -471,7 +492,7 @@ int ImagingService::granted_workers(int session) const {
 }
 
 int ImagingService::open_sessions() const {
-  std::lock_guard<std::mutex> lock(service_mutex_);
+  MutexLock lock(service_mutex_);
   return static_cast<int>(sessions_.size());
 }
 
@@ -497,7 +518,7 @@ ServiceStats ImagingService::stats() const {
   ServiceStats out;
   std::vector<std::shared_ptr<Session>> open;
   {
-    std::lock_guard<std::mutex> lock(service_mutex_);
+    MutexLock lock(service_mutex_);
     out.budget_workers = budget_.worker_threads;
     out.budget_inflight = budget_.inflight_volumes;
     out.inflight_in_use = inflight_in_use_;
@@ -510,7 +531,7 @@ ServiceStats ImagingService::stats() const {
     for (const auto& [id, session] : sessions_) open.push_back(session);
   }
   for (const std::shared_ptr<Session>& session : open) {
-    std::lock_guard<std::mutex> session_lock(session->mutex);
+    MutexLock session_lock(session->mutex);
     const SessionStats snapshot = session->snapshot_locked();
     out.workers_in_use += snapshot.granted_workers;
     fold(out, snapshot);

@@ -64,6 +64,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "obs/metrics.h"
 #include "runtime/async_pipeline.h"
 #include "runtime/frame_pipeline.h"
@@ -108,57 +109,64 @@ class ImagingService {
   /// session always gets >= 1 worker and >= 1 ring slot or is refused),
   /// builds the session's pipeline and rebalances worker caps.
   Admission open_session(const Scenario& scenario,
-                         const SessionOptions& options = {});
+                         const SessionOptions& options = {})
+      US3D_EXCLUDES(service_mutex_);
 
   /// Non-blocking frame submission. Returns true when the frame entered
   /// the session's backlog/pipeline, false when it was shed
   /// (kRefuseNewest on a full backlog) or the session is terminal.
   /// Sequence numbers must be strictly increasing per session.
-  bool submit(int session, runtime::EchoFrame frame);
+  bool submit(int session, runtime::EchoFrame frame)
+      US3D_EXCLUDES(service_mutex_);
 
   /// Non-blocking: delivers every currently finished volume to `sink`, in
   /// order; returns how many were delivered. A sink exception fails the
   /// session (captured, not rethrown) — siblings are unaffected.
-  int poll(int session, const runtime::VolumeSink& sink);
+  int poll(int session, const runtime::VolumeSink& sink)
+      US3D_EXCLUDES(service_mutex_);
 
   /// Drains the session (remaining outputs go to `sink`, which may be
   /// null), releases its budget shares, rebalances the survivors and
   /// returns the final ledger. Never throws on session failure — the
   /// error is in the returned stats.
   SessionStats close_session(int session,
-                             const runtime::VolumeSink& sink = {});
+                             const runtime::VolumeSink& sink = {})
+      US3D_EXCLUDES(service_mutex_);
 
   /// Live snapshot of one open session.
-  SessionStats session_stats(int session) const;
-  bool session_failed(int session) const;
+  SessionStats session_stats(int session) const US3D_EXCLUDES(service_mutex_);
+  bool session_failed(int session) const US3D_EXCLUDES(service_mutex_);
   /// Current worker cap of an open session (changes as siblings come and
   /// go — the priority test hooks observe rebalancing through this).
-  int granted_workers(int session) const;
-  int open_sessions() const;
+  int granted_workers(int session) const US3D_EXCLUDES(service_mutex_);
+  int open_sessions() const US3D_EXCLUDES(service_mutex_);
 
   /// Whole-box snapshot: open sessions live, closed sessions final.
-  ServiceStats stats() const;
+  ServiceStats stats() const US3D_EXCLUDES(service_mutex_);
 
   const ServiceBudget& budget() const { return budget_; }
 
  private:
   struct Session;
 
-  std::shared_ptr<Session> find(int session) const;
+  std::shared_ptr<Session> find(int session) const
+      US3D_EXCLUDES(service_mutex_);
   /// Re-deals the worker budget across open sessions (see the scheduling
   /// model above). Caller holds service_mutex_.
-  void rebalance_locked();
+  void rebalance_locked() US3D_REQUIRES(service_mutex_);
   /// Folds one session snapshot into the service totals.
   static void fold(ServiceStats& out, const SessionStats& s);
 
   ServiceBudget budget_;
-  mutable std::mutex service_mutex_;
-  std::map<int, std::shared_ptr<Session>> sessions_;  // open, by id
-  std::vector<SessionStats> closed_;
-  int next_id_ = 1;
-  int inflight_in_use_ = 0;
-  std::int64_t sessions_admitted_ = 0;
-  std::int64_t sessions_refused_ = 0;
+  mutable Mutex service_mutex_;
+  // Open sessions, by id.
+  std::map<int, std::shared_ptr<Session>> sessions_
+      US3D_GUARDED_BY(service_mutex_);
+  std::vector<SessionStats> closed_ US3D_GUARDED_BY(service_mutex_);
+  int next_id_ US3D_GUARDED_BY(service_mutex_) = 1;
+  int inflight_in_use_ US3D_GUARDED_BY(service_mutex_) = 0;
+  std::int64_t sessions_admitted_ US3D_GUARDED_BY(service_mutex_) = 0;
+  std::int64_t sessions_refused_ US3D_GUARDED_BY(service_mutex_) = 0;
 
   // Live telemetry nodes in obs::MetricsRegistry::global(), resolved once
   // at construction (the hot paths only bump atomics). Session-scoped

@@ -1,0 +1,130 @@
+// us3d::Mutex / MutexLock / CondVar semantics. These wrappers exist to
+// carry Clang thread-safety annotations; the tests pin the part the
+// annotations cannot check — that the wrappers still behave exactly like
+// std::mutex / std::lock_guard / std::condition_variable at runtime
+// (mutual exclusion, try_lock contention, wait/notify hand-off). All of
+// them are written to be meaningful under TSan.
+#include "common/annotated_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+namespace us3d {
+namespace {
+
+TEST(AnnotatedMutex, MutexLockProvidesMutualExclusion) {
+  Mutex mutex;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mutex);
+        ++counter;  // unsynchronised long: torn without real exclusion
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIncrements);
+}
+
+TEST(AnnotatedMutex, TryLockRefusesWhileHeldAndSucceedsAfterRelease) {
+  Mutex mutex;
+  mutex.lock();
+  std::atomic<int> refused{0};
+  std::thread contender([&] {
+    if (!mutex.try_lock()) {
+      refused.store(1, std::memory_order_release);
+    } else {
+      mutex.unlock();
+    }
+  });
+  contender.join();
+  EXPECT_EQ(refused.load(), 1);
+  mutex.unlock();
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.assert_held();  // no-op at runtime; must be callable when held
+  mutex.unlock();
+}
+
+TEST(AnnotatedMutex, CondVarWaitReacquiresTheMutexAroundThePredicate) {
+  // A producer/consumer pair through a tiny guarded queue: every wait
+  // loop re-checks its predicate under the mutex, so items can never be
+  // lost or double-consumed no matter how notifies and wakeups interleave.
+  Mutex mutex;
+  CondVar cv;
+  std::deque<int> queue;
+  bool closed = false;
+  constexpr int kItems = 5000;
+
+  long consumed_sum = 0;
+  std::thread consumer([&] {
+    long sum = 0;
+    while (true) {
+      int item;
+      {
+        MutexLock lock(mutex);
+        while (queue.empty() && !closed) cv.wait(mutex);
+        if (queue.empty()) break;  // closed and drained
+        item = queue.front();
+        queue.pop_front();
+      }
+      cv.notify_all();  // space freed
+      sum += item;
+    }
+    consumed_sum = sum;
+  });
+
+  for (int i = 1; i <= kItems; ++i) {
+    {
+      MutexLock lock(mutex);
+      while (queue.size() >= 4) cv.wait(mutex);
+      queue.push_back(i);
+    }
+    cv.notify_all();
+  }
+  {
+    MutexLock lock(mutex);
+    closed = true;
+  }
+  cv.notify_all();
+  consumer.join();
+  EXPECT_EQ(consumed_sum, static_cast<long>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(AnnotatedMutex, NotifyOneWakesExactlyTheWaitersNeeded) {
+  Mutex mutex;
+  CondVar cv;
+  int tickets = 0;
+  std::atomic<int> served{0};
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mutex);
+      while (tickets == 0) cv.wait(mutex);
+      --tickets;
+      served.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (int i = 0; i < kWaiters; ++i) {
+    {
+      MutexLock lock(mutex);
+      ++tickets;
+    }
+    cv.notify_one();
+  }
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(served.load(), kWaiters);
+  MutexLock lock(mutex);
+  EXPECT_EQ(tickets, 0);
+}
+
+}  // namespace
+}  // namespace us3d

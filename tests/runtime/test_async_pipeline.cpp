@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -376,6 +377,63 @@ TEST(AsyncPipeline, SetQueueDepthShrinksAndRegrowsTheBoundMidStream) {
   EXPECT_EQ(stats.dropped_frames, 0);
   EXPECT_EQ(stats.queue_depth, 4);  // the latest configured depth
   EXPECT_EQ(stats.ring_slots, 4);   // the allocation never changed
+}
+
+TEST(AsyncPipeline, ConcurrentScrapeNeverObservesATornLedger) {
+  // Regression: submit() used to count acceptance only after the blocking
+  // queue push, so a delivery racing the push could bump frames while
+  // submitted_ still excluded that insonification — a scraper would see
+  // frames > insonifications. The fix counts acceptance optimistically
+  // (increment before the push, roll back on refusal), making
+  // delivered <= submitted hold at every instant.
+  const imaging::SystemConfig cfg = imaging::scaled_system(5, 6, 14);
+  const auto apod = rect_apod(cfg);
+  delay::TableFreeEngine prototype(cfg);
+  FramePipeline pipeline(cfg, apod, prototype,
+                         PipelineConfig{.worker_threads = 2});
+  AsyncPipeline async(pipeline, AsyncOptions{.depth = 2});
+  const auto frames = origin_frames(cfg, std::vector<Vec3>(1, Vec3{}), 61);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const PipelineStats snap = async.stats_snapshot();
+      if (snap.frames > snap.insonifications) {
+        torn.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kFrames = 24;
+  int delivered = 0;
+  const VolumeSink count = [&](const VolumeImage&, std::int64_t) {
+    ++delivered;
+  };
+  // try_submit + poll-on-refusal: a blocking submit with no concurrent
+  // consumer would wedge once both ring slots sit in undelivered outputs
+  // (the documented backpressure contract), and the refusal/delivery
+  // interleaving is exactly what keeps submits racing deliveries here.
+  int submitted = 0;
+  while (submitted < kFrames) {
+    EchoFrame f = frames[0];
+    f.sequence = submitted;
+    if (async.try_submit(f)) {
+      ++submitted;
+    } else {
+      async.poll(count);
+    }
+  }
+  async.flush(count);
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  async.rethrow_if_failed();
+  EXPECT_EQ(torn.load(), 0) << "a scrape observed frames > insonifications";
+  const PipelineStats stats = async.finish(count);
+  EXPECT_EQ(stats.frames, kFrames);
+  EXPECT_EQ(stats.insonifications, kFrames);
+  EXPECT_EQ(stats.dropped_frames, 0);
 }
 
 TEST(AsyncPipeline, DestructionWithoutFinishDoesNotHang) {

@@ -67,16 +67,20 @@ TEST(PipelineStats, JsonCarriesTheBenchContractKeys) {
   p.beamform.record(0.25);
   const std::string json = p.to_json();
   // The bench contract: keys only grow, never get renamed. The async
-  // runtime added insonifications / dropped_frames / compound.
+  // runtime added insonifications / dropped_frames / compound; the static
+  // analysis pass added the raw voxels ledger (previously only the derived
+  // voxels_per_second was emitted, so a consumer could not reconstruct the
+  // delivered-voxel count from the JSON).
   for (const char* key :
        {"\"frames\"", "\"insonifications\"", "\"dropped_frames\"",
-        "\"worker_threads\"", "\"queue_depth\"", "\"ring_slots\"",
-        "\"wall_s\"", "\"sustained_fps\"",
+        "\"voxels\"", "\"worker_threads\"", "\"queue_depth\"",
+        "\"ring_slots\"", "\"wall_s\"", "\"sustained_fps\"",
         "\"voxels_per_second\"", "\"ingest\"", "\"beamform\"",
         "\"compound\"", "\"consume\"", "\"mean_ms\"", "\"min_ms\"",
         "\"max_ms\"", "\"total_ms\"", "\"count\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+  EXPECT_NE(json.find("\"voxels\":0"), std::string::npos);
 }
 
 TEST(PipelineStats, DepthAndRingSlotsReportConfiguredVersusAdaptive) {

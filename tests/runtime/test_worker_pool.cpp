@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/contracts.h"
@@ -70,6 +71,37 @@ TEST(WorkerPool, ReusableAcrossManyJobs) {
     pool.run(8, [&](int task) { sum += task; });
   }
   EXPECT_EQ(sum.load(), 50 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(WorkerPool, RapidJobsWithCapFlappingRunEveryTaskExactlyOnce) {
+  // Regression: drain_job() used to re-read the guarded job_ pointer
+  // OUTSIDE the lock when invoking the task, so a claimant delayed
+  // between claiming a task index and calling the function could race
+  // run() installing the next job and invoke the wrong (or a destroyed)
+  // callable. The fix snapshots the pointer under the lock at claim
+  // time. Back-to-back jobs plus a cap-flapping thread maximise both
+  // job turnover and claimant wakeups.
+  WorkerPool pool(4);
+  std::atomic<bool> done{false};
+  std::thread flapper([&] {
+    int cap = 1;
+    while (!done.load(std::memory_order_acquire)) {
+      pool.set_parallelism_cap(cap);
+      cap = (cap % 4) + 1;
+    }
+  });
+  for (int job = 0; job < 200; ++job) {
+    std::vector<std::atomic<int>> hits(16);
+    pool.run(16, [&hits, job](int task) {
+      // Tag the check with the job index: a cross-job invocation would
+      // double-hit a slot of the wrong job's vector.
+      ASSERT_LT(task, 16) << "job " << job;
+      hits[static_cast<std::size_t>(task)]++;
+    });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "job " << job;
+  }
+  done.store(true, std::memory_order_release);
+  flapper.join();
 }
 
 TEST(WorkerPool, PropagatesTheFirstTaskException) {

@@ -1,0 +1,15 @@
+// Lint fixture: fused multiply-add spellings that must never appear in a
+// DAS kernel TU. Each rounds once where the contract requires the
+// two-rounding `acc += w * gather` sequence shared by every backend.
+#include <cmath>
+#include <immintrin.h>
+
+float bad_fma_fixtures(float acc, float w, float g, __m256 va, __m256 vb,
+                       __m256 vc) {
+  acc = std::fma(w, g, acc);                 // libm fused form
+  acc = fmaf(w, g, acc);                     // C spelling
+  acc = __builtin_fma(w, g, acc);            // builtin spelling
+  va = _mm256_fmadd_ps(vb, vc, va);          // AVX2 intrinsic
+  va = _mm256_fnmadd_ps(vb, vc, va);         // negated fused form
+  return acc + va[0];
+}

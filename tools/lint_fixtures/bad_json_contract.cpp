@@ -1,0 +1,32 @@
+// Lint fixture: a to_json / from_json pair whose emitter writes a key the
+// strict reader never parses. The readers reject unknown fields, so this
+// document cannot round-trip through its own parser.
+#include <string>
+
+struct Widget {
+  int size = 0;
+  int colour = 0;
+  std::string to_json() const;
+  static Widget from_json(const std::string& json);
+};
+
+std::string Widget::to_json() const {
+  JsonWriter w;
+  w.begin_object()
+      .kv("size", size)
+      .kv("colour", colour)  // emitted but never parsed below
+      .end_object();
+  return w.str();
+}
+
+Widget Widget::from_json(const std::string& json) {
+  Widget out;
+  for (const auto& [key, value] : parse_json(json).members()) {
+    if (key == "size") {
+      out.size = value.as_int(key);
+    } else {
+      throw std::runtime_error("unknown field " + key);
+    }
+  }
+  return out;
+}

@@ -1,0 +1,19 @@
+// Lint fixture: raw standard-library synchronisation primitives that are
+// invisible to Clang's -Wthread-safety analysis. Production code must go
+// through the annotated us3d::Mutex wrappers instead.
+#include <condition_variable>
+#include <mutex>
+
+struct BadRawMutexFixture {
+  void touch() {
+    std::lock_guard<std::mutex> lock(mutex_);  // unannotated acquisition
+    ++value_;
+  }
+  void wait_for_value() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return value_ > 0; });
+  }
+  std::mutex mutex_;            // raw capability, no GUARDED_BY possible
+  std::condition_variable cv_;  // pairs only with the raw mutex
+  int value_ = 0;
+};

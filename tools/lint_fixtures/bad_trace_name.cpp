@@ -1,0 +1,11 @@
+// Lint fixture: every way a trace macro can violate the literal-name
+// contract. The spans store `const char*` without copying, so a runtime
+// string here would dangle.
+#include <string>
+
+void bad_trace_fixtures(const std::string& stage, int seq) {
+  US3D_TRACE_SPAN(stage.c_str(), "sequence", seq);   // name not a literal
+  US3D_TRACE_INSTANT(("prefix" + stage).c_str());    // computed name
+  US3D_TRACE_SPAN("ok.name", stage.c_str(), seq);    // key not a literal
+  US3D_TRACE_SPAN("ok.name", "sequence");            // dangling key, no value
+}
