@@ -1,0 +1,41 @@
+# Cross-compile us3d for aarch64-linux-gnu and run the resulting binaries
+# under qemu-user. One entry point shared by the CI lane and local
+# cross-builds:
+#
+#   sudo apt install g++-aarch64-linux-gnu qemu-user libgtest-dev
+#   cmake -B build-aarch64 -S . \
+#     -DCMAKE_TOOLCHAIN_FILE=cmake/toolchain-aarch64-linux-gnu.cmake \
+#     -DCMAKE_BUILD_TYPE=Release
+#   cmake --build build-aarch64 -j
+#   ctest --test-dir build-aarch64 -L tier1 --output-on-failure -j
+#
+# CMAKE_CROSSCOMPILING_EMULATOR makes ctest (and try_run) launch every
+# cross binary through qemu-aarch64 transparently — no binfmt_misc setup
+# required; -L points qemu at the cross glibc so dynamic binaries load.
+# Benches run the same way by hand:
+#   qemu-aarch64 -L /usr/aarch64-linux-gnu build-aarch64/bench_a11_block_kernel --tiny
+
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+# Search target sysroots for libraries/headers/packages, never the host's
+# (this is what keeps find_package(GTest) from handing the cross build an
+# x86 archive — CMakeLists falls back to building googletest from source).
+# Programs (python3, clang-tidy, ...) still come from the host.
+set(CMAKE_FIND_ROOT_PATH /usr/aarch64-linux-gnu)
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE ONLY)
+
+find_program(US3D_QEMU_AARCH64 NAMES qemu-aarch64 qemu-aarch64-static)
+if(US3D_QEMU_AARCH64)
+  set(CMAKE_CROSSCOMPILING_EMULATOR
+      "${US3D_QEMU_AARCH64};-L;/usr/aarch64-linux-gnu")
+else()
+  message(WARNING "qemu-aarch64 not found: the build will cross-compile "
+                  "but ctest cannot execute the aarch64 binaries")
+endif()

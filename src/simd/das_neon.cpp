@@ -1,28 +1,121 @@
 #include "simd/das_neon.h"
 
 #include "simd/das_scalar.h"
+#include "simd/dispatch.h"
+
+// The real vector bodies need AArch64 AdvSIMD: the double row works in
+// float64x2 lanes (no double vectors on 32-bit ARM NEON). On every other
+// target the TU degrades to the scalar bodies and reports itself not
+// compiled, exactly like the x86 TUs built without their ISA flag.
+#if defined(__aarch64__) && (defined(__ARM_NEON) || defined(__ARM_NEON__))
+
+#include <arm_neon.h>
+
+#include <limits>
 
 namespace us3d::simd {
 
-#if defined(__ARM_NEON) || defined(__ARM_NEON__)
 const bool kDasNeonCompiled = true;
-#else
-const bool kDasNeonCompiled = false;
-#endif
 
-// Stub: the dispatch interface, availability reporting and parity tests
-// all treat NEON as a first-class backend, but the row body is still the
-// scalar reference (bit-identical by construction). Replacing it with a
-// real float32x4/float64x2 implementation is tracked in ROADMAP.md.
+void das_row_neon(const float* echo, std::int64_t samples,
+                  const std::int32_t* delays, double weight, double* acc,
+                  int points) {
+  // Delays are int32, so when the acquisition window itself exceeds the
+  // int32 range every non-negative index is in-window and the upper-bound
+  // compare drops out.
+  const bool windowed = samples <= std::numeric_limits<std::int32_t>::max();
+  const int32x4_t vbound =
+      vdupq_n_s32(windowed ? static_cast<std::int32_t>(samples) : 0);
+  const int32x4_t vzero = vdupq_n_s32(0);
+  const float64x2_t vw = vdupq_n_f64(weight);
+  int p = 0;
+  for (; p + 4 <= points; p += 4) {
+    const int32x4_t idx = vld1q_s32(delays + p);
+    uint32x4_t inwin = vcgeq_s32(idx, vzero);
+    if (windowed) inwin = vandq_u32(inwin, vcltq_s32(idx, vbound));
+    // AdvSIMD has no gather: per-lane scalar loads behind the vector mask
+    // (masked-out lanes are never dereferenced), like the SSE2 body.
+    alignas(16) std::int32_t ibuf[4];
+    alignas(16) std::uint32_t mbuf[4];
+    vst1q_s32(ibuf, idx);
+    vst1q_u32(mbuf, inwin);
+    alignas(16) float sbuf[4];
+    for (int l = 0; l < 4; ++l) {
+      sbuf[l] = mbuf[l] != 0 ? echo[static_cast<std::size_t>(ibuf[l])] : 0.0f;
+    }
+    const float32x4_t s = vld1q_f32(sbuf);
+    // Widen to double and fold acc += w * s as separate mul + add — the
+    // same IEEE operations per point as the scalar reference, so the
+    // output is bit-identical. This TU builds with -ffp-contract=off
+    // (gcc's arm_neon.h lowers these intrinsics to plain vector operators
+    // the compiler could otherwise re-fuse into a fused multiply-add).
+    const float64x2_t lo = vcvt_f64_f32(vget_low_f32(s));
+    const float64x2_t hi = vcvt_high_f64_f32(s);
+    vst1q_f64(acc + p, vaddq_f64(vld1q_f64(acc + p), vmulq_f64(vw, lo)));
+    vst1q_f64(acc + p + 2,
+              vaddq_f64(vld1q_f64(acc + p + 2), vmulq_f64(vw, hi)));
+  }
+  if (p < points) {
+    das_row_scalar(echo, samples, delays + p, weight, acc + p, points - p);
+  }
+}
+
+void das_row_q_neon(const std::int16_t* echo, std::int64_t samples,
+                    const std::int16_t* delays, std::int32_t weight,
+                    std::int32_t* acc, int points) {
+  // The quantized contract pre-sanitizes delays into [0, samples] (the
+  // sentinel reads zeroed padding), so there is no window test anywhere:
+  // per-lane loads stand in for the gather x86 uses from AVX2 up, and the
+  // arithmetic runs at NEON's native int16 lane width. Through the kernel
+  // layer `points` is the plane's sentinel-filled padded count (a
+  // multiple of 16), so the 8-lane loop sweeps whole rows with no scalar
+  // tail; the trailing call only fires for direct sub-vector invocations.
+  static_cast<void>(samples);
+  // weight < 2^15 (uQ1.14 word), so it fits a non-negative int16 lane and
+  // the widening multiplies below form the exact signed 32-bit product.
+  const int16x4_t vw = vdup_n_s16(static_cast<std::int16_t>(weight));
+  int p = 0;
+  for (; p + 8 <= points; p += 8) {
+    alignas(16) std::int16_t sbuf[8];
+    for (int l = 0; l < 8; ++l) {
+      sbuf[l] = echo[static_cast<std::size_t>(
+          static_cast<std::uint16_t>(delays[p + l]))];
+    }
+    const int16x8_t s = vld1q_s16(sbuf);
+    // Exact 32-bit products from the widening 16x16 multiplies, then the
+    // contract's arithmetic shift and int32 accumulate — identical
+    // integer arithmetic to the scalar reference, twice the lanes of the
+    // double kernel. The mul / shift / add stay separate instructions by
+    // design: the shift sits between them in the contract, so a fused
+    // multiply-accumulate could not compute this term anyway.
+    const int32x4_t t_lo =
+        vshrq_n_s32(vmull_s16(vget_low_s16(s), vw), kQuantWeightFracBits);
+    const int32x4_t t_hi =
+        vshrq_n_s32(vmull_s16(vget_high_s16(s), vw), kQuantWeightFracBits);
+    vst1q_s32(acc + p, vaddq_s32(vld1q_s32(acc + p), t_lo));
+    vst1q_s32(acc + p + 4, vaddq_s32(vld1q_s32(acc + p + 4), t_hi));
+  }
+  if (p < points) {
+    das_row_q_scalar(echo, samples, delays + p, weight, acc + p, points - p);
+  }
+}
+
+}  // namespace us3d::simd
+
+#else  // !(__aarch64__ && __ARM_NEON)
+
+namespace us3d::simd {
+
+const bool kDasNeonCompiled = false;
+
+// Keeps the symbols defined on non-AArch64 targets; dispatch reports the
+// backend unavailable, so these bodies are unreachable through resolve.
 void das_row_neon(const float* echo, std::int64_t samples,
                   const std::int32_t* delays, double weight, double* acc,
                   int points) {
   das_row_scalar(echo, samples, delays, weight, acc, points);
 }
 
-// Stub like the double body. The integer contract is exact arithmetic, so
-// this is bit-identical to every other integer backend by definition; a
-// native int16x8 vmull/vshr body (ROADMAP follow-on) only changes speed.
 void das_row_q_neon(const std::int16_t* echo, std::int64_t samples,
                     const std::int16_t* delays, std::int32_t weight,
                     std::int32_t* acc, int points) {
@@ -30,3 +123,5 @@ void das_row_q_neon(const std::int16_t* echo, std::int64_t samples,
 }
 
 }  // namespace us3d::simd
+
+#endif

@@ -1,10 +1,14 @@
-// NEON slot behind the DAS row contracts (simd/dispatch.h). The dispatch
-// wiring, availability reporting and tests treat it exactly like the x86
-// backends, but both bodies are still the scalar references even on
-// aarch64 — the double vector implementation is an open ROADMAP item, and
-// the int16 quantized body (a natural fit for NEON's native 16-bit
-// vmull/vshr lanes) is noted there as its follow-on. On non-ARM builds
-// kDasNeonCompiled is false and the backend reports unavailable.
+// AArch64 AdvSIMD (NEON) backend for the DAS row contracts
+// (simd/dispatch.h). The double row works in float64x2 lanes with
+// per-lane masked loads of the clamped delays (AdvSIMD has no gather) and
+// separate vmulq/vaddq folds, so it is bit-identical to the scalar
+// reference like every other backend. The int16 quantized row runs at
+// NEON's native 16-bit lane width: widening vmull_s16 products, the
+// contract's arithmetic shift, int32 lane accumulates — sweeping the
+// sentinel-padded QuantizedDelayPlane rows with no scalar tail. On
+// non-AArch64 builds kDasNeonCompiled is false and the backend reports
+// unavailable (the bodies degrade to the scalar references, unreachable
+// through resolve).
 #ifndef US3D_SIMD_DAS_NEON_H
 #define US3D_SIMD_DAS_NEON_H
 
@@ -12,7 +16,7 @@
 
 namespace us3d::simd {
 
-/// True when this TU was built on a NEON-capable target.
+/// True when this TU was built on a NEON-capable AArch64 target.
 extern const bool kDasNeonCompiled;
 
 void das_row_neon(const float* echo, std::int64_t samples,

@@ -4,6 +4,13 @@
 #include <stdexcept>
 #include <string>
 
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#if __has_include(<asm/hwcap.h>)
+#include <asm/hwcap.h>
+#endif
+#endif
+
 #include "simd/das_avx2.h"
 #include "simd/das_avx512.h"
 #include "simd/das_neon.h"
@@ -37,9 +44,20 @@ bool cpu_supports(DasBackend backend) {
       return false;
   }
 }
+#elif defined(__aarch64__) && defined(__linux__) && defined(HWCAP_ASIMD)
+bool cpu_supports(DasBackend backend) {
+  if (backend != DasBackend::kNEON) return false;
+  // AdvSIMD is architecturally mandatory on AArch64, so this could just
+  // return true — but availability is a runtime claim, so ask the
+  // kernel's hwcap word instead of asserting the architecture manual.
+  // qemu-user passes the emulated hwcaps through, so the CI lane
+  // exercises this exact path.
+  return (::getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+}
 #else
 bool cpu_supports(DasBackend backend) {
-  // Non-x86: NEON capability is a compile-time property of the target.
+  // Other targets (32-bit ARM, non-Linux AArch64, ...): NEON capability
+  // is a compile-time property of the target.
   return backend == DasBackend::kNEON && kDasNeonCompiled;
 }
 #endif

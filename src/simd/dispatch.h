@@ -74,7 +74,7 @@ enum class DasBackend {
   kSSE2,    ///< 4-wide x86 (baseline on x86-64)
   kAVX2,    ///< 8-wide x86 with masked gather
   kAVX512,  ///< 16-wide x86 (AVX-512F k-masked gather)
-  kNEON,    ///< aarch64; interface + dispatch wired, vector body pending
+  kNEON,    ///< aarch64 AdvSIMD (2-wide f64 row, native 8-wide int16 row)
 };
 
 /// Row-sweep kernel: fold one element's weighted samples into the

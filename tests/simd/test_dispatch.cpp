@@ -157,6 +157,45 @@ TEST(SimdDispatch, RowFnExistsForEveryConcreteBackend) {
   EXPECT_THROW(das_row_q_fn(DasBackend::kAuto), std::logic_error);
 }
 
+TEST(SimdDispatch, NeonLatticeMatchesTheTargetArchitecture) {
+#if defined(__aarch64__)
+  // AArch64 mandates AdvSIMD: the TU compiles its real vector bodies and
+  // the runtime hwcap check must agree, so compiled-in implies available
+  // and auto-detection ranks neon ahead of the scalar reference.
+  EXPECT_TRUE(backend_compiled(DasBackend::kNEON));
+  EXPECT_TRUE(backend_available(DasBackend::kNEON));
+  EXPECT_EQ(available_backends().front(), DasBackend::kNEON);
+#else
+  // Everywhere else the NEON TU degrades to its scalar body and must
+  // report itself not compiled — never available-but-secretly-scalar.
+  EXPECT_FALSE(backend_compiled(DasBackend::kNEON));
+  EXPECT_FALSE(backend_available(DasBackend::kNEON));
+#endif
+}
+
+TEST(SimdDispatch, ForcingX86BackendsOnArmThrowsInsteadOfFallingBack) {
+#if defined(__aarch64__)
+  for (const DasBackend b :
+       {DasBackend::kSSE2, DasBackend::kAVX2, DasBackend::kAVX512}) {
+    EXPECT_FALSE(backend_compiled(b)) << backend_name(b);
+    EXPECT_FALSE(backend_available(b)) << backend_name(b);
+    // Both forcing channels must fail loudly — silently resolving to
+    // neon would defeat the forced-backend CI cells.
+    EXPECT_THROW(resolve_backend(b), std::runtime_error) << backend_name(b);
+    ScopedEnv env("US3D_SIMD", backend_name(b));
+    EXPECT_THROW(resolve_backend(DasBackend::kAuto), std::runtime_error)
+        << "US3D_SIMD=" << backend_name(b);
+  }
+  // The env precedence ladder is unchanged on arm: an explicit scalar
+  // request still beats a neon-forcing environment.
+  ScopedEnv env("US3D_SIMD", "neon");
+  EXPECT_EQ(resolve_backend(DasBackend::kScalar), DasBackend::kScalar);
+  EXPECT_EQ(resolve_backend(DasBackend::kAuto), DasBackend::kNEON);
+#else
+  GTEST_SKIP() << "x86 host: the aarch64 qemu CI lane pins this case";
+#endif
+}
+
 TEST(SimdDispatch, PrecisionNamesAndParseRoundTrip) {
   for (const Precision p :
        {Precision::kAuto, Precision::kDouble, Precision::kQuantized}) {

@@ -1,0 +1,20 @@
+// Lint fixture: NEON fused / chained multiply-add mnemonics that must
+// never appear in a DAS kernel TU. vfma* rounds once where the double
+// contract requires the two-rounding `acc += w * gather` sequence shared
+// by every backend; vmla*/vmlal* chain the accumulate into the multiply,
+// which skips the arithmetic shift the quantized integer contract places
+// between them. (Never compiled — scanned as text by lint_us3d.py's
+// self-test, so the aarch64-only header is fine here.)
+#include <arm_neon.h>
+
+float64x2_t bad_neon_fma_fixtures(float64x2_t acc, float64x2_t w,
+                                  float64x2_t g, float32x4_t fa,
+                                  float32x4_t fb, float32x4_t fc,
+                                  int32x4_t qacc, int16x4_t qs,
+                                  int16x4_t qw) {
+  acc = vfmaq_f64(acc, w, g);        // AArch64 fused multiply-add
+  acc = vfmaq_laneq_f64(acc, w, g, 0);  // lane-broadcast fused form
+  fa = vmlaq_f32(fa, fb, fc);        // chained multiply-accumulate
+  qacc = vmlal_s16(qacc, qs, qw);    // widening mul-acc skips the shift
+  return vaddq_f64(acc, vcvt_f64_f32(vget_low_f32(fa)));
+}

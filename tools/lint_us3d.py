@@ -14,7 +14,11 @@ Four checks, each enforcing an invariant the compilers cannot:
                   AVX2 / AVX-512 / NEON backends depends on every
                   backend computing `acc += w * gather` with the same
                   two-rounding sequence. std::fma and FMA intrinsics
-                  round once and would fork the backends' results.
+                  round once and would fork the backends' results. The
+                  ban covers the x86 _mm*fmadd/fnmadd families AND the
+                  NEON vfma*/vmla*/vmlal* mnemonics (the latter also
+                  chain the accumulate past the quantized contract's
+                  interleaved arithmetic shift).
 
   no-raw-mutex    src/ code must lock through us3d::Mutex / MutexLock /
                   CondVar (common/annotated_mutex.h) so Clang's
@@ -284,6 +288,7 @@ FIXTURES = {
     # fixture file -> (check function, expects_findings)
     "bad_trace_name.cpp": (check_trace_literals, True),
     "bad_fma_kernel.cpp": (check_no_fma, True),
+    "bad_neon_fma_kernel.cpp": (check_no_fma, True),
     "bad_raw_mutex.cpp": (check_no_raw_mutex, True),
     "bad_json_contract.cpp": (check_json_contract, True),
 }
