@@ -1,11 +1,15 @@
-// OBS — tracing overhead on the e10 streaming workload: the same
+// OBS — telemetry overhead on the e10 streaming workload: the same
 // TABLEFREE FramePipeline sweep bench_e10 times, run back to back with
-// tracing runtime-enabled and runtime-disabled, so BENCH_obs.json pins
-// what turning the span sites on costs (acceptance: <= 5% on --tiny).
-// In a US3D_TRACING=OFF build the sites are compiled out entirely and
-// both modes measure the same code — `tracing_compiled` in the JSON says
-// which claim a given trajectory point makes.
+// the observability layers runtime-enabled and runtime-disabled, so
+// BENCH_obs.json pins what turning them on costs. Two gated cells:
+// tracing alone, and the full stack (trace + event log + resource
+// profiler) — each must stay <= 5% on --tiny. Micro-cells price one
+// event emit and one profiler sampling pass. In a US3D_TRACING=OFF
+// build the span sites are compiled out entirely and both trace modes
+// measure the same code — `tracing_compiled` in the JSON says which
+// claim a given trajectory point makes.
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -17,7 +21,9 @@
 #include "common/json_writer.h"
 #include "common/latency.h"
 #include "delay/tablefree.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/resource_profiler.h"
 #include "obs/trace.h"
 #include "runtime/frame_pipeline.h"
 
@@ -61,25 +67,58 @@ double run_once(const us3d::imaging::SystemConfig& cfg,
   return seconds_since(t0);
 }
 
-/// Best-of-N wall time with tracing forced to `enabled`. Minimum, not
-/// mean: scheduler noise only ever adds time, so min-of-reps is the
-/// stable estimator for an overhead ratio on a shared CI box.
-double best_wall(bool enabled, int reps,
+/// Best-of-N wall time with tracing and the event log forced on/off.
+/// Minimum, not mean: scheduler noise only ever adds time, so
+/// min-of-reps is the stable estimator for an overhead ratio on a
+/// shared CI box.
+double best_wall(bool tracing, bool events, int reps,
                  const us3d::imaging::SystemConfig& cfg,
                  const us3d::probe::ApodizationMap& apod,
                  const std::vector<us3d::runtime::EchoFrame>& frames,
                  int repeats) {
+  using us3d::obs::EventLog;
   using us3d::obs::TraceCollector;
-  TraceCollector::instance().set_enabled(enabled);
+  TraceCollector::instance().set_enabled(tracing);
+  EventLog::instance().set_enabled(events);
   double best = 0.0;
   for (int i = 0; i < reps; ++i) {
     // Reset per rep so the enabled runs keep recording into warm buffers
     // without ever paying a drop-path difference between reps.
     TraceCollector::instance().reset();
+    EventLog::instance().reset();
     const double wall = run_once(cfg, apod, frames, repeats);
     best = i == 0 ? wall : std::min(best, wall);
   }
   return best;
+}
+
+/// Nanoseconds per emit_event() call with the log enabled (the price an
+/// admission/shed site pays when US3D_EVENTS is on).
+double event_emit_cost_ns(int iterations) {
+  using namespace us3d::obs;
+  EventLog::instance().set_enabled(true);
+  EventLog::instance().reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    US3D_EVENT_DEBUG("bench.emit", i, i, "micro", "arg", i, "neg", -i);
+  }
+  const double wall = us3d::seconds_since(t0);
+  EventLog::instance().set_enabled(false);
+  return wall * 1e9 / iterations;
+}
+
+/// Microseconds per ResourceProfiler::sample_once() pass (what the
+/// sampler thread pays per period: per-thread CPU clocks + /proc RSS +
+/// gauge publication).
+double profiler_sample_cost_us(us3d::obs::MetricsRegistry& registry,
+                               int iterations) {
+  using namespace us3d::obs;
+  ResourceProfiler::global().register_current_thread("bench");
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    ResourceProfiler::global().sample_once(registry);
+  }
+  return us3d::seconds_since(t0) * 1e6 / iterations;
 }
 
 }  // namespace
@@ -87,7 +126,8 @@ double best_wall(bool enabled, int reps,
 int main(int argc, char** argv) {
   using namespace us3d;
   const bool tiny = argc > 1 && std::string(argv[1]) == "--tiny";
-  bench::banner("OBS", "pipeline tracing overhead + live metrics snapshot");
+  bench::banner("OBS",
+                "telemetry overhead: tracing, events, profiler + metrics");
 
   const imaging::SystemConfig cfg = workload_system(tiny);
   const probe::ApodizationMap apod(probe::MatrixProbe(cfg.probe),
@@ -96,36 +136,64 @@ int main(int argc, char** argv) {
   const int repeats = tiny ? 2 : 4;
   const int reps = tiny ? 3 : 5;
 
-  // Warm up caches and thread pools outside both timed modes.
+  // Warm up caches and thread pools outside the timed modes.
   obs::TraceCollector::instance().set_enabled(false);
+  obs::EventLog::instance().set_enabled(false);
   run_once(cfg, apod, frames, 1);
 
   const double disabled_s =
-      best_wall(false, reps, cfg, apod, frames, repeats);
-  const double enabled_s = best_wall(true, reps, cfg, apod, frames, repeats);
+      best_wall(false, false, reps, cfg, apod, frames, repeats);
+  const double enabled_s =
+      best_wall(true, false, reps, cfg, apod, frames, repeats);
   const obs::TraceSnapshot snap = obs::TraceCollector::instance().collect();
+
+  // The full stack: spans + events + the resource profiler sampling the
+  // stage threads while they stream.
+  obs::ResourceProfiler::global().start(obs::MetricsRegistry::global(),
+                                        std::chrono::milliseconds(50));
+  const double combined_s =
+      best_wall(true, true, reps, cfg, apod, frames, repeats);
+  const obs::EventSnapshot events = obs::EventLog::instance().collect();
+  obs::ResourceProfiler::global().stop();
   obs::TraceCollector::instance().set_enabled(false);
+  obs::EventLog::instance().set_enabled(false);
 
   const double overhead_percent =
       disabled_s > 0.0 ? (enabled_s / disabled_s - 1.0) * 1e2 : 0.0;
+  const double combined_overhead_percent =
+      disabled_s > 0.0 ? (combined_s / disabled_s - 1.0) * 1e2 : 0.0;
 
-  bench::section("tracing overhead (best of " + std::to_string(reps) +
+  bench::section("telemetry overhead (best of " + std::to_string(reps) +
                  " streaming passes)");
-  MarkdownTable table({"mode", "wall [ms]", "spans", "dropped"});
-  table.add_row({obs::TraceCollector::compiled_in() ? "runtime-disabled"
+  MarkdownTable table({"mode", "wall [ms]", "spans", "events"});
+  table.add_row({obs::TraceCollector::compiled_in() ? "all-disabled"
                                                     : "compiled-out",
                  format_double(disabled_s * 1e3, 2), "0", "0"});
-  table.add_row({obs::TraceCollector::compiled_in() ? "runtime-enabled"
+  table.add_row({obs::TraceCollector::compiled_in() ? "tracing"
                                                     : "compiled-out",
                  format_double(enabled_s * 1e3, 2),
+                 std::to_string(snap.total_spans()), "0"});
+  table.add_row({"trace+events+profiler", format_double(combined_s * 1e3, 2),
                  std::to_string(snap.total_spans()),
-                 std::to_string(snap.total_dropped())});
+                 std::to_string(events.events.size())});
   table.print(std::cout);
-  std::cout << "\noverhead: " << format_double(overhead_percent, 2)
-            << "% (span sites "
+  std::cout << "\ntracing overhead: " << format_double(overhead_percent, 2)
+            << "%, full stack: "
+            << format_double(combined_overhead_percent, 2) << "% (span sites "
             << (obs::TraceCollector::compiled_in() ? "compiled in"
                                                    : "compiled out")
             << ")\n";
+
+  // Micro-costs of the new layers, so a regression shows up as a number
+  // even when the end-to-end ratio hides in scheduler noise.
+  const double emit_ns = event_emit_cost_ns(tiny ? 200000 : 1000000);
+  const double sample_us =
+      profiler_sample_cost_us(obs::MetricsRegistry::global(),
+                              tiny ? 200 : 1000);
+  bench::section("micro-costs");
+  std::cout << "event emit: " << format_double(emit_ns, 1)
+            << " ns, profiler sample_once: " << format_double(sample_us, 1)
+            << " us\n";
 
   std::ostringstream os;
   JsonWriter w(os);
@@ -138,6 +206,12 @@ int main(int argc, char** argv) {
       .kv("disabled_wall_s", disabled_s)
       .kv("enabled_wall_s", enabled_s)
       .kv("overhead_percent", overhead_percent)
+      .kv("combined_wall_s", combined_s)
+      .kv("combined_overhead_percent", combined_overhead_percent)
+      .kv("event_emit_ns", emit_ns)
+      .kv("profiler_sample_us", sample_us)
+      .kv("events_recorded", static_cast<std::int64_t>(events.events.size()))
+      .kv("events_dropped", static_cast<std::int64_t>(events.dropped))
       .kv("spans_recorded", snap.total_spans())
       .kv("spans_dropped", snap.total_dropped())
       .kv_raw("metrics", obs::MetricsRegistry::global().snapshot_json())

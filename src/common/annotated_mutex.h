@@ -20,8 +20,9 @@
 //   while (!ready_) cv_.wait(mutex_);
 //
 // Documented escapes (the only sanctioned ones):
-//   - obs/trace SpanRing is a seqlock built from std::atomic fields and
-//     fences; it has no mutex and needs no annotations.
+//   - obs/trace SpanRing and obs/event_log EventRing are seqlocks built
+//     from std::atomic fields and fences; they have no mutex and need no
+//     annotations.
 //   - Pure-atomic metric primitives (Counter/Gauge/FixedHistogram) are
 //     likewise annotation-free by design.
 //   - std::condition_variable::wait needs a std::unique_lock, so
@@ -31,6 +32,7 @@
 #ifndef US3D_COMMON_ANNOTATED_MUTEX_H
 #define US3D_COMMON_ANNOTATED_MUTEX_H
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -135,6 +137,19 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mutex.raw_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// wait() with a deadline: returns false if the timeout elapsed without
+  /// a notification, true otherwise. Same loop discipline applies — the
+  /// predicate must be re-checked on return either way. This is what the
+  /// periodic observability threads (resource sampler, SLO watchdog) park
+  /// on, so stop() can interrupt a sleep instantly via notify.
+  bool wait_for(Mutex& mutex, std::chrono::nanoseconds timeout)
+      US3D_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.raw_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();  // ownership stays with the caller's MutexLock
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

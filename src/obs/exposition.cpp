@@ -1,0 +1,98 @@
+#include "obs/exposition.h"
+
+#include <sstream>
+
+namespace us3d::obs {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string prometheus_label_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// `{us3d_name="<original>"}` — keeps the registry dot-path recoverable
+/// after name sanitization collapses '.' and '_' together.
+std::string name_label(const std::string& original) {
+  return "{us3d_name=\"" + prometheus_label_escape(original) + "\"}";
+}
+
+void render_number(std::ostream& os, double v) {
+  // The text format wants plain decimal; default precision loses
+  // distinct microsecond-scale sums, so widen it like snapshot_json().
+  const std::streamsize saved = os.precision(15);
+  os << v;
+  os.precision(saved);
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name) + "_total";
+    os << "# TYPE " << prom << " counter\n";
+    os << prom << name_label(name) << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " gauge\n";
+    os << prom << name_label(name) << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = prometheus_name(name);
+    const std::string escaped = prometheus_label_escape(name);
+    os << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      cumulative += i < h.buckets.size() ? h.buckets[i] : 0;
+      os << prom << "_bucket{us3d_name=\"" << escaped << "\",le=\"";
+      render_number(os, h.upper_bounds[i]);
+      os << "\"} " << cumulative << "\n";
+    }
+    if (!h.buckets.empty()) cumulative += h.buckets.back();
+    os << prom << "_bucket{us3d_name=\"" << escaped << "\",le=\"+Inf\"} "
+       << cumulative << "\n";
+    os << prom << "_sum" << name_label(name) << " ";
+    render_number(os, h.sum);
+    os << "\n";
+    os << prom << "_count" << name_label(name) << " " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  return render_prometheus(registry.snapshot());
+}
+
+}  // namespace us3d::obs

@@ -1,0 +1,45 @@
+// Prometheus text-format exposition for MetricsRegistry: the pull-side
+// counterpart of snapshot_json(), rendering one `# TYPE`-annotated block
+// per metric family so the future networked front-end can serve /metrics
+// straight off the registry.
+//
+// Mapping rules (version 0.0.4 text format):
+//  - Registry dot-paths become metric names with every character outside
+//    [a-zA-Z0-9_:] rewritten to '_' and a leading digit guarded with '_'
+//    ("service.latency_s.interactive" -> "service_latency_s_interactive").
+//    The original dot-path is preserved verbatim in a `us3d_name` label,
+//    escaped per the format (backslash, double-quote, newline).
+//  - Counters render as `<name>_total`, gauges as `<name>`.
+//  - Histograms render the cumulative `<name>_bucket{le="..."}` series
+//    plus `{le="+Inf"}`, then `<name>_sum` and `<name>_count`.
+//
+// Lifecycle contract, tested in tests/obs/test_exposition.cpp: series
+// unlisted via MetricsRegistry::remove_prefix() (closed sessions) never
+// reappear in a later exposition — rendering always starts from a fresh
+// snapshot of the live name map and nothing here caches families.
+#ifndef US3D_OBS_EXPOSITION_H
+#define US3D_OBS_EXPOSITION_H
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace us3d::obs {
+
+/// "service.s3.depth" -> "service_s3_depth" (charset-sanitized, leading
+/// digit guarded). Exposed for tests.
+std::string prometheus_name(const std::string& name);
+
+/// Escapes a label value per the text format: \ -> \\, " -> \", newline
+/// -> \n. Exposed for tests.
+std::string prometheus_label_escape(const std::string& value);
+
+/// Renders a snapshot as Prometheus text format (ends with a newline).
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// Convenience: snapshot + render in one call.
+std::string render_prometheus(const MetricsRegistry& registry);
+
+}  // namespace us3d::obs
+
+#endif  // US3D_OBS_EXPOSITION_H

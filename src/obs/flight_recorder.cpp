@@ -1,0 +1,187 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/resource_profiler.h"
+#include "obs/trace.h"
+
+namespace us3d::obs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string sanitize_slug(const std::string& reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (const char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    out.push_back(ok ? c : '-');
+  }
+  return out.empty() ? std::string("dump") : out;
+}
+
+/// UTC wall time for the manifest ("2026-08-08T12:34:56Z").
+std::string utc_timestamp() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Zero-padded bundle ordinal so lexical directory order is dump order
+/// (what the retention sweep sorts by).
+std::string bundle_ordinal(std::uint64_t id) {
+  std::ostringstream os;
+  os.width(6);
+  os.fill('0');
+  os << id;
+  return os.str();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options) {
+  configure(std::move(options));
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* recorder = [] {
+    auto* r = new FlightRecorder();
+    FlightRecorderOptions options;
+    const char* dir = std::getenv("US3D_POSTMORTEM_DIR");
+    if (dir != nullptr) options.directory = dir;
+    r->configure(std::move(options));
+    return r;
+  }();
+  return *recorder;
+}
+
+void FlightRecorder::configure(FlightRecorderOptions options) {
+  MutexLock lock(mutex_);
+  options_ = std::move(options);
+}
+
+bool FlightRecorder::enabled() const {
+  MutexLock lock(mutex_);
+  return !options_.directory.empty();
+}
+
+std::uint64_t FlightRecorder::bundles_written() const {
+  MutexLock lock(mutex_);
+  return bundles_written_;
+}
+
+std::uint64_t FlightRecorder::rate_limited() const {
+  MutexLock lock(mutex_);
+  return rate_limited_;
+}
+
+std::string FlightRecorder::dump(const std::string& reason,
+                                 std::int64_t session) {
+  // Serializes concurrent dumps by design: a post-mortem is rare and the
+  // failure path that triggers it must never throw, so the whole body is
+  // fenced. Only leaf locks (registry/collector/log internals) nest
+  // inside.
+  MutexLock lock(mutex_);
+  if (options_.directory.empty()) return "";
+  const auto now = std::chrono::steady_clock::now();
+  if (dumped_once_ && now - last_dump_ < options_.min_interval) {
+    ++rate_limited_;
+    MetricsRegistry::global().counter("flightrec.rate_limited")->increment();
+    return "";
+  }
+  try {
+    const std::string name =
+        "pm-" + bundle_ordinal(next_bundle_id_) + "-" + sanitize_slug(reason);
+    const fs::path parent(options_.directory);
+    const fs::path bundle = parent / name;
+    fs::create_directories(bundle);
+
+    {
+      std::ofstream os(bundle / "trace.json");
+      TraceCollector::instance().write_chrome_trace(os);
+    }
+    {
+      std::ofstream os(bundle / "metrics.json");
+      os << MetricsRegistry::global().snapshot_json();
+    }
+    {
+      std::ofstream os(bundle / "events.json");
+      EventLog::instance().write_events_json(os, options_.last_events);
+    }
+    {
+      // A final synchronous pass so resources.json reflects the moment of
+      // failure, not the last sampler tick.
+      ResourceProfiler::global().sample_once(MetricsRegistry::global());
+      std::ofstream os(bundle / "resources.json");
+      os << ResourceProfiler::global().summary().to_json();
+    }
+    {
+      // Written last: a manifest's presence marks a complete bundle.
+      std::ofstream os(bundle / "manifest.json");
+      JsonWriter w(os);
+      w.begin_object()
+          .kv("reason", reason)
+          .kv("session", session)
+          .kv("timestamp", utc_timestamp())
+          .kv("bundle", name)
+          .key("artifacts")
+          .begin_array()
+          .value("trace.json")
+          .value("metrics.json")
+          .value("events.json")
+          .value("resources.json")
+          .end_array()
+          .end_object();
+    }
+
+    // Retention: drop the oldest bundles beyond max_bundles (lexical
+    // order == dump order thanks to the zero-padded ordinal).
+    std::vector<fs::path> bundles;
+    for (const auto& entry : fs::directory_iterator(parent)) {
+      if (entry.is_directory() &&
+          entry.path().filename().string().rfind("pm-", 0) == 0) {
+        bundles.push_back(entry.path());
+      }
+    }
+    std::sort(bundles.begin(), bundles.end());
+    while (bundles.size() > options_.max_bundles) {
+      fs::remove_all(bundles.front());
+      bundles.erase(bundles.begin());
+    }
+
+    ++next_bundle_id_;
+    last_dump_ = now;
+    dumped_once_ = true;
+    ++bundles_written_;
+    MetricsRegistry::global().counter("flightrec.bundles_written")
+        ->increment();
+    US3D_EVENT_INFO("flightrec.dump", session, -1, "bundle written");
+    return bundle.string();
+  } catch (...) {
+    // Never let a post-mortem attempt take down the failure path that
+    // asked for it.
+    return "";
+  }
+}
+
+}  // namespace us3d::obs

@@ -1,0 +1,92 @@
+// Per-stage resource profiler: answers "which stage is burning the CPU
+// and how big is the process" as live gauges, so a stalled sink is
+// distinguishable from a starved beamformer without attaching a debugger.
+//
+// Mechanics: pipeline/service threads register themselves under a stage
+// label ("ingest", "beamform", "compound", "sink", "worker"); a single
+// sampler thread periodically reads each registered thread's CPU clock
+// (pthread_getcpuclockid → clock_gettime) plus the process RSS from
+// /proc/self/statm, aggregates per stage, and publishes into
+// MetricsRegistry::global():
+//
+//   profile.<stage>.cpu_permille   per-stage CPU utilisation, thousandths
+//                                  of one core summed over the stage's
+//                                  threads (2000 = two cores saturated)
+//   profile.<stage>.threads        live registered threads in the stage
+//   profile.rss_bytes              process resident set size
+//   profile.vm_bytes               process virtual size
+//
+// Registration is unconditional and cheap (once per thread); sampling only
+// happens while the profiler is started (US3D_PROFILE env var or start()).
+// Everything is Linux-specific behind #ifdef __linux__: on other platforms
+// registration still tracks stage membership but CPU/RSS read as zero.
+#ifndef US3D_OBS_RESOURCE_PROFILER_H
+#define US3D_OBS_RESOURCE_PROFILER_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace us3d::obs {
+
+class MetricsRegistry;
+
+/// Aggregated view of one stage for the flight-recorder summary.
+struct StageProfile {
+  std::string stage;
+  int threads = 0;           ///< currently registered, not yet exited
+  double cpu_permille = 0;   ///< last sample (sum over the stage's threads)
+  double cpu_permille_peak = 0;
+  double cpu_seconds = 0;    ///< cumulative thread CPU time, live threads
+};
+
+/// Everything the profiler currently knows; to_json() is what lands in a
+/// post-mortem bundle's resources.json.
+struct ResourceProfile {
+  std::vector<StageProfile> stages;  ///< sorted by stage name
+  std::int64_t rss_bytes = 0;
+  std::int64_t rss_bytes_peak = 0;
+  std::int64_t vm_bytes = 0;
+  std::uint64_t samples = 0;  ///< sampler iterations since start
+  bool running = false;
+
+  std::string to_json() const;
+};
+
+class ResourceProfiler {
+ public:
+  static ResourceProfiler& global();
+
+  /// Registers the calling thread under `stage`. Call once near the top
+  /// of the thread function; the entry unregisters itself automatically
+  /// at thread exit. Safe (and cheap) whether or not sampling is running.
+  void register_current_thread(const std::string& stage);
+
+  /// Starts the sampler thread publishing into `registry` every `period`.
+  /// No-op if already running.
+  void start(MetricsRegistry& registry,
+             std::chrono::milliseconds period = std::chrono::milliseconds(100));
+  /// Stops and joins the sampler thread. No-op if not running.
+  void stop();
+  bool running() const;
+
+  /// One synchronous sampling pass into `registry` — what the sampler
+  /// thread does per period, callable directly for deterministic tests
+  /// and for a final pre-dump refresh from the flight recorder.
+  void sample_once(MetricsRegistry& registry);
+
+  /// Aggregated snapshot for the post-mortem bundle.
+  ResourceProfile summary() const;
+
+  /// Honors the US3D_PROFILE env var: starts sampling into the global
+  /// registry when set. Called by the service; harmless to call twice.
+  static void start_from_env();
+
+ private:
+  ResourceProfiler() = default;
+};
+
+}  // namespace us3d::obs
+
+#endif  // US3D_OBS_RESOURCE_PROFILER_H

@@ -1,0 +1,262 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace us3d::obs {
+
+namespace {
+
+/// Sum of the snapshot counters selected by `spec`: an exact name, or —
+/// when the spec ends with '.' — every counter in that family.
+std::int64_t counter_sum(const MetricsSnapshot& snap, const std::string& spec) {
+  if (spec.empty()) return 0;
+  if (spec.back() != '.') {
+    const auto it = snap.counters.find(spec);
+    return it != snap.counters.end() ? it->second : 0;
+  }
+  std::int64_t total = 0;
+  for (auto it = snap.counters.lower_bound(spec);
+       it != snap.counters.end() &&
+       it->first.compare(0, spec.size(), spec) == 0;
+       ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+/// Quantile of a delta histogram (window = bucket counts since the last
+/// pass). Interpolates linearly inside the winning bucket; the first
+/// bucket's lower edge is 0 and the overflow bucket collapses to the last
+/// bound (no upper edge to interpolate toward).
+double delta_quantile(const std::vector<double>& bounds,
+                      const std::vector<std::uint64_t>& delta, double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : delta) total += n;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total - 1);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    if (delta[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(delta[i]);
+    if (rank < next || i + 1 == delta.size()) {
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double within =
+          delta[i] > 1
+              ? (rank - cumulative) / static_cast<double>(delta[i] - 1)
+              : 0.5;
+      return lower + within * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+/// Hysteresis + windowing baselines for one target.
+struct SloWatchdog::TargetState {
+  bool in_breach = false;
+  int bad = 0;
+  int good = 0;
+  bool primed = false;  ///< baselines valid (second pass onward)
+  std::vector<std::uint64_t> last_buckets;
+  std::int64_t last_count = 0;
+  std::int64_t last_numerator = 0;
+  std::int64_t last_denominator = 0;
+  std::shared_ptr<Counter> breaches;
+  std::shared_ptr<Gauge> in_breach_gauge;
+};
+
+SloWatchdog::SloWatchdog(MetricsRegistry& registry,
+                         std::vector<SloTarget> targets, Options options)
+    : registry_(registry), targets_(std::move(targets)), options_(options) {
+  US3D_EXPECTS(options_.breach_after >= 1);
+  US3D_EXPECTS(options_.recover_after >= 1);
+  MutexLock lock(mutex_);
+  states_.resize(targets_.size());
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const std::string prefix = "slo." + targets_[i].name;
+    states_[i].breaches = registry_.counter(prefix + ".breaches");
+    states_[i].in_breach_gauge = registry_.gauge(prefix + ".in_breach");
+    states_[i].in_breach_gauge->set(0);
+  }
+}
+
+SloWatchdog::~SloWatchdog() { stop(); }
+
+void SloWatchdog::set_breach_callback(
+    std::function<void(const SloBreach&)> callback) {
+  MutexLock lock(mutex_);
+  callback_ = std::move(callback);
+}
+
+bool SloWatchdog::windowed_value(std::size_t i, const MetricsSnapshot& snap,
+                                 double* out) {
+  const SloTarget& target = targets_[i];
+  TargetState& state = states_[i];
+  switch (target.kind) {
+    case SloTarget::Kind::kQuantileMax: {
+      const auto it = snap.histograms.find(target.metric);
+      if (it == snap.histograms.end()) return false;
+      const MetricsSnapshot::Histogram& h = it->second;
+      std::vector<std::uint64_t> delta = h.buckets;
+      if (state.primed && state.last_buckets.size() == delta.size()) {
+        for (std::size_t b = 0; b < delta.size(); ++b) {
+          delta[b] -= std::min(delta[b], state.last_buckets[b]);
+        }
+      }
+      const std::int64_t window_count =
+          state.primed ? h.count - state.last_count : h.count;
+      state.last_buckets = h.buckets;
+      state.last_count = h.count;
+      state.primed = true;
+      if (window_count < target.min_count) return false;
+      *out = delta_quantile(h.upper_bounds, delta, target.quantile);
+      return true;
+    }
+    case SloTarget::Kind::kRatioMax: {
+      const std::int64_t num = counter_sum(snap, target.metric);
+      const std::int64_t den = counter_sum(snap, target.denominator);
+      const std::int64_t dnum =
+          state.primed ? num - state.last_numerator : num;
+      const std::int64_t dden =
+          state.primed ? den - state.last_denominator : den;
+      state.last_numerator = num;
+      state.last_denominator = den;
+      state.primed = true;
+      if (dden < target.min_count || dden <= 0) return false;
+      *out = static_cast<double>(dnum) / static_cast<double>(dden);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<SloEvaluation> SloWatchdog::evaluate_once() {
+  const MetricsSnapshot snap = registry_.snapshot();
+  std::vector<SloEvaluation> results;
+  std::vector<SloBreach> edges;
+  std::function<void(const SloBreach&)> callback;
+  {
+    MutexLock lock(mutex_);
+    callback = callback_;
+    results.reserve(targets_.size());
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+      const SloTarget& target = targets_[i];
+      TargetState& state = states_[i];
+      SloEvaluation eval;
+      eval.target = target.name;
+      eval.has_data = windowed_value(i, snap, &eval.observed);
+      // An empty window says nothing either way: it neither accuses nor
+      // absolves, so it advances the recovery streak (absence of bad
+      // windows) but is reported healthy.
+      eval.healthy = !eval.has_data || eval.observed <= target.threshold;
+      if (eval.healthy) {
+        state.bad = 0;
+        state.good += 1;
+        if (state.in_breach && state.good >= options_.recover_after) {
+          state.in_breach = false;
+          state.in_breach_gauge->set(0);
+          edges.push_back(
+              {target.name, false, eval.observed, target.threshold});
+        }
+      } else {
+        state.good = 0;
+        state.bad += 1;
+        if (!state.in_breach && state.bad >= options_.breach_after) {
+          state.in_breach = true;
+          state.in_breach_gauge->set(1);
+          state.breaches->increment();
+          edges.push_back(
+              {target.name, true, eval.observed, target.threshold});
+        }
+      }
+      eval.in_breach = state.in_breach;
+      results.push_back(std::move(eval));
+    }
+  }
+  // Edges fire outside the lock: the flight recorder's dump is slow and
+  // re-enters the registry.
+  if (callback) {
+    for (const SloBreach& edge : edges) callback(edge);
+  }
+  return results;
+}
+
+void SloWatchdog::run_loop() {
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      if (stop_requested_) return;
+      // Spurious/early wakeups just mean an early evaluation — harmless.
+      cv_.wait_for(mutex_, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               options_.period));
+      if (stop_requested_) return;
+    }
+    evaluate_once();
+  }
+}
+
+void SloWatchdog::start() {
+  MutexLock lock(mutex_);
+  if (running_.load(std::memory_order_relaxed)) return;
+  stop_requested_ = false;
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void SloWatchdog::stop() {
+  std::thread thread;
+  {
+    MutexLock lock(mutex_);
+    if (!running_.load(std::memory_order_relaxed)) return;
+    stop_requested_ = true;
+    thread = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (thread.joinable()) thread.join();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+bool SloWatchdog::running() const {
+  return running_.load(std::memory_order_relaxed);
+}
+
+std::vector<SloTarget> SloWatchdog::default_service_targets() {
+  std::vector<SloTarget> targets;
+  const struct {
+    const char* name;
+    const char* klass;
+    double threshold_s;
+  } latency[] = {
+      {"interactive_p99", "interactive", 0.100},
+      {"routine_p99", "routine", 1.0},
+      {"bulk_p99", "bulk", 10.0},
+  };
+  for (const auto& row : latency) {
+    SloTarget t;
+    t.name = row.name;
+    t.kind = SloTarget::Kind::kQuantileMax;
+    t.metric = std::string("service.latency_s.") + row.klass;
+    t.quantile = 0.99;
+    t.threshold = row.threshold_s;
+    t.min_count = 5;
+    targets.push_back(std::move(t));
+  }
+  SloTarget shed;
+  shed.name = "shed_rate";
+  shed.kind = SloTarget::Kind::kRatioMax;
+  shed.metric = "service.shed.";  // family: all three policies
+  shed.denominator = "service.frames_submitted";
+  shed.threshold = 0.20;
+  shed.min_count = 10;
+  targets.push_back(std::move(shed));
+  return targets;
+}
+
+}  // namespace us3d::obs

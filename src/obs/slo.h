@@ -1,0 +1,135 @@
+// SLO watchdog: declarative service-level objectives ("interactive p99
+// latency under 100 ms", "shed rate under 5%") evaluated periodically
+// against a MetricsRegistry, with hysteresis so one noisy interval
+// neither fires a breach nor ends one.
+//
+// Evaluation is windowed, not lifetime: each pass diffs the relevant
+// counters/histogram buckets against the previous pass, so the watchdog
+// judges what happened *since the last look* — a service that stops
+// shedding actually recovers, instead of dragging its historical average
+// around forever. A window with fewer than `min_count` samples is "no
+// data" and counts as healthy.
+//
+// Per target the watchdog maintains
+//   slo.<name>.breaches   counter — breach *entries* (edges, not polls)
+//   slo.<name>.in_breach  gauge   — 1 while in breach
+// and fires the breach callback on both edges (entered and recovered);
+// the flight recorder hooks that callback to dump a post-mortem bundle.
+#ifndef US3D_OBS_SLO_H
+#define US3D_OBS_SLO_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/annotated_mutex.h"
+#include "obs/metrics.h"
+
+namespace us3d::obs {
+
+/// One objective. `metric` names a histogram (kQuantileMax) or a counter
+/// (kRatioMax); for counters, a trailing '.' makes it a family prefix
+/// summed over every matching counter ("service.shed." covers all three
+/// shed policies at once).
+struct SloTarget {
+  enum class Kind {
+    kQuantileMax,  ///< histogram quantile of the window must stay <= threshold
+    kRatioMax,     ///< counter-delta / denominator-delta must stay <= threshold
+  };
+
+  std::string name;     ///< short identifier: "interactive_p99", "shed_rate"
+  Kind kind = Kind::kQuantileMax;
+  std::string metric;
+  std::string denominator;  ///< kRatioMax only: counter (or family prefix)
+  double quantile = 0.99;   ///< kQuantileMax only
+  double threshold = 0;
+  std::int64_t min_count = 1;  ///< window samples below this = "no data"
+};
+
+/// Callback payload, fired on breach edges only.
+struct SloBreach {
+  std::string target;
+  bool entered = false;  ///< true = entered breach, false = recovered
+  double observed = 0;   ///< the windowed value that crossed the line
+  double threshold = 0;
+};
+
+/// Per-target result of one evaluation pass (for tests and reporting).
+struct SloEvaluation {
+  std::string target;
+  bool has_data = false;
+  double observed = 0;
+  bool healthy = true;    ///< this window alone (before hysteresis)
+  bool in_breach = false; ///< sticky state after hysteresis
+};
+
+class SloWatchdog {
+ public:
+  struct Options {
+    int breach_after = 2;   ///< consecutive bad windows to enter breach
+    int recover_after = 2;  ///< consecutive good windows to recover
+    std::chrono::milliseconds period{500};
+  };
+
+  /// `registry` must outlive the watchdog. Registers the per-target
+  /// breach counter and in-breach gauge immediately.
+  SloWatchdog(MetricsRegistry& registry, std::vector<SloTarget> targets,
+              Options options);
+  SloWatchdog(MetricsRegistry& registry, std::vector<SloTarget> targets)
+      : SloWatchdog(registry, std::move(targets), Options()) {}
+  ~SloWatchdog();
+
+  SloWatchdog(const SloWatchdog&) = delete;
+  SloWatchdog& operator=(const SloWatchdog&) = delete;
+
+  /// Invoked on every breach edge, outside the watchdog's lock. Set
+  /// before start(); the flight recorder's dump() is the intended sink.
+  void set_breach_callback(std::function<void(const SloBreach&)> callback);
+
+  /// One synchronous evaluation pass (what the periodic thread runs);
+  /// callable directly for deterministic tests.
+  std::vector<SloEvaluation> evaluate_once();
+
+  /// Periodic evaluation thread. stop() joins it; the destructor stops
+  /// implicitly.
+  void start();
+  void stop();
+  bool running() const;
+
+  const std::vector<SloTarget>& targets() const { return targets_; }
+
+  /// The stock service objectives: per-priority-class p99 latency
+  /// (interactive 100 ms / routine 1 s / bulk 10 s) over
+  /// "service.latency_s.<class>", plus total shed ratio ("service.shed."
+  /// family over "service.frames_submitted") <= 20%.
+  static std::vector<SloTarget> default_service_targets();
+
+ private:
+  struct TargetState;
+
+  void run_loop();
+  /// Windowed value of target i given the fresh snapshot. Returns false
+  /// when the window has no data.
+  bool windowed_value(std::size_t i, const MetricsSnapshot& snap,
+                      double* out) US3D_REQUIRES(mutex_);
+
+  MetricsRegistry& registry_;
+  const std::vector<SloTarget> targets_;
+  const Options options_;
+
+  mutable Mutex mutex_;
+  std::vector<TargetState> states_ US3D_GUARDED_BY(mutex_);
+  std::function<void(const SloBreach&)> callback_ US3D_GUARDED_BY(mutex_);
+  bool stop_requested_ US3D_GUARDED_BY(mutex_) = false;
+  std::thread thread_ US3D_GUARDED_BY(mutex_);
+  CondVar cv_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace us3d::obs
+
+#endif  // US3D_OBS_SLO_H

@@ -5,7 +5,9 @@
 
 #include "common/contracts.h"
 #include "common/latency.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/resource_profiler.h"
 #include "obs/trace.h"
 #include "simd/dispatch.h"
 
@@ -56,12 +58,14 @@ AsyncPipeline::AsyncPipeline(FramePipeline& pipeline,
     obs::set_thread_name(options_.metrics_scope.empty()
                              ? "beamform"
                              : options_.metrics_scope + ".beamform");
+    obs::ResourceProfiler::global().register_current_thread("beamform");
     beamform_loop();
   });
   compound_thread_ = std::thread([this] {
     obs::set_thread_name(options_.metrics_scope.empty()
                              ? "compound"
                              : options_.metrics_scope + ".compound");
+    obs::ResourceProfiler::global().register_current_thread("compound");
     compound_loop();
   });
 }
@@ -92,12 +96,25 @@ bool AsyncPipeline::submit(EchoFrame frame) {
     ++submitted_;
   }
   bool pushed;
+  // Timing the push only matters when someone is listening: the event is
+  // a queue-stall diagnostic, so the clock reads hide behind the same
+  // runtime gate as the emit itself.
+  const bool log_stalls = obs::EventLog::instance().enabled();
+  const auto push_t0 = log_stalls ? Clock::now() : Clock::time_point();
   {
     // The span covers the queue wait: with the input queue full this is
     // the backpressure stall the acquisition front-end experiences.
     US3D_TRACE_SPAN("stage.ingest", "sequence", sequence, "session",
                     options_.session);
     pushed = input_.push(std::move(frame));
+  }
+  if (log_stalls) {
+    const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - push_t0);
+    if (waited >= std::chrono::milliseconds(1)) {
+      US3D_EVENT_WARN("pipeline.ingest_stall", options_.session, sequence,
+                      nullptr, "wait_us", waited.count());
+    }
   }
   if (!pushed) {
     {
@@ -125,6 +142,7 @@ bool AsyncPipeline::try_submit(EchoFrame& frame) {
       --submitted_;
     }
     state_cv_.notify_all();
+    US3D_EVENT_DEBUG("pipeline.queue_full", options_.session, sequence);
     return false;
   }
   US3D_TRACE_INSTANT("stage.ingest", "sequence", sequence, "session",
@@ -415,6 +433,7 @@ bool AsyncPipeline::deliver(const VolumeSink& sink, const Output& out) {
 
 void AsyncPipeline::fail(std::exception_ptr error, bool from_sink) {
   std::deque<Output> orphans;
+  bool first_failure = false;
   {
     MutexLock lock(state_mutex_);
     if (from_sink) {
@@ -422,8 +441,13 @@ void AsyncPipeline::fail(std::exception_ptr error, bool from_sink) {
     } else if (!worker_error_) {
       worker_error_ = error;
     }
+    first_failure = !failed_.load(std::memory_order_relaxed);
     failed_.store(true, std::memory_order_release);
     orphans.swap(output_);
+  }
+  if (first_failure) {
+    US3D_EVENT_ERROR("pipeline.failed", options_.session, -1,
+                     from_sink ? "sink" : "worker");
   }
   for (const Output& o : orphans) ring_.release(o.slot);
   state_cv_.notify_all();

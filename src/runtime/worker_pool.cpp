@@ -1,6 +1,7 @@
 #include "runtime/worker_pool.h"
 
 #include "common/contracts.h"
+#include "obs/resource_profiler.h"
 #include "obs/trace.h"
 
 namespace us3d::runtime {
@@ -9,7 +10,10 @@ WorkerPool::WorkerPool(int threads) : threads_(threads), cap_(threads) {
   US3D_EXPECTS(threads >= 1);
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int i = 0; i < threads - 1; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i + 1); });
+    workers_.emplace_back([this, i] {
+      obs::ResourceProfiler::global().register_current_thread("worker");
+      worker_loop(i + 1);
+    });
   }
 }
 

@@ -8,6 +8,9 @@
 
 #include "common/annotated_mutex.h"
 #include "common/contracts.h"
+#include "obs/event_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/resource_profiler.h"
 #include "obs/trace.h"
 #include "probe/apodization.h"
 
@@ -68,6 +71,9 @@ struct ImagingService::Session {
   std::int64_t delivered_frames US3D_GUARDED_BY(mutex) = 0;
   std::int64_t delivered_insonifications US3D_GUARDED_BY(mutex) = 0;
   bool failed US3D_GUARDED_BY(mutex) = false;
+  /// Set by capture_error_locked on the failing transition; consumed by
+  /// ImagingService::maybe_dump_failure once every lock is released.
+  bool postmortem_pending US3D_GUARDED_BY(mutex) = false;
   std::string error US3D_GUARDED_BY(mutex);
   SampleQuantiles latency US3D_GUARDED_BY(mutex);
   /// Set once at close.
@@ -130,6 +136,7 @@ struct ImagingService::Session {
   void capture_error_locked() US3D_REQUIRES(mutex) {
     if (failed || !async->failed()) return;
     failed = true;
+    postmortem_pending = true;
     try {
       async->rethrow_if_failed();
     } catch (const std::exception& e) {
@@ -137,6 +144,10 @@ struct ImagingService::Session {
     } catch (...) {
       error = "unknown session error";
     }
+    // The error string is dynamic and the event log only keeps static
+    // strings; the full text lives in SessionStats::error and in the
+    // post-mortem bundle's metrics/manifest context.
+    US3D_EVENT_ERROR("session.failed", id, -1, "async pipeline failed");
   }
 
   SessionStats snapshot_locked() const US3D_REQUIRES(mutex) {
@@ -180,6 +191,7 @@ ImagingService::ImagingService(const ServiceBudget& budget) : budget_(budget) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   admitted_counter_ = reg.counter("service.sessions_admitted");
   refused_counter_ = reg.counter("service.sessions_refused");
+  frames_submitted_counter_ = reg.counter("service.frames_submitted");
   closed_counter_ = reg.counter("service.sessions_closed");
   rebalance_counter_ = reg.counter("service.rebalances");
   for (const ShedPolicy policy :
@@ -195,6 +207,9 @@ ImagingService::ImagingService(const ServiceBudget& budget) : budget_(budget) {
   }
   open_sessions_gauge_ = reg.gauge("service.open_sessions");
   inflight_gauge_ = reg.gauge("service.inflight_in_use");
+  // Telemetry bring-up rides on service construction: US3D_PROFILE starts
+  // the per-stage resource sampler into the same registry.
+  obs::ResourceProfiler::start_from_env();
 }
 
 ImagingService::~ImagingService() {
@@ -222,6 +237,7 @@ Admission ImagingService::open_session(const Scenario& scenario,
   try {
     scenario.validate();
   } catch (const std::exception& e) {
+    US3D_EVENT_WARN("service.refuse", -1, -1, "scenario validation failed");
     return refuse(e.what());
   }
 
@@ -230,6 +246,9 @@ Admission ImagingService::open_session(const Scenario& scenario,
     ++sessions_refused_;
     refused_counter_->increment();
     US3D_TRACE_INSTANT("service.refuse");
+    US3D_EVENT_WARN("service.refuse", -1, -1, "worker budget exhausted",
+                    "open_sessions", static_cast<std::int64_t>(
+                                         sessions_.size()));
     result.reason = "worker budget exhausted";
     return result;
   }
@@ -239,6 +258,9 @@ Admission ImagingService::open_session(const Scenario& scenario,
     ++sessions_refused_;
     refused_counter_->increment();
     US3D_TRACE_INSTANT("service.refuse");
+    US3D_EVENT_WARN("service.refuse", -1, -1,
+                    "in-flight volume budget exhausted", "remaining",
+                    remaining, "needed", min_slots);
     result.reason = "in-flight volume budget exhausted";
     return result;
   }
@@ -283,6 +305,8 @@ Admission ImagingService::open_session(const Scenario& scenario,
     ++sessions_refused_;
     refused_counter_->increment();
     US3D_TRACE_INSTANT("service.refuse");
+    US3D_EVENT_WARN("service.refuse", -1, -1,
+                    "pipeline construction failed");
     result.reason = e.what();
     return result;
   }
@@ -310,6 +334,8 @@ Admission ImagingService::open_session(const Scenario& scenario,
   result.granted_depth = depth;
   US3D_TRACE_INSTANT("service.admit", "session", session->id, "workers",
                      result.granted_workers);
+  US3D_EVENT_INFO("service.admit", session->id, -1, nullptr, "workers",
+                  result.granted_workers, "depth", depth);
   return result;
 }
 
@@ -339,6 +365,9 @@ void ImagingService::rebalance_locked() {
   rebalance_counter_->increment();
   US3D_TRACE_INSTANT("service.rebalance", "sessions",
                      static_cast<std::int64_t>(order.size()));
+  US3D_EVENT_DEBUG("service.rebalance", -1, -1, nullptr, "sessions",
+                   static_cast<std::int64_t>(order.size()), "budget",
+                   budget_.worker_threads);
 }
 
 std::shared_ptr<ImagingService::Session> ImagingService::find(
@@ -354,65 +383,95 @@ std::shared_ptr<ImagingService::Session> ImagingService::find(
 
 bool ImagingService::submit(int session, runtime::EchoFrame frame) {
   const std::shared_ptr<Session> s = find(session);
-  MutexLock lock(s->mutex);
-  ++s->submitted;
-  if (s->closing || s->async->failed()) {
-    s->capture_error_locked();
-    ++s->refused_terminal;
-    return false;
-  }
-  s->pump_locked();
-  if (static_cast<int>(s->backlog.size()) >= s->effective_depth) {
-    const std::shared_ptr<obs::Counter>& shed =
-        shed_counters_[static_cast<std::size_t>(s->options.policy)];
-    switch (s->options.policy) {
-      case ShedPolicy::kRefuseNewest:
-        ++s->shed_refused;
-        shed->increment();
-        US3D_TRACE_INSTANT("service.shed", "session", session, "sequence",
-                           frame.sequence);
-        return false;
-      case ShedPolicy::kDropOldest:
-        US3D_TRACE_INSTANT("service.shed", "session", session, "sequence",
-                           s->backlog.front().frame.sequence);
-        s->backlog.pop_front();
-        ++s->shed_dropped;
-        shed->increment();
-        break;
-      case ShedPolicy::kAdaptiveDepth:
-        // Multiplicative decrease: halve this session's depth (floor 1)
-        // so the laggard holds fewer shared slots, then shed the now-
-        // overflowing oldest frames. pump_locked() regrows it.
-        s->effective_depth = std::max(1, s->effective_depth / 2);
-        s->async->set_queue_depth(s->effective_depth);
-        while (static_cast<int>(s->backlog.size()) >= s->effective_depth) {
-          US3D_TRACE_INSTANT("service.shed", "session", session, "sequence",
-                             s->backlog.front().frame.sequence);
-          s->backlog.pop_front();
-          ++s->shed_adaptive;
-          shed->increment();
+  frames_submitted_counter_->increment();
+  // Single exit from the locked region: the failure post-mortem (if this
+  // submit observed the failing transition) must run with no lock held.
+  bool entered = false;
+  {
+    MutexLock lock(s->mutex);
+    ++s->submitted;
+    if (s->closing || s->async->failed()) {
+      s->capture_error_locked();
+      ++s->refused_terminal;
+      US3D_EVENT_WARN("service.refuse_terminal", session, frame.sequence,
+                      s->closing ? "session closing" : "session failed");
+    } else {
+      s->pump_locked();
+      bool refused_newest = false;
+      if (static_cast<int>(s->backlog.size()) >= s->effective_depth) {
+        const std::shared_ptr<obs::Counter>& shed =
+            shed_counters_[static_cast<std::size_t>(s->options.policy)];
+        const char* policy = policy_name(s->options.policy);
+        switch (s->options.policy) {
+          case ShedPolicy::kRefuseNewest:
+            ++s->shed_refused;
+            shed->increment();
+            US3D_TRACE_INSTANT("service.shed", "session", session,
+                               "sequence", frame.sequence);
+            US3D_EVENT_WARN("service.shed", session, frame.sequence, policy,
+                            "backlog",
+                            static_cast<std::int64_t>(s->backlog.size()));
+            refused_newest = true;
+            break;
+          case ShedPolicy::kDropOldest:
+            US3D_TRACE_INSTANT("service.shed", "session", session,
+                               "sequence", s->backlog.front().frame.sequence);
+            US3D_EVENT_WARN("service.shed", session,
+                            s->backlog.front().frame.sequence, policy,
+                            "backlog",
+                            static_cast<std::int64_t>(s->backlog.size()));
+            s->backlog.pop_front();
+            ++s->shed_dropped;
+            shed->increment();
+            break;
+          case ShedPolicy::kAdaptiveDepth:
+            // Multiplicative decrease: halve this session's depth (floor
+            // 1) so the laggard holds fewer shared slots, then shed the
+            // now-overflowing oldest frames. pump_locked() regrows it.
+            s->effective_depth = std::max(1, s->effective_depth / 2);
+            s->async->set_queue_depth(s->effective_depth);
+            while (static_cast<int>(s->backlog.size()) >=
+                   s->effective_depth) {
+              US3D_TRACE_INSTANT("service.shed", "session", session,
+                                 "sequence",
+                                 s->backlog.front().frame.sequence);
+              US3D_EVENT_WARN("service.shed", session,
+                              s->backlog.front().frame.sequence, policy,
+                              "depth", s->effective_depth);
+              s->backlog.pop_front();
+              ++s->shed_adaptive;
+              shed->increment();
+            }
+            break;
         }
-        break;
+      }
+      if (!refused_newest) {
+        s->backlog.push_back(
+            Session::Pending{std::move(frame), Clock::now()});
+        s->pump_locked();
+        entered = true;
+      }
     }
   }
-  s->backlog.push_back(
-      Session::Pending{std::move(frame), Clock::now()});
-  s->pump_locked();
-  return true;
+  maybe_dump_failure(s);
+  return entered;
 }
 
 int ImagingService::poll(int session, const runtime::VolumeSink& sink) {
   const std::shared_ptr<Session> s = find(session);
-  MutexLock lock(s->mutex);
-  if (s->closing) return 0;
-  s->pump_locked();
-  const runtime::VolumeSink deliver = s->delivery_sink(sink);
   int delivered = 0;
-  while (s->async->poll(deliver)) {
-    ++delivered;
-    s->pump_locked();  // a freed ring slot may admit backlog immediately
+  {
+    MutexLock lock(s->mutex);
+    if (s->closing) return 0;
+    s->pump_locked();
+    const runtime::VolumeSink deliver = s->delivery_sink(sink);
+    while (s->async->poll(deliver)) {
+      ++delivered;
+      s->pump_locked();  // a freed ring slot may admit backlog immediately
+    }
+    s->capture_error_locked();
   }
-  s->capture_error_locked();
+  maybe_dump_failure(s);
   return delivered;
 }
 
@@ -455,6 +514,9 @@ SessionStats ImagingService::close_session(int session,
     }
     final_stats = s->snapshot_locked();
   }
+  maybe_dump_failure(s);
+  US3D_EVENT_INFO("service.close", session, -1, nullptr, "delivered",
+                  final_stats.delivered_frames);
   {
     MutexLock lock(service_mutex_);
     const auto it = sessions_.find(session);
@@ -473,6 +535,22 @@ SessionStats ImagingService::close_session(int session,
     }
   }
   return final_stats;
+}
+
+void ImagingService::maybe_dump_failure(const std::shared_ptr<Session>& s) {
+  bool dump = false;
+  int id = -1;
+  {
+    MutexLock lock(s->mutex);
+    if (s->postmortem_pending) {
+      s->postmortem_pending = false;
+      dump = true;
+      id = s->id;
+    }
+  }
+  if (dump) {
+    obs::FlightRecorder::global().dump("session_failure", id);
+  }
 }
 
 SessionStats ImagingService::session_stats(int session) const {

@@ -151,6 +151,13 @@ class ImagingService {
 
   std::shared_ptr<Session> find(int session) const
       US3D_EXCLUDES(service_mutex_);
+  /// Post-mortem hook: if `s` just transitioned to failed (flagged under
+  /// its mutex by capture_error_locked), trigger one flight-recorder dump
+  /// — after every lock is released, because dump() does file IO and
+  /// walks the telemetry registries. No-op unless a post-mortem directory
+  /// is configured.
+  void maybe_dump_failure(const std::shared_ptr<Session>& s)
+      US3D_EXCLUDES(service_mutex_);
   /// Re-deals the worker budget across open sessions (see the scheduling
   /// model above). Caller holds service_mutex_.
   void rebalance_locked() US3D_REQUIRES(service_mutex_);
@@ -174,6 +181,7 @@ class ImagingService {
   // and unlisted at close.
   std::shared_ptr<obs::Counter> admitted_counter_;
   std::shared_ptr<obs::Counter> refused_counter_;
+  std::shared_ptr<obs::Counter> frames_submitted_counter_;
   std::shared_ptr<obs::Counter> closed_counter_;
   std::shared_ptr<obs::Counter> rebalance_counter_;
   std::array<std::shared_ptr<obs::Counter>, 3> shed_counters_;  // by policy

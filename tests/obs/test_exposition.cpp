@@ -1,0 +1,116 @@
+// Prometheus exposition contracts: name sanitization and label escaping
+// follow text format 0.0.4, the rendered block per family is golden
+// (TYPE line, `_total` counters, cumulative `le` buckets ending in +Inf,
+// `_sum`/`_count`), and — the lifecycle rule the header promises —
+// series unlisted via remove_prefix() never reappear in a later render.
+#include "obs/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace us3d::obs {
+namespace {
+
+TEST(PrometheusName, SanitizesCharsetAndGuardsLeadingDigit) {
+  EXPECT_EQ(prometheus_name("service.latency_s.interactive"),
+            "service_latency_s_interactive");
+  EXPECT_EQ(prometheus_name("profile.rss_bytes"), "profile_rss_bytes");
+  EXPECT_EQ(prometheus_name("has:colon"), "has:colon");  // colons are legal
+  EXPECT_EQ(prometheus_name("weird-name with spaces!"),
+            "weird_name_with_spaces_");
+  EXPECT_EQ(prometheus_name("9starts.with.digit"), "_9starts_with_digit");
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(PrometheusLabelEscape, EscapesBackslashQuoteAndNewline) {
+  EXPECT_EQ(prometheus_label_escape("plain"), "plain");
+  EXPECT_EQ(prometheus_label_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_label_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_label_escape("line\nbreak"), "line\\nbreak");
+}
+
+TEST(RenderPrometheus, CountersAndGaugesRenderGoldenLines) {
+  MetricsRegistry reg;
+  reg.counter("svc.frames")->increment(42);
+  reg.gauge("svc.depth")->set(-3);
+
+  const std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE svc_frames_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("svc_frames_total{us3d_name=\"svc.frames\"} 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE svc_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("svc_depth{us3d_name=\"svc.depth\"} -3\n"),
+            std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(RenderPrometheus, HistogramBucketsAreCumulativeWithInf) {
+  MetricsRegistry reg;
+  const auto h = reg.histogram("lat", std::vector<double>{0.5, 1.0});
+  // Binary-exact values so the rendered sum is a stable string.
+  h->observe(0.25);  // bucket 0
+  h->observe(0.25);  // bucket 0
+  h->observe(0.75);  // bucket 1
+  h->observe(99.0);  // overflow
+
+  const std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE lat histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{us3d_name=\"lat\",le=\"0.5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{us3d_name=\"lat\",le=\"1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{us3d_name=\"lat\",le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_count{us3d_name=\"lat\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum{us3d_name=\"lat\"} 100.25\n"),
+            std::string::npos);
+}
+
+TEST(RenderPrometheus, DotPathSurvivesInTheNameLabel) {
+  MetricsRegistry reg;
+  reg.counter("a.b_c")->increment();
+  reg.counter("a_b.c")->increment();  // sanitizes to the same prom name
+  const std::string text = render_prometheus(reg);
+  // Both families collide on `a_b_c_total`, but the us3d_name label keeps
+  // them distinguishable.
+  EXPECT_NE(text.find("a_b_c_total{us3d_name=\"a.b_c\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("a_b_c_total{us3d_name=\"a_b.c\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(RenderPrometheus, RemovedSeriesNeverReappear) {
+  MetricsRegistry reg;
+  reg.counter("service.total")->increment(5);
+  // Session-scoped family, still referenced by a live holder after close
+  // (the service keeps shared_ptrs to nodes it already resolved).
+  const auto held = reg.gauge("service.s7.depth");
+  held->set(4);
+  reg.gauge("service.s7.ring")->set(2);
+
+  std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("service_s7_depth"), std::string::npos);
+  EXPECT_NE(text.find("service_s7_ring"), std::string::npos);
+
+  EXPECT_EQ(reg.remove_prefix("service.s7."), 2u);
+  // The holder still works — but the series is gone from every later
+  // exposition, even if the holder keeps writing.
+  held->set(99);
+  text = render_prometheus(reg);
+  EXPECT_EQ(text.find("service_s7_depth"), std::string::npos);
+  EXPECT_EQ(text.find("service_s7_ring"), std::string::npos);
+  EXPECT_NE(text.find("service_total_total{us3d_name=\"service.total\"} 5\n"),
+            std::string::npos);
+}
+
+TEST(RenderPrometheus, EmptySnapshotRendersEmptyString) {
+  MetricsRegistry reg;
+  EXPECT_EQ(render_prometheus(reg), "");
+}
+
+}  // namespace
+}  // namespace us3d::obs

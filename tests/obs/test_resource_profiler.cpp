@@ -1,0 +1,143 @@
+// Resource-profiler contracts: registered threads aggregate under their
+// stage label (first registration wins, once per thread), sample_once()
+// publishes the documented gauge families into the given registry, the
+// summary JSON round-trips through the strict reader, and the sampler
+// thread starts/stops cleanly. CPU and RSS numbers are
+// platform-dependent, so the assertions are structural (gauges exist,
+// values are sane) rather than exact.
+#include "obs/resource_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/json_reader.h"
+#include "obs/metrics.h"
+
+namespace us3d::obs {
+namespace {
+
+const StageProfile* find_stage(const ResourceProfile& profile,
+                               const std::string& stage) {
+  for (const StageProfile& s : profile.stages) {
+    if (s.stage == stage) return &s;
+  }
+  return nullptr;
+}
+
+/// Spawns a thread registered under `stage` and returns once the
+/// registration is visible (registration is once-per-thread, so each
+/// test that needs a fresh stage needs a fresh thread). The thread burns
+/// CPU until `stop` is set so the stage has non-zero cumulative time.
+std::thread stage_thread(const std::string& stage, std::atomic<bool>& stop) {
+  std::atomic<bool> registered{false};
+  std::thread t([stage, &registered, &stop] {
+    ResourceProfiler::global().register_current_thread(stage);
+    registered.store(true, std::memory_order_release);
+    volatile double sink = 0;
+    while (!stop.load(std::memory_order_acquire)) sink = sink + 1.0;
+  });
+  while (!registered.load(std::memory_order_acquire)) std::this_thread::yield();
+  return t;
+}
+
+TEST(ResourceProfiler, RegisteredThreadsAggregateByStage) {
+  ResourceProfiler& profiler = ResourceProfiler::global();
+  profiler.register_current_thread("test_main");
+  profiler.register_current_thread("renamed");  // first registration wins
+
+  std::atomic<bool> stop{false};
+  std::thread worker = stage_thread("test_worker", stop);
+
+  MetricsRegistry reg;
+  profiler.sample_once(reg);
+  const ResourceProfile profile = profiler.summary();
+  stop.store(true, std::memory_order_release);
+  worker.join();
+
+  const StageProfile* main_stage = find_stage(profile, "test_main");
+  ASSERT_NE(main_stage, nullptr);
+  EXPECT_GE(main_stage->threads, 1);
+  EXPECT_EQ(find_stage(profile, "renamed"), nullptr);
+  ASSERT_NE(find_stage(profile, "test_worker"), nullptr);
+#ifdef __linux__
+  EXPECT_GT(profile.rss_bytes, 0);
+  EXPECT_GE(profile.rss_bytes_peak, profile.rss_bytes);
+  EXPECT_GE(profile.vm_bytes, profile.rss_bytes);
+#endif
+}
+
+TEST(ResourceProfiler, SampleOncePublishesTheDocumentedGauges) {
+  ResourceProfiler& profiler = ResourceProfiler::global();
+  std::atomic<bool> stop{false};
+  std::thread worker = stage_thread("test_gauges", stop);
+
+  MetricsRegistry reg;
+  profiler.sample_once(reg);
+  stop.store(true, std::memory_order_release);
+  worker.join();
+
+  const auto threads = reg.find_gauge("profile.test_gauges.threads");
+  ASSERT_NE(threads, nullptr);
+  EXPECT_GE(threads->value(), 1);
+  ASSERT_NE(reg.find_gauge("profile.test_gauges.cpu_permille"), nullptr);
+#ifdef __linux__
+  const auto rss = reg.find_gauge("profile.rss_bytes");
+  ASSERT_NE(rss, nullptr);
+  EXPECT_GT(rss->value(), 0);
+  ASSERT_NE(reg.find_gauge("profile.vm_bytes"), nullptr);
+#endif
+}
+
+TEST(ResourceProfiler, SummaryJsonRoundTripsThroughTheStrictReader) {
+  ResourceProfiler& profiler = ResourceProfiler::global();
+  std::atomic<bool> stop{false};
+  std::thread worker = stage_thread("test_json", stop);
+  MetricsRegistry reg;
+  profiler.sample_once(reg);
+  stop.store(true, std::memory_order_release);
+  worker.join();
+
+  const JsonValue v = parse_json(profiler.summary().to_json());
+  EXPECT_NE(v.find("rss_bytes"), nullptr);
+  EXPECT_NE(v.find("vm_bytes"), nullptr);
+  EXPECT_NE(v.find("samples"), nullptr);
+  ASSERT_NE(v.find("stages"), nullptr);
+  bool saw = false;
+  for (const auto& [stage, body] : v.at("stages").members()) {
+    if (stage == "test_json") {
+      saw = true;
+      EXPECT_GE(body.at("threads").as_int(), 1);
+      EXPECT_NE(body.find("cpu_permille"), nullptr);
+      EXPECT_NE(body.find("cpu_seconds"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(ResourceProfiler, SamplerThreadStartsAndStops) {
+  ResourceProfiler& profiler = ResourceProfiler::global();
+  MetricsRegistry reg;
+
+  EXPECT_FALSE(profiler.running());
+  profiler.start(reg, std::chrono::milliseconds(1));
+  EXPECT_TRUE(profiler.running());
+  profiler.start(reg, std::chrono::milliseconds(1));  // no-op when running
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  profiler.stop();
+  EXPECT_FALSE(profiler.running());
+  profiler.stop();  // no-op when stopped
+
+  // The sampler actually ticked while it was up.
+  EXPECT_GT(profiler.summary().samples, 0u);
+  // Restartable after stop().
+  profiler.start(reg, std::chrono::milliseconds(1));
+  EXPECT_TRUE(profiler.running());
+  profiler.stop();
+}
+
+}  // namespace
+}  // namespace us3d::obs

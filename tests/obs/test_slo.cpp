@@ -1,0 +1,234 @@
+// SLO watchdog contracts: evaluation is windowed (deltas since the last
+// pass, so a service that stops misbehaving actually recovers), breach
+// entry and recovery both require a streak (hysteresis), the callback
+// fires on edges only, the per-target breach counter / in-breach gauge
+// track the state machine, and a window below min_count is "no data" —
+// healthy, never accusing. All tests drive evaluate_once() directly on a
+// local registry for determinism.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace us3d::obs {
+namespace {
+
+SloTarget quantile_target(double threshold, std::int64_t min_count = 1) {
+  SloTarget t;
+  t.name = "lat_p99";
+  t.kind = SloTarget::Kind::kQuantileMax;
+  t.metric = "svc.latency_s";
+  t.quantile = 0.99;
+  t.threshold = threshold;
+  t.min_count = min_count;
+  return t;
+}
+
+TEST(SloWatchdog, BreachNeedsConsecutiveBadWindows) {
+  MetricsRegistry reg;
+  const auto hist =
+      reg.histogram("svc.latency_s", std::vector<double>{0.01, 0.1, 1.0});
+  SloWatchdog::Options opts;
+  opts.breach_after = 2;
+  opts.recover_after = 2;
+  SloWatchdog wd(reg, {quantile_target(0.05)}, opts);
+
+  std::vector<SloBreach> edges;
+  wd.set_breach_callback([&edges](const SloBreach& b) { edges.push_back(b); });
+
+  // Window 1: slow observations -> bad, but one window is not a breach.
+  hist->observe(0.5);
+  hist->observe(0.5);
+  auto evals = wd.evaluate_once();
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_TRUE(evals[0].has_data);
+  EXPECT_FALSE(evals[0].healthy);
+  EXPECT_FALSE(evals[0].in_breach);
+  EXPECT_TRUE(edges.empty());
+  EXPECT_EQ(reg.find_gauge("slo.lat_p99.in_breach")->value(), 0);
+
+  // Window 2: still slow -> the streak completes, breach edge fires once.
+  hist->observe(0.5);
+  evals = wd.evaluate_once();
+  EXPECT_TRUE(evals[0].in_breach);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(edges[0].entered);
+  EXPECT_EQ(edges[0].target, "lat_p99");
+  EXPECT_GT(edges[0].observed, 0.05);
+  EXPECT_EQ(reg.find_counter("slo.lat_p99.breaches")->value(), 1);
+  EXPECT_EQ(reg.find_gauge("slo.lat_p99.in_breach")->value(), 1);
+
+  // Window 3: still bad. In breach already -> no second entry edge.
+  hist->observe(0.5);
+  wd.evaluate_once();
+  EXPECT_EQ(edges.size(), 1u);
+  EXPECT_EQ(reg.find_counter("slo.lat_p99.breaches")->value(), 1);
+}
+
+TEST(SloWatchdog, RecoveryIsWindowedAndNeedsAStreak) {
+  MetricsRegistry reg;
+  const auto hist =
+      reg.histogram("svc.latency_s", std::vector<double>{0.01, 0.1, 1.0});
+  SloWatchdog::Options opts;
+  opts.breach_after = 1;
+  opts.recover_after = 2;
+  SloWatchdog wd(reg, {quantile_target(0.05)}, opts);
+  std::vector<SloBreach> edges;
+  wd.set_breach_callback([&edges](const SloBreach& b) { edges.push_back(b); });
+
+  hist->observe(0.5);
+  wd.evaluate_once();  // bad window -> immediate breach (breach_after=1)
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(edges[0].entered);
+
+  // Fast observations now. A *cumulative* evaluator would still see the
+  // old 0.5 s sample in the p99 forever; the windowed one only judges the
+  // new samples.
+  hist->observe(0.001);
+  hist->observe(0.001);
+  auto evals = wd.evaluate_once();  // good window 1 of 2
+  EXPECT_TRUE(evals[0].healthy);
+  EXPECT_TRUE(evals[0].in_breach);  // hysteresis holds the state
+  EXPECT_EQ(edges.size(), 1u);
+
+  hist->observe(0.001);
+  evals = wd.evaluate_once();  // good window 2 of 2 -> recovery edge
+  EXPECT_FALSE(evals[0].in_breach);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_FALSE(edges[1].entered);
+  EXPECT_EQ(reg.find_gauge("slo.lat_p99.in_breach")->value(), 0);
+  // Entries counted once; recovery is not an entry.
+  EXPECT_EQ(reg.find_counter("slo.lat_p99.breaches")->value(), 1);
+}
+
+TEST(SloWatchdog, EmptyWindowIsNoDataAndAdvancesRecovery) {
+  MetricsRegistry reg;
+  const auto hist =
+      reg.histogram("svc.latency_s", std::vector<double>{0.01, 0.1, 1.0});
+  SloWatchdog::Options opts;
+  opts.breach_after = 1;
+  opts.recover_after = 2;
+  SloWatchdog wd(reg, {quantile_target(0.05)}, opts);
+
+  hist->observe(0.5);
+  wd.evaluate_once();  // breach
+  // Two silent windows: nothing observed at all. Silence is not evidence
+  // of misbehavior -> the breach ends.
+  auto evals = wd.evaluate_once();
+  EXPECT_FALSE(evals[0].has_data);
+  EXPECT_TRUE(evals[0].healthy);
+  evals = wd.evaluate_once();
+  EXPECT_FALSE(evals[0].in_breach);
+}
+
+TEST(SloWatchdog, MinCountGatesThinWindows) {
+  MetricsRegistry reg;
+  const auto hist =
+      reg.histogram("svc.latency_s", std::vector<double>{0.01, 0.1, 1.0});
+  SloWatchdog::Options opts;
+  opts.breach_after = 1;
+  opts.recover_after = 1;
+  SloWatchdog wd(reg, {quantile_target(0.05, /*min_count=*/3)}, opts);
+
+  hist->observe(0.5);  // 1 sample < min_count 3
+  auto evals = wd.evaluate_once();
+  EXPECT_FALSE(evals[0].has_data);
+  EXPECT_FALSE(evals[0].in_breach);
+
+  for (int i = 0; i < 3; ++i) hist->observe(0.5);
+  evals = wd.evaluate_once();
+  EXPECT_TRUE(evals[0].has_data);
+  EXPECT_TRUE(evals[0].in_breach);
+}
+
+TEST(SloWatchdog, RatioTargetSumsCounterFamilies) {
+  MetricsRegistry reg;
+  const auto shed_a = reg.counter("svc.shed.refuse_newest");
+  const auto shed_b = reg.counter("svc.shed.drop_oldest");
+  const auto submitted = reg.counter("svc.frames");
+  reg.counter("svc.shedding_unrelated");  // shares the digits, not the family
+
+  SloTarget t;
+  t.name = "shed_rate";
+  t.kind = SloTarget::Kind::kRatioMax;
+  t.metric = "svc.shed.";  // trailing dot: family prefix sum
+  t.denominator = "svc.frames";
+  t.threshold = 0.20;
+  t.min_count = 10;
+  SloWatchdog::Options opts;
+  opts.breach_after = 1;
+  opts.recover_after = 1;
+  SloWatchdog wd(reg, {t}, opts);
+
+  // Window 1: 6 shed of 20 -> 30% > 20% -> breach.
+  submitted->increment(20);
+  shed_a->increment(4);
+  shed_b->increment(2);
+  auto evals = wd.evaluate_once();
+  EXPECT_TRUE(evals[0].has_data);
+  EXPECT_NEAR(evals[0].observed, 0.30, 1e-12);
+  EXPECT_TRUE(evals[0].in_breach);
+
+  // Window 2: 20 more frames, only 1 shed -> 5% -> recovered. Lifetime
+  // ratio is still 7/40 = 17.5%; only the window matters.
+  submitted->increment(20);
+  shed_a->increment(1);
+  evals = wd.evaluate_once();
+  EXPECT_NEAR(evals[0].observed, 0.05, 1e-12);
+  EXPECT_FALSE(evals[0].in_breach);
+
+  // Window 3: denominator moved less than min_count -> no data.
+  submitted->increment(5);
+  shed_a->increment(5);
+  evals = wd.evaluate_once();
+  EXPECT_FALSE(evals[0].has_data);
+}
+
+TEST(SloWatchdog, MissingMetricIsNoData) {
+  MetricsRegistry reg;
+  SloWatchdog::Options opts;
+  opts.breach_after = 1;
+  SloWatchdog wd(reg, {quantile_target(0.05)}, opts);
+  const auto evals = wd.evaluate_once();
+  EXPECT_FALSE(evals[0].has_data);
+  EXPECT_TRUE(evals[0].healthy);
+}
+
+TEST(SloWatchdog, PeriodicThreadStartsAndStops) {
+  MetricsRegistry reg;
+  reg.histogram("svc.latency_s", std::vector<double>{0.01, 0.1, 1.0});
+  SloWatchdog::Options opts;
+  opts.period = std::chrono::milliseconds(1);
+  SloWatchdog wd(reg, {quantile_target(0.05)}, opts);
+  EXPECT_FALSE(wd.running());
+  wd.start();
+  EXPECT_TRUE(wd.running());
+  wd.stop();
+  EXPECT_FALSE(wd.running());
+  wd.start();  // restartable; destructor stops implicitly
+  EXPECT_TRUE(wd.running());
+}
+
+TEST(SloWatchdog, DefaultServiceTargetsCoverLatencyAndShedRate) {
+  const std::vector<SloTarget> targets =
+      SloWatchdog::default_service_targets();
+  ASSERT_EQ(targets.size(), 4u);
+  bool saw_shed = false;
+  for (const SloTarget& t : targets) {
+    if (t.kind == SloTarget::Kind::kRatioMax) {
+      saw_shed = true;
+      EXPECT_EQ(t.metric.back(), '.');  // family prefix
+      EXPECT_EQ(t.denominator, "service.frames_submitted");
+    } else {
+      EXPECT_EQ(t.metric.rfind("service.latency_s.", 0), 0u);
+    }
+  }
+  EXPECT_TRUE(saw_shed);
+}
+
+}  // namespace
+}  // namespace us3d::obs

@@ -1,0 +1,16 @@
+// Lint fixture: every way an event macro can violate the literal-name
+// contract. EventRecord stores `const char*` without copying, so a
+// runtime string here would dangle by the time the flight recorder reads
+// the ring.
+#include <string>
+
+void bad_event_fixtures(const std::string& reason, int session, int seq) {
+  US3D_EVENT_WARN(reason.c_str(), session, seq);            // name not literal
+  US3D_EVENT_ERROR(("svc." + reason).c_str());              // computed name
+  US3D_EVENT_INFO("ok.name", session, seq, nullptr,
+                  reason.c_str(), 3);                       // key not literal
+  US3D_EVENT_DEBUG("ok.name", session, seq, nullptr,
+                   "depth", 2, reason.c_str(), 4);          // second key too
+  US3D_EVENT_WARN("ok.name", session, seq, nullptr,
+                  "depth");                                 // key, no value
+}

@@ -1,7 +1,9 @@
-// Lint fixture: code that satisfies all four checks — literal trace
-// names and keys, no fused multiply-add (comments and strings mentioning
-// std::fma or _mm256_fmadd_ps must NOT trip the token scan), locking via
-// the annotated wrappers, and a to_json whose keys all round-trip.
+// Lint fixture: code that satisfies all five checks — literal trace and
+// event names and keys (an event's detail argument may be a static
+// non-literal expression), no fused multiply-add (comments and strings
+// mentioning std::fma or _mm256_fmadd_ps must NOT trip the token scan),
+// locking via the annotated wrappers, and a to_json whose keys all
+// round-trip.
 #include <string>
 
 #include "common/annotated_mutex.h"
@@ -27,6 +29,16 @@ void clean_locking(GoodWidget& widget) {
   us3d::MutexLock lock(widget.mutex_);
   ++widget.guarded_value_;
   US3D_TRACE_INSTANT("widget.touched");
+}
+
+const char* policy_name(int policy) { return policy == 0 ? "drop" : "keep"; }
+
+void clean_events(int session, int seq, int policy, int depth) {
+  US3D_EVENT_INFO("widget.admit");
+  US3D_EVENT_WARN("widget.shed", session, seq, policy_name(policy),
+                  "depth", depth, "seq", seq);
+  US3D_EVENT_ERROR("widget.failed", session, -1,
+                   policy == 0 ? "sink" : "worker");
 }
 
 std::string GoodWidget::to_json() const {

@@ -1,13 +1,23 @@
 #!/usr/bin/env python3
 """House lint for the us3d codebase. Stdlib-only, no third-party deps.
 
-Four checks, each enforcing an invariant the compilers cannot:
+Five checks, each enforcing an invariant the compilers cannot:
 
   trace-literal   US3D_TRACE_SPAN / US3D_TRACE_INSTANT store their name
                   and key arguments as `const char*` without copying
                   (obs::SpanRecord), so the name (arg 0) and every key
                   (odd args) MUST be string literals with static storage,
                   and arguments must come in name + (key, value) pairs.
+
+  event-literal   US3D_EVENT_DEBUG/INFO/WARN/ERROR store their name and
+                  argument keys as `const char*` without copying
+                  (obs::EventRecord), so the name (arg 0) and the two
+                  optional argument keys (args 4 and 6) MUST be string
+                  literals. The detail string (arg 3) only needs static
+                  storage — expressions like policy_name(p) are fine —
+                  but the arity must match the emit_event signature:
+                  name, then optionally session, sequence, detail and up
+                  to two (key, value) pairs.
 
   no-fma          DAS kernel translation units must not contract
                   multiply-add: bit-exactness across scalar / SSE2 /
@@ -180,7 +190,55 @@ def check_trace_literals(path, text):
 
 
 # --------------------------------------------------------------------------
-# Check 2: FMA contraction in DAS kernel TUs
+# Check 2: event macro arguments
+
+EVENT_MACRO = re.compile(r"\bUS3D_EVENT_(?:DEBUG|INFO|WARN|ERROR)\s*\(")
+
+# Argument positions after the severity is folded into the macro name:
+# 0 name, 1 session, 2 sequence, 3 detail, 4 key1, 5 val1, 6 key2, 7 val2.
+EVENT_KEY_POSITIONS = (4, 6)
+EVENT_VALID_ARITIES = (1, 2, 3, 4, 6, 8)
+
+
+def check_event_literals(path, text):
+    findings = []
+    clean = strip_comments(text)
+    for match in EVENT_MACRO.finditer(clean):
+        line = line_of(clean, match.start())
+        # The macro definitions themselves (#define US3D_EVENT_WARN(...))
+        # are not call sites.
+        line_start = clean.rfind("\n", 0, match.start()) + 1
+        if clean[line_start : match.start()].lstrip().startswith("#"):
+            continue
+        args, _ = split_macro_args(clean, match.end() - 1)
+        if args is None:
+            findings.append((path, line, "unbalanced event macro arguments"))
+            continue
+        if not args or not args[0]:
+            findings.append((path, line, "event macro needs a name argument"))
+            continue
+        if not args[0].startswith('"'):
+            findings.append(
+                (path, line,
+                 "event name must be a string literal, got `%s` "
+                 "(EventRecord keeps the pointer, not a copy)" % args[0]))
+        if len(args) not in EVENT_VALID_ARITIES:
+            findings.append(
+                (path, line,
+                 "event macro takes name[, session[, sequence[, detail"
+                 "[, key, value[, key, value]]]]]; got %d arguments" %
+                 len(args)))
+        for k in EVENT_KEY_POSITIONS:
+            if k < len(args) and not args[k].startswith('"'):
+                findings.append(
+                    (path, line,
+                     "event argument key %d must be a string literal, "
+                     "got `%s`" % (k, args[k])))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Check 3: FMA contraction in DAS kernel TUs
 
 FMA_TOKEN = re.compile(
     r"\b(?:std::fma[fl]?|fmaf?|__builtin_fma[fl]?"
@@ -200,7 +258,7 @@ def check_no_fma(path, text):
 
 
 # --------------------------------------------------------------------------
-# Check 3: raw std synchronisation primitives outside annotated_mutex.h
+# Check 4: raw std synchronisation primitives outside annotated_mutex.h
 
 RAW_MUTEX = re.compile(
     r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
@@ -221,7 +279,7 @@ def check_no_raw_mutex(path, text):
 
 
 # --------------------------------------------------------------------------
-# Check 4: to_json keys must round-trip through the strict from_json
+# Check 5: to_json keys must round-trip through the strict from_json
 
 EMITTED_KEY = re.compile(r"\.(?:kv(?:_raw)?|key)\(\s*\"([^\"]+)\"")
 PARSED_KEY = re.compile(r"key\s*==\s*\"([^\"]+)\"")
@@ -270,6 +328,7 @@ def lint_repo(root):
         with open(os.path.join(root, rel), encoding="utf-8") as f:
             text = f.read()
         findings.extend(check_trace_literals(rel, text))
+        findings.extend(check_event_literals(rel, text))
         if DAS_KERNEL_TU.match(rel):
             findings.extend(check_no_fma(rel, text))
         if rel.startswith("src/") and rel != RAW_MUTEX_EXEMPT:
@@ -287,13 +346,14 @@ def lint_repo(root):
 FIXTURES = {
     # fixture file -> (check function, expects_findings)
     "bad_trace_name.cpp": (check_trace_literals, True),
+    "bad_event_name.cpp": (check_event_literals, True),
     "bad_fma_kernel.cpp": (check_no_fma, True),
     "bad_neon_fma_kernel.cpp": (check_no_fma, True),
     "bad_raw_mutex.cpp": (check_no_raw_mutex, True),
     "bad_json_contract.cpp": (check_json_contract, True),
 }
-ALL_CHECKS = (check_trace_literals, check_no_fma, check_no_raw_mutex,
-              check_json_contract)
+ALL_CHECKS = (check_trace_literals, check_event_literals, check_no_fma,
+              check_no_raw_mutex, check_json_contract)
 
 
 def self_test(root):
